@@ -1,0 +1,234 @@
+// Reproduces the §3 coverage claim: "all single and multi-cell memory
+// faults are detected in 3 pi-test iterations with a specific TDB".
+//
+// Two universes are reported (DESIGN.md §2):
+//  * the classical model {SAF, TF, adjacent CFin, bridges, AF} — fully
+//    covered by the pure 3-iteration scheme, reproducing the claim's
+//    shape;
+//  * the full van de Goor model (adds WDF, RDF/DRDF/IRF/SOF, CFst,
+//    4-variant CFid, multi-access AF) — where 3 pure iterations are
+//    provably insufficient (late corruptions are overwritten unread)
+//    and the extended scheme with verify passes reaches full coverage.
+//
+// March baselines (MATS+, March C-, March SS) anchor both tables.
+#include <benchmark/benchmark.h>
+
+#include <cstdio>
+
+#include "analysis/coverage.hpp"
+#include "analysis/fault_sim.hpp"
+#include "march/march_library.hpp"
+#include "mem/fault_universe.hpp"
+
+namespace {
+
+using namespace prt;
+using analysis::CampaignOptions;
+using analysis::run_campaign;
+
+std::vector<mem::Fault> classical_universe(mem::Addr n) {
+  std::vector<mem::Fault> u;
+  for (mem::Addr c = 0; c < n; ++c) {
+    u.push_back(mem::Fault::saf({c, 0}, 0));
+    u.push_back(mem::Fault::saf({c, 0}, 1));
+    u.push_back(mem::Fault::tf({c, 0}, true));
+    u.push_back(mem::Fault::tf({c, 0}, false));
+  }
+  for (mem::Addr c = 0; c + 1 < n; ++c) {
+    for (auto [a, v] :
+         {std::pair<mem::Addr, mem::Addr>{c, c + 1}, {c + 1, c}}) {
+      u.push_back(mem::Fault::cf_in({v, 0}, {a, 0}));
+    }
+    u.push_back(mem::Fault::bridge({c, 0}, {c + 1, 0}, true));
+    u.push_back(mem::Fault::bridge({c, 0}, {c + 1, 0}, false));
+  }
+  for (mem::Addr a = 0; a < n; ++a) {
+    u.push_back(mem::Fault::af_no_access(a));
+    u.push_back(mem::Fault::af_wrong_access(a, a + 1 < n ? a + 1 : n - 2));
+  }
+  return u;
+}
+
+std::vector<mem::Fault> full_universe(mem::Addr n) {
+  std::vector<mem::Fault> u = mem::single_cell_universe(n, 1, true);
+  for (mem::Addr c = 0; c + 1 < n; ++c) {
+    for (auto [a, v] :
+         {std::pair<mem::Addr, mem::Addr>{c, c + 1}, {c + 1, c}}) {
+      u.push_back(mem::Fault::cf_in({v, 0}, {a, 0}));
+      for (unsigned when : {0u, 1u}) {
+        for (unsigned forced : {0u, 1u}) {
+          u.push_back(mem::Fault::cf_st({v, 0}, {a, 0}, when, forced));
+        }
+      }
+      for (bool up : {true, false}) {
+        for (unsigned forced : {0u, 1u}) {
+          u.push_back(mem::Fault::cf_id({v, 0}, {a, 0}, up, forced));
+        }
+      }
+    }
+    u.push_back(mem::Fault::bridge({c, 0}, {c + 1, 0}, true));
+    u.push_back(mem::Fault::bridge({c, 0}, {c + 1, 0}, false));
+  }
+  for (mem::Addr a = 0; a < n; ++a) {
+    u.push_back(mem::Fault::af_no_access(a));
+    u.push_back(mem::Fault::af_wrong_access(a, a + 1 < n ? a + 1 : n - 2));
+    u.push_back(mem::Fault::af_multi_access(a, (a + n / 2) % n));
+  }
+  return u;
+}
+
+void run_tables() {
+  const mem::Addr n = 64;
+  CampaignOptions opt;
+  opt.n = n;
+
+  {
+    std::printf(
+        "== §3 claim, classical model (n = %u): coverage vs iterations "
+        "==\n",
+        n);
+    const auto universe = classical_universe(n);
+    std::vector<analysis::NamedResult> rows;
+    for (unsigned iters = 1; iters <= 3; ++iters) {
+      rows.push_back({"PRT-" + std::to_string(iters),
+                      run_campaign(universe,
+                                   analysis::prt_algorithm_prefix(
+                                       core::standard_scheme_bom(n), iters),
+                                   opt)});
+    }
+    rows.push_back(
+        {"MATS+", run_campaign(universe,
+                               analysis::march_algorithm(march::mats_plus()),
+                               opt)});
+    rows.push_back({"March C-",
+                    run_campaign(universe,
+                                 analysis::march_algorithm(
+                                     march::march_c_minus()),
+                                 opt)});
+    std::printf("%s\n", analysis::coverage_table(rows).str().c_str());
+  }
+
+  {
+    std::printf(
+        "== full van de Goor model (n = %u): 3 pure iterations vs "
+        "extended scheme ==\n",
+        n);
+    const auto universe = full_universe(n);
+    std::vector<analysis::NamedResult> rows;
+    rows.push_back(
+        {"PRT-3",
+         run_campaign(universe,
+                      analysis::prt_algorithm(core::standard_scheme_bom(n)),
+                      opt)});
+    rows.push_back(
+        {"PRT-ext",
+         run_campaign(universe,
+                      analysis::prt_algorithm(core::extended_scheme_bom(n)),
+                      opt)});
+    rows.push_back({"March C-",
+                    run_campaign(universe,
+                                 analysis::march_algorithm(
+                                     march::march_c_minus()),
+                                 opt)});
+    rows.push_back({"March SS",
+                    run_campaign(universe,
+                                 analysis::march_algorithm(march::march_ss()),
+                                 opt)});
+    std::printf("%s\n", analysis::coverage_table(rows).str().c_str());
+  }
+
+  {
+    const unsigned m = 4;
+    std::printf(
+        "== WOM (n = %u, m = %u, p = z^4+z+1): single-cell + intra-word "
+        "==\n",
+        n, m);
+    mem::UniverseOptions uopt;
+    uopt.coupling = false;
+    uopt.bridges = false;
+    uopt.address_decoder = true;
+    uopt.intra_word = true;
+    const auto universe = mem::make_universe(n, m, uopt);
+    CampaignOptions wopt;
+    wopt.n = n;
+    wopt.m = m;
+    std::vector<analysis::NamedResult> rows;
+    rows.push_back({"PRT-3", run_campaign(universe,
+                                          analysis::prt_algorithm(
+                                              core::standard_scheme_wom(n, m)),
+                                          wopt)});
+    rows.push_back(
+        {"PRT-ext",
+         run_campaign(universe,
+                      analysis::prt_algorithm(core::extended_scheme_wom(n, m)),
+                      wopt)});
+    rows.push_back({"March C-",
+                    run_campaign(universe,
+                                 analysis::march_algorithm(
+                                     march::march_c_minus()),
+                                 wopt)});
+    std::printf("%s\n", analysis::coverage_table(rows).str().c_str());
+  }
+}
+
+void run_retention_table() {
+  const mem::Addr n = 64;
+  std::printf(
+      "== data-retention faults (n = %u, decay delay 50k ticks) ==\n", n);
+  std::vector<mem::Fault> universe;
+  for (mem::Addr c = 0; c < n; ++c) {
+    universe.push_back(mem::Fault::retention({c, 0}, 0, 50'000));
+    universe.push_back(mem::Fault::retention({c, 0}, 1, 50'000));
+  }
+  CampaignOptions opt;
+  opt.n = n;
+  std::vector<analysis::NamedResult> rows;
+  rows.push_back(
+      {"PRT-3 (no pause)",
+       run_campaign(universe,
+                    analysis::prt_algorithm(core::standard_scheme_bom(n)),
+                    opt)});
+  rows.push_back(
+      {"PRT retention",
+       run_campaign(universe,
+                    analysis::prt_algorithm(
+                        core::retention_scheme(n, 1, 100'000)),
+                    opt)});
+  rows.push_back(
+      {"March C- (no Del)",
+       run_campaign(universe,
+                    analysis::march_algorithm(march::march_c_minus()),
+                    opt)});
+  rows.push_back({"March G (Del=100k)",
+                  run_campaign(universe,
+                               [](mem::Memory& memory) {
+                                 return march::run_march(march::march_g(),
+                                                         memory, 0, 100'000)
+                                     .fail;
+                               },
+                               opt)});
+  std::printf("%s\n", analysis::coverage_table(rows).str().c_str());
+}
+
+void BM_CampaignClassical(benchmark::State& state) {
+  const mem::Addr n = static_cast<mem::Addr>(state.range(0));
+  const auto universe = classical_universe(n);
+  CampaignOptions opt;
+  opt.n = n;
+  const auto algo = analysis::prt_algorithm(core::standard_scheme_bom(n));
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(run_campaign(universe, algo, opt));
+  }
+  state.SetItemsProcessed(state.iterations() * universe.size());
+}
+BENCHMARK(BM_CampaignClassical)->Arg(32)->Arg(64);
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  run_tables();
+  run_retention_table();
+  benchmark::Initialize(&argc, argv);
+  benchmark::RunSpecifiedBenchmarks();
+  return 0;
+}

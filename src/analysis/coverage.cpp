@@ -1,0 +1,45 @@
+#include "analysis/coverage.hpp"
+
+#include <set>
+
+namespace prt::analysis {
+
+Table coverage_table(const std::vector<NamedResult>& results) {
+  std::set<mem::FaultClass> classes;
+  for (const auto& r : results) {
+    for (const auto& [cls, cov] : r.result.by_class) classes.insert(cls);
+  }
+  std::vector<std::string> headers{"fault class", "faults"};
+  for (const auto& r : results) headers.push_back(r.name + " %");
+  Table table(std::move(headers));
+  table.set_align(0, Align::kLeft);
+
+  for (mem::FaultClass cls : classes) {
+    std::vector<std::string> row{to_string(cls)};
+    std::uint64_t total = 0;
+    for (const auto& r : results) {
+      auto it = r.result.by_class.find(cls);
+      if (it != r.result.by_class.end()) total = it->second.total;
+    }
+    row.push_back(std::to_string(total));
+    for (const auto& r : results) {
+      auto it = r.result.by_class.find(cls);
+      row.push_back(it == r.result.by_class.end()
+                        ? std::string("-")
+                        : format_fixed(it->second.percent(), 2));
+    }
+    table.add_row(std::move(row));
+  }
+
+  std::vector<std::string> overall{"TOTAL", ""};
+  if (!results.empty()) {
+    overall[1] = std::to_string(results.front().result.overall.total);
+  }
+  for (const auto& r : results) {
+    overall.push_back(format_fixed(r.result.overall.percent(), 2));
+  }
+  table.add_row(std::move(overall));
+  return table;
+}
+
+}  // namespace prt::analysis

@@ -1,0 +1,23 @@
+// Rendering of campaign results as report tables.
+#pragma once
+
+#include <string>
+#include <vector>
+
+#include "analysis/fault_sim.hpp"
+#include "util/table.hpp"
+
+namespace prt::analysis {
+
+/// A named campaign outcome (one algorithm / configuration).
+struct NamedResult {
+  std::string name;
+  CampaignResult result;
+};
+
+/// Builds the coverage table: one row per fault class present in any
+/// result, one column per algorithm, cells in percent; final row is the
+/// overall coverage.
+[[nodiscard]] Table coverage_table(const std::vector<NamedResult>& results);
+
+}  // namespace prt::analysis

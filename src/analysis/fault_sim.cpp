@@ -1,0 +1,52 @@
+#include "analysis/fault_sim.hpp"
+
+#include <cassert>
+
+namespace prt::analysis {
+
+CampaignResult run_campaign(std::span<const mem::Fault> universe,
+                            const TestAlgorithm& test,
+                            const CampaignOptions& opt) {
+  CampaignResult result;
+  for (std::size_t i = 0; i < universe.size(); ++i) {
+    const mem::Fault& fault = universe[i];
+    mem::FaultyRam ram(opt.n, opt.m, opt.ports);
+    if (opt.prefill_zero) {
+      for (mem::Addr a = 0; a < opt.n; ++a) ram.poke(a, 0);
+    }
+    ram.inject(fault);
+    const bool detected = test(ram);
+    auto& cls = result.by_class[mem::fault_class(fault.kind)];
+    ++cls.total;
+    ++result.overall.total;
+    if (detected) {
+      ++cls.detected;
+      ++result.overall.detected;
+    } else {
+      result.escapes.push_back(i);
+    }
+  }
+  return result;
+}
+
+TestAlgorithm march_algorithm(march::MarchTest test) {
+  return [test = std::move(test)](mem::Memory& memory) {
+    const auto bgs = march::standard_backgrounds(memory.width());
+    return march::run_march_backgrounds(test, memory, bgs).fail;
+  };
+}
+
+TestAlgorithm prt_algorithm(core::PrtScheme scheme) {
+  return [scheme = std::move(scheme)](mem::Memory& memory) {
+    return core::run_prt(memory, scheme).detected();
+  };
+}
+
+TestAlgorithm prt_algorithm_prefix(core::PrtScheme scheme,
+                                   std::size_t iterations) {
+  assert(iterations >= 1 && iterations <= scheme.iterations.size());
+  scheme.iterations.resize(iterations);
+  return prt_algorithm(std::move(scheme));
+}
+
+}  // namespace prt::analysis

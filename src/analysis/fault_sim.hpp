@@ -1,0 +1,73 @@
+// Fault-simulation campaign driver.
+//
+// A campaign instantiates one FaultyRam per fault in a universe, runs a
+// test algorithm against it, and tallies detection per fault class.
+// This is the empirical machinery behind the paper's §3 coverage claim
+// and behind every coverage table in bench/.
+#pragma once
+
+#include <cstdint>
+#include <functional>
+#include <map>
+#include <span>
+#include <string>
+#include <vector>
+
+#include "core/prt_engine.hpp"
+#include "march/march_runner.hpp"
+#include "mem/fault_injector.hpp"
+
+namespace prt::analysis {
+
+/// A test algorithm under evaluation: runs against the (faulty) memory
+/// and returns true when it flags the memory as bad.
+using TestAlgorithm = std::function<bool(mem::Memory&)>;
+
+struct ClassCoverage {
+  std::uint64_t detected = 0;
+  std::uint64_t total = 0;
+  [[nodiscard]] double percent() const {
+    return total == 0 ? 100.0 : 100.0 * static_cast<double>(detected) /
+                                    static_cast<double>(total);
+  }
+};
+
+struct CampaignResult {
+  std::map<mem::FaultClass, ClassCoverage> by_class;
+  ClassCoverage overall;
+  /// Indices (into the universe) of undetected faults, for debugging
+  /// and for the TDB search.
+  std::vector<std::size_t> escapes;
+};
+
+struct CampaignOptions {
+  mem::Addr n = 64;
+  unsigned m = 1;
+  unsigned ports = 1;
+  /// Fill the array with zeros before the test (deterministic start; a
+  /// real power-up state is unknown, but every algorithm under test
+  /// writes each cell before reading it back, so the fill only pins
+  /// down the "previous value" seen by first-write transitions).
+  bool prefill_zero = true;
+};
+
+/// Runs `test` once per fault; each run gets a fresh memory with
+/// exactly that fault injected.
+[[nodiscard]] CampaignResult run_campaign(
+    std::span<const mem::Fault> universe, const TestAlgorithm& test,
+    const CampaignOptions& opt);
+
+// --- adapters -------------------------------------------------------
+
+/// March test with the standard backgrounds for the memory width.
+[[nodiscard]] TestAlgorithm march_algorithm(march::MarchTest test);
+
+/// PRT scheme (all iterations).
+[[nodiscard]] TestAlgorithm prt_algorithm(core::PrtScheme scheme);
+
+/// PRT scheme truncated to its first `iterations` iterations — the
+/// coverage-vs-iterations sweep of the §3 claim.
+[[nodiscard]] TestAlgorithm prt_algorithm_prefix(core::PrtScheme scheme,
+                                                 std::size_t iterations);
+
+}  // namespace prt::analysis

@@ -1,0 +1,67 @@
+#include "analysis/markov.hpp"
+
+#include <cmath>
+
+namespace prt::analysis {
+
+double per_iteration_detection(mem::FaultClass cls,
+                               const MarkovParams& params) {
+  const double n = static_cast<double>(params.n);
+  switch (cls) {
+    case mem::FaultClass::kSaf:
+      return 0.5;
+    case mem::FaultClass::kTf:
+      return 0.25;
+    case mem::FaultClass::kWdf:
+      return 0.5;
+    case mem::FaultClass::kReadLogic:
+      // RDF/DRDF/IRF activate on every read (p = 1); SOF at 3/4.  The
+      // class mixes them 3:1.
+      return (3.0 * 1.0 + 0.75) / 4.0;
+    case mem::FaultClass::kCfSt:
+      return 0.25;
+    case mem::FaultClass::kBridge:
+      // A bridge ties the pair continuously; each of the two writes is
+      // checked against the partner's value in two epochs (before and
+      // after the partner's own write), and each check trips when the
+      // writer expects the recessive value while the partner holds the
+      // dominant one (probability 1/4): p = 1 - (3/4)^4.  Correlated
+      // re-collapses push the true rate slightly higher.
+      return 1.0 - std::pow(0.75, 4.0);
+    case mem::FaultClass::kCfIn:
+      // Aggressor visited exactly one position after the victim (1/n
+      // for a random permutation) and actually transitioning (1/2).
+      return 0.5 / n;
+    case mem::FaultClass::kCfId:
+      // CFin rate further conditioned on the transition direction (1/2)
+      // and on the victim holding the complement of the forced value
+      // (1/2); averaged over the 4 variants this is 1/(2n) * 1/2.
+      return 0.25 / n;
+    case mem::FaultClass::kAf:
+      // Wrong-access under pi-testing is self-consistent: the faulty
+      // address writes AND reads the substituted cell, so a mismatch
+      // surfaces only when the substituted cell's own legitimate write
+      // lands inside the faulty address's write-to-read window — the
+      // same two-position window as transition coupling: p ~ 2/n.
+      // (No-access faults, by contrast, are near-certain: the floating
+      // read must match the expected word everywhere.)
+      return 2.0 / n;
+    case mem::FaultClass::kNpsf:
+      // Neighbourhood pattern (4 bits) must match while the victim
+      // expects the complement of the forced value.
+      return (1.0 / 16.0) * 0.5;
+    case mem::FaultClass::kRetention:
+      // Retention faults need an explicit pause longer than the decay
+      // delay; the pause-less random-iteration model never waits.
+      return 0.0;
+  }
+  return 0.0;
+}
+
+double cumulative_detection(mem::FaultClass cls, const MarkovParams& params,
+                            unsigned iterations) {
+  const double p = per_iteration_detection(cls, params);
+  return 1.0 - std::pow(1.0 - p, static_cast<double>(iterations));
+}
+
+}  // namespace prt::analysis

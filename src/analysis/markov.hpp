@@ -1,0 +1,66 @@
+// Analytic detection model for pi-testing (paper §3: "Applying Markov
+// chain analysis it was shown that pi-test iteration has a high
+// resolution for most memory faults").
+//
+// Model.  During one pi-iteration every cell is written once and read
+// k times; an error Δ present in a cell value obeys the same linear
+// recurrence as the data (the writes compute correct functions of
+// possibly-wrong reads), so the error state evolves as a non-singular
+// LFSR from a non-zero seed and can never return to zero before the
+// sweep ends: a single activated fault always corrupts Fin.  Detection
+// probability per iteration therefore equals *activation* probability,
+// and the per-fault behaviour across iterations is a two-state Markov
+// chain (latent -> detected) with per-iteration transition p:
+//
+//     P(detected within i iterations) = 1 - (1 - p)^i.
+//
+// Activation probabilities under the random-TDB / random-trajectory
+// assumption (each cell value an independent fair coin per iteration,
+// each traversal a fresh permutation):
+//   SAF      p = 1/2   (cell's fault-free value hits the opposite rail)
+//   TF       p = 1/4   (previous value, new value must form the failing
+//                       transition)
+//   WDF      p = 1/2   (non-transition write)
+//   RDF/DRDF/IRF  p = 1 (every read is wrong or flips the cell)
+//   SOF      p = 3/4   (one of the two window reads differs from the
+//                       sense-amp history bit)
+//   CFst     p = 1/4   (aggressor in the trigger state at the victim's
+//                       write x victim expected opposite of forced)
+//   Bridge   p = 1 - (3/4)^4  (two writes x two partner epochs, each
+//                       tripping at 1/4; see markov.cpp)
+//   CFin     p = (1/2) / n  (aggressor must transition AND be visited
+//                       exactly one position after the victim; later
+//                       corruptions are overwritten unread, earlier
+//                       ones are erased by the victim's own write)
+//   CFid     p = (1/8) x ~4/n with 4 orientation variants averaged as
+//            1/(2n)  (transition direction and forced-value conditions
+//                       each halve the CFin rate; see markov.cpp)
+//   AF       p = 2/n  (wrong-access is self-consistent outside the
+//                       write-to-read window; see markov.cpp)
+//
+// These are deliberately coarse (that is what makes them checkable):
+// bench/tab_markov compares them against an empirical campaign run
+// with randomized TDBs and trajectories.
+#pragma once
+
+#include <cstdint>
+
+#include "mem/fault.hpp"
+
+namespace prt::analysis {
+
+struct MarkovParams {
+  mem::Addr n = 128;   // array size (enters the coupling-fault rates)
+  unsigned m = 1;      // cell width
+};
+
+/// Per-iteration activation/detection probability p for the class.
+[[nodiscard]] double per_iteration_detection(mem::FaultClass cls,
+                                             const MarkovParams& params);
+
+/// 1 - (1 - p)^iterations.
+[[nodiscard]] double cumulative_detection(mem::FaultClass cls,
+                                          const MarkovParams& params,
+                                          unsigned iterations);
+
+}  // namespace prt::analysis

@@ -1,0 +1,114 @@
+#include "analysis/tdb_search.hpp"
+
+#include <cassert>
+
+namespace prt::analysis {
+
+namespace {
+
+Candidate make_candidate(std::vector<gf::Elem> g, std::vector<gf::Elem> init,
+                         core::TrajectoryKind traj) {
+  Candidate c;
+  c.g = std::move(g);
+  c.config.init = std::move(init);
+  c.config.trajectory = traj;
+  return c;
+}
+
+/// Per-fault detection bitmap of a (partial) scheme, evaluated by true
+/// sequential campaign — iteration order matters for transition and
+/// disturb faults, so candidates are always scored in context.
+std::vector<bool> detection_map(const core::PrtScheme& scheme,
+                                std::span<const mem::Fault> universe,
+                                const CampaignOptions& opt) {
+  const TestAlgorithm algo = prt_algorithm(scheme);
+  std::vector<bool> detected(universe.size(), false);
+  for (std::size_t i = 0; i < universe.size(); ++i) {
+    mem::FaultyRam ram(opt.n, opt.m, opt.ports);
+    if (opt.prefill_zero) {
+      for (mem::Addr a = 0; a < opt.n; ++a) ram.poke(a, 0);
+    }
+    ram.inject(universe[i]);
+    detected[i] = algo(ram);
+  }
+  return detected;
+}
+
+std::uint64_t count(const std::vector<bool>& v) {
+  std::uint64_t c = 0;
+  for (bool b : v) c += b ? 1 : 0;
+  return c;
+}
+
+}  // namespace
+
+std::vector<Candidate> default_candidates(const gf::GF2m& field,
+                                          std::vector<gf::Elem> primitive_g) {
+  const gf::Elem mask = field.size() - 1;
+  const std::vector<std::vector<gf::Elem>> generators{
+      {1, 0, 1},  // two-term: solid / checkerboard backgrounds
+      primitive_g,
+  };
+  std::vector<Candidate> pool;
+  for (const auto& g : generators) {
+    // Solid and striped seeds for the two-term generator; phase seeds
+    // for the maximal-length one.  (0,0) is included deliberately: a
+    // solid-0 pass activates write-disturb faults and provides the
+    // "previous value" for down-transitions.
+    const std::vector<std::vector<gf::Elem>> seeds =
+        g == generators[0]
+            ? std::vector<std::vector<gf::Elem>>{{0, mask},
+                                                 {mask, 0},
+                                                 {mask, mask},
+                                                 {0, 0}}
+            : std::vector<std::vector<gf::Elem>>{{0, 1}, {1, 0}, {1, 1}};
+    for (const auto& seed : seeds) {
+      for (auto traj : {core::TrajectoryKind::kAscending,
+                        core::TrajectoryKind::kDescending}) {
+        pool.push_back(make_candidate(g, seed, traj));
+      }
+    }
+  }
+  return pool;
+}
+
+SearchResult search_tdb(const gf::GF2m& field,
+                        const std::vector<Candidate>& pool,
+                        std::span<const mem::Fault> universe,
+                        const CampaignOptions& opt, unsigned iterations) {
+  assert(!pool.empty() && iterations >= 1);
+
+  SearchResult result;
+  result.scheme.field_modulus = field.modulus();
+  std::vector<bool> covered(universe.size(), false);
+
+  for (unsigned step = 0; step < iterations; ++step) {
+    std::size_t best = pool.size();
+    std::uint64_t best_total = 0;
+    std::vector<bool> best_map;
+    for (std::size_t c = 0; c < pool.size(); ++c) {
+      core::PrtScheme trial = result.scheme;
+      trial.iterations.push_back(pool[c]);
+      std::vector<bool> map = detection_map(trial, universe, opt);
+      const std::uint64_t total = count(map);
+      if (best == pool.size() || total > best_total) {
+        best = c;
+        best_total = total;
+        best_map = std::move(map);
+      }
+    }
+    result.scheme.iterations.push_back(pool[best]);
+    covered = std::move(best_map);
+    result.coverage_by_iterations.push_back(
+        universe.empty() ? 100.0
+                         : 100.0 * static_cast<double>(best_total) /
+                               static_cast<double>(universe.size()));
+  }
+
+  for (std::size_t i = 0; i < universe.size(); ++i) {
+    if (!covered[i]) result.escapes.push_back(i);
+  }
+  return result;
+}
+
+}  // namespace prt::analysis

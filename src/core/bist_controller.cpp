@@ -1,0 +1,129 @@
+#include "core/bist_controller.hpp"
+
+#include <cassert>
+
+namespace prt::core {
+
+BistController::BistController(gf::GF2m field, std::vector<gf::Elem> g,
+                               std::vector<gf::Elem> init,
+                               Trajectory trajectory)
+    : field_(std::move(field)),
+      g_(std::move(g)),
+      k_(static_cast<unsigned>(g_.size() - 1)),
+      trajectory_(std::move(trajectory)),
+      init_(std::move(init)) {
+  assert(g_.size() >= 2 && g_.front() != 0 && g_.back() != 0);
+  assert(init_.size() == k_);
+  assert(trajectory_.size() > k_);
+
+  // Synthesize one netlist per feedback tap (coefficient 0 taps keep an
+  // empty network whose outputs are grounded).
+  tap_networks_.resize(k_);
+  for (unsigned j = 1; j <= k_; ++j) {
+    tap_networks_[j - 1] =
+        gf::synthesize_cse(gf::multiplier_matrix(field_, g_[j]));
+  }
+
+  // Pre-load the expected-Fin register from the reference model.
+  lfsr::WordLfsr model(field_, g_);
+  model.seed(init_);
+  model.jump(trajectory_.size() - k_);
+  fin_expected_.assign(model.state().begin(), model.state().end());
+
+  window_.assign(k_, 0);
+  state_ = BistState::kInit;
+}
+
+gf::Elem BistController::feedback_value() const {
+  // w = sum_j g_j * window[k-j], each product evaluated by the
+  // synthesized XOR netlist, the sum by word-wide XOR.
+  gf::Elem acc = 0;
+  for (unsigned j = 1; j <= k_; ++j) {
+    const gf::Elem operand = window_[k_ - j];
+    acc = static_cast<gf::Elem>(
+        acc ^ static_cast<gf::Elem>(tap_networks_[j - 1].eval(operand)));
+  }
+  return acc;
+}
+
+std::size_t BistController::feedback_gates() const {
+  std::size_t gates = 0;
+  std::size_t active = 0;
+  for (unsigned j = 1; j <= k_; ++j) {
+    if (g_[j] == 0) continue;
+    ++active;
+    gates += tap_networks_[j - 1].gate_count();
+  }
+  if (active > 1) gates += (active - 1) * field_.m();
+  return gates;
+}
+
+void BistController::clock(mem::Memory& memory) {
+  assert(memory.size() == trajectory_.size());
+  assert(memory.width() == field_.m());
+  const mem::Addr n = trajectory_.size();
+
+  switch (state_) {
+    case BistState::kIdle:
+    case BistState::kDone:
+      return;  // no operation
+
+    case BistState::kInit:
+      memory.write(trajectory_.at(phase_), init_[phase_], 0);
+      ++cycles_;
+      if (++phase_ == k_) {
+        phase_ = 0;
+        position_ = 0;
+        state_ = BistState::kRead;
+      }
+      return;
+
+    case BistState::kRead:
+      window_[phase_] = static_cast<gf::Elem>(
+          memory.read(trajectory_.at(position_ + phase_), 0));
+      ++cycles_;
+      if (++phase_ == k_) {
+        phase_ = 0;
+        state_ = BistState::kWrite;
+      }
+      return;
+
+    case BistState::kWrite:
+      memory.write(trajectory_.at(position_ + k_), feedback_value(), 0);
+      ++cycles_;
+      ++position_;
+      state_ = position_ + k_ < n ? BistState::kRead : BistState::kFinRead;
+      return;
+
+    case BistState::kFinRead: {
+      const auto got = static_cast<gf::Elem>(
+          memory.read(trajectory_.at(n - k_ + phase_), 0));
+      ++cycles_;
+      pass_ = pass_ && got == fin_expected_[phase_];
+      if (++phase_ == k_) {
+        phase_ = 0;
+        state_ = BistState::kInitRead;
+      }
+      return;
+    }
+
+    case BistState::kInitRead: {
+      const auto got =
+          static_cast<gf::Elem>(memory.read(trajectory_.at(phase_), 0));
+      ++cycles_;
+      pass_ = pass_ && got == init_[phase_];
+      if (++phase_ == k_) {
+        phase_ = 0;
+        state_ = BistState::kDone;
+      }
+      return;
+    }
+  }
+}
+
+bool BistController::run(mem::Memory& memory) {
+  while (!done()) clock(memory);
+  return pass();
+}
+
+}  // namespace prt::core

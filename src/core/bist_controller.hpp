@@ -1,0 +1,91 @@
+// Cycle-accurate model of the on-chip PRT BIST controller (§4).
+//
+// Where PiTester expresses the pi-iteration as an algorithm, this class
+// models the *hardware* the paper's overhead argument counts: an
+// address counter, k m-bit window registers, the feedback network
+// synthesized as an actual XOR netlist (gf/const_mult — evaluated
+// gate-by-gate, not with field arithmetic), and the Init/Fin
+// comparator.  One clock() call performs exactly one memory operation,
+// so the cycle count of a run *is* the §3 complexity measure, and
+// equivalence with PiTester (tests/test_bist_controller.cpp) validates
+// that the netlist view and the algebraic view agree everywhere.
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "core/trajectory.hpp"
+#include "gf/const_mult.hpp"
+#include "gf/gf2m.hpp"
+#include "lfsr/lfsr.hpp"
+#include "mem/memory.hpp"
+
+namespace prt::core {
+
+/// Controller FSM states, one memory operation per clock in every
+/// state except kIdle/kDone.
+enum class BistState : std::uint8_t {
+  kIdle,      // not started
+  kInit,      // writing the k seed cells
+  kRead,      // filling the window registers (k reads per sub-iteration)
+  kWrite,     // writing the feedback value
+  kFinRead,   // reading back the last k cells
+  kInitRead,  // re-reading the first k cells
+  kDone,      // verdict valid
+};
+
+class BistController {
+ public:
+  /// Builds the controller for the virtual LFSR g (g0..gk) over the
+  /// field, seeded with `init` (size k), sweeping the given trajectory.
+  /// The expected Fin* register is pre-loaded from the LFSR model
+  /// (in silicon it is loaded by the tester / computed by a shadow
+  /// LFSR); the feedback network is the CSE-synthesized XOR netlist.
+  BistController(gf::GF2m field, std::vector<gf::Elem> g,
+                 std::vector<gf::Elem> init, Trajectory trajectory);
+
+  [[nodiscard]] BistState state() const { return state_; }
+  [[nodiscard]] bool done() const { return state_ == BistState::kDone; }
+  /// Verdict; valid when done(): Init/Fin read-backs matched.
+  [[nodiscard]] bool pass() const { return done() && pass_; }
+  [[nodiscard]] std::uint64_t cycles() const { return cycles_; }
+
+  /// Advances one clock: issues exactly one memory operation (or
+  /// finishes).  Precondition: memory geometry matches the trajectory
+  /// length and the field width.
+  void clock(mem::Memory& memory);
+
+  /// Convenience: clocks until done; returns pass().
+  bool run(mem::Memory& memory);
+
+  /// Number of XOR gates in the synthesized feedback netlist (the
+  /// "specific XOR-logic" of §4).
+  [[nodiscard]] std::size_t feedback_gates() const;
+
+ private:
+  /// Evaluates the feedback netlists on the window registers.
+  [[nodiscard]] gf::Elem feedback_value() const;
+
+  gf::GF2m field_;
+  std::vector<gf::Elem> g_;
+  unsigned k_;
+  Trajectory trajectory_;
+  std::vector<gf::Elem> init_;
+
+  // Synthesized multiplier netlists per tap (empty network = wire for
+  // coefficient 1, ground for coefficient 0).
+  std::vector<gf::XorNetwork> tap_networks_;  // index j-1 for g_j
+
+  // Datapath registers.
+  std::vector<gf::Elem> window_;  // k window registers, oldest first
+  std::vector<gf::Elem> fin_expected_;
+
+  // FSM registers.
+  BistState state_ = BistState::kIdle;
+  mem::Addr position_ = 0;  // sweep position q
+  unsigned phase_ = 0;      // sub-counter inside a state
+  std::uint64_t cycles_ = 0;
+  bool pass_ = true;
+};
+
+}  // namespace prt::core

@@ -1,0 +1,51 @@
+#include "core/hw_overhead.hpp"
+
+#include <cassert>
+
+#include "util/bitops.hpp"
+
+namespace prt::core {
+
+OverheadReport estimate_overhead(const gf::GF2m& field,
+                                 const std::vector<gf::Elem>& g,
+                                 std::uint64_t n, unsigned ports,
+                                 const CostModel& cost) {
+  assert(g.size() >= 2 && n > g.size() - 1);
+  const unsigned m = field.m();
+  const unsigned k = static_cast<unsigned>(g.size() - 1);
+  const unsigned addr_bits = ceil_log2(n);
+
+  OverheadReport report;
+
+  // Address register -> binary counter: one half-adder (XOR + AND) per
+  // address bit, per converted port register.
+  report.counter_transistors =
+      static_cast<std::uint64_t>(ports) * addr_bits *
+      (cost.transistors_per_xor2 + cost.transistors_per_and2);
+
+  // k window registers of m bits hold the read operands between the
+  // read and write phases of a sub-iteration.
+  report.window_transistors =
+      static_cast<std::uint64_t>(k) * m * cost.transistors_per_dff;
+
+  // Feedback network: CSE-optimized constant multipliers + word adders.
+  const gf::FeedbackCost fb = gf::feedback_cost(field, g);
+  report.feedback_transistors =
+      static_cast<std::uint64_t>(fb.total()) * cost.transistors_per_xor2;
+
+  // Fin comparator: m*k XORs into an OR-reduction tree, plus the m*k
+  // flip-flops holding the expected Fin* (loaded by the controller).
+  const std::uint64_t fin_bits = std::uint64_t{m} * k;
+  report.comparator_transistors =
+      fin_bits * cost.transistors_per_xor2 +
+      (fin_bits - 1) * cost.transistors_per_or2 +
+      fin_bits * cost.transistors_per_dff;
+
+  report.control_transistors = cost.control_fsm_transistors;
+
+  report.memory_transistors =
+      n * static_cast<std::uint64_t>(m) * cost.transistors_per_cell;
+  return report;
+}
+
+}  // namespace prt::core

@@ -1,0 +1,62 @@
+// Hardware-overhead model for on-chip PRT (paper §4).
+//
+// "To implement pi-test technique for 2P memories an additional
+//  hardware overhead on RAM chip area is need: 'conversion' of the
+//  existent address registers into counters and a specific XOR-logic.
+//  The ponder of the hardware overhead in comparison with the memory
+//  capacity is of an order < 2^-20."
+//
+// The model counts transistors for every BIST block the schemes need —
+// address-register-to-counter conversion, the window registers, the
+// constant-multiplier XOR networks (from gf/const_mult synthesis), the
+// word adders, the Fin comparator and a small control FSM — and relates
+// them to the transistor count of the cell array.
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "gf/const_mult.hpp"
+#include "gf/gf2m.hpp"
+
+namespace prt::core {
+
+/// Transistor-cost constants (conservative static-CMOS counts).
+struct CostModel {
+  unsigned transistors_per_cell = 6;   // 6T SRAM bit cell
+  unsigned transistors_per_xor2 = 6;
+  unsigned transistors_per_and2 = 6;
+  unsigned transistors_per_or2 = 6;
+  unsigned transistors_per_dff = 24;
+  unsigned control_fsm_transistors = 240;  // small fixed sequencer
+};
+
+/// Breakdown of the BIST overhead for a given PRT configuration.
+struct OverheadReport {
+  std::uint64_t counter_transistors = 0;    // address reg -> counter
+  std::uint64_t window_transistors = 0;     // k m-bit window registers
+  std::uint64_t feedback_transistors = 0;   // multipliers + adders
+  std::uint64_t comparator_transistors = 0; // Fin vs Fin*
+  std::uint64_t control_transistors = 0;
+  std::uint64_t memory_transistors = 0;     // n * m cell bits
+
+  [[nodiscard]] std::uint64_t bist_total() const {
+    return counter_transistors + window_transistors +
+           feedback_transistors + comparator_transistors +
+           control_transistors;
+  }
+  /// The paper's "ponder": overhead / capacity.
+  [[nodiscard]] double ratio() const {
+    return static_cast<double>(bist_total()) /
+           static_cast<double>(memory_transistors);
+  }
+};
+
+/// Computes the overhead for a PRT engine over GF(2^m) with generator
+/// coefficients g (g0..gk) on an n-cell, m-bit, `ports`-port memory.
+/// Multi-port schemes convert one address register per port.
+[[nodiscard]] OverheadReport estimate_overhead(
+    const gf::GF2m& field, const std::vector<gf::Elem>& g, std::uint64_t n,
+    unsigned ports = 1, const CostModel& cost = {});
+
+}  // namespace prt::core

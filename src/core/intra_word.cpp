@@ -1,0 +1,132 @@
+#include "core/intra_word.hpp"
+
+#include <cassert>
+
+#include "util/bitops.hpp"
+
+namespace prt::core {
+
+namespace {
+
+gf::GF2m gf2() { return gf::GF2m(0b11); }
+
+}  // namespace
+
+std::vector<gf::Elem> plane_init(const std::vector<gf::Elem>& plane_g,
+                                 unsigned plane) {
+  lfsr::WordLfsr model(gf2(), plane_g);
+  const unsigned k = model.k();
+  // Non-degenerate base state 0...01 advanced by `plane` steps.
+  std::vector<gf::Elem> base(k, 0);
+  base.back() = 1;
+  model.seed(base);
+  for (unsigned s = 0; s < plane; ++s) model.step();
+  return {model.state().begin(), model.state().end()};
+}
+
+IntraWordResult run_intra_word(mem::Memory& memory,
+                               const IntraWordConfig& config) {
+  const unsigned m = memory.width();
+  assert(m >= 2);
+  const mem::Addr n = memory.size();
+  lfsr::WordLfsr plane_model(gf2(), config.plane_g);
+  const unsigned k = plane_model.k();
+  assert(n > k);
+
+  IntraWordResult result;
+  result.fin.assign(m, 0);
+  result.fin_expected.assign(m, 0);
+
+  // Expected per-plane Fin: plane automaton advanced n - k steps.
+  for (unsigned b = 0; b < m; ++b) {
+    lfsr::WordLfsr model(gf2(), config.plane_g);
+    const auto init = plane_init(config.plane_g, b);
+    model.seed(init);
+    model.jump(n - k);
+    std::uint32_t packed = 0;
+    for (unsigned j = 0; j < k; ++j) {
+      packed |= static_cast<std::uint32_t>(model.state()[j]) << j;
+    }
+    result.fin_expected[b] = packed;
+  }
+
+  if (config.mode == IntraWordMode::kParallelTrajectories) {
+    // One shared trajectory; each access is word-wide, feedback applied
+    // bitwise (all plane automatons share g, so the word feedback is
+    // just the GF(2) combination applied per bit-plane in parallel).
+    const Trajectory traj =
+        Trajectory::make(config.trajectory, n, config.seed);
+    // Word-wide init values: bit b of word j is plane b's init[j].
+    for (unsigned j = 0; j < k; ++j) {
+      mem::Word w = 0;
+      for (unsigned b = 0; b < m; ++b) {
+        w |= static_cast<mem::Word>(plane_init(config.plane_g, b)[j]) << b;
+      }
+      memory.write(traj.at(j), w, 0);
+      ++result.writes;
+    }
+    std::vector<mem::Word> window(k);
+    for (mem::Addr q = 0; q + k < n; ++q) {
+      for (unsigned j = 0; j < k; ++j) {
+        window[j] = memory.read(traj.at(q + j), 0);
+        ++result.reads;
+      }
+      mem::Word fb = 0;
+      for (unsigned j = 1; j <= k; ++j) {
+        if (config.plane_g[j]) fb ^= window[k - j];
+      }
+      memory.write(traj.at(q + k), fb, 0);
+      ++result.writes;
+    }
+    for (unsigned j = 0; j < k; ++j) {
+      const mem::Word w = memory.read(traj.at(n - k + j), 0);
+      ++result.reads;
+      for (unsigned b = 0; b < m; ++b) {
+        result.fin[b] |= static_cast<std::uint32_t>((w >> b) & 1U) << j;
+      }
+    }
+  } else {
+    // Independent trajectories: plane b sweeps its own permutation with
+    // masked read-modify-write accesses (the programmable-trajectory
+    // hardware of §2).
+    for (unsigned b = 0; b < m; ++b) {
+      const Trajectory traj = Trajectory::make(
+          TrajectoryKind::kRandom, n,
+          config.seed + 0x9e3779b97f4a7c15ULL * (b + 1));
+      const auto init = plane_init(config.plane_g, b);
+      const mem::Word mask = mem::Word{1} << b;
+      auto write_bit = [&](mem::Addr a, unsigned bit) {
+        const mem::Word old = memory.read(a, 0);
+        ++result.reads;
+        memory.write(a, bit ? (old | mask) : (old & ~mask), 0);
+        ++result.writes;
+      };
+      auto read_bit = [&](mem::Addr a) -> unsigned {
+        const mem::Word w = memory.read(a, 0);
+        ++result.reads;
+        return (w >> b) & 1U;
+      };
+      for (unsigned j = 0; j < k; ++j) write_bit(traj.at(j), init[j]);
+      std::vector<unsigned> window(k);
+      for (mem::Addr q = 0; q + k < n; ++q) {
+        for (unsigned j = 0; j < k; ++j) window[j] = read_bit(traj.at(q + j));
+        unsigned fb = 0;
+        for (unsigned j = 1; j <= k; ++j) {
+          if (config.plane_g[j]) fb ^= window[k - j];
+        }
+        write_bit(traj.at(q + k), fb);
+      }
+      std::uint32_t packed = 0;
+      for (unsigned j = 0; j < k; ++j) {
+        packed |= static_cast<std::uint32_t>(read_bit(traj.at(n - k + j)))
+                  << j;
+      }
+      result.fin[b] = packed;
+    }
+  }
+
+  result.pass = result.fin == result.fin_expected;
+  return result;
+}
+
+}  // namespace prt::core

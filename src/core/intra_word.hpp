@@ -1,0 +1,69 @@
+// Intra-word fault testing for word-oriented memories (paper §2).
+//
+// "For the WOM there are intra-word faults that can be tested by
+//  parallel application of a pi-testing for BOM.  In this case it is
+//  supposed that there are m independent bit-oriented linear automatons.
+//  For all automatons the read and write operations are executed
+//  simultaneously.  To detect the intra-word faults two different
+//  pi-testing can be performed: (1) with parallel or (2) with random
+//  trajectories."
+//
+// Mode (1) — parallel trajectories: all m bit-plane automata share the
+// address trajectory, so each sub-iteration is one word-wide access;
+// the per-plane GF(2) feedbacks combine into a single word operation.
+// Per-plane diversity comes from per-plane initial values (the
+// heuristically derived d of §2, here: plane b starts at phase b of the
+// plane LFSR cycle).
+//
+// Mode (2) — random (independent) trajectories: every plane is swept
+// along its own pseudo-random address permutation, which breaks the
+// word-alignment of aggressor/victim bit pairs.  In hardware this is
+// the externally programmable trajectory block the paper mentions; in
+// simulation each plane performs masked read-modify-write accesses.
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "core/pi_iteration.hpp"
+
+namespace prt::core {
+
+enum class IntraWordMode : std::uint8_t {
+  kParallelTrajectories,
+  kRandomTrajectories,
+};
+
+struct IntraWordConfig {
+  /// GF(2) generator of each bit-plane automaton (g0..gk, bits).
+  std::vector<gf::Elem> plane_g{1, 1, 1};
+  /// Per-plane seed pair; plane b uses init_of_plane(b).
+  IntraWordMode mode = IntraWordMode::kParallelTrajectories;
+  TrajectoryKind trajectory = TrajectoryKind::kAscending;
+  std::uint64_t seed = 0;
+};
+
+struct IntraWordResult {
+  bool pass = false;
+  /// Per-plane observed and expected Fin states (k bits each, packed
+  /// little-endian into one word per plane).
+  std::vector<std::uint32_t> fin;
+  std::vector<std::uint32_t> fin_expected;
+  std::uint64_t reads = 0;
+  std::uint64_t writes = 0;
+};
+
+/// The per-plane initial values: plane b's bit automaton starts from
+/// the state of the plane LFSR advanced by b steps, so neighbouring
+/// planes always carry distinct local backgrounds (this is the
+/// concrete heuristic standing in for the paper's "values d derive
+/// heuristically").
+[[nodiscard]] std::vector<gf::Elem> plane_init(
+    const std::vector<gf::Elem>& plane_g, unsigned plane);
+
+/// Runs one intra-word pi-test over an m-bit memory.  Preconditions:
+/// memory.width() == m >= 2, memory.size() > deg(plane_g).
+[[nodiscard]] IntraWordResult run_intra_word(mem::Memory& memory,
+                                             const IntraWordConfig& config);
+
+}  // namespace prt::core

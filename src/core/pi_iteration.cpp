@@ -1,0 +1,132 @@
+#include "core/pi_iteration.hpp"
+
+#include <algorithm>
+#include <cassert>
+
+namespace prt::core {
+
+PiTester::PiTester(gf::GF2m field, std::vector<gf::Elem> g)
+    : lfsr_(std::move(field), std::move(g)) {}
+
+void PiTester::enable_misr(gf::Poly2 poly) {
+  assert(poly_degree(poly) >= static_cast<int>(field().m()));
+  misr_poly_ = poly;
+}
+
+std::vector<gf::Elem> PiTester::expected_fin(
+    mem::Addr n, std::span<const gf::Elem> init) const {
+  assert(n > k());
+  lfsr::WordLfsr model = lfsr_;
+  model.seed(init);
+  model.jump(n - k());
+  return {model.state().begin(), model.state().end()};
+}
+
+std::vector<gf::Elem> PiTester::expected_image(mem::Addr n,
+                                               const PiConfig& config) const {
+  assert(config.init.size() == k());
+  lfsr::WordLfsr model = lfsr_;
+  model.seed(config.init);
+  const std::vector<gf::Elem> seq = model.sequence(n);
+  const Trajectory traj =
+      Trajectory::make(config.trajectory, n, config.seed);
+  std::vector<gf::Elem> image(n, 0);
+  for (mem::Addr q = 0; q < n; ++q) image[traj.at(q)] = seq[q];
+  return image;
+}
+
+bool PiTester::ring_closes(mem::Addr n) const {
+  assert(n > k());
+  return (n - k()) % period() == 0;
+}
+
+PiResult PiTester::run(mem::Memory& memory, const PiConfig& config) const {
+  const mem::Addr n = memory.size();
+  const unsigned kk = k();
+  assert(memory.width() == field().m());
+  assert(n > kk);
+  assert(config.init.size() == kk);
+
+  const Trajectory traj = Trajectory::make(config.trajectory, n, config.seed);
+  PiResult result;
+  lfsr::Misr misr(misr_poly_ != 0 ? misr_poly_ : gf::Poly2{0b111});
+  lfsr::Misr misr_golden = misr;
+
+  // Model for the expected read stream (fault-free sequence values).
+  lfsr::WordLfsr model = lfsr_;
+  model.seed(config.init);
+  const std::vector<gf::Elem> golden = model.sequence(n);
+
+  // Initialization: write d0..d_{k-1} into the first k visited cells.
+  for (unsigned j = 0; j < kk; ++j) {
+    memory.write(traj.at(j), config.init[j], 0);
+    ++result.writes;
+  }
+
+  // Sweep: window reads + feedback write (Eq. 1).
+  std::vector<gf::Elem> window(kk);
+  for (mem::Addr q = 0; q + kk < n; ++q) {
+    for (unsigned j = 0; j < kk; ++j) {
+      const mem::Word raw = memory.read(traj.at(q + j), 0);
+      window[j] = static_cast<gf::Elem>(raw);
+      ++result.reads;
+      if (misr_poly_ != 0) {
+        misr.shift(raw);
+        misr_golden.shift(golden[q + j]);
+      }
+    }
+    const gf::Elem fb = lfsr_.feedback(window);
+    memory.write(traj.at(q + kk), fb, 0);
+    ++result.writes;
+  }
+
+  // Verdict: read back the last k visited cells as the observed Fin,
+  // and re-read the Init cells (paper §2: "comparing initial Init and
+  // final Fin states") — the latter catches seed-cell corruptions that
+  // happen after their only sweep read.
+  result.fin.resize(kk);
+  for (unsigned j = 0; j < kk; ++j) {
+    const mem::Word raw = memory.read(traj.at(n - kk + j), 0);
+    result.fin[j] = static_cast<gf::Elem>(raw);
+    ++result.reads;
+    if (misr_poly_ != 0) {
+      misr.shift(raw);
+      misr_golden.shift(golden[n - kk + j]);
+    }
+  }
+  result.init_readback.resize(kk);
+  for (unsigned j = 0; j < kk; ++j) {
+    const mem::Word raw = memory.read(traj.at(j), 0);
+    result.init_readback[j] = static_cast<gf::Elem>(raw);
+    ++result.reads;
+    if (misr_poly_ != 0) {
+      misr.shift(raw);
+      misr_golden.shift(golden[j]);
+    }
+  }
+  result.fin_expected = expected_fin(n, config.init);
+  result.pass = result.fin == result.fin_expected &&
+                std::equal(result.init_readback.begin(),
+                           result.init_readback.end(), config.init.begin());
+
+  if (config.verify_pass) {
+    if (config.pause_ticks != 0) memory.advance_time(config.pause_ticks);
+    const std::vector<gf::Elem> image = expected_image(n, config);
+    for (mem::Addr a = 0; a < n; ++a) {
+      const mem::Word raw = memory.read(a, 0);
+      ++result.reads;
+      if (static_cast<gf::Elem>(raw) != image[a]) {
+        ++result.verify_mismatches;
+      }
+    }
+    result.pass = result.pass && result.verify_mismatches == 0;
+  }
+  if (misr_poly_ != 0) {
+    result.misr = misr.state();
+    result.misr_expected = misr_golden.state();
+    result.misr_pass = result.misr == result.misr_expected;
+  }
+  return result;
+}
+
+}  // namespace prt::core

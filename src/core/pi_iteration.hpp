@@ -1,0 +1,126 @@
+// The pi-test iteration — Eq. (1) of the paper.
+//
+//   pi-iteration = { c(w d0 .. d_{k-1});
+//                    sweep_q ( r a_q, ..., r a_{q+k-1},
+//                              w a_{q+k} = sum_j g_j * r_{a_{q+k-j}} ) }
+//
+// The memory array traces the state sequence of the virtual LFSR with
+// generator g(x) over GF(2^m) along the chosen trajectory.  Each
+// sub-iteration issues k reads and one write; with the final Init/Fin
+// read-back a single-port iteration costs exactly 3n operations for
+// k = 2 (paper §3: O(3n)).  The verdict compares the observed final
+// state Fin (read back from the last k visited cells) with the
+// model-predicted Fin*, and the re-read Init cells with the seed —
+// "comparing initial Init and final Fin states" (paper §2).
+#pragma once
+
+#include <cstdint>
+#include <span>
+#include <vector>
+
+#include "core/trajectory.hpp"
+#include "gf/gf2m.hpp"
+#include "lfsr/lfsr.hpp"
+#include "lfsr/misr.hpp"
+#include "mem/memory.hpp"
+
+namespace prt::core {
+
+/// Per-iteration test data background: the initial values d and the
+/// trajectory, the second and third control factors of §3.
+struct PiConfig {
+  std::vector<gf::Elem> init;  // k seed values, oldest first
+  TrajectoryKind trajectory = TrajectoryKind::kAscending;
+  std::uint64_t seed = 0;      // random-trajectory seed
+  /// Appends a read-only ascending sweep comparing every cell against
+  /// the model-predicted image (+n ops, making the iteration ~4n).
+  /// Catches corruptions that outlast the sweep but are overwritten
+  /// unread by the next iteration — idempotent coupling faults in the
+  /// non-window orientation and decoder multi-access aliasing (see
+  /// extended_scheme_* and EXPERIMENTS.md).
+  bool verify_pass = false;
+  /// Idle ticks inserted between the sweep and the verify pass —
+  /// the classic write/pause/read pattern for data-retention faults.
+  /// Only meaningful with verify_pass (the sweep itself re-reads every
+  /// cell immediately after writing it).
+  std::uint64_t pause_ticks = 0;
+};
+
+/// Outcome of one pi-iteration.
+struct PiResult {
+  bool pass = false;
+  std::vector<gf::Elem> fin;           // observed (read back)
+  std::vector<gf::Elem> fin_expected;  // Fin* from the LFSR model
+  /// Read-back of the first k visited cells at the end of the sweep —
+  /// the "Init" side of the paper's "comparing initial Init and final
+  /// Fin states"; catches corruptions of the seed cells after their
+  /// only sweep read.  Expected value is the written init itself
+  /// (pass accounts for it).
+  std::vector<gf::Elem> init_readback;
+  std::uint64_t reads = 0;
+  std::uint64_t writes = 0;
+  /// Scheduling cycles on a single-port memory: one per operation.
+  [[nodiscard]] std::uint64_t cycles() const { return reads + writes; }
+  /// MISR signature over the read stream (observed / expected); only
+  /// meaningful when the engine was built with a MISR polynomial.
+  std::uint64_t misr = 0;
+  std::uint64_t misr_expected = 0;
+  bool misr_pass = true;
+  /// Mismatching cells found by the verify pass (0 when disabled).
+  std::uint64_t verify_mismatches = 0;
+};
+
+/// Binds the virtual-LFSR structure (factor 1 of §3: the field p(z) and
+/// generator g(x)) and runs pi-iterations against memories.
+class PiTester {
+ public:
+  /// Precondition: g describes a valid LFSR (see WordLfsr) over `field`.
+  PiTester(gf::GF2m field, std::vector<gf::Elem> g);
+
+  /// Enables the optional MISR read-stream compaction (DESIGN.md §6).
+  /// `poly` is a GF(2) polynomial of degree >= field.m().
+  void enable_misr(gf::Poly2 poly);
+  [[nodiscard]] bool misr_enabled() const { return misr_poly_ != 0; }
+
+  [[nodiscard]] const gf::GF2m& field() const { return lfsr_.field(); }
+  [[nodiscard]] unsigned k() const { return lfsr_.k(); }
+  [[nodiscard]] const std::vector<gf::Elem>& g() const { return lfsr_.g(); }
+
+  /// The feedback combination sum_j g_j * window[k-j] a sub-iteration
+  /// writes (window oldest-first).  Exposed for the multi-port
+  /// schedulers.
+  [[nodiscard]] gf::Elem feedback_of(std::span<const gf::Elem> window) const {
+    return lfsr_.feedback(window);
+  }
+
+  /// Runs one pi-iteration.  Preconditions: memory.width() == m of the
+  /// field, memory.size() > k, config.init.size() == k.
+  PiResult run(mem::Memory& memory, const PiConfig& config) const;
+
+  /// Fin* for an n-cell sweep from the given seed: the LFSR state after
+  /// n - k steps, computed by jump-ahead in O(log n).
+  [[nodiscard]] std::vector<gf::Elem> expected_fin(
+      mem::Addr n, std::span<const gf::Elem> init) const;
+
+  /// The full fault-free memory image after the iteration, indexed by
+  /// cell address (inverts the trajectory mapping).
+  [[nodiscard]] std::vector<gf::Elem> expected_image(
+      mem::Addr n, const PiConfig& config) const;
+
+  /// True when the iteration "closes the ring": Fin == Init, which
+  /// happens iff the automaton advances a whole number of periods,
+  /// i.e. (n - k) mod period == 0 (paper Fig. 1b; the paper phrases it
+  /// as the array size being a multiple of the LFSR period).
+  [[nodiscard]] bool ring_closes(mem::Addr n) const;
+
+  /// Period of the virtual automaton (order of x modulo g).
+  [[nodiscard]] std::uint64_t period() const {
+    return lfsr_.algebraic_period();
+  }
+
+ private:
+  lfsr::WordLfsr lfsr_;
+  gf::Poly2 misr_poly_ = 0;
+};
+
+}  // namespace prt::core

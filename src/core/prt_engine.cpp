@@ -1,0 +1,192 @@
+#include "core/prt_engine.hpp"
+
+#include <cassert>
+
+#include "gf/gf2m_poly.hpp"
+
+namespace prt::core {
+
+PrtVerdict run_prt(mem::Memory& memory, const PrtScheme& scheme) {
+  assert(!scheme.iterations.empty());
+  const gf::GF2m field(scheme.field_modulus);
+  PrtVerdict verdict;
+  for (const SchemeIteration& iter : scheme.iterations) {
+    PiTester tester(field, iter.g);
+    if (scheme.misr_poly != 0) tester.enable_misr(scheme.misr_poly);
+    PiResult r = tester.run(memory, iter.config);
+    verdict.pass = verdict.pass && r.pass;
+    verdict.misr_pass = verdict.misr_pass && r.misr_pass;
+    verdict.reads += r.reads;
+    verdict.writes += r.writes;
+    verdict.iterations.push_back(std::move(r));
+  }
+  return verdict;
+}
+
+namespace {
+
+/// Iterations 1/2 of the reconstructed TDB: the degenerate two-term
+/// generator g(x) = 1 + x^2 replays the seed pair periodically, giving
+/// an address-checkerboard background (period 2).
+std::vector<gf::Elem> checkerboard_g() { return {1, 0, 1}; }
+
+SchemeIteration make_iteration(std::vector<gf::Elem> g,
+                               std::vector<gf::Elem> init,
+                               TrajectoryKind traj) {
+  SchemeIteration it;
+  it.g = std::move(g);
+  it.config.init = std::move(init);
+  it.config.trajectory = traj;
+  return it;
+}
+
+PrtScheme standard_scheme(mem::Addr n, const gf::GF2m& field) {
+  assert(n > 2);
+  (void)n;
+  const gf::Elem mask = field.size() - 1;  // all-ones word
+  PrtScheme scheme;
+  scheme.field_modulus = field.modulus();
+
+  // Iteration 1 — solid-1 ascending: every cell makes an up-transition
+  // (from the power-up/previous-test zero state) and is read right
+  // after; adjacent aggressors fire inside the ascending detection
+  // window.
+  scheme.iterations.push_back(make_iteration(
+      checkerboard_g(), {mask, mask}, TrajectoryKind::kAscending));
+
+  // Iteration 2 — solid-0 descending: every cell makes a down-
+  // transition; the reversed traversal covers the opposite
+  // aggressor/victim orientation.
+  scheme.iterations.push_back(make_iteration(
+      checkerboard_g(), {0, 0}, TrajectoryKind::kDescending));
+
+  // Iteration 3 — checkerboard ascending: neighbouring cells differ,
+  // which exposes stuck-open (sense-amp history) faults, wrong-cell
+  // decoder faults and bridges between cells of equal solid value.
+  scheme.iterations.push_back(make_iteration(
+      checkerboard_g(), {0, mask}, TrajectoryKind::kAscending));
+  return scheme;
+}
+
+}  // namespace
+
+PrtScheme standard_scheme_bom(mem::Addr n) {
+  const gf::GF2m field(0b11);  // GF(2), represented as GF(2)[z]/(z+1)
+  PrtScheme scheme = standard_scheme(n, field);
+  scheme.name = "PRT-3 BOM";
+  return scheme;
+}
+
+PrtScheme standard_scheme_wom(mem::Addr n, unsigned m, gf::Poly2 p) {
+  assert(m >= 2 && m <= 16);
+  if (p == 0) p = gf::first_primitive(m);
+  const gf::GF2m field(p);
+  PrtScheme scheme = standard_scheme(n, field);
+  scheme.name = "PRT-3 WOM";
+  return scheme;
+}
+
+namespace {
+
+/// Shared construction of the extended scheme over an arbitrary field:
+/// per traversal direction, a solid-1/solid-0 pair (universal (up,1) /
+/// (down,0) aggressor-victim combinations for idempotent coupling),
+/// the checkerboard triple (the remaining (up,0)/(down,1) combos per
+/// cell parity), and a maximal-length iteration (read-logic faults and
+/// background variety); plus two random-trajectory maximal-length
+/// iterations that decorrelate decoder aliasing distances from the
+/// short background periods.
+PrtScheme extended_scheme(const gf::GF2m& field, std::vector<gf::Elem> g3) {
+  const gf::Elem mask = field.size() - 1;
+  PrtScheme scheme;
+  scheme.field_modulus = field.modulus();
+  const std::vector<gf::Elem> chk = {1, 0, 1};
+  auto add = [&](std::vector<gf::Elem> g, std::vector<gf::Elem> init,
+                 TrajectoryKind traj, std::uint64_t seed = 0) {
+    SchemeIteration it;
+    it.g = std::move(g);
+    it.config.init = std::move(init);
+    it.config.trajectory = traj;
+    it.config.seed = seed;
+    it.config.verify_pass = true;
+    scheme.iterations.push_back(std::move(it));
+  };
+  for (auto traj :
+       {TrajectoryKind::kAscending, TrajectoryKind::kDescending}) {
+    // A leading solid-0 normalizes the image so the following solid-1
+    // sweep makes *every* cell rise with its neighbours already at the
+    // new value — the universal (up,1) aggressor/victim combination.
+    add(chk, {0, 0}, traj);        // solid 0 (also: WDF on 0-cells)
+    add(chk, {mask, mask}, traj);  // solid 1: all up edges
+    add(chk, {0, 0}, traj);        // solid 0: all down edges
+    add(chk, {0, mask}, traj);     // checkerboard
+    add(chk, {mask, 0}, traj);     // anti-checkerboard
+    add(chk, {0, mask}, traj);     // checkerboard again (down edges)
+    add(g3, {0, 1}, traj);         // maximal-length background
+    add(g3, {1, 0}, traj);         // phase-shifted maximal-length
+  }
+  add(g3, {1, 1}, TrajectoryKind::kRandom, /*seed=*/0x51u);
+  add(g3, {1, 2 % field.size()}, TrajectoryKind::kRandom, /*seed=*/0xA7u);
+  return scheme;
+}
+
+}  // namespace
+
+PrtScheme extended_scheme_bom(mem::Addr n) {
+  (void)n;
+  const gf::GF2m field(0b11);
+  PrtScheme scheme = extended_scheme(field, {1, 1, 1});
+  scheme.name = "PRT-ext BOM";
+  return scheme;
+}
+
+PrtScheme extended_scheme_wom(mem::Addr n, unsigned m, gf::Poly2 p) {
+  (void)n;
+  assert(m >= 2 && m <= 16);
+  if (p == 0) p = gf::first_primitive(m);
+  const gf::GF2m field(p);
+  std::vector<gf::Elem> g3;
+  if (m == 4 && p == 0b10011) {
+    g3 = {1, 2, 2};
+  } else {
+    const auto found =
+        gf::find_irreducible(field, /*k=*/2, /*primitive=*/true);
+    assert(found.has_value());
+    g3 = found->coeffs;
+  }
+  PrtScheme scheme = extended_scheme(field, std::move(g3));
+  scheme.name = "PRT-ext WOM";
+  return scheme;
+}
+
+PrtScheme retention_scheme(mem::Addr n, unsigned m,
+                           std::uint64_t pause_ticks, gf::Poly2 p) {
+  assert(n > 2 && m >= 1 && m <= 16);
+  (void)n;
+  if (p == 0) p = m == 1 ? gf::Poly2{0b11} : gf::first_primitive(m);
+  const gf::GF2m field(p);
+  const gf::Elem mask = field.size() - 1;
+  PrtScheme scheme;
+  scheme.field_modulus = p;
+  scheme.name = "PRT retention";
+  for (gf::Elem background : {mask, gf::Elem{0}}) {
+    SchemeIteration it;
+    it.g = {1, 0, 1};
+    it.config.init = {background, background};
+    it.config.verify_pass = true;
+    it.config.pause_ticks = pause_ticks;
+    scheme.iterations.push_back(std::move(it));
+  }
+  return scheme;
+}
+
+std::uint64_t prt_ops(mem::Addr n, unsigned k, unsigned iterations) {
+  assert(n > k);
+  // k init writes + (n-k) sub-iterations of k reads + 1 write + k Fin
+  // reads + k Init re-reads; for k = 2 this is exactly 3n.
+  const std::uint64_t per_iter =
+      k + static_cast<std::uint64_t>(n - k) * (k + 1) + 2 * k;
+  return per_iter * iterations;
+}
+
+}  // namespace prt::core

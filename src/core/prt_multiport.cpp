@@ -1,0 +1,207 @@
+#include "core/prt_multiport.hpp"
+
+#include <cassert>
+
+namespace prt::core {
+
+namespace {
+
+/// Reads the last k visited cells as the observed Fin and re-reads the
+/// first k (Init) cells, one cycle per port-parallel group of reads;
+/// appends the Init read-back verdict into `init_ok`.
+void capture_fin_and_init(mem::Memory& memory, const Trajectory& traj,
+                          unsigned k, unsigned port_group,
+                          std::span<const gf::Elem> init,
+                          MultiPortResult& result, bool& init_ok) {
+  const mem::Addr n = traj.size();
+  result.fin.resize(k);
+  for (unsigned j = 0; j < k; j += port_group) {
+    for (unsigned p = 0; p < port_group && j + p < k; ++p) {
+      result.fin[j + p] = static_cast<gf::Elem>(
+          memory.read(traj.at(n - k + j + p), p));
+      ++result.reads;
+    }
+    ++result.cycles;
+  }
+  for (unsigned j = 0; j < k; j += port_group) {
+    for (unsigned p = 0; p < port_group && j + p < k; ++p) {
+      const auto got =
+          static_cast<gf::Elem>(memory.read(traj.at(j + p), p));
+      init_ok = init_ok && got == init[j + p];
+      ++result.reads;
+    }
+    ++result.cycles;
+  }
+}
+
+}  // namespace
+
+MultiPortResult run_pi_dualport(mem::Memory& memory, const PiTester& tester,
+                                const PiConfig& config) {
+  assert(memory.ports() >= 2);
+  assert(memory.width() == tester.field().m());
+  const unsigned k = tester.k();
+  const mem::Addr n = memory.size();
+  assert(n > k);
+  assert(config.init.size() == k);
+  assert(k == 2 && "the Fig. 2 schedule pairs the two window reads");
+
+  const Trajectory traj = Trajectory::make(config.trajectory, n, config.seed);
+  MultiPortResult result;
+
+  // Init writes: both seed cells in one cycle, one per port.
+  memory.write(traj.at(0), config.init[0], 0);
+  memory.write(traj.at(1), config.init[1], 1);
+  result.writes += 2;
+  ++result.cycles;
+
+  // Sub-iterations: cycle A reads the window on ports 0/1, cycle B
+  // writes the feedback on port 0.
+  std::vector<gf::Elem> window(k);
+  for (mem::Addr q = 0; q + k < n; ++q) {
+    window[0] = static_cast<gf::Elem>(memory.read(traj.at(q), 0));
+    window[1] = static_cast<gf::Elem>(memory.read(traj.at(q + 1), 1));
+    result.reads += 2;
+    ++result.cycles;
+    memory.write(traj.at(q + k), tester.feedback_of(window), 0);
+    ++result.writes;
+    ++result.cycles;
+  }
+
+  bool init_ok = true;
+  capture_fin_and_init(memory, traj, k, /*port_group=*/2, config.init,
+                       result, init_ok);
+  result.fin_expected = tester.expected_fin(n, config.init);
+  result.pass = result.fin == result.fin_expected && init_ok;
+  return result;
+}
+
+MultiPortResult run_pi_quadport(mem::Memory& memory, const PiTester& tester,
+                                const PiConfig& config) {
+  assert(memory.ports() >= 3);
+  assert(memory.width() == tester.field().m());
+  const unsigned k = tester.k();
+  const mem::Addr n = memory.size();
+  assert(n > k && k == 2);
+  assert(config.init.size() == k);
+
+  const Trajectory traj = Trajectory::make(config.trajectory, n, config.seed);
+  MultiPortResult result;
+
+  memory.write(traj.at(0), config.init[0], 0);
+  memory.write(traj.at(1), config.init[1], 1);
+  result.writes += 2;
+  ++result.cycles;
+
+  // One cycle per sub-iteration: reads on ports 0/1, write on port 2
+  // (write-after-read within the cycle; all three addresses differ).
+  std::vector<gf::Elem> window(k);
+  for (mem::Addr q = 0; q + k < n; ++q) {
+    window[0] = static_cast<gf::Elem>(memory.read(traj.at(q), 0));
+    window[1] = static_cast<gf::Elem>(memory.read(traj.at(q + 1), 1));
+    result.reads += 2;
+    memory.write(traj.at(q + k), tester.feedback_of(window), 2);
+    ++result.writes;
+    ++result.cycles;
+  }
+
+  bool init_ok = true;
+  capture_fin_and_init(memory, traj, k, /*port_group=*/2, config.init,
+                       result, init_ok);
+  result.fin_expected = tester.expected_fin(n, config.init);
+  result.pass = result.fin == result.fin_expected && init_ok;
+  return result;
+}
+
+MultiPortResult run_pi_multilfsr(mem::Memory& memory, const PiTester& tester,
+                                 const PiConfig& config) {
+  assert(memory.ports() == 4);
+  assert(memory.width() == tester.field().m());
+  const unsigned k = tester.k();
+  const mem::Addr n = memory.size();
+  assert(k == 2);
+  const mem::Addr half = n / 2;
+  assert(half > k);
+  assert(config.init.size() == k);
+
+  // Two trajectories: one per half, same kind (random halves use
+  // decorrelated seeds).
+  const Trajectory t0 =
+      Trajectory::make(config.trajectory, half, config.seed);
+  const Trajectory t1 = Trajectory::make(config.trajectory, n - half,
+                                         config.seed ^ 0x9e3779b9U);
+  auto addr1 = [&](mem::Addr q) { return half + t1.at(q); };
+
+  MultiPortResult result;
+
+  // Init both halves: 4 writes, one per port, single cycle.
+  memory.write(t0.at(0), config.init[0], 0);
+  memory.write(t0.at(1), config.init[1], 1);
+  memory.write(addr1(0), config.init[0], 2);
+  memory.write(addr1(1), config.init[1], 3);
+  result.writes += 4;
+  ++result.cycles;
+
+  // Fig. 2 schedule replicated per half: read cycle (4 parallel reads),
+  // write cycle (2 parallel writes).
+  const mem::Addr steps = std::max(half, n - half) - k;
+  std::vector<gf::Elem> w0(k);
+  std::vector<gf::Elem> w1(k);
+  for (mem::Addr q = 0; q < steps; ++q) {
+    const bool live0 = q + k < half;
+    const bool live1 = q + k < n - half;
+    if (live0) {
+      w0[0] = static_cast<gf::Elem>(memory.read(t0.at(q), 0));
+      w0[1] = static_cast<gf::Elem>(memory.read(t0.at(q + 1), 1));
+      result.reads += 2;
+    }
+    if (live1) {
+      w1[0] = static_cast<gf::Elem>(memory.read(addr1(q), 2));
+      w1[1] = static_cast<gf::Elem>(memory.read(addr1(q + 1), 3));
+      result.reads += 2;
+    }
+    ++result.cycles;
+    if (live0) {
+      memory.write(t0.at(q + k), tester.feedback_of(w0), 0);
+      ++result.writes;
+    }
+    if (live1) {
+      memory.write(addr1(q + k), tester.feedback_of(w1), 2);
+      ++result.writes;
+    }
+    ++result.cycles;
+  }
+
+  // Fin capture plus Init re-read: both halves in parallel, two reads
+  // per cycle per half.
+  const auto fin_expected0 = tester.expected_fin(half, config.init);
+  const auto fin_expected1 =
+      tester.expected_fin(n - half, config.init);
+  result.fin.resize(2 * k);
+  bool init_ok = true;
+  for (unsigned j = 0; j < k; ++j) {
+    result.fin[j] =
+        static_cast<gf::Elem>(memory.read(t0.at(half - k + j), 0));
+    result.fin[k + j] = static_cast<gf::Elem>(
+        memory.read(addr1(n - half - k + j), 2));
+    result.reads += 2;
+    ++result.cycles;
+  }
+  for (unsigned j = 0; j < k; ++j) {
+    init_ok = init_ok &&
+              static_cast<gf::Elem>(memory.read(t0.at(j), 0)) ==
+                  config.init[j];
+    init_ok = init_ok &&
+              static_cast<gf::Elem>(memory.read(addr1(j), 2)) ==
+                  config.init[j];
+    result.reads += 2;
+    ++result.cycles;
+  }
+  result.fin_expected = fin_expected0;
+  result.fin_expected.insert(result.fin_expected.end(),
+                             fin_expected1.begin(), fin_expected1.end());
+  result.pass = result.fin == result.fin_expected && init_ok;
+  return result;
+}
+
+}  // namespace prt::core

@@ -1,0 +1,64 @@
+// Multi-port pi-testing schemes (paper §4 and Fig. 2).
+//
+// A two-port RAM performs two independent operations per cycle.  The
+// Fig. 2 scheme issues both window reads of a sub-iteration
+// simultaneously (one per port) and the feedback write in the following
+// cycle, bringing a pi-iteration from 3n single-port cycles down to 2n
+// (paper: "the time complexity of a pi-test iteration for the analyzed
+// schemes is equal 2n").
+//
+// For four-port memories (the paper's "QuadPort DSE family") two
+// schemes are provided:
+//  * single-LFSR: reads on ports 0/1 and the write on port 2 share one
+//    cycle — n cycles per iteration;
+//  * multi-LFSR: the array splits into two halves tested concurrently
+//    by two independent virtual LFSRs, each on its own port pair — also
+//    ~n cycles but with two signatures and intra-half locality, useful
+//    when the fault model calls for independent trajectories.
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "core/pi_iteration.hpp"
+
+namespace prt::core {
+
+/// Result of a multi-port iteration; `cycles` counts scheduling slots,
+/// with all ports operating within a slot.
+struct MultiPortResult {
+  bool pass = false;
+  std::uint64_t reads = 0;
+  std::uint64_t writes = 0;
+  std::uint64_t cycles = 0;
+  std::vector<gf::Elem> fin;
+  std::vector<gf::Elem> fin_expected;
+};
+
+/// Fig. 2 scheme on a 2-port memory.  Precondition: memory.ports() >= 2,
+/// config/init as for PiTester::run.  Cycle budget: k init-write cycles
+/// + (n - k) sub-iterations x 2 cycles (parallel reads; write) + Fin
+/// read-back — 2n + O(1) for k = 2.
+[[nodiscard]] MultiPortResult run_pi_dualport(mem::Memory& memory,
+                                              const PiTester& tester,
+                                              const PiConfig& config);
+
+/// Quad-port single-LFSR scheme: reads and the feedback write of each
+/// sub-iteration all happen in one cycle (write-after-read semantics
+/// within the cycle), giving n + O(1) cycles.  Precondition:
+/// memory.ports() >= 3.
+[[nodiscard]] MultiPortResult run_pi_quadport(mem::Memory& memory,
+                                              const PiTester& tester,
+                                              const PiConfig& config);
+
+/// Quad-port multi-LFSR scheme: two independent pi-iterations over the
+/// two halves of the address space, scheduled concurrently (half 0 on
+/// ports 0/1, half 1 on ports 2/3, writes interleaved on the next
+/// cycle as in Fig. 2).  Returns one result whose fin/fin_expected are
+/// the two halves' states concatenated; cycles ~= n.  Precondition:
+/// memory.ports() == 4, memory.size() >= 2 * (k + 1).
+[[nodiscard]] MultiPortResult run_pi_multilfsr(mem::Memory& memory,
+                                               const PiTester& tester,
+                                               const PiConfig& config);
+
+}  // namespace prt::core

@@ -1,0 +1,40 @@
+#include "core/trajectory.hpp"
+
+#include <algorithm>
+#include <numeric>
+
+#include "util/rng.hpp"
+
+namespace prt::core {
+
+const char* to_string(TrajectoryKind k) {
+  switch (k) {
+    case TrajectoryKind::kAscending: return "ascending";
+    case TrajectoryKind::kDescending: return "descending";
+    case TrajectoryKind::kRandom: return "random";
+  }
+  return "?";
+}
+
+Trajectory Trajectory::make(TrajectoryKind kind, mem::Addr n,
+                            std::uint64_t seed) {
+  Trajectory t;
+  t.kind_ = kind;
+  t.order_.resize(n);
+  std::iota(t.order_.begin(), t.order_.end(), mem::Addr{0});
+  switch (kind) {
+    case TrajectoryKind::kAscending:
+      break;
+    case TrajectoryKind::kDescending:
+      std::reverse(t.order_.begin(), t.order_.end());
+      break;
+    case TrajectoryKind::kRandom: {
+      Xoshiro256 rng(seed);
+      shuffle(t.order_.begin(), t.order_.end(), rng);
+      break;
+    }
+  }
+  return t;
+}
+
+}  // namespace prt::core

@@ -1,0 +1,48 @@
+// Address trajectories for pi-test iterations.
+//
+// The paper (§3) lists the LFSR trajectory as the third controllable
+// factor of pi-testing: deterministic (ascending / descending address
+// order) or random (cells visited in a pseudo-random order produced by
+// a small programmable hardware block, which we model as a seeded
+// permutation).
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "mem/memory.hpp"
+
+namespace prt::core {
+
+enum class TrajectoryKind : std::uint8_t {
+  kAscending,
+  kDescending,
+  kRandom,
+};
+
+[[nodiscard]] const char* to_string(TrajectoryKind k);
+
+/// A concrete visiting order over n addresses: position q in the sweep
+/// accesses cell order()[q].
+class Trajectory {
+ public:
+  /// Builds the order for `kind` over [0, n).  `seed` matters only for
+  /// kRandom (Fisher-Yates permutation from a deterministic RNG).
+  static Trajectory make(TrajectoryKind kind, mem::Addr n,
+                         std::uint64_t seed = 0);
+
+  [[nodiscard]] TrajectoryKind kind() const { return kind_; }
+  [[nodiscard]] mem::Addr size() const {
+    return static_cast<mem::Addr>(order_.size());
+  }
+  [[nodiscard]] mem::Addr at(mem::Addr position) const {
+    return order_[position];
+  }
+  [[nodiscard]] const std::vector<mem::Addr>& order() const { return order_; }
+
+ private:
+  TrajectoryKind kind_ = TrajectoryKind::kAscending;
+  std::vector<mem::Addr> order_;
+};
+
+}  // namespace prt::core

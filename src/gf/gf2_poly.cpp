@@ -1,0 +1,220 @@
+#include "gf/gf2_poly.hpp"
+
+#include <cassert>
+#include <string>
+
+#include "util/bitops.hpp"
+
+namespace prt::gf {
+
+Poly2 clmul(Poly2 a, Poly2 b) {
+  Poly2 acc = 0;
+  while (b != 0) {
+    if (b & 1) acc ^= a;
+    a <<= 1;
+    b >>= 1;
+  }
+  return acc;
+}
+
+Poly2 poly_mod(Poly2 a, Poly2 p) {
+  assert(p != 0);
+  const int dp = poly_degree(p);
+  int da = poly_degree(a);
+  while (da >= dp) {
+    a ^= p << (da - dp);
+    da = poly_degree(a);
+  }
+  return a;
+}
+
+Poly2 poly_div(Poly2 a, Poly2 p) {
+  assert(p != 0);
+  const int dp = poly_degree(p);
+  Poly2 q = 0;
+  int da = poly_degree(a);
+  while (da >= dp) {
+    q |= Poly2{1} << (da - dp);
+    a ^= p << (da - dp);
+    da = poly_degree(a);
+  }
+  return q;
+}
+
+Poly2 poly_gcd(Poly2 a, Poly2 b) {
+  while (b != 0) {
+    const Poly2 r = poly_mod(a, b);
+    a = b;
+    b = r;
+  }
+  return a;
+}
+
+Poly2 mulmod(Poly2 a, Poly2 b, Poly2 p) {
+  return poly_mod(clmul(a, b), p);
+}
+
+Poly2 powmod(Poly2 a, std::uint64_t e, Poly2 p) {
+  Poly2 result = poly_mod(1, p);
+  a = poly_mod(a, p);
+  while (e != 0) {
+    if (e & 1) result = mulmod(result, a, p);
+    a = mulmod(a, a, p);
+    e >>= 1;
+  }
+  return result;
+}
+
+Poly2 pow_x_pow2(unsigned k, Poly2 p) {
+  Poly2 r = poly_mod(2, p);  // x
+  for (unsigned i = 0; i < k; ++i) r = mulmod(r, r, p);
+  return r;
+}
+
+bool is_irreducible(Poly2 p) {
+  const int deg = poly_degree(p);
+  if (deg < 1) return false;
+  if (deg == 1) return true;
+  // Constant term must be 1, otherwise z divides p.
+  if ((p & 1) == 0) return false;
+  const auto m = static_cast<unsigned>(deg);
+  // Rabin: x^(2^m) == x (mod p), and for every prime q | m,
+  // gcd(x^(2^(m/q)) - x, p) == 1.
+  if (pow_x_pow2(m, p) != poly_mod(2, p)) return false;
+  for (std::uint64_t q : distinct_prime_factors(m)) {
+    const Poly2 h = pow_x_pow2(static_cast<unsigned>(m / q), p) ^ 2U;
+    if (poly_gcd(h, p) != 1) return false;
+  }
+  return true;
+}
+
+std::vector<std::uint64_t> distinct_prime_factors(std::uint64_t n) {
+  std::vector<std::uint64_t> out;
+  for (std::uint64_t d = 2; d * d <= n; d += (d == 2 ? 1 : 2)) {
+    if (n % d == 0) {
+      out.push_back(d);
+      while (n % d == 0) n /= d;
+    }
+  }
+  if (n > 1) out.push_back(n);
+  return out;
+}
+
+std::uint64_t order_of_x(Poly2 p) {
+  const int deg = poly_degree(p);
+  assert(deg >= 1 && deg <= 31);
+  assert(is_irreducible(p));
+  const std::uint64_t group = (std::uint64_t{1} << deg) - 1;
+  std::uint64_t t = group;
+  for (std::uint64_t q : distinct_prime_factors(group)) {
+    while (t % q == 0 && powmod(2, t / q, p) == 1) t /= q;
+  }
+  return t;
+}
+
+bool is_primitive(Poly2 p) {
+  const int deg = poly_degree(p);
+  if (deg < 1 || deg > 31) return false;
+  // x must be a unit modulo p (rules out p = z, whose residue of x
+  // is 0 even though z is irreducible).
+  if ((p & 1) == 0) return false;
+  if (!is_irreducible(p)) return false;
+  const std::uint64_t group = (std::uint64_t{1} << deg) - 1;
+  return order_of_x(p) == group;
+}
+
+Poly2 first_irreducible(unsigned m) {
+  assert(m >= 1 && m <= 31);
+  const Poly2 top = Poly2{1} << m;
+  for (Poly2 p = top; p < (top << 1); ++p) {
+    if (is_irreducible(p)) return p;
+  }
+  assert(false && "irreducible polynomial of every degree exists");
+  return 0;
+}
+
+Poly2 first_primitive(unsigned m) {
+  assert(m >= 1 && m <= 31);
+  const Poly2 top = Poly2{1} << m;
+  for (Poly2 p = top | 1; p < (top << 1); p += 2) {
+    if (is_primitive(p)) return p;
+  }
+  assert(false && "primitive polynomial of every degree exists");
+  return 0;
+}
+
+std::vector<Poly2> irreducibles_of_degree(unsigned m) {
+  assert(m >= 1 && m <= 16);
+  std::vector<Poly2> out;
+  const Poly2 top = Poly2{1} << m;
+  for (Poly2 p = top; p < (top << 1); ++p) {
+    if (is_irreducible(p)) out.push_back(p);
+  }
+  return out;
+}
+
+std::string poly_to_string(Poly2 p, char var) {
+  if (p == 0) return "0";
+  std::string out;
+  for (int i = poly_degree(p); i >= 0; --i) {
+    if (((p >> i) & 1) == 0) continue;
+    if (!out.empty()) out += " + ";
+    if (i == 0) {
+      out += '1';
+    } else if (i == 1) {
+      out += var;
+    } else {
+      out += var;
+      out += '^';
+      out += std::to_string(i);
+    }
+  }
+  return out;
+}
+
+std::optional<Poly2> poly_from_string(std::string_view text, char var) {
+  Poly2 acc = 0;
+  std::size_t i = 0;
+  auto skip_ws = [&] {
+    while (i < text.size() && (text[i] == ' ' || text[i] == '\t')) ++i;
+  };
+  bool expect_term = true;
+  while (true) {
+    skip_ws();
+    if (i >= text.size()) break;
+    if (!expect_term) {
+      if (text[i] != '+') return std::nullopt;
+      ++i;
+      expect_term = true;
+      continue;
+    }
+    // Parse one term: "1", "<var>", or "<var>^<k>".
+    if (text[i] == '1') {
+      acc ^= 1;
+      ++i;
+    } else if (text[i] == var) {
+      ++i;
+      unsigned deg = 1;
+      if (i < text.size() && text[i] == '^') {
+        ++i;
+        if (i >= text.size() || text[i] < '0' || text[i] > '9') {
+          return std::nullopt;
+        }
+        deg = 0;
+        while (i < text.size() && text[i] >= '0' && text[i] <= '9') {
+          deg = deg * 10 + static_cast<unsigned>(text[i] - '0');
+          if (deg > 62) return std::nullopt;
+          ++i;
+        }
+      }
+      acc ^= Poly2{1} << deg;
+    } else {
+      return std::nullopt;
+    }
+    expect_term = false;
+  }
+  if (expect_term) return std::nullopt;  // empty input or trailing '+'
+  return acc;
+}
+
+}  // namespace prt::gf

@@ -1,0 +1,79 @@
+// Arithmetic on polynomials over GF(2), represented as 64-bit masks
+// (bit i holds the coefficient of z^i).  This is the ground layer of the
+// Galois-field stack: GF(2^m) field construction, irreducibility and
+// primitivity checks, and LFSR period computation all build on it.
+#pragma once
+
+#include <cstdint>
+#include <optional>
+#include <string>
+#include <string_view>
+#include <vector>
+
+namespace prt::gf {
+
+/// A polynomial over GF(2) packed into a 64-bit mask; degree <= 62 so
+/// products of reduced residues never overflow the carry-less multiply.
+using Poly2 = std::uint64_t;
+
+/// Carry-less (GF(2)) product of two polynomials.  Degrees must sum to
+/// at most 63; callers reducing modulo a degree-m polynomial (m <= 31)
+/// always satisfy this.
+[[nodiscard]] Poly2 clmul(Poly2 a, Poly2 b);
+
+/// Remainder of a modulo p (p != 0).
+[[nodiscard]] Poly2 poly_mod(Poly2 a, Poly2 p);
+
+/// Quotient of a divided by p (p != 0).
+[[nodiscard]] Poly2 poly_div(Poly2 a, Poly2 p);
+
+/// Greatest common divisor of two GF(2) polynomials.
+[[nodiscard]] Poly2 poly_gcd(Poly2 a, Poly2 b);
+
+/// (a * b) mod p with all operands already reduced mod p.
+[[nodiscard]] Poly2 mulmod(Poly2 a, Poly2 b, Poly2 p);
+
+/// a^e mod p by square-and-multiply (e is an ordinary integer).
+[[nodiscard]] Poly2 powmod(Poly2 a, std::uint64_t e, Poly2 p);
+
+/// x^(2^k) mod p via k repeated squarings (used by the Rabin test,
+/// where the exponent 2^k may exceed 2^64).
+[[nodiscard]] Poly2 pow_x_pow2(unsigned k, Poly2 p);
+
+/// True if p (degree >= 1) is irreducible over GF(2).  Rabin's test.
+[[nodiscard]] bool is_irreducible(Poly2 p);
+
+/// True if p is primitive over GF(2): irreducible and z is a generator
+/// of GF(2^deg p)^*.  Requires deg p <= 31.
+[[nodiscard]] bool is_primitive(Poly2 p);
+
+/// Multiplicative order of x modulo p for irreducible p (deg <= 31):
+/// the smallest t > 0 with x^t = 1 (mod p).  This equals the period of
+/// the maximal-length sequence iff p is primitive.
+[[nodiscard]] std::uint64_t order_of_x(Poly2 p);
+
+/// Prime factorization of n (trial division; n <= 2^62).  Returns the
+/// distinct prime factors in increasing order.
+[[nodiscard]] std::vector<std::uint64_t> distinct_prime_factors(
+    std::uint64_t n);
+
+/// The lexicographically smallest irreducible polynomial of degree m
+/// (1 <= m <= 31), e.g. m=4 -> z^4+z+1 = 0x13.
+[[nodiscard]] Poly2 first_irreducible(unsigned m);
+
+/// The lexicographically smallest primitive polynomial of degree m.
+[[nodiscard]] Poly2 first_primitive(unsigned m);
+
+/// All irreducible polynomials of degree m, ascending (m <= 16 to keep
+/// enumeration cheap).
+[[nodiscard]] std::vector<Poly2> irreducibles_of_degree(unsigned m);
+
+/// Renders p as a human-readable string, e.g. "z^4 + z + 1".
+[[nodiscard]] std::string poly_to_string(Poly2 p, char var = 'z');
+
+/// Parses strings like "z^4+z+1" or "1+z+z^4" (whitespace ignored).
+/// Returns nullopt on malformed input.
+[[nodiscard]] std::optional<Poly2> poly_from_string(std::string_view text,
+                                                    char var = 'z');
+
+}  // namespace prt::gf

@@ -1,0 +1,101 @@
+// Polynomials with coefficients in GF(2^m).  These describe the
+// word-oriented virtual LFSR of the paper: g(x) = 1 + 2x + 2x^2 over
+// GF(2^4) is the Fig. 1b generator.  Supports the arithmetic needed to
+// (a) check irreducibility/primitivity of g(x) over the extension field
+// and (b) compute the LFSR period (order of x modulo g).
+#pragma once
+
+#include <cstdint>
+#include <optional>
+#include <string>
+#include <vector>
+
+#include "gf/gf2m.hpp"
+
+namespace prt::gf {
+
+/// A polynomial over GF(2^m): coeffs[i] is the coefficient of x^i.
+/// Invariant (normalized): empty == zero polynomial, otherwise the
+/// leading coefficient is non-zero.
+struct PolyGF2m {
+  std::vector<Elem> coeffs;
+
+  PolyGF2m() = default;
+  explicit PolyGF2m(std::vector<Elem> c) : coeffs(std::move(c)) {
+    normalize();
+  }
+
+  /// Degree; -1 for the zero polynomial.
+  [[nodiscard]] int degree() const {
+    return static_cast<int>(coeffs.size()) - 1;
+  }
+  [[nodiscard]] bool is_zero() const { return coeffs.empty(); }
+  /// Coefficient of x^i (0 beyond the stored degree).
+  // GCC 12's -Warray-bounds mis-models the guarded vector access under
+  // heavy inlining (upstream PR 107852 family); the index is provably
+  // bounded by the size() check.
+#pragma GCC diagnostic push
+#pragma GCC diagnostic ignored "-Warray-bounds"
+  [[nodiscard]] Elem at(std::size_t i) const {
+    return i < coeffs.size() ? coeffs.data()[i] : 0;
+  }
+#pragma GCC diagnostic pop
+  /// Drops leading zero coefficients to restore the invariant.
+  void normalize() {
+    while (!coeffs.empty() && coeffs.back() == 0) coeffs.pop_back();
+  }
+
+  bool operator==(const PolyGF2m&) const = default;
+};
+
+[[nodiscard]] PolyGF2m poly_add(const GF2m& f, const PolyGF2m& a,
+                                const PolyGF2m& b);
+[[nodiscard]] PolyGF2m poly_mul(const GF2m& f, const PolyGF2m& a,
+                                const PolyGF2m& b);
+/// Remainder of a modulo g; precondition: !g.is_zero().
+[[nodiscard]] PolyGF2m poly_mod(const GF2m& f, PolyGF2m a, const PolyGF2m& g);
+[[nodiscard]] PolyGF2m poly_gcd(const GF2m& f, PolyGF2m a, PolyGF2m b);
+/// (a*b) mod g.
+[[nodiscard]] PolyGF2m poly_mulmod(const GF2m& f, const PolyGF2m& a,
+                                   const PolyGF2m& b, const PolyGF2m& g);
+/// a^e mod g.
+[[nodiscard]] PolyGF2m poly_powmod(const GF2m& f, PolyGF2m a, std::uint64_t e,
+                                   const PolyGF2m& g);
+/// Scales a by the non-zero constant c.
+[[nodiscard]] PolyGF2m poly_scale(const GF2m& f, const PolyGF2m& a, Elem c);
+/// Divides by the leading coefficient so the result is monic.
+[[nodiscard]] PolyGF2m poly_make_monic(const GF2m& f, const PolyGF2m& a);
+/// Evaluates a at point x0.
+[[nodiscard]] Elem poly_eval(const GF2m& f, const PolyGF2m& a, Elem x0);
+
+/// True if g (degree >= 1) is irreducible over GF(2^m).  Generalized
+/// Rabin test over GF(q), q = 2^m.
+[[nodiscard]] bool is_irreducible(const GF2m& f, const PolyGF2m& g);
+
+/// Multiplicative order of x modulo g: the smallest t > 0 with
+/// x^t == 1 (mod g).  This is the period of the non-degenerate state
+/// sequence of an LFSR with characteristic polynomial g.  Requires a
+/// non-zero constant term (otherwise x is not invertible and the result
+/// is 0).  For irreducible g the order is computed analytically from the
+/// factorization of q^k - 1; otherwise by bounded brute force
+/// (cap = brute_force_cap, 0 result if exceeded).
+[[nodiscard]] std::uint64_t order_of_x(const GF2m& f, const PolyGF2m& g,
+                                       std::uint64_t brute_force_cap =
+                                           (std::uint64_t{1} << 24));
+
+/// True if g is primitive over GF(2^m): irreducible of degree k with
+/// order of x equal to q^k - 1 (maximal-length LFSR).
+[[nodiscard]] bool is_primitive(const GF2m& f, const PolyGF2m& g);
+
+/// Finds an irreducible degree-k polynomial over GF(2^m) with a
+/// non-zero constant term, by deterministic enumeration; primitive if
+/// `primitive` is set.  Returns nullopt only if the (finite) search
+/// space is exhausted, which cannot happen for valid (m, k).
+[[nodiscard]] std::optional<PolyGF2m> find_irreducible(
+    const GF2m& f, unsigned k, bool primitive = false);
+
+/// Renders as "1 + 2x + 2x^2" (coefficients in hex, paper style).
+[[nodiscard]] std::string poly_to_string(const GF2m& f, const PolyGF2m& g,
+                                         char var = 'x');
+
+}  // namespace prt::gf

@@ -1,0 +1,145 @@
+#include "gf/matrix_gf2.hpp"
+
+#include <cassert>
+
+#include "util/bitops.hpp"
+
+namespace prt::gf {
+
+MatrixGF2::MatrixGF2(std::size_t rows, std::size_t cols)
+    : rows_(rows), cols_(cols), words_(rows * ((cols + 63) / 64), 0) {}
+
+MatrixGF2 MatrixGF2::identity(std::size_t n) {
+  MatrixGF2 m(n, n);
+  for (std::size_t i = 0; i < n; ++i) m.set(i, i, true);
+  return m;
+}
+
+bool MatrixGF2::get(std::size_t r, std::size_t c) const {
+  assert(r < rows_ && c < cols_);
+  return (row(r)[c / 64] >> (c % 64)) & 1U;
+}
+
+void MatrixGF2::set(std::size_t r, std::size_t c, bool v) {
+  assert(r < rows_ && c < cols_);
+  const std::uint64_t mask = std::uint64_t{1} << (c % 64);
+  if (v) {
+    row(r)[c / 64] |= mask;
+  } else {
+    row(r)[c / 64] &= ~mask;
+  }
+}
+
+void MatrixGF2::xor_row(std::size_t dst, std::size_t src) {
+  assert(dst < rows_ && src < rows_);
+  for (std::size_t w = 0; w < wpr(); ++w) row(dst)[w] ^= row(src)[w];
+}
+
+MatrixGF2 MatrixGF2::mul(const MatrixGF2& rhs) const {
+  assert(cols_ == rhs.rows_);
+  MatrixGF2 out(rows_, rhs.cols_);
+  // Row-major accumulation: out.row(r) ^= rhs.row(c) wherever (r,c) set.
+  for (std::size_t r = 0; r < rows_; ++r) {
+    for (std::size_t c = 0; c < cols_; ++c) {
+      if (!get(r, c)) continue;
+      for (std::size_t w = 0; w < out.wpr(); ++w) {
+        out.row(r)[w] ^= rhs.row(c)[w];
+      }
+    }
+  }
+  return out;
+}
+
+std::vector<std::uint64_t> MatrixGF2::mul_vec(
+    const std::vector<std::uint64_t>& v) const {
+  assert(v.size() >= wpr());
+  std::vector<std::uint64_t> out((rows_ + 63) / 64, 0);
+  for (std::size_t r = 0; r < rows_; ++r) {
+    std::uint64_t acc = 0;
+    for (std::size_t w = 0; w < wpr(); ++w) acc ^= row(r)[w] & v[w];
+    out[r / 64] |= std::uint64_t{parity64(acc)} << (r % 64);
+  }
+  return out;
+}
+
+std::uint64_t MatrixGF2::mul_vec64(std::uint64_t x) const {
+  assert(cols_ <= 64 && rows_ <= 64);
+  std::uint64_t out = 0;
+  for (std::size_t r = 0; r < rows_; ++r) {
+    out |= std::uint64_t{parity64(row(r)[0] & x)} << r;
+  }
+  return out;
+}
+
+MatrixGF2 MatrixGF2::pow(std::uint64_t e) const {
+  assert(rows_ == cols_);
+  MatrixGF2 result = identity(rows_);
+  MatrixGF2 base = *this;
+  while (e != 0) {
+    if (e & 1) result = result.mul(base);
+    base = base.mul(base);
+    e >>= 1;
+  }
+  return result;
+}
+
+MatrixGF2 MatrixGF2::transpose() const {
+  MatrixGF2 out(cols_, rows_);
+  for (std::size_t r = 0; r < rows_; ++r) {
+    for (std::size_t c = 0; c < cols_; ++c) {
+      if (get(r, c)) out.set(c, r, true);
+    }
+  }
+  return out;
+}
+
+std::size_t MatrixGF2::rank() const {
+  MatrixGF2 work = *this;
+  std::size_t rank = 0;
+  for (std::size_t c = 0; c < cols_ && rank < rows_; ++c) {
+    std::size_t pivot = rank;
+    while (pivot < rows_ && !work.get(pivot, c)) ++pivot;
+    if (pivot == rows_) continue;
+    if (pivot != rank) {
+      for (std::size_t w = 0; w < wpr(); ++w) {
+        std::swap(work.row(pivot)[w], work.row(rank)[w]);
+      }
+    }
+    for (std::size_t r = 0; r < rows_; ++r) {
+      if (r != rank && work.get(r, c)) work.xor_row(r, rank);
+    }
+    ++rank;
+  }
+  return rank;
+}
+
+MatrixGF2 MatrixGF2::inverse() const {
+  assert(rows_ == cols_);
+  MatrixGF2 work = *this;
+  MatrixGF2 inv = identity(rows_);
+  for (std::size_t c = 0; c < cols_; ++c) {
+    std::size_t pivot = c;
+    while (pivot < rows_ && !work.get(pivot, c)) ++pivot;
+    if (pivot == rows_) return {};  // singular
+    if (pivot != c) {
+      for (std::size_t w = 0; w < wpr(); ++w) {
+        std::swap(work.row(pivot)[w], work.row(c)[w]);
+        std::swap(inv.row(pivot)[w], inv.row(c)[w]);
+      }
+    }
+    for (std::size_t r = 0; r < rows_; ++r) {
+      if (r != c && work.get(r, c)) {
+        work.xor_row(r, c);
+        inv.xor_row(r, c);
+      }
+    }
+  }
+  return inv;
+}
+
+bool MatrixGF2::is_identity() const {
+  if (rows_ != cols_) return false;
+  return *this == identity(rows_);
+}
+
+}  // namespace prt::gf

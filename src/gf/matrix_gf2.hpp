@@ -1,0 +1,71 @@
+// Dense matrices over GF(2), rows packed into 64-bit words.  Used for
+// constant-multiplier synthesis (an m x m multiplier matrix), LFSR
+// transition matrices and jump-ahead (matrix powers), and the linear
+// error-propagation analysis of the pi-test.
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+namespace prt::gf {
+
+/// A rows x cols matrix over GF(2).  Bit j of words_[r * wpr + j/64]
+/// holds entry (r, j).
+class MatrixGF2 {
+ public:
+  MatrixGF2() = default;
+  MatrixGF2(std::size_t rows, std::size_t cols);
+
+  static MatrixGF2 identity(std::size_t n);
+
+  [[nodiscard]] std::size_t rows() const { return rows_; }
+  [[nodiscard]] std::size_t cols() const { return cols_; }
+
+  [[nodiscard]] bool get(std::size_t r, std::size_t c) const;
+  void set(std::size_t r, std::size_t c, bool v);
+
+  /// XORs row `src` into row `dst` (elementary row operation).
+  void xor_row(std::size_t dst, std::size_t src);
+
+  /// Matrix product; precondition cols() == rhs.rows().
+  [[nodiscard]] MatrixGF2 mul(const MatrixGF2& rhs) const;
+
+  /// Matrix-vector product over GF(2); the vector is packed into words
+  /// (bit i = component i) and must have cols() meaningful bits.
+  [[nodiscard]] std::vector<std::uint64_t> mul_vec(
+      const std::vector<std::uint64_t>& v) const;
+
+  /// Convenience for cols() <= 64: y = M x with x packed into one word.
+  [[nodiscard]] std::uint64_t mul_vec64(std::uint64_t x) const;
+
+  /// M^e by binary exponentiation; precondition square.
+  [[nodiscard]] MatrixGF2 pow(std::uint64_t e) const;
+
+  [[nodiscard]] MatrixGF2 transpose() const;
+
+  /// Rank by Gaussian elimination (on a copy).
+  [[nodiscard]] std::size_t rank() const;
+
+  /// Inverse; returns an empty (0x0) matrix if singular.  Precondition:
+  /// square.
+  [[nodiscard]] MatrixGF2 inverse() const;
+
+  [[nodiscard]] bool is_identity() const;
+
+  bool operator==(const MatrixGF2&) const = default;
+
+ private:
+  [[nodiscard]] std::size_t wpr() const { return (cols_ + 63) / 64; }
+  [[nodiscard]] const std::uint64_t* row(std::size_t r) const {
+    return words_.data() + r * wpr();
+  }
+  [[nodiscard]] std::uint64_t* row(std::size_t r) {
+    return words_.data() + r * wpr();
+  }
+
+  std::size_t rows_ = 0;
+  std::size_t cols_ = 0;
+  std::vector<std::uint64_t> words_;
+};
+
+}  // namespace prt::gf

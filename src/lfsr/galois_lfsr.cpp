@@ -1,0 +1,36 @@
+#include "lfsr/galois_lfsr.hpp"
+
+#include <cassert>
+
+#include "util/bitops.hpp"
+
+namespace prt::lfsr {
+
+GaloisLfsr::GaloisLfsr(gf::Poly2 poly)
+    : poly_(poly),
+      width_(static_cast<unsigned>(poly_degree(poly))),
+      taps_((poly ^ (gf::Poly2{1} << width_)) & low_mask(width_)) {
+  assert(width_ >= 1 && width_ <= 63);
+  assert((poly & 1) != 0 && "constant term required for a full cycle");
+}
+
+void GaloisLfsr::seed(std::uint64_t s) { state_ = s & low_mask(width_); }
+
+unsigned GaloisLfsr::step() {
+  const unsigned out = static_cast<unsigned>(state_ & 1U);
+  state_ >>= 1;
+  if (out) state_ ^= (taps_ >> 1) | (std::uint64_t{1} << (width_ - 1));
+  return out;
+}
+
+std::uint64_t GaloisLfsr::cycle_length(std::uint64_t cap) const {
+  GaloisLfsr probe = *this;
+  const std::uint64_t start = probe.state_;
+  for (std::uint64_t t = 1; t <= cap; ++t) {
+    probe.step();
+    if (probe.state_ == start) return t;
+  }
+  return 0;
+}
+
+}  // namespace prt::lfsr

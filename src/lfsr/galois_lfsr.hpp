@@ -1,0 +1,43 @@
+// Galois (internal-XOR) configuration LFSR over GF(2).
+//
+// The paper's virtual automaton is a Fibonacci LFSR (lfsr/lfsr.hpp);
+// hardware signature registers usually use the Galois form because the
+// feedback XORs sit between stages (shorter critical path).  The two
+// configurations generate the same m-sequence up to phase; this class
+// provides the Galois form plus the cross-configuration equivalence
+// used in tests and as a second reference for the MISR.
+#pragma once
+
+#include <cstdint>
+
+#include "gf/gf2_poly.hpp"
+
+namespace prt::lfsr {
+
+/// w-bit Galois LFSR with characteristic polynomial p(z) over GF(2),
+/// 1 <= deg p <= 63.  step() shifts right: the output bit (bit 0) is
+/// the sequence; when it is 1 the tap mask is XORed into the state.
+class GaloisLfsr {
+ public:
+  explicit GaloisLfsr(gf::Poly2 poly);
+
+  [[nodiscard]] unsigned width() const { return width_; }
+  [[nodiscard]] std::uint64_t state() const { return state_; }
+  /// Precondition: seed != 0 for a non-degenerate sequence.
+  void seed(std::uint64_t s);
+
+  /// Produces the next output bit and advances the state.
+  unsigned step();
+
+  /// Sequence period from the current state (brute force, capped).
+  [[nodiscard]] std::uint64_t cycle_length(
+      std::uint64_t cap = (std::uint64_t{1} << 24)) const;
+
+ private:
+  gf::Poly2 poly_;
+  unsigned width_;
+  std::uint64_t taps_;  // p with the top bit dropped
+  std::uint64_t state_ = 1;
+};
+
+}  // namespace prt::lfsr

@@ -1,0 +1,23 @@
+#include "lfsr/misr.hpp"
+
+#include <cassert>
+
+#include "util/bitops.hpp"
+
+namespace prt::lfsr {
+
+Misr::Misr(gf::Poly2 poly)
+    : poly_(poly),
+      width_(static_cast<unsigned>(poly_degree(poly))),
+      mask_(low_mask(width_)) {
+  assert(width_ >= 1 && width_ <= 63);
+}
+
+void Misr::shift(std::uint64_t input) {
+  const std::uint64_t msb = (state_ >> (width_ - 1)) & 1U;
+  state_ = ((state_ << 1) & mask_);
+  if (msb) state_ ^= poly_ & mask_;  // feedback taps (z^w folded in)
+  state_ ^= input & mask_;
+}
+
+}  // namespace prt::lfsr

@@ -1,0 +1,43 @@
+// Multiple-input signature register (MISR) for BIST response
+// compaction.  The paper compacts the response into the memory's own
+// final automaton state; this classic MISR is provided as the optional
+// *second* signature over the read stream (DESIGN.md §6) and for the
+// aliasing comparison in the Markov analysis.
+#pragma once
+
+#include <cstdint>
+#include <span>
+
+#include "gf/gf2_poly.hpp"
+
+namespace prt::lfsr {
+
+/// A w-bit type-2 (internal-XOR) MISR with characteristic polynomial
+/// p(z) over GF(2), deg p = w <= 63.  Each shift folds one w-bit input
+/// word into the state.
+class Misr {
+ public:
+  /// Precondition: deg(poly) in [1, 63]; poly is normally primitive so
+  /// the aliasing probability is 2^-w.
+  explicit Misr(gf::Poly2 poly);
+
+  [[nodiscard]] unsigned width() const { return width_; }
+  [[nodiscard]] std::uint64_t state() const { return state_; }
+  void reset(std::uint64_t seed = 0) { state_ = seed & mask_; }
+
+  /// Folds one input word into the signature.
+  void shift(std::uint64_t input);
+
+  /// Folds a whole response stream.
+  void absorb(std::span<const std::uint64_t> words) {
+    for (std::uint64_t w : words) shift(w);
+  }
+
+ private:
+  gf::Poly2 poly_;
+  unsigned width_;
+  std::uint64_t mask_;
+  std::uint64_t state_ = 0;
+};
+
+}  // namespace prt::lfsr

@@ -1,0 +1,95 @@
+#include "march/march_library.hpp"
+
+#include <cassert>
+
+namespace prt::march {
+
+namespace {
+
+/// All canonical tests are written in the ASCII notation and parsed by
+/// our own parser — the parser is therefore exercised on every use and
+/// the definitions stay readable side-by-side with the literature.
+MarchTest from_notation(const char* name, const char* notation) {
+  auto test = parse_march(notation, name);
+  assert(test && "canonical March notation must parse");
+  return std::move(*test);
+}
+
+}  // namespace
+
+MarchTest mats() {
+  return from_notation("MATS", "{c(w0);c(r0,w1);c(r1)}");
+}
+
+MarchTest mats_plus() {
+  return from_notation("MATS+", "{c(w0);^(r0,w1);v(r1,w0)}");
+}
+
+MarchTest mats_pp() {
+  return from_notation("MATS++", "{c(w0);^(r0,w1);v(r1,w0,r0)}");
+}
+
+MarchTest march_x() {
+  return from_notation("March X", "{c(w0);^(r0,w1);v(r1,w0);c(r0)}");
+}
+
+MarchTest march_y() {
+  return from_notation("March Y", "{c(w0);^(r0,w1,r1);v(r1,w0,r0);c(r0)}");
+}
+
+MarchTest march_c_minus() {
+  return from_notation(
+      "March C-",
+      "{c(w0);^(r0,w1);^(r1,w0);v(r0,w1);v(r1,w0);c(r0)}");
+}
+
+MarchTest march_a() {
+  return from_notation(
+      "March A",
+      "{c(w0);^(r0,w1,w0,w1);^(r1,w0,w1);v(r1,w0,w1,w0);v(r0,w1,w0)}");
+}
+
+MarchTest march_b() {
+  return from_notation(
+      "March B",
+      "{c(w0);^(r0,w1,r1,w0,r0,w1);^(r1,w0,w1);v(r1,w0,w1,w0);"
+      "v(r0,w1,w0)}");
+}
+
+MarchTest march_sr() {
+  return from_notation(
+      "March SR",
+      "{v(w0);^(r0,w1,r1,w0);^(r0,r0);^(w1);v(r1,w0,r0,w1);v(r1,r1)}");
+}
+
+MarchTest march_lr() {
+  return from_notation(
+      "March LR",
+      "{c(w0);v(r0,w1);^(r1,w0,r0,w1);^(r1,w0);^(r0,w1,r1,w0);^(r0)}");
+}
+
+MarchTest march_ss() {
+  return from_notation(
+      "March SS",
+      "{c(w0);^(r0,r0,w0,r0,w1);^(r1,r1,w1,r1,w0);v(r0,r0,w0,r0,w1);"
+      "v(r1,r1,w1,r1,w0);c(r0)}");
+}
+
+MarchTest march_g() {
+  return from_notation(
+      "March G",
+      "{c(w0);^(r0,w1,r1,w0,r0,w1);^(r1,w0,w1);v(r1,w0,w1,w0);"
+      "v(r0,w1,w0);Del;c(r0,w1,r1);Del;c(r1,w0,r0)}");
+}
+
+MarchTest paper_march_a() {
+  return from_notation("MarchA (paper §1)", "{c(w0);^(r0,w1);v(r1,w0)}");
+}
+
+std::vector<MarchTest> all_march_tests() {
+  return {mats(),     mats_plus(),     mats_pp(), march_x(),
+          march_y(),  march_c_minus(), march_a(), march_b(),
+          march_sr(), march_lr(),      march_ss(), march_g()};
+}
+
+}  // namespace prt::march

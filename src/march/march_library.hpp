@@ -1,0 +1,35 @@
+// Canonical March algorithms (van de Goor, the paper's reference [1]).
+//
+// These serve as the baselines the paper positions PRT against: their
+// operation counts (4n..22n) anchor the complexity table and their
+// fault coverage anchors the coverage table.  Note: the paper's §1
+// example "MarchA = {c(w0); up(r0w1); down(r1w0)}" is, in the standard
+// taxonomy, MATS+; we expose it under `paper_march_a()` as well.
+#pragma once
+
+#include <vector>
+
+#include "march/march_test.hpp"
+
+namespace prt::march {
+
+[[nodiscard]] MarchTest mats();      // {c(w0); c(r0,w1); c(r1)}        4n
+[[nodiscard]] MarchTest mats_plus(); // {c(w0); ^(r0,w1); v(r1,w0)}     5n
+[[nodiscard]] MarchTest mats_pp();   // {c(w0); ^(r0,w1); v(r1,w0,r0)}  6n
+[[nodiscard]] MarchTest march_x();   // 6n
+[[nodiscard]] MarchTest march_y();   // 8n
+[[nodiscard]] MarchTest march_c_minus();  // 10n
+[[nodiscard]] MarchTest march_a();   // 15n
+[[nodiscard]] MarchTest march_b();   // 17n
+[[nodiscard]] MarchTest march_sr();  // 14n
+[[nodiscard]] MarchTest march_lr();  // 14n
+[[nodiscard]] MarchTest march_ss();  // 22n
+[[nodiscard]] MarchTest march_g();   // 23n + 2 Del (retention pauses)
+
+/// The exact test the paper's introduction writes as "MarchA".
+[[nodiscard]] MarchTest paper_march_a();
+
+/// Every algorithm above, for table sweeps.
+[[nodiscard]] std::vector<MarchTest> all_march_tests();
+
+}  // namespace prt::march

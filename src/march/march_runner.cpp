@@ -1,0 +1,92 @@
+#include "march/march_runner.hpp"
+
+#include <cassert>
+
+#include "util/bitops.hpp"
+
+namespace prt::march {
+
+namespace {
+
+/// Applies one March element at a single address, updating the result.
+void apply_ops(const MarchElement& elem, mem::Memory& memory,
+               mem::Addr addr, mem::Word bg, MarchResult& result) {
+  const mem::Word mask = memory.word_mask();
+  for (const MarchOp& op : elem.ops) {
+    const mem::Word data = (op.data == 0 ? bg : ~bg) & mask;
+    if (op.is_read()) {
+      const mem::Word got = memory.read(addr, 0);
+      ++result.ops;
+      if (got != data) {
+        if (!result.fail) {
+          result.first_addr = addr;
+          result.first_expected = data;
+          result.first_actual = got;
+        }
+        result.fail = true;
+        ++result.mismatches;
+      }
+    } else {
+      memory.write(addr, data, 0);
+      ++result.ops;
+    }
+  }
+}
+
+}  // namespace
+
+MarchResult run_march(const MarchTest& test, mem::Memory& memory,
+                      mem::Word background, std::uint64_t delay_ticks) {
+  MarchResult result;
+  const mem::Addr n = memory.size();
+  for (const MarchElement& elem : test.elements) {
+    if (elem.is_delay) {
+      memory.advance_time(delay_ticks);
+      continue;
+    }
+    if (elem.order == Order::kDown) {
+      for (mem::Addr i = n; i-- > 0;) {
+        apply_ops(elem, memory, i, background, result);
+      }
+    } else {
+      for (mem::Addr i = 0; i < n; ++i) {
+        apply_ops(elem, memory, i, background, result);
+      }
+    }
+  }
+  return result;
+}
+
+MarchResult run_march_backgrounds(const MarchTest& test, mem::Memory& memory,
+                                  const std::vector<mem::Word>& backgrounds) {
+  assert(!backgrounds.empty());
+  MarchResult merged;
+  for (mem::Word bg : backgrounds) {
+    const MarchResult r = run_march(test, memory, bg);
+    merged.ops += r.ops;
+    merged.mismatches += r.mismatches;
+    if (r.fail && !merged.fail) {
+      merged.fail = true;
+      merged.first_addr = r.first_addr;
+      merged.first_expected = r.first_expected;
+      merged.first_actual = r.first_actual;
+    }
+  }
+  return merged;
+}
+
+std::vector<mem::Word> standard_backgrounds(unsigned m) {
+  assert(m >= 1 && m <= 32);
+  std::vector<mem::Word> bgs{0};
+  // Stripe widths 1, 2, 4, ... < m produce the checkerboard family.
+  for (unsigned stripe = 1; stripe < m; stripe <<= 1) {
+    mem::Word bg = 0;
+    for (unsigned bit = 0; bit < m; ++bit) {
+      if ((bit / stripe) & 1U) bg |= mem::Word{1} << bit;
+    }
+    bgs.push_back(bg);
+  }
+  return bgs;
+}
+
+}  // namespace prt::march

@@ -1,0 +1,49 @@
+// Executes March tests against a Memory and reports detection.
+//
+// A March test detects a fault when any read returns a value different
+// from the expected data.  For word-oriented memories the classic {0,1}
+// data indices are expanded over a set of data backgrounds; the
+// standard log2(m)+1 backgrounds (solid, checkerboard, double-stripe,
+// ...) are provided.
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "march/march_test.hpp"
+#include "mem/memory.hpp"
+
+namespace prt::march {
+
+/// Outcome of one March run.
+struct MarchResult {
+  bool fail = false;          // any read mismatched
+  std::uint64_t mismatches = 0;
+  std::uint64_t ops = 0;      // reads + writes actually issued
+  // First mismatch, valid when fail:
+  mem::Addr first_addr = 0;
+  mem::Word first_expected = 0;
+  mem::Word first_actual = 0;
+};
+
+/// Runs `test` over the whole address space of `memory` with data
+/// index 0 = `background`, index 1 = ~background.  Each "Del" element
+/// advances the memory's virtual time by `delay_ticks` (data-retention
+/// faults decay against that clock).
+[[nodiscard]] MarchResult run_march(const MarchTest& test,
+                                    mem::Memory& memory,
+                                    mem::Word background = 0,
+                                    std::uint64_t delay_ticks = 100'000);
+
+/// Runs the test once per background and merges the results (a fault is
+/// detected if any background run fails).
+[[nodiscard]] MarchResult run_march_backgrounds(
+    const MarchTest& test, mem::Memory& memory,
+    const std::vector<mem::Word>& backgrounds);
+
+/// The standard data backgrounds for an m-bit word: solid 0,
+/// checkerboard 0101.., double stripe 0011.., quad stripe 00001111..,
+/// etc — ceil(log2(m)) + 1 words.  m = 1 yields just {0}.
+[[nodiscard]] std::vector<mem::Word> standard_backgrounds(unsigned m);
+
+}  // namespace prt::march

@@ -1,0 +1,135 @@
+#include "march/march_test.hpp"
+
+namespace prt::march {
+
+std::size_t MarchTest::ops_per_cell() const {
+  std::size_t total = 0;
+  for (const auto& e : elements) total += e.ops.size();
+  return total;
+}
+
+std::string to_string(const MarchTest& test) {
+  std::string out = "{";
+  for (std::size_t i = 0; i < test.elements.size(); ++i) {
+    const auto& e = test.elements[i];
+    if (i != 0) out += ';';
+    if (e.is_delay) {
+      out += "Del";
+      continue;
+    }
+    switch (e.order) {
+      case Order::kUp: out += '^'; break;
+      case Order::kDown: out += 'v'; break;
+      case Order::kEither: out += 'c'; break;
+    }
+    out += '(';
+    for (std::size_t j = 0; j < e.ops.size(); ++j) {
+      if (j != 0) out += ',';
+      out += e.ops[j].is_read() ? 'r' : 'w';
+      out += static_cast<char>('0' + e.ops[j].data);
+    }
+    out += ')';
+  }
+  out += '}';
+  return out;
+}
+
+namespace {
+
+/// Cursor over the input with helpers; keeps the parser readable.
+struct Cursor {
+  std::string_view text;
+  std::size_t pos = 0;
+
+  void skip_ws() {
+    while (pos < text.size() &&
+           (text[pos] == ' ' || text[pos] == '\t' || text[pos] == '\n')) {
+      ++pos;
+    }
+  }
+  [[nodiscard]] bool done() const { return pos >= text.size(); }
+  [[nodiscard]] char peek() const { return text[pos]; }
+  bool eat(char c) {
+    if (!done() && text[pos] == c) {
+      ++pos;
+      return true;
+    }
+    return false;
+  }
+  /// Consumes a UTF-8 sequence if it matches, returns success.
+  bool eat_utf8(std::string_view seq) {
+    if (text.substr(pos, seq.size()) == seq) {
+      pos += seq.size();
+      return true;
+    }
+    return false;
+  }
+};
+
+std::optional<Order> parse_order(Cursor& cur) {
+  cur.skip_ws();
+  if (cur.eat('^') || cur.eat_utf8("⇑")) return Order::kUp;    // ⇑
+  if (cur.eat('v') || cur.eat_utf8("⇓")) return Order::kDown;  // ⇓
+  if (cur.eat('c') || cur.eat_utf8("⇕")) return Order::kEither;  // ⇕
+  return std::nullopt;
+}
+
+std::optional<MarchElement> parse_element(Cursor& cur) {
+  cur.skip_ws();
+  if (cur.eat_utf8("Del") || cur.eat_utf8("DEL")) {
+    return delay_element();
+  }
+  const auto order = parse_order(cur);
+  if (!order) return std::nullopt;
+  MarchElement elem;
+  elem.order = *order;
+  cur.skip_ws();
+  if (!cur.eat('(')) return std::nullopt;
+  while (true) {
+    cur.skip_ws();
+    if (cur.eat(')')) break;
+    if (cur.done()) return std::nullopt;
+    const char op = cur.peek();
+    if (op != 'r' && op != 'w') return std::nullopt;
+    ++cur.pos;
+    cur.skip_ws();
+    if (cur.done() || (cur.peek() != '0' && cur.peek() != '1')) {
+      return std::nullopt;
+    }
+    const unsigned data = static_cast<unsigned>(cur.peek() - '0');
+    ++cur.pos;
+    elem.ops.push_back({op == 'r' ? MarchOp::Type::kRead
+                                  : MarchOp::Type::kWrite,
+                        data});
+    cur.skip_ws();
+    cur.eat(',');  // separators optional
+  }
+  if (elem.ops.empty()) return std::nullopt;
+  return elem;
+}
+
+}  // namespace
+
+std::optional<MarchTest> parse_march(std::string_view text,
+                                     std::string name) {
+  Cursor cur{text};
+  cur.skip_ws();
+  if (!cur.eat('{')) return std::nullopt;
+  MarchTest test;
+  test.name = std::move(name);
+  while (true) {
+    auto elem = parse_element(cur);
+    if (!elem) return std::nullopt;
+    test.elements.push_back(std::move(*elem));
+    cur.skip_ws();
+    if (cur.eat(';')) continue;
+    if (cur.eat('}')) break;
+    return std::nullopt;
+  }
+  cur.skip_ws();
+  if (!cur.done()) return std::nullopt;
+  if (test.elements.empty()) return std::nullopt;
+  return test;
+}
+
+}  // namespace prt::march

@@ -1,0 +1,86 @@
+// March test representation and notation.
+//
+// The paper's §1 recalls the standard notation of [1]:
+//   MarchA = {c(w0); up(r0,w1); down(r1,w0)}
+// where up/down/c traverse the address space ascending, descending or in
+// either order, and wd/rd write or read-and-verify the data value d.
+// This module provides the data model, a parser for that notation (with
+// ASCII arrows "^"/"v"/"c" or UTF-8 double-arrows), and a printer.
+#pragma once
+
+#include <cstdint>
+#include <optional>
+#include <string>
+#include <vector>
+
+namespace prt::march {
+
+/// Address traversal order of one March element.
+enum class Order : std::uint8_t {
+  kUp,        // ascending addresses
+  kDown,      // descending addresses
+  kEither,    // "don't care" (executed ascending)
+};
+
+/// One primitive operation inside a March element.
+struct MarchOp {
+  enum class Type : std::uint8_t { kRead, kWrite } type;
+  /// Data index: 0 or 1 in the classic notation.  Word-oriented runs
+  /// map index 0 to the selected background and 1 to its complement.
+  unsigned data;
+
+  [[nodiscard]] bool is_read() const { return type == Type::kRead; }
+  bool operator==(const MarchOp&) const = default;
+};
+
+/// One March element: an address order plus an operation sequence
+/// applied completely at each address before moving on — or a delay
+/// element ("Del" in the literature, e.g. March G), a single pause of
+/// the whole test used to expose data-retention faults.
+struct MarchElement {
+  Order order = Order::kEither;
+  std::vector<MarchOp> ops;
+  bool is_delay = false;  // "Del": ops empty, one pause, no sweep
+
+  bool operator==(const MarchElement&) const = default;
+};
+
+/// A delay element.
+[[nodiscard]] inline MarchElement delay_element() {
+  MarchElement e;
+  e.is_delay = true;
+  return e;
+}
+
+/// A complete March test.
+struct MarchTest {
+  std::string name;
+  std::vector<MarchElement> elements;
+
+  /// Number of operations per address-sweep pass, i.e. the classic
+  /// "xn" complexity coefficient (MarchA's {c(w0); up(r0w1); down(r1w0)}
+  /// has coefficient 5).
+  [[nodiscard]] std::size_t ops_per_cell() const;
+
+  /// Total operations on an n-cell memory.
+  [[nodiscard]] std::uint64_t total_ops(std::uint64_t n) const {
+    return ops_per_cell() * n;
+  }
+
+  bool operator==(const MarchTest&) const = default;
+};
+
+/// Renders in the formal notation, ASCII flavour:
+/// "{c(w0);^(r0,w1);v(r1,w0)}".
+[[nodiscard]] std::string to_string(const MarchTest& test);
+
+/// Parses the formal notation.  Accepts "^", "v", "c" and the UTF-8
+/// arrows "⇑", "⇓", "⇕" as order symbols; operations "r0 r1 w0 w1"
+/// separated by optional commas/spaces; the standalone element "Del"
+/// denotes a retention pause; elements separated by ';' and wrapped in
+/// '{...}'.  Returns nullopt with no partial result on any syntax
+/// error.
+[[nodiscard]] std::optional<MarchTest> parse_march(std::string_view text,
+                                                   std::string name = "");
+
+}  // namespace prt::march

@@ -1,0 +1,77 @@
+// Abstract memory-under-test interface.
+//
+// PRT and March engines drive this interface only, so the same test
+// code runs against the golden SimRam and against a FaultyRam wrapper
+// with injected defects.  Ports are explicit because the multi-port
+// schemes of the paper (Fig. 2, QuadPort) issue simultaneous accesses.
+#pragma once
+
+#include <cstdint>
+
+namespace prt::mem {
+
+/// Cell address within the array.
+using Addr = std::uint32_t;
+/// Cell content; only the low `width()` bits are meaningful.
+using Word = std::uint32_t;
+
+/// Per-port access counters, the raw material for the paper's time
+/// complexity measurements (3n single-port vs 2n dual-port).
+struct AccessStats {
+  std::uint64_t reads = 0;
+  std::uint64_t writes = 0;
+
+  [[nodiscard]] std::uint64_t total() const { return reads + writes; }
+
+  AccessStats& operator+=(const AccessStats& o) {
+    reads += o.reads;
+    writes += o.writes;
+    return *this;
+  }
+};
+
+class Memory {
+ public:
+  virtual ~Memory() = default;
+
+  /// Number of addressable cells n.
+  [[nodiscard]] virtual Addr size() const = 0;
+  /// Cell width m in bits (1 for a BOM, >1 for a WOM).
+  [[nodiscard]] virtual unsigned width() const = 0;
+  /// Number of independent ports (1, 2, or 4).
+  [[nodiscard]] virtual unsigned ports() const = 0;
+
+  /// Reads cell `addr` through `port`.  Precondition: addr < size(),
+  /// port < ports().
+  virtual Word read(Addr addr, unsigned port) = 0;
+  /// Writes the low width() bits of `value` to cell `addr` through
+  /// `port`.
+  virtual void write(Addr addr, Word value, unsigned port) = 0;
+
+  /// Single-port convenience overloads.
+  Word read(Addr addr) { return read(addr, 0); }
+  void write(Addr addr, Word value) { write(addr, value, 0); }
+
+  /// Advances virtual time by `ticks` operation-equivalents without
+  /// touching any cell — models idle/pause phases between test passes
+  /// (data-retention faults decay against this clock; the golden model
+  /// ignores it).
+  virtual void advance_time(std::uint64_t ticks) { (void)ticks; }
+
+  /// Access counters accumulated since the last reset_stats().
+  [[nodiscard]] virtual AccessStats stats(unsigned port) const = 0;
+  [[nodiscard]] AccessStats total_stats() const {
+    AccessStats acc;
+    for (unsigned p = 0; p < ports(); ++p) acc += stats(p);
+    return acc;
+  }
+  virtual void reset_stats() = 0;
+
+  /// Mask of meaningful word bits.
+  [[nodiscard]] Word word_mask() const {
+    return width() >= 32 ? ~Word{0}
+                         : static_cast<Word>((Word{1} << width()) - 1);
+  }
+};
+
+}  // namespace prt::mem

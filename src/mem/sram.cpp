@@ -1,0 +1,32 @@
+#include "mem/sram.hpp"
+
+namespace prt::mem {
+
+SimRam::SimRam(Addr cells, unsigned width_bits, unsigned port_count)
+    : size_(cells),
+      width_(width_bits),
+      ports_(port_count),
+      data_(cells, 0) {
+  assert(cells >= 1);
+  assert(width_bits >= 1 && width_bits <= 32);
+  assert(port_count == 1 || port_count == 2 || port_count == 4);
+}
+
+Word SimRam::read(Addr addr, unsigned port) {
+  assert(addr < size_ && port < ports_);
+  ++stats_[port].reads;
+  return data_[addr];
+}
+
+void SimRam::write(Addr addr, Word value, unsigned port) {
+  assert(addr < size_ && port < ports_);
+  ++stats_[port].writes;
+  data_[addr] = value & word_mask();
+}
+
+void SimRam::fill(Word value) {
+  const Word v = value & word_mask();
+  for (auto& cell : data_) cell = v;
+}
+
+}  // namespace prt::mem

@@ -1,0 +1,58 @@
+// Golden (fault-free) RAM simulator with 1, 2 or 4 ports.
+#pragma once
+
+#include <array>
+#include <cassert>
+#include <vector>
+
+#include "mem/memory.hpp"
+
+namespace prt::mem {
+
+/// Behavioural SRAM model: an array of n cells of m bits each.  All
+/// ports address the same storage; simultaneous-access hazards
+/// (write/write to the same cell in one cycle) are the schedulers'
+/// responsibility and are checked by the PRT engines, not here.
+class SimRam final : public Memory {
+ public:
+  /// Precondition: cells >= 1, 1 <= width_bits <= 32, ports in {1,2,4}.
+  SimRam(Addr cells, unsigned width_bits, unsigned port_count = 1);
+
+  [[nodiscard]] Addr size() const override { return size_; }
+  [[nodiscard]] unsigned width() const override { return width_; }
+  [[nodiscard]] unsigned ports() const override { return ports_; }
+
+  Word read(Addr addr, unsigned port) override;
+  void write(Addr addr, Word value, unsigned port) override;
+
+  [[nodiscard]] AccessStats stats(unsigned port) const override {
+    assert(port < ports_);
+    return stats_[port];
+  }
+  void reset_stats() override { stats_.fill({}); }
+
+  /// Direct (non-counting) access for assertions and fault wrappers.
+  [[nodiscard]] Word peek(Addr addr) const {
+    assert(addr < size_);
+    return data_[addr];
+  }
+  void poke(Addr addr, Word value) {
+    assert(addr < size_);
+    data_[addr] = value & word_mask();
+  }
+
+  /// Fills every cell with the given value (no stats impact).
+  void fill(Word value);
+
+  /// Whole-array snapshot, for golden comparisons in tests.
+  [[nodiscard]] const std::vector<Word>& image() const { return data_; }
+
+ private:
+  Addr size_;
+  unsigned width_;
+  unsigned ports_;
+  std::vector<Word> data_;
+  std::array<AccessStats, 4> stats_{};
+};
+
+}  // namespace prt::mem

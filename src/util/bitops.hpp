@@ -1,0 +1,46 @@
+// Small bit-manipulation helpers shared across the library.
+#pragma once
+
+#include <bit>
+#include <cstdint>
+
+namespace prt {
+
+/// Parity (XOR of all bits) of v: 1 if the popcount is odd.
+constexpr std::uint32_t parity64(std::uint64_t v) {
+  return static_cast<std::uint32_t>(std::popcount(v) & 1);
+}
+
+/// Extracts bit `pos` of `v` as 0/1.
+constexpr std::uint32_t bit_of(std::uint64_t v, unsigned pos) {
+  return static_cast<std::uint32_t>((v >> pos) & 1U);
+}
+
+/// Returns v with bit `pos` forced to `value` (0 or 1).
+constexpr std::uint64_t with_bit(std::uint64_t v, unsigned pos,
+                                 std::uint32_t value) {
+  const std::uint64_t mask = std::uint64_t{1} << pos;
+  return value ? (v | mask) : (v & ~mask);
+}
+
+/// Mask with the low `n` bits set; n may be 0..64.
+constexpr std::uint64_t low_mask(unsigned n) {
+  return n >= 64 ? ~std::uint64_t{0} : ((std::uint64_t{1} << n) - 1);
+}
+
+/// Degree of a GF(2) polynomial stored as a bit mask (bit i = coefficient
+/// of x^i).  Degree of the zero polynomial is defined as -1.
+constexpr int poly_degree(std::uint64_t p) {
+  return p == 0 ? -1 : 63 - std::countl_zero(p);
+}
+
+/// True if v is a power of two (v != 0).
+constexpr bool is_pow2(std::uint64_t v) { return v != 0 && (v & (v - 1)) == 0; }
+
+/// Integer ceil(log2(v)) for v >= 1.
+constexpr unsigned ceil_log2(std::uint64_t v) {
+  return v <= 1 ? 0
+               : static_cast<unsigned>(64 - std::countl_zero(v - 1));
+}
+
+}  // namespace prt

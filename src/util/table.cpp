@@ -1,0 +1,101 @@
+#include "util/table.hpp"
+
+#include <cassert>
+#include <cmath>
+#include <cstdio>
+#include <ostream>
+#include <sstream>
+
+namespace prt {
+
+Table::Table(std::vector<std::string> headers)
+    : headers_(std::move(headers)), aligns_(headers_.size(), Align::kRight) {}
+
+void Table::set_align(std::size_t col, Align align) {
+  assert(col < aligns_.size());
+  aligns_[col] = align;
+}
+
+void Table::add_row(std::vector<std::string> cells) {
+  assert(cells.size() == headers_.size());
+  rows_.push_back(std::move(cells));
+}
+
+std::string Table::to_cell(double v) {
+  char buf[64];
+  if (v != 0.0 && (std::fabs(v) < 1e-3 || std::fabs(v) >= 1e7)) {
+    std::snprintf(buf, sizeof buf, "%.3e", v);
+  } else {
+    std::snprintf(buf, sizeof buf, "%.3f", v);
+  }
+  return buf;
+}
+
+std::string Table::str() const {
+  std::vector<std::size_t> width(headers_.size());
+  for (std::size_t c = 0; c < headers_.size(); ++c) {
+    width[c] = headers_[c].size();
+  }
+  for (const auto& row : rows_) {
+    for (std::size_t c = 0; c < row.size(); ++c) {
+      width[c] = std::max(width[c], row[c].size());
+    }
+  }
+
+  std::ostringstream out;
+  auto emit_row = [&](const std::vector<std::string>& row) {
+    out << '|';
+    for (std::size_t c = 0; c < row.size(); ++c) {
+      const auto pad = width[c] - row[c].size();
+      out << ' ';
+      if (aligns_[c] == Align::kRight) out << std::string(pad, ' ');
+      out << row[c];
+      if (aligns_[c] == Align::kLeft) out << std::string(pad, ' ');
+      out << " |";
+    }
+    out << '\n';
+  };
+
+  emit_row(headers_);
+  out << '|';
+  for (std::size_t c = 0; c < headers_.size(); ++c) {
+    out << std::string(width[c] + 2, '-') << '|';
+  }
+  out << '\n';
+  for (const auto& row : rows_) emit_row(row);
+  return out.str();
+}
+
+std::string Table::csv() const {
+  std::ostringstream out;
+  auto emit = [&](const std::vector<std::string>& row) {
+    for (std::size_t c = 0; c < row.size(); ++c) {
+      if (c != 0) out << ',';
+      out << row[c];
+    }
+    out << '\n';
+  };
+  emit(headers_);
+  for (const auto& row : rows_) emit(row);
+  return out.str();
+}
+
+std::ostream& operator<<(std::ostream& os, const Table& t) {
+  return os << t.str();
+}
+
+std::string format_fixed(double v, int digits) {
+  char buf[64];
+  std::snprintf(buf, sizeof buf, "%.*f", digits, v);
+  return buf;
+}
+
+std::string format_pow2_ratio(double ratio) {
+  char buf[64];
+  if (ratio <= 0) return "0";
+  const double log2v = std::log2(ratio);
+  std::snprintf(buf, sizeof buf, "2^%.1f", log2v);
+  return buf;
+}
+
+}  // namespace prt

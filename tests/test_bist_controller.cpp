@@ -1,0 +1,150 @@
+// Tests for the cycle-accurate BIST controller (core/bist_controller):
+// the netlist-level hardware view must agree with the algorithmic
+// PiTester everywhere.
+#include "core/bist_controller.hpp"
+
+#include <gtest/gtest.h>
+
+#include "core/pi_iteration.hpp"
+#include "mem/fault_injector.hpp"
+#include "mem/sram.hpp"
+
+namespace prt::core {
+namespace {
+
+BistController make_bom(mem::Addr n, std::vector<gf::Elem> init,
+                        TrajectoryKind traj = TrajectoryKind::kAscending) {
+  return BistController(gf::GF2m(0b11), {1, 1, 1}, std::move(init),
+                        Trajectory::make(traj, n));
+}
+
+BistController make_wom(mem::Addr n, std::vector<gf::Elem> init,
+                        TrajectoryKind traj = TrajectoryKind::kAscending) {
+  return BistController(gf::GF2m(0b10011), {1, 2, 2}, std::move(init),
+                        Trajectory::make(traj, n));
+}
+
+TEST(BistController, PassesOnHealthyMemory) {
+  mem::SimRam ram(64, 4);
+  BistController ctrl = make_wom(64, {0, 1});
+  EXPECT_TRUE(ctrl.run(ram));
+  EXPECT_TRUE(ctrl.done());
+}
+
+TEST(BistController, OneOperationPerClock) {
+  mem::SimRam ram(32, 1);
+  BistController ctrl = make_bom(32, {1, 1});
+  std::uint64_t last_total = 0;
+  while (!ctrl.done()) {
+    ctrl.clock(ram);
+    const std::uint64_t total = ram.total_stats().total();
+    EXPECT_EQ(total, last_total + 1);
+    last_total = total;
+  }
+  EXPECT_EQ(ctrl.cycles(), last_total);
+}
+
+TEST(BistController, CyclesAreExactly3n) {
+  mem::SimRam ram(100, 1);
+  BistController ctrl = make_bom(100, {1, 1});
+  ctrl.run(ram);
+  EXPECT_EQ(ctrl.cycles(), 300u);
+}
+
+TEST(BistController, ClockAfterDoneIsNoOp) {
+  mem::SimRam ram(16, 1);
+  BistController ctrl = make_bom(16, {1, 1});
+  ctrl.run(ram);
+  const std::uint64_t cycles = ctrl.cycles();
+  ctrl.clock(ram);
+  EXPECT_EQ(ctrl.cycles(), cycles);
+}
+
+TEST(BistController, MemoryImageMatchesPiTester) {
+  for (auto traj : {TrajectoryKind::kAscending, TrajectoryKind::kDescending,
+                    TrajectoryKind::kRandom}) {
+    mem::SimRam hw(77, 4);
+    mem::SimRam sw(77, 4);
+    BistController ctrl(gf::GF2m(0b10011), {1, 2, 2}, {3, 9},
+                        Trajectory::make(traj, 77, 42));
+    ctrl.run(hw);
+    const PiTester tester(gf::GF2m(0b10011), {1, 2, 2});
+    PiConfig cfg;
+    cfg.init = {3, 9};
+    cfg.trajectory = traj;
+    cfg.seed = 42;
+    tester.run(sw, cfg);
+    EXPECT_EQ(hw.image(), sw.image()) << to_string(traj);
+  }
+}
+
+TEST(BistController, VerdictMatchesPiTesterOnFaults) {
+  // The netlist evaluation and the field arithmetic must return the
+  // same verdict for every single-cell fault.
+  const PiTester tester(gf::GF2m(0b10011), {1, 2, 2});
+  PiConfig cfg;
+  cfg.init = {0, 1};
+  for (mem::Addr cell = 0; cell < 24; ++cell) {
+    for (unsigned value : {0u, 1u}) {
+      mem::FaultyRam hw(24, 4);
+      mem::FaultyRam sw(24, 4);
+      hw.inject(mem::Fault::saf({cell, 1}, value));
+      sw.inject(mem::Fault::saf({cell, 1}, value));
+      BistController ctrl = make_wom(24, {0, 1});
+      const bool hw_pass = ctrl.run(hw);
+      const bool sw_pass = tester.run(sw, cfg).pass;
+      EXPECT_EQ(hw_pass, sw_pass) << "cell " << cell << " v " << value;
+    }
+  }
+}
+
+TEST(BistController, DetectsRdfViaNetlist) {
+  mem::FaultyRam ram(32, 4);
+  ram.inject(mem::Fault::rdf({11, 2}));
+  BistController ctrl = make_wom(32, {0, 1});
+  EXPECT_FALSE(ctrl.run(ram));
+}
+
+TEST(BistController, FeedbackGateCountMatchesCostModel) {
+  const gf::GF2m field(0b10011);
+  BistController ctrl = make_wom(16, {0, 1});
+  const gf::FeedbackCost cost = gf::feedback_cost(field, {1, 2, 2});
+  EXPECT_EQ(ctrl.feedback_gates(), cost.total());
+}
+
+TEST(BistController, StateSequence) {
+  mem::SimRam ram(8, 1);
+  BistController ctrl = make_bom(8, {1, 1});
+  EXPECT_EQ(ctrl.state(), BistState::kInit);
+  ctrl.clock(ram);
+  ctrl.clock(ram);  // both init writes done
+  EXPECT_EQ(ctrl.state(), BistState::kRead);
+  ctrl.clock(ram);
+  ctrl.clock(ram);  // window full
+  EXPECT_EQ(ctrl.state(), BistState::kWrite);
+  ctrl.clock(ram);
+  EXPECT_EQ(ctrl.state(), BistState::kRead);
+  while (!ctrl.done()) ctrl.clock(ram);
+  EXPECT_TRUE(ctrl.pass());
+}
+
+TEST(BistController, DegreeThreeGenerator) {
+  mem::SimRam ram(20, 1);
+  BistController ctrl(gf::GF2m(0b11), {1, 1, 0, 1}, {1, 0, 0},
+                      Trajectory::make(TrajectoryKind::kAscending, 20));
+  EXPECT_TRUE(ctrl.run(ram));
+  // 3 init + 4*(n-3) sweep + 3 fin + 3 init re-reads.
+  EXPECT_EQ(ctrl.cycles(), 3u + 4 * 17 + 6);
+}
+
+TEST(BistController, DescendingRingClosure) {
+  mem::SimRam ram(257, 4);
+  BistController ctrl = make_wom(257, {0, 1}, TrajectoryKind::kDescending);
+  EXPECT_TRUE(ctrl.run(ram));
+  // Ring closes: the last-visited cells (addresses 1, 0) hold Init.
+  EXPECT_EQ(ram.peek(1), 0u);
+  EXPECT_EQ(ram.peek(0), 1u);
+}
+
+}  // namespace
+}  // namespace prt::core

@@ -1,0 +1,141 @@
+// Tests for fault-universe enumeration (mem/fault_universe).
+#include "mem/fault_universe.hpp"
+
+#include <gtest/gtest.h>
+
+#include <set>
+
+namespace prt::mem {
+namespace {
+
+TEST(SingleCellUniverse, CountsMatch) {
+  // 9 kinds per bit with read logic, 5 without.
+  EXPECT_EQ(single_cell_universe(8, 1, true).size(), 8u * 9);
+  EXPECT_EQ(single_cell_universe(8, 1, false).size(), 8u * 5);
+  EXPECT_EQ(single_cell_universe(4, 4, true).size(), 4u * 4 * 9);
+}
+
+TEST(SingleCellUniverse, EveryCellBitCovered) {
+  const auto u = single_cell_universe(4, 2, false);
+  std::set<std::pair<Addr, unsigned>> seen;
+  for (const Fault& f : u) seen.insert({f.victim.cell, f.victim.bit});
+  EXPECT_EQ(seen.size(), 8u);
+}
+
+TEST(SelectPairs, ExhaustiveWhenSmall) {
+  const auto pairs = select_pairs(5, 1000, 42);
+  EXPECT_EQ(pairs.size(), 20u);  // 5*4 ordered pairs
+  std::set<std::pair<Addr, Addr>> seen(pairs.begin(), pairs.end());
+  EXPECT_EQ(seen.size(), 20u);
+  for (const auto& [a, v] : pairs) EXPECT_NE(a, v);
+}
+
+TEST(SelectPairs, SampledWhenLarge) {
+  const auto pairs = select_pairs(1000, 128, 42);
+  EXPECT_EQ(pairs.size(), 128u);
+  for (const auto& [a, v] : pairs) {
+    EXPECT_NE(a, v);
+    EXPECT_LT(a, 1000u);
+    EXPECT_LT(v, 1000u);
+  }
+}
+
+TEST(SelectPairs, DeterministicForSeed) {
+  EXPECT_EQ(select_pairs(100, 50, 7), select_pairs(100, 50, 7));
+  EXPECT_NE(select_pairs(100, 50, 7), select_pairs(100, 50, 8));
+}
+
+TEST(CouplingUniverse, NineFaultsPerPair) {
+  const std::vector<std::pair<Addr, Addr>> pairs{{0, 1}, {2, 3}};
+  const auto u = coupling_universe(pairs, 0);
+  EXPECT_EQ(u.size(), 18u);
+  for (const Fault& f : u) {
+    EXPECT_TRUE(is_coupling(f.kind));
+    EXPECT_NE(f.victim.cell, f.aggressor.cell);
+  }
+}
+
+TEST(MakeUniverse, AllSectionsPresent) {
+  UniverseOptions opt;
+  opt.npsf = true;
+  const auto u = make_universe(16, 1, opt);
+  std::set<FaultClass> classes;
+  for (const Fault& f : u) classes.insert(fault_class(f.kind));
+  EXPECT_TRUE(classes.count(FaultClass::kSaf));
+  EXPECT_TRUE(classes.count(FaultClass::kTf));
+  EXPECT_TRUE(classes.count(FaultClass::kReadLogic));
+  EXPECT_TRUE(classes.count(FaultClass::kCfIn));
+  EXPECT_TRUE(classes.count(FaultClass::kCfId));
+  EXPECT_TRUE(classes.count(FaultClass::kCfSt));
+  EXPECT_TRUE(classes.count(FaultClass::kBridge));
+  EXPECT_TRUE(classes.count(FaultClass::kAf));
+  EXPECT_TRUE(classes.count(FaultClass::kNpsf));
+}
+
+TEST(MakeUniverse, SectionsCanBeDisabled) {
+  UniverseOptions opt;
+  opt.single_cell = false;
+  opt.coupling = false;
+  opt.bridges = false;
+  opt.address_decoder = false;
+  const auto u = make_universe(16, 1, opt);
+  EXPECT_TRUE(u.empty());
+}
+
+TEST(MakeUniverse, IntraWordFaultsOnlyForWom) {
+  UniverseOptions opt;
+  opt.single_cell = false;
+  opt.address_decoder = false;
+  opt.bridges = false;
+  opt.coupling = true;
+  opt.intra_word = true;
+  const auto bom = make_universe(4, 1, opt);
+  for (const Fault& f : bom) {
+    EXPECT_EQ(f.victim.bit, 0u);
+    EXPECT_EQ(f.aggressor.bit, 0u);
+  }
+  const auto wom = make_universe(4, 4, opt);
+  bool has_intra = false;
+  for (const Fault& f : wom) {
+    if (is_coupling(f.kind) && f.victim.cell == f.aggressor.cell) {
+      has_intra = true;
+      EXPECT_NE(f.victim.bit, f.aggressor.bit);
+    }
+  }
+  EXPECT_TRUE(has_intra);
+}
+
+TEST(MakeUniverse, AddressFaultsReferenceValidCells) {
+  UniverseOptions opt;
+  const auto u = make_universe(8, 1, opt);
+  for (const Fault& f : u) {
+    EXPECT_LT(f.victim.cell, 8u);
+    if (is_address_fault(f.kind) && f.kind != FaultKind::kAfNoAccess) {
+      EXPECT_LT(f.alias, 8u);
+      EXPECT_NE(f.alias, f.victim.cell);
+    }
+  }
+}
+
+TEST(MakeUniverse, NpsfOnlyInteriorCells) {
+  UniverseOptions opt;
+  opt.single_cell = false;
+  opt.coupling = false;
+  opt.bridges = false;
+  opt.address_decoder = false;
+  opt.npsf = true;
+  opt.npsf_grid_cols = 4;
+  const auto u = make_universe(16, 1, opt);
+  EXPECT_FALSE(u.empty());
+  for (const Fault& f : u) {
+    const Addr row = f.victim.cell / 4;
+    const Addr col = f.victim.cell % 4;
+    EXPECT_GT(row, 0u);
+    EXPECT_GT(col, 0u);
+    EXPECT_LT(col, 3u);
+    EXPECT_LT(f.victim.cell + 4, 16u);
+  }
+}
+
+}  // namespace
+}  // namespace prt::mem

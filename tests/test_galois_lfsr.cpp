@@ -1,0 +1,91 @@
+// Tests for the Galois-configuration LFSR (lfsr/galois_lfsr) and its
+// equivalence with the paper's Fibonacci virtual automaton.
+#include "lfsr/galois_lfsr.hpp"
+
+#include <gtest/gtest.h>
+
+#include <set>
+
+#include "lfsr/lfsr.hpp"
+#include "util/bitops.hpp"
+
+namespace prt::lfsr {
+namespace {
+
+TEST(GaloisLfsr, PeriodOfPrimitivePolynomialIsMaximal) {
+  for (gf::Poly2 p : {0b111ULL, 0b1011ULL, 0b10011ULL, 0b100101ULL}) {
+    GaloisLfsr l(p);
+    l.seed(1);
+    const auto w = static_cast<unsigned>(poly_degree(p));
+    EXPECT_EQ(l.cycle_length(), (std::uint64_t{1} << w) - 1)
+        << "p=" << p;
+  }
+}
+
+TEST(GaloisLfsr, NonPrimitiveIrreducibleHasShorterPeriod) {
+  GaloisLfsr l(0b11111);  // z^4+z^3+z^2+z+1, order 5
+  l.seed(1);
+  EXPECT_EQ(l.cycle_length(), 5u);
+}
+
+TEST(GaloisLfsr, ZeroStateIsFixed) {
+  GaloisLfsr l(0b10011);
+  l.seed(0);
+  for (int i = 0; i < 5; ++i) EXPECT_EQ(l.step(), 0u);
+  EXPECT_EQ(l.state(), 0u);
+}
+
+TEST(GaloisLfsr, VisitsEveryNonZeroState) {
+  GaloisLfsr l(0b10011);
+  l.seed(1);
+  std::set<std::uint64_t> seen;
+  for (int i = 0; i < 15; ++i) {
+    seen.insert(l.state());
+    l.step();
+  }
+  EXPECT_EQ(seen.size(), 15u);
+}
+
+TEST(GaloisLfsr, OutputSequenceMatchesFibonacciUpToPhase) {
+  // Both configurations of the same primitive polynomial generate the
+  // same m-sequence; find the phase within one period and compare a
+  // full period after it.
+  const gf::Poly2 p = 0b10011;  // z^4+z+1, period 15
+  GaloisLfsr galois(p);
+  galois.seed(1);
+  std::vector<unsigned> gseq;
+  for (int i = 0; i < 45; ++i) gseq.push_back(galois.step());
+
+  // Fibonacci form with the *reciprocal* recurrence
+  // s[t+4] = s[t+3] + s[t] (the right-shifting Galois register of p
+  // generates the sequence of p's reciprocal polynomial).
+  WordLfsr fib(gf::GF2m(0b11), {1, 1, 0, 0, 1});
+  const std::vector<gf::Elem> seed{1, 0, 0, 0};
+  fib.seed(seed);
+  const auto fseq32 = fib.sequence(15 + 15);
+  std::vector<unsigned> fseq(fseq32.begin(), fseq32.end());
+
+  bool aligned = false;
+  for (int phase = 0; phase < 15 && !aligned; ++phase) {
+    bool match = true;
+    for (int i = 0; i < 15; ++i) {
+      if (gseq[static_cast<std::size_t>(phase + i)] !=
+          fseq[static_cast<std::size_t>(i)]) {
+        match = false;
+        break;
+      }
+    }
+    aligned = match;
+  }
+  EXPECT_TRUE(aligned);
+}
+
+TEST(GaloisLfsr, WidthAndStateMask) {
+  GaloisLfsr l(0x11b);  // degree 8
+  EXPECT_EQ(l.width(), 8u);
+  l.seed(0xFFFF);
+  EXPECT_EQ(l.state(), 0xFFu);  // masked to width
+}
+
+}  // namespace
+}  // namespace prt::lfsr

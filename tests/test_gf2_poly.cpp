@@ -1,0 +1,271 @@
+// Unit tests for GF(2) polynomial arithmetic (gf/gf2_poly).
+#include "gf/gf2_poly.hpp"
+
+#include <gtest/gtest.h>
+
+#include "util/bitops.hpp"
+
+namespace prt::gf {
+namespace {
+
+TEST(Clmul, ZeroAnnihilates) {
+  EXPECT_EQ(clmul(0, 0x1234), 0u);
+  EXPECT_EQ(clmul(0x1234, 0), 0u);
+}
+
+TEST(Clmul, OneIsIdentity) {
+  EXPECT_EQ(clmul(1, 0xabcd), 0xabcdu);
+  EXPECT_EQ(clmul(0xabcd, 1), 0xabcdu);
+}
+
+TEST(Clmul, XTimesXIsXSquared) { EXPECT_EQ(clmul(0b10, 0b10), 0b100u); }
+
+TEST(Clmul, KnownProduct) {
+  // (z+1)(z+1) = z^2 + 1 over GF(2) (cross terms cancel).
+  EXPECT_EQ(clmul(0b11, 0b11), 0b101u);
+  // (z^2+z+1)(z+1) = z^3 + 1.
+  EXPECT_EQ(clmul(0b111, 0b11), 0b1001u);
+}
+
+TEST(Clmul, Commutative) {
+  for (Poly2 a = 0; a < 32; ++a) {
+    for (Poly2 b = 0; b < 32; ++b) {
+      EXPECT_EQ(clmul(a, b), clmul(b, a));
+    }
+  }
+}
+
+TEST(Clmul, DistributesOverXor) {
+  for (Poly2 a = 1; a < 16; ++a) {
+    for (Poly2 b = 1; b < 16; ++b) {
+      for (Poly2 c = 1; c < 16; ++c) {
+        EXPECT_EQ(clmul(a, b ^ c), clmul(a, b) ^ clmul(a, c));
+      }
+    }
+  }
+}
+
+TEST(PolyMod, DegreeReduced) {
+  const Poly2 p = 0b10011;  // z^4 + z + 1
+  for (Poly2 a = 0; a < 1024; ++a) {
+    EXPECT_LT(poly_degree(poly_mod(a, p)), 4);
+  }
+}
+
+TEST(PolyMod, ExactDivision) {
+  // z^4 + z + 1 divides (z^4+z+1) * (z^3+1) exactly.
+  const Poly2 p = 0b10011;
+  const Poly2 q = 0b1001;
+  EXPECT_EQ(poly_mod(clmul(p, q), p), 0u);
+}
+
+TEST(PolyDiv, QuotientTimesDivisorPlusRemainder) {
+  for (Poly2 a = 0; a < 256; ++a) {
+    for (Poly2 p = 1; p < 32; ++p) {
+      const Poly2 q = poly_div(a, p);
+      const Poly2 r = poly_mod(a, p);
+      EXPECT_EQ(clmul(q, p) ^ r, a) << "a=" << a << " p=" << p;
+    }
+  }
+}
+
+TEST(PolyGcd, WithSelf) { EXPECT_EQ(poly_gcd(0b10011, 0b10011), 0b10011u); }
+
+TEST(PolyGcd, CoprimePolynomials) {
+  // z^4+z+1 and z^4+z^3+1 are distinct irreducibles -> gcd 1.
+  EXPECT_EQ(poly_gcd(0b10011, 0b11001), 1u);
+}
+
+TEST(PolyGcd, CommonFactor) {
+  // (z+1)(z^2+z+1) and (z+1)(z^3+z+1): gcd = z+1.
+  const Poly2 a = clmul(0b11, 0b111);
+  const Poly2 b = clmul(0b11, 0b1011);
+  EXPECT_EQ(poly_gcd(a, b), 0b11u);
+}
+
+TEST(Powmod, XToGroupOrderIsOne) {
+  const Poly2 p = 0b10011;  // primitive, order 15
+  EXPECT_EQ(powmod(2, 15, p), 1u);
+  EXPECT_NE(powmod(2, 5, p), 1u);
+  EXPECT_NE(powmod(2, 3, p), 1u);
+}
+
+TEST(Powmod, ZeroExponent) { EXPECT_EQ(powmod(0b101, 0, 0b10011), 1u); }
+
+TEST(PowXPow2, MatchesRepeatedSquaring) {
+  const Poly2 p = 0b10011;
+  EXPECT_EQ(pow_x_pow2(0, p), 2u);
+  EXPECT_EQ(pow_x_pow2(1, p), powmod(2, 2, p));
+  EXPECT_EQ(pow_x_pow2(2, p), powmod(2, 4, p));
+  EXPECT_EQ(pow_x_pow2(4, p), powmod(2, 16, p));
+}
+
+TEST(IsIrreducible, DegreeOnePolynomialsAre) {
+  EXPECT_TRUE(is_irreducible(0b10));  // z
+  EXPECT_TRUE(is_irreducible(0b11));  // z + 1
+}
+
+TEST(IsIrreducible, KnownIrreducibles) {
+  EXPECT_TRUE(is_irreducible(0b111));     // z^2+z+1
+  EXPECT_TRUE(is_irreducible(0b1011));    // z^3+z+1
+  EXPECT_TRUE(is_irreducible(0b1101));    // z^3+z^2+1
+  EXPECT_TRUE(is_irreducible(0b10011));   // z^4+z+1 (paper's p(z))
+  EXPECT_TRUE(is_irreducible(0b11111));   // z^4+z^3+z^2+z+1
+  EXPECT_TRUE(is_irreducible(0x11b));     // AES polynomial z^8+z^4+z^3+z+1
+  EXPECT_TRUE(is_irreducible(0x1002b));   // z^16+z^5+z^3+z+1
+}
+
+TEST(IsIrreducible, KnownReducibles) {
+  EXPECT_FALSE(is_irreducible(0b101));    // z^2+1 = (z+1)^2
+  EXPECT_FALSE(is_irreducible(0b110));    // z^2+z = z(z+1)
+  EXPECT_FALSE(is_irreducible(0b1001));   // z^3+1 = (z+1)(z^2+z+1)
+  EXPECT_FALSE(is_irreducible(0b10101));  // z^4+z^2+1 = (z^2+z+1)^2
+  EXPECT_FALSE(is_irreducible(1));        // constants are not
+  EXPECT_FALSE(is_irreducible(0));
+}
+
+TEST(IsIrreducible, BruteForceCrossCheckDegree5) {
+  // Compare Rabin's verdict against explicit trial division by all
+  // lower-degree polynomials.
+  for (Poly2 p = 0b100000; p < 0b1000000; ++p) {
+    bool has_factor = false;
+    for (Poly2 d = 2; poly_degree(d) <= 2; ++d) {
+      if (poly_mod(p, d) == 0) {
+        has_factor = true;
+        break;
+      }
+    }
+    EXPECT_EQ(is_irreducible(p), !has_factor) << "p=" << p;
+  }
+}
+
+// The number of monic irreducible polynomials of degree m over GF(2) is
+// given by Gauss's necklace formula; spot-check the enumeration.
+struct DegreeCount {
+  unsigned degree;
+  std::size_t count;
+};
+
+class IrreducibleCountTest : public ::testing::TestWithParam<DegreeCount> {};
+
+TEST_P(IrreducibleCountTest, MatchesNecklaceFormula) {
+  const auto [m, expected] = GetParam();
+  EXPECT_EQ(irreducibles_of_degree(m).size(), expected);
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    Gauss, IrreducibleCountTest,
+    ::testing::Values(DegreeCount{1, 2}, DegreeCount{2, 1},
+                      DegreeCount{3, 2}, DegreeCount{4, 3},
+                      DegreeCount{5, 6}, DegreeCount{6, 9},
+                      DegreeCount{7, 18}, DegreeCount{8, 30},
+                      DegreeCount{10, 99}));
+
+TEST(IsPrimitive, KnownPrimitives) {
+  EXPECT_TRUE(is_primitive(0b111));     // z^2+z+1
+  EXPECT_TRUE(is_primitive(0b1011));    // z^3+z+1
+  EXPECT_TRUE(is_primitive(0b10011));   // z^4+z+1
+  EXPECT_TRUE(is_primitive(0b100101));  // z^5+z^2+1
+}
+
+TEST(IsPrimitive, IrreducibleButNotPrimitive) {
+  // z^4+z^3+z^2+z+1 is irreducible with order 5 (divides 15).
+  EXPECT_TRUE(is_irreducible(0b11111));
+  EXPECT_FALSE(is_primitive(0b11111));
+  EXPECT_EQ(order_of_x(0b11111), 5u);
+}
+
+TEST(OrderOfX, PrimitiveHasFullOrder) {
+  EXPECT_EQ(order_of_x(0b111), 3u);
+  EXPECT_EQ(order_of_x(0b1011), 7u);
+  EXPECT_EQ(order_of_x(0b10011), 15u);
+}
+
+TEST(OrderOfX, OrderDividesGroupOrder) {
+  for (Poly2 p : irreducibles_of_degree(6)) {
+    EXPECT_EQ(63 % order_of_x(p), 0u) << "p=" << p;
+  }
+}
+
+TEST(OrderOfX, MatchesBruteForce) {
+  for (Poly2 p : irreducibles_of_degree(4)) {
+    Poly2 cur = 2;
+    std::uint64_t t = 1;
+    while (cur != 1) {
+      cur = mulmod(cur, 2, p);
+      ++t;
+    }
+    EXPECT_EQ(order_of_x(p), t) << "p=" << p;
+  }
+}
+
+TEST(DistinctPrimeFactors, SmallValues) {
+  EXPECT_EQ(distinct_prime_factors(1), (std::vector<std::uint64_t>{}));
+  EXPECT_EQ(distinct_prime_factors(2), (std::vector<std::uint64_t>{2}));
+  EXPECT_EQ(distinct_prime_factors(12), (std::vector<std::uint64_t>{2, 3}));
+  EXPECT_EQ(distinct_prime_factors(255),
+            (std::vector<std::uint64_t>{3, 5, 17}));
+  EXPECT_EQ(distinct_prime_factors(65535),
+            (std::vector<std::uint64_t>{3, 5, 17, 257}));
+  EXPECT_EQ(distinct_prime_factors(97), (std::vector<std::uint64_t>{97}));
+}
+
+TEST(FirstIrreducible, MatchesEnumeration) {
+  for (unsigned m = 1; m <= 10; ++m) {
+    EXPECT_EQ(first_irreducible(m), irreducibles_of_degree(m).front());
+  }
+}
+
+TEST(FirstPrimitive, IsPrimitiveAndIrreducible) {
+  for (unsigned m = 1; m <= 12; ++m) {
+    const Poly2 p = first_primitive(m);
+    EXPECT_TRUE(is_primitive(p)) << "m=" << m;
+    EXPECT_EQ(poly_degree(p), static_cast<int>(m));
+  }
+}
+
+TEST(FirstPrimitive, KnownValues) {
+  EXPECT_EQ(first_primitive(4), 0b10011u);   // z^4+z+1, the paper's p(z)
+  EXPECT_EQ(first_primitive(8), 0b100011101u);  // z^8+z^4+z^3+z^2+1
+}
+
+TEST(PolyToString, Formats) {
+  EXPECT_EQ(poly_to_string(0), "0");
+  EXPECT_EQ(poly_to_string(1), "1");
+  EXPECT_EQ(poly_to_string(0b10), "z");
+  EXPECT_EQ(poly_to_string(0b10011), "z^4 + z + 1");
+  EXPECT_EQ(poly_to_string(0b111, 'x'), "x^2 + x + 1");
+}
+
+TEST(PolyFromString, ParsesBothTermOrders) {
+  EXPECT_EQ(poly_from_string("z^4+z+1"), Poly2{0b10011});
+  EXPECT_EQ(poly_from_string("1+z+z^4"), Poly2{0b10011});
+  EXPECT_EQ(poly_from_string(" z^2 + z + 1 "), Poly2{0b111});
+  EXPECT_EQ(poly_from_string("1"), Poly2{1});
+  EXPECT_EQ(poly_from_string("z"), Poly2{0b10});
+}
+
+TEST(PolyFromString, RoundTripsToString) {
+  for (Poly2 p = 1; p < 64; ++p) {
+    EXPECT_EQ(poly_from_string(poly_to_string(p)), p);
+  }
+}
+
+TEST(PolyFromString, RejectsMalformed) {
+  EXPECT_FALSE(poly_from_string(""));
+  EXPECT_FALSE(poly_from_string("+"));
+  EXPECT_FALSE(poly_from_string("z^"));
+  EXPECT_FALSE(poly_from_string("z+"));
+  EXPECT_FALSE(poly_from_string("q^2"));
+  EXPECT_FALSE(poly_from_string("z^99"));
+  EXPECT_FALSE(poly_from_string("2z"));
+}
+
+TEST(PolyFromString, DuplicateTermsCancel) {
+  // GF(2): z + z = 0.
+  EXPECT_EQ(poly_from_string("z+z"), Poly2{0});
+  EXPECT_EQ(poly_from_string("z^2+z+z"), Poly2{0b100});
+}
+
+}  // namespace
+}  // namespace prt::gf

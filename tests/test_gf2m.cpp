@@ -1,0 +1,187 @@
+// Unit and property tests for the GF(2^m) field (gf/gf2m).
+#include "gf/gf2m.hpp"
+
+#include <gtest/gtest.h>
+
+namespace prt::gf {
+namespace {
+
+TEST(GF2mBasic, Gf2ViaZPlusOne) {
+  const GF2m f(0b11);
+  EXPECT_EQ(f.m(), 1u);
+  EXPECT_EQ(f.size(), 2u);
+  EXPECT_EQ(f.mul(1, 1), 1u);
+  EXPECT_EQ(f.mul(1, 0), 0u);
+  EXPECT_EQ(f.add(1, 1), 0u);
+  EXPECT_EQ(f.inv(1), 1u);
+}
+
+TEST(GF2mBasic, PaperFieldGf16) {
+  // p(z) = 1 + z + z^4, the paper's Fig. 1b field.
+  const GF2m f(0b10011);
+  EXPECT_EQ(f.m(), 4u);
+  EXPECT_EQ(f.size(), 16u);
+  EXPECT_EQ(f.group_order(), 15u);
+  EXPECT_TRUE(f.z_is_primitive());
+}
+
+TEST(GF2mBasic, KnownProductsInGf16) {
+  const GF2m f(0b10011);
+  // z * z = z^2; z^3 * z = z^4 = z + 1 (reduction).
+  EXPECT_EQ(f.mul(2, 2), 4u);
+  EXPECT_EQ(f.mul(8, 2), 3u);
+  // (z+1)(z^3+1) = z^4+z^3+z+1 = (z+1) + z^3 + z + 1 = z^3.
+  EXPECT_EQ(f.mul(3, 9), 8u);
+}
+
+TEST(GF2mBasic, AesFieldSpotChecks) {
+  // GF(2^8) with the AES modulus; 0x57 * 0x83 = 0xc1 (FIPS-197 example).
+  const GF2m f(0x11b);
+  EXPECT_EQ(f.mul(0x57, 0x83), 0xc1u);
+  EXPECT_EQ(f.mul(0x57, 0x13), 0xfeu);
+}
+
+TEST(GF2mBasic, StandardFieldIsPrimitive) {
+  for (unsigned m = 1; m <= 12; ++m) {
+    EXPECT_TRUE(GF2m::standard(m).z_is_primitive()) << "m=" << m;
+  }
+}
+
+TEST(GF2mBasic, NonPrimitiveModulusStillAField) {
+  // z^4+z^3+z^2+z+1 is irreducible but z has order 5.
+  const GF2m f(0b11111);
+  EXPECT_FALSE(f.z_is_primitive());
+  EXPECT_EQ(f.order(2), 5u);
+  // Field operations still behave: spot-check an inverse.
+  for (Elem a = 1; a < 16; ++a) {
+    EXPECT_EQ(f.mul(a, f.inv(a)), 1u) << "a=" << +a;
+  }
+}
+
+TEST(GF2mBasic, ToHex) {
+  const GF2m f(0b10011);
+  EXPECT_EQ(f.to_hex(0), "0");
+  EXPECT_EQ(f.to_hex(6), "6");
+  EXPECT_EQ(f.to_hex(15), "F");
+}
+
+TEST(GF2mLog, LogExpRoundTrip) {
+  const GF2m f(0b10011);
+  for (Elem a = 1; a < 16; ++a) {
+    EXPECT_EQ(f.exp(f.log(a)), a);
+  }
+}
+
+TEST(GF2mLog, LogOfProductIsSumOfLogs) {
+  const GF2m f(0b10011);
+  for (Elem a = 1; a < 16; ++a) {
+    for (Elem b = 1; b < 16; ++b) {
+      EXPECT_EQ(f.log(f.mul(a, b)),
+                (f.log(a) + f.log(b)) % f.group_order());
+    }
+  }
+}
+
+TEST(GF2mOrder, OrderDividesGroupOrder) {
+  const GF2m f(0b10011);
+  for (Elem a = 1; a < 16; ++a) {
+    EXPECT_EQ(f.group_order() % f.order(a), 0u);
+    EXPECT_EQ(f.pow(a, f.order(a)), 1u);
+  }
+}
+
+TEST(GF2mPow, SquareAndMultiplyAgreesWithRepeated) {
+  const GF2m f(0b1011);  // GF(8)
+  for (Elem a = 0; a < 8; ++a) {
+    Elem acc = 1;
+    for (unsigned e = 0; e < 20; ++e) {
+      EXPECT_EQ(f.pow(a, e), acc) << "a=" << +a << " e=" << e;
+      acc = f.mul(acc, a);
+    }
+  }
+}
+
+TEST(GF2mPow, FermatLittleTheorem) {
+  const GF2m f(0b10011);
+  for (Elem a = 1; a < 16; ++a) {
+    EXPECT_EQ(f.pow(a, 15), 1u);
+    EXPECT_EQ(f.pow(a, 16), a);  // a^(q-1) * a
+  }
+}
+
+// Field-axiom property sweep, parameterized over the degree.
+class FieldAxioms : public ::testing::TestWithParam<unsigned> {
+ protected:
+  GF2m field() const { return GF2m::standard(GetParam()); }
+};
+
+TEST_P(FieldAxioms, MultiplicationAssociative) {
+  const GF2m f = field();
+  const Elem q = static_cast<Elem>(f.size());
+  for (Elem a = 0; a < q; ++a) {
+    for (Elem b = 0; b < q; ++b) {
+      for (Elem c = 0; c < q; c += 3) {
+        EXPECT_EQ(f.mul(f.mul(a, b), c), f.mul(a, f.mul(b, c)));
+      }
+    }
+  }
+}
+
+TEST_P(FieldAxioms, MultiplicationCommutative) {
+  const GF2m f = field();
+  const Elem q = static_cast<Elem>(f.size());
+  for (Elem a = 0; a < q; ++a) {
+    for (Elem b = a; b < q; ++b) {
+      EXPECT_EQ(f.mul(a, b), f.mul(b, a));
+    }
+  }
+}
+
+TEST_P(FieldAxioms, DistributesOverAddition) {
+  const GF2m f = field();
+  const Elem q = static_cast<Elem>(f.size());
+  for (Elem a = 0; a < q; ++a) {
+    for (Elem b = 0; b < q; ++b) {
+      for (Elem c = 0; c < q; c += 3) {
+        EXPECT_EQ(f.mul(a, f.add(b, c)), f.add(f.mul(a, b), f.mul(a, c)));
+      }
+    }
+  }
+}
+
+TEST_P(FieldAxioms, EveryNonZeroElementInvertible) {
+  const GF2m f = field();
+  for (Elem a = 1; a < f.size(); ++a) {
+    const Elem ia = f.inv(a);
+    EXPECT_NE(ia, 0u);
+    EXPECT_EQ(f.mul(a, ia), 1u);
+    EXPECT_EQ(f.div(f.mul(a, 7 % f.size() ? 7 % f.size() : 1), a),
+              7 % f.size() ? 7 % f.size() : 1);
+  }
+}
+
+TEST_P(FieldAxioms, NoZeroDivisors) {
+  const GF2m f = field();
+  for (Elem a = 1; a < f.size(); ++a) {
+    for (Elem b = 1; b < f.size(); ++b) {
+      EXPECT_NE(f.mul(a, b), 0u);
+    }
+  }
+}
+
+TEST_P(FieldAxioms, MultiplicationMatchesPolynomialDefinition) {
+  // Log-table path must agree with direct carry-less mul + reduction.
+  const GF2m f = field();
+  for (Elem a = 0; a < f.size(); ++a) {
+    for (Elem b = 0; b < f.size(); ++b) {
+      EXPECT_EQ(f.mul(a, b),
+                static_cast<Elem>(mulmod(a, b, f.modulus())));
+    }
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(Degrees, FieldAxioms,
+                         ::testing::Values(1u, 2u, 3u, 4u, 5u, 6u, 8u));
+
+}  // namespace
+}  // namespace prt::gf

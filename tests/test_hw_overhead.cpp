@@ -1,0 +1,92 @@
+// Tests for the hardware-overhead model (core/hw_overhead) — the
+// paper's §4 "< 2^-20" claim machinery.
+#include "core/hw_overhead.hpp"
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+namespace prt::core {
+namespace {
+
+TEST(Overhead, AllComponentsPositive) {
+  const gf::GF2m f(0b10011);
+  const OverheadReport r = estimate_overhead(f, {1, 2, 2}, 1 << 20);
+  EXPECT_GT(r.counter_transistors, 0u);
+  EXPECT_GT(r.window_transistors, 0u);
+  EXPECT_GT(r.feedback_transistors, 0u);
+  EXPECT_GT(r.comparator_transistors, 0u);
+  EXPECT_GT(r.control_transistors, 0u);
+  EXPECT_EQ(r.memory_transistors, (std::uint64_t{1} << 20) * 4 * 6);
+}
+
+TEST(Overhead, BistCostIndependentOfCapacityExceptCounter) {
+  const gf::GF2m f(0b10011);
+  const OverheadReport small = estimate_overhead(f, {1, 2, 2}, 1 << 10);
+  const OverheadReport large = estimate_overhead(f, {1, 2, 2}, 1 << 26);
+  EXPECT_EQ(small.window_transistors, large.window_transistors);
+  EXPECT_EQ(small.feedback_transistors, large.feedback_transistors);
+  EXPECT_EQ(small.comparator_transistors, large.comparator_transistors);
+  EXPECT_LT(small.counter_transistors, large.counter_transistors);
+}
+
+TEST(Overhead, RatioShrinksWithCapacity) {
+  const gf::GF2m f(0b10011);
+  double prev = 1.0;
+  for (unsigned log_n = 10; log_n <= 30; log_n += 4) {
+    const OverheadReport r =
+        estimate_overhead(f, {1, 2, 2}, std::uint64_t{1} << log_n);
+    EXPECT_LT(r.ratio(), prev) << "log n = " << log_n;
+    prev = r.ratio();
+  }
+}
+
+TEST(Overhead, PaperClaimBelow2PowMinus20ForLargeRam) {
+  // §4: overhead ponder < 2^-20.  Holds for gigabit-class memories.
+  const gf::GF2m f(0b10011);
+  const OverheadReport r =
+      estimate_overhead(f, {1, 2, 2}, std::uint64_t{1} << 28, /*ports=*/2);
+  EXPECT_LT(r.ratio(), std::pow(2.0, -20.0));
+}
+
+TEST(Overhead, MultiPortCountsMoreCounters) {
+  const gf::GF2m f(0b10011);
+  const OverheadReport p1 = estimate_overhead(f, {1, 2, 2}, 1 << 16, 1);
+  const OverheadReport p2 = estimate_overhead(f, {1, 2, 2}, 1 << 16, 2);
+  EXPECT_EQ(p2.counter_transistors, 2 * p1.counter_transistors);
+}
+
+TEST(Overhead, UnitCoefficientGeneratorCheaperThanMultiplier) {
+  const gf::GF2m f(0b10011);
+  const OverheadReport cheap = estimate_overhead(f, {1, 1, 1}, 1 << 16);
+  const OverheadReport costly = estimate_overhead(f, {1, 2, 2}, 1 << 16);
+  EXPECT_LT(cheap.feedback_transistors, costly.feedback_transistors);
+}
+
+TEST(Overhead, BomFeedbackIsSingleXor) {
+  const gf::GF2m f2(0b11);
+  const OverheadReport r = estimate_overhead(f2, {1, 1, 1}, 1 << 16);
+  CostModel cost;
+  EXPECT_EQ(r.feedback_transistors, cost.transistors_per_xor2);
+}
+
+TEST(Overhead, CustomCostModelScales) {
+  const gf::GF2m f(0b10011);
+  CostModel doubled;
+  doubled.transistors_per_cell = 12;
+  const OverheadReport base = estimate_overhead(f, {1, 2, 2}, 1 << 16);
+  const OverheadReport big =
+      estimate_overhead(f, {1, 2, 2}, 1 << 16, 1, doubled);
+  EXPECT_EQ(big.memory_transistors, 2 * base.memory_transistors);
+}
+
+TEST(Overhead, RatioFormula) {
+  const gf::GF2m f(0b10011);
+  const OverheadReport r = estimate_overhead(f, {1, 2, 2}, 1 << 12);
+  EXPECT_DOUBLE_EQ(
+      r.ratio(), static_cast<double>(r.bist_total()) /
+                     static_cast<double>(r.memory_transistors));
+}
+
+}  // namespace
+}  // namespace prt::core

@@ -1,0 +1,130 @@
+// Tests for intra-word bit-plane pi-testing (core/intra_word).
+#include "core/intra_word.hpp"
+
+#include <gtest/gtest.h>
+
+#include "mem/fault_injector.hpp"
+#include "mem/sram.hpp"
+
+namespace prt::core {
+namespace {
+
+TEST(PlaneInit, DistinctPhasesForNeighbourPlanes) {
+  const std::vector<gf::Elem> g{1, 1, 1};
+  const auto p0 = plane_init(g, 0);
+  const auto p1 = plane_init(g, 1);
+  const auto p2 = plane_init(g, 2);
+  EXPECT_NE(p0, p1);
+  EXPECT_NE(p1, p2);
+  // Period 3: plane 3 wraps to plane 0's phase.
+  EXPECT_EQ(plane_init(g, 3), p0);
+}
+
+TEST(IntraWord, ParallelModePassesFaultFree) {
+  mem::SimRam ram(64, 8);
+  IntraWordConfig cfg;
+  const IntraWordResult r = run_intra_word(ram, cfg);
+  EXPECT_TRUE(r.pass);
+  EXPECT_EQ(r.fin.size(), 8u);
+}
+
+TEST(IntraWord, RandomModePassesFaultFree) {
+  mem::SimRam ram(64, 8);
+  IntraWordConfig cfg;
+  cfg.mode = IntraWordMode::kRandomTrajectories;
+  cfg.seed = 17;
+  const IntraWordResult r = run_intra_word(ram, cfg);
+  EXPECT_TRUE(r.pass);
+}
+
+TEST(IntraWord, ParallelModeUsesWordAccesses) {
+  // One write per cell + k reads per sub-iteration: 3n - 2 word ops.
+  const mem::Addr n = 100;
+  mem::SimRam ram(n, 4);
+  IntraWordConfig cfg;
+  (void)run_intra_word(ram, cfg);
+  EXPECT_EQ(ram.total_stats().total(), 3u * n - 2);
+}
+
+TEST(IntraWord, RandomModeCostsPerPlane) {
+  // m independent masked sweeps: read-modify-write inflates the word
+  // operation count by ~m x; hardware masks instead (documented).
+  const mem::Addr n = 50;
+  mem::SimRam ram(n, 4);
+  IntraWordConfig cfg;
+  cfg.mode = IntraWordMode::kRandomTrajectories;
+  (void)run_intra_word(ram, cfg);
+  EXPECT_GT(ram.total_stats().total(), 4u * (3 * n - 2) / 2);
+}
+
+TEST(IntraWord, DetectsIntraWordCfIn) {
+  // Aggressor bit 0 -> victim bit 1 inside the word.  The coupling
+  // fires when the aggressor plane writes a 1 over the zeroed array
+  // (cells with c mod 3 in {1, 2} for the period-3 plane pattern).
+  for (mem::Addr cell : {5u, 17u, 40u}) {
+    mem::FaultyRam ram(64, 8);
+    ram.inject(mem::Fault::cf_in({cell, 1}, {cell, 0}));
+    IntraWordConfig cfg;
+    EXPECT_FALSE(run_intra_word(ram, cfg).pass) << "cell " << cell;
+  }
+}
+
+TEST(IntraWord, DetectsIntraWordBridge) {
+  mem::FaultyRam ram(64, 8);
+  ram.inject(mem::Fault::bridge({9, 2}, {9, 3}, /*wired_and=*/true));
+  IntraWordConfig cfg;
+  EXPECT_FALSE(run_intra_word(ram, cfg).pass);
+}
+
+TEST(IntraWord, DetectsPlaneSaf) {
+  // Plane 3 wraps to phase 0 of the period-3 plane LFSR (pattern
+  // 0,1,1), so cell 9 (9 mod 3 = 0) expects 0 there: stuck-at-1
+  // activates.
+  mem::FaultyRam ram(32, 4);
+  ram.inject(mem::Fault::saf({9, 3}, 1));
+  IntraWordConfig cfg;
+  EXPECT_FALSE(run_intra_word(ram, cfg).pass);
+}
+
+TEST(IntraWord, RandomModeDetectsIntraWordCfSt) {
+  // Detection in random mode is per-seed probabilistic (the condition
+  // must hold while the victim plane visits the cell); a small seed
+  // sweep must find it.
+  bool detected = false;
+  for (std::uint64_t seed = 0; seed < 8 && !detected; ++seed) {
+    mem::FaultyRam ram(64, 4);
+    ram.inject(mem::Fault::cf_st({5, 2}, {5, 0}, /*when=*/1, /*forced=*/1));
+    IntraWordConfig cfg;
+    cfg.mode = IntraWordMode::kRandomTrajectories;
+    cfg.seed = seed;
+    detected = !run_intra_word(ram, cfg).pass;
+  }
+  EXPECT_TRUE(detected);
+}
+
+TEST(IntraWord, FinMatchesPlaneLfsrPrediction) {
+  mem::SimRam ram(37, 4);
+  IntraWordConfig cfg;
+  const IntraWordResult r = run_intra_word(ram, cfg);
+  EXPECT_EQ(r.fin, r.fin_expected);
+  // Spot-check plane 0 against an explicit BOM LFSR.
+  lfsr::WordLfsr model(gf::GF2m(0b11), cfg.plane_g);
+  const auto init = plane_init(cfg.plane_g, 0);
+  model.seed(init);
+  model.jump(37 - 2);
+  const std::uint32_t packed =
+      static_cast<std::uint32_t>(model.state()[0]) |
+      (static_cast<std::uint32_t>(model.state()[1]) << 1);
+  EXPECT_EQ(r.fin[0], packed);
+}
+
+TEST(IntraWord, WiderGeneratorSupported) {
+  mem::SimRam ram(64, 4);
+  IntraWordConfig cfg;
+  cfg.plane_g = {1, 1, 0, 1};  // k = 3, period 7
+  const IntraWordResult r = run_intra_word(ram, cfg);
+  EXPECT_TRUE(r.pass);
+}
+
+}  // namespace
+}  // namespace prt::core

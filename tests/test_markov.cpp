@@ -1,0 +1,88 @@
+// Tests for the analytic Markov detection model (analysis/markov).
+#include "analysis/markov.hpp"
+
+#include <gtest/gtest.h>
+
+namespace prt::analysis {
+namespace {
+
+TEST(Markov, ProbabilitiesAreProbabilities) {
+  MarkovParams p;
+  for (auto cls : {mem::FaultClass::kSaf, mem::FaultClass::kTf,
+                   mem::FaultClass::kWdf, mem::FaultClass::kReadLogic,
+                   mem::FaultClass::kCfIn, mem::FaultClass::kCfId,
+                   mem::FaultClass::kCfSt, mem::FaultClass::kBridge,
+                   mem::FaultClass::kAf, mem::FaultClass::kNpsf}) {
+    const double pi = per_iteration_detection(cls, p);
+    EXPECT_GE(pi, 0.0) << to_string(cls);
+    EXPECT_LE(pi, 1.0) << to_string(cls);
+  }
+}
+
+TEST(Markov, KnownValues) {
+  MarkovParams p;
+  p.n = 128;
+  p.m = 1;
+  EXPECT_DOUBLE_EQ(per_iteration_detection(mem::FaultClass::kSaf, p), 0.5);
+  EXPECT_DOUBLE_EQ(per_iteration_detection(mem::FaultClass::kTf, p), 0.25);
+  EXPECT_DOUBLE_EQ(per_iteration_detection(mem::FaultClass::kCfIn, p),
+                   0.5 / 128);
+  EXPECT_DOUBLE_EQ(per_iteration_detection(mem::FaultClass::kAf, p),
+                   2.0 / 128);
+}
+
+TEST(Markov, CumulativeGrowsWithIterations) {
+  MarkovParams p;
+  for (auto cls : {mem::FaultClass::kSaf, mem::FaultClass::kTf,
+                   mem::FaultClass::kCfSt}) {
+    double prev = 0.0;
+    for (unsigned i = 1; i <= 5; ++i) {
+      const double c = cumulative_detection(cls, p, i);
+      EXPECT_GT(c, prev) << to_string(cls) << " i=" << i;
+      prev = c;
+    }
+  }
+}
+
+TEST(Markov, CumulativeFormulaMatchesClosedForm) {
+  MarkovParams p;
+  const double pi = per_iteration_detection(mem::FaultClass::kTf, p);
+  EXPECT_DOUBLE_EQ(cumulative_detection(mem::FaultClass::kTf, p, 3),
+                   1.0 - (1.0 - pi) * (1.0 - pi) * (1.0 - pi));
+}
+
+TEST(Markov, ReadLogicNearCertain) {
+  MarkovParams p;
+  EXPECT_GT(per_iteration_detection(mem::FaultClass::kReadLogic, p), 0.9);
+}
+
+TEST(Markov, CouplingRatesScaleWithArraySize) {
+  MarkovParams small;
+  small.n = 32;
+  MarkovParams large;
+  large.n = 1024;
+  EXPECT_GT(per_iteration_detection(mem::FaultClass::kCfIn, small),
+            per_iteration_detection(mem::FaultClass::kCfIn, large));
+}
+
+TEST(Markov, AfWindowRateShrinksWithArraySize) {
+  MarkovParams small;
+  small.n = 32;
+  MarkovParams large;
+  large.n = 1024;
+  EXPECT_GT(per_iteration_detection(mem::FaultClass::kAf, small),
+            per_iteration_detection(mem::FaultClass::kAf, large));
+}
+
+TEST(Markov, ThreeIterationsPushStaticFaultsAbove85Percent) {
+  // The §3 "high resolution" statement: the big single-cell classes
+  // are nearly certain after 3 iterations even under the pessimistic
+  // random-TDB model.
+  MarkovParams p;
+  EXPECT_GT(cumulative_detection(mem::FaultClass::kSaf, p, 3), 0.85);
+  EXPECT_GT(cumulative_detection(mem::FaultClass::kWdf, p, 3), 0.85);
+  EXPECT_GT(cumulative_detection(mem::FaultClass::kReadLogic, p, 3), 0.99);
+}
+
+}  // namespace
+}  // namespace prt::analysis

@@ -1,0 +1,149 @@
+// Tests for dense GF(2) matrices (gf/matrix_gf2).
+#include "gf/matrix_gf2.hpp"
+
+#include <gtest/gtest.h>
+
+#include "util/rng.hpp"
+
+namespace prt::gf {
+namespace {
+
+MatrixGF2 random_matrix(std::size_t rows, std::size_t cols,
+                        std::uint64_t seed) {
+  Xoshiro256 rng(seed);
+  MatrixGF2 m(rows, cols);
+  for (std::size_t r = 0; r < rows; ++r) {
+    for (std::size_t c = 0; c < cols; ++c) {
+      m.set(r, c, rng.chance(1, 2));
+    }
+  }
+  return m;
+}
+
+TEST(MatrixGF2, GetSetRoundTrip) {
+  MatrixGF2 m(3, 70);  // spans two words per row
+  m.set(1, 0, true);
+  m.set(1, 69, true);
+  m.set(2, 64, true);
+  EXPECT_TRUE(m.get(1, 0));
+  EXPECT_TRUE(m.get(1, 69));
+  EXPECT_TRUE(m.get(2, 64));
+  EXPECT_FALSE(m.get(0, 0));
+  m.set(1, 69, false);
+  EXPECT_FALSE(m.get(1, 69));
+}
+
+TEST(MatrixGF2, IdentityIsIdentity) {
+  const MatrixGF2 id = MatrixGF2::identity(8);
+  EXPECT_TRUE(id.is_identity());
+  const MatrixGF2 m = random_matrix(8, 8, 1);
+  EXPECT_EQ(id.mul(m), m);
+  EXPECT_EQ(m.mul(id), m);
+}
+
+TEST(MatrixGF2, MultiplicationAssociative) {
+  const MatrixGF2 a = random_matrix(6, 5, 2);
+  const MatrixGF2 b = random_matrix(5, 7, 3);
+  const MatrixGF2 c = random_matrix(7, 4, 4);
+  EXPECT_EQ(a.mul(b).mul(c), a.mul(b.mul(c)));
+}
+
+TEST(MatrixGF2, MulVec64MatchesMul) {
+  const MatrixGF2 a = random_matrix(10, 10, 5);
+  const MatrixGF2 b = random_matrix(10, 10, 6);
+  const MatrixGF2 ab = a.mul(b);
+  for (std::uint64_t x = 0; x < 1024; x += 37) {
+    EXPECT_EQ(ab.mul_vec64(x), a.mul_vec64(b.mul_vec64(x)));
+  }
+}
+
+TEST(MatrixGF2, MulVecWideVector) {
+  const MatrixGF2 m = random_matrix(5, 100, 7);
+  std::vector<std::uint64_t> v(2, 0);
+  v[0] = 0xdeadbeefcafebabeULL;
+  v[1] = 0x123456789abcdefULL;
+  const auto y = m.mul_vec(v);
+  for (std::size_t r = 0; r < 5; ++r) {
+    unsigned expected = 0;
+    for (std::size_t c = 0; c < 100; ++c) {
+      if (m.get(r, c)) expected ^= (v[c / 64] >> (c % 64)) & 1U;
+    }
+    EXPECT_EQ((y[0] >> r) & 1U, expected) << "row " << r;
+  }
+}
+
+TEST(MatrixGF2, PowMatchesRepeatedMul) {
+  const MatrixGF2 m = random_matrix(6, 6, 8);
+  MatrixGF2 acc = MatrixGF2::identity(6);
+  for (unsigned e = 0; e < 10; ++e) {
+    EXPECT_EQ(m.pow(e), acc) << "e=" << e;
+    acc = acc.mul(m);
+  }
+}
+
+TEST(MatrixGF2, PowZeroIsIdentity) {
+  EXPECT_TRUE(random_matrix(4, 4, 9).pow(0).is_identity());
+}
+
+TEST(MatrixGF2, TransposeInvolution) {
+  const MatrixGF2 m = random_matrix(5, 9, 10);
+  EXPECT_EQ(m.transpose().transpose(), m);
+}
+
+TEST(MatrixGF2, TransposeOfProduct) {
+  const MatrixGF2 a = random_matrix(4, 6, 11);
+  const MatrixGF2 b = random_matrix(6, 3, 12);
+  EXPECT_EQ(a.mul(b).transpose(), b.transpose().mul(a.transpose()));
+}
+
+TEST(MatrixGF2, RankOfIdentity) {
+  EXPECT_EQ(MatrixGF2::identity(12).rank(), 12u);
+}
+
+TEST(MatrixGF2, RankOfZero) { EXPECT_EQ(MatrixGF2(5, 5).rank(), 0u); }
+
+TEST(MatrixGF2, RankDuplicateRows) {
+  MatrixGF2 m(3, 4);
+  m.set(0, 0, true);
+  m.set(0, 2, true);
+  m.set(1, 0, true);
+  m.set(1, 2, true);  // row 1 == row 0
+  m.set(2, 1, true);
+  EXPECT_EQ(m.rank(), 2u);
+}
+
+TEST(MatrixGF2, InverseTimesSelfIsIdentity) {
+  // Build an invertible matrix: identity plus strictly-upper random.
+  MatrixGF2 m = MatrixGF2::identity(8);
+  Xoshiro256 rng(13);
+  for (std::size_t r = 0; r < 8; ++r) {
+    for (std::size_t c = r + 1; c < 8; ++c) {
+      m.set(r, c, rng.chance(1, 2));
+    }
+  }
+  const MatrixGF2 inv = m.inverse();
+  ASSERT_EQ(inv.rows(), 8u);
+  EXPECT_TRUE(m.mul(inv).is_identity());
+  EXPECT_TRUE(inv.mul(m).is_identity());
+}
+
+TEST(MatrixGF2, SingularHasNoInverse) {
+  MatrixGF2 m(4, 4);
+  m.set(0, 0, true);
+  m.set(1, 0, true);  // rank 1
+  EXPECT_EQ(m.inverse().rows(), 0u);
+}
+
+TEST(MatrixGF2, XorRow) {
+  MatrixGF2 m(2, 65);
+  m.set(0, 64, true);
+  m.set(1, 0, true);
+  m.xor_row(1, 0);
+  EXPECT_TRUE(m.get(1, 64));
+  EXPECT_TRUE(m.get(1, 0));
+  m.xor_row(1, 0);
+  EXPECT_FALSE(m.get(1, 64));
+}
+
+}  // namespace
+}  // namespace prt::gf

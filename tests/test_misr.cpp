@@ -1,0 +1,105 @@
+// Tests for the MISR response compactor (lfsr/misr).
+#include "lfsr/misr.hpp"
+
+#include <gtest/gtest.h>
+
+namespace prt::lfsr {
+namespace {
+
+TEST(Misr, StartsAtZero) {
+  Misr m(0b10011);
+  EXPECT_EQ(m.state(), 0u);
+  EXPECT_EQ(m.width(), 4u);
+}
+
+TEST(Misr, ZeroInputZeroStateStaysZero) {
+  Misr m(0b10011);
+  for (int i = 0; i < 20; ++i) m.shift(0);
+  EXPECT_EQ(m.state(), 0u);
+}
+
+TEST(Misr, SingleInputIsRemembered) {
+  Misr m(0b10011);
+  m.shift(0b0001);
+  EXPECT_EQ(m.state(), 0b0001u);
+}
+
+TEST(Misr, ShiftIsLinear) {
+  // MISR(a) XOR MISR(b) == MISR(a XOR b) over whole streams.
+  Misr ma(0b10011);
+  Misr mb(0b10011);
+  Misr mab(0b10011);
+  const std::uint64_t sa[] = {1, 7, 3, 15, 8, 2};
+  const std::uint64_t sb[] = {9, 0, 5, 12, 1, 6};
+  for (int i = 0; i < 6; ++i) {
+    ma.shift(sa[i]);
+    mb.shift(sb[i]);
+    mab.shift(sa[i] ^ sb[i]);
+  }
+  EXPECT_EQ(ma.state() ^ mb.state(), mab.state());
+}
+
+TEST(Misr, DifferentStreamsDifferentSignatures) {
+  Misr a(0b10011);
+  Misr b(0b10011);
+  a.shift(1);
+  a.shift(2);
+  b.shift(2);
+  b.shift(1);
+  EXPECT_NE(a.state(), b.state());  // order matters
+}
+
+TEST(Misr, SingleBitErrorAlwaysDetectedWithinWidthWindow) {
+  // A single flipped input word always changes the signature (the
+  // error polynomial is a monomial, never a multiple of p).
+  const std::uint64_t stream[] = {5, 11, 0, 7, 9, 14, 3, 8};
+  for (int pos = 0; pos < 8; ++pos) {
+    for (unsigned bit = 0; bit < 4; ++bit) {
+      Misr good(0b10011);
+      Misr bad(0b10011);
+      for (int i = 0; i < 8; ++i) {
+        good.shift(stream[i]);
+        bad.shift(i == pos ? stream[i] ^ (1u << bit) : stream[i]);
+      }
+      EXPECT_NE(good.state(), bad.state()) << "pos=" << pos;
+    }
+  }
+}
+
+TEST(Misr, ResetRestoresSeed) {
+  Misr m(0b10011);
+  m.shift(9);
+  m.reset(0b0101);
+  EXPECT_EQ(m.state(), 0b0101u);
+  m.reset();
+  EXPECT_EQ(m.state(), 0u);
+}
+
+TEST(Misr, AbsorbMatchesShiftLoop) {
+  Misr a(0x11b);
+  Misr b(0x11b);
+  const std::vector<std::uint64_t> stream{0x12, 0x34, 0x56, 0x78};
+  a.absorb(stream);
+  for (auto w : stream) b.shift(w);
+  EXPECT_EQ(a.state(), b.state());
+}
+
+TEST(Misr, WideMisr) {
+  Misr m(0x1002b);  // width 16
+  EXPECT_EQ(m.width(), 16u);
+  m.shift(0xffff);
+  m.shift(0x0001);
+  EXPECT_NE(m.state(), 0u);
+  EXPECT_LE(m.state(), 0xffffu);
+}
+
+TEST(Misr, StateNeverExceedsWidthMask) {
+  Misr m(0b10011);
+  for (std::uint64_t i = 0; i < 100; ++i) {
+    m.shift(i * 0x9e3779b9ULL);
+    EXPECT_LT(m.state(), 16u);
+  }
+}
+
+}  // namespace
+}  // namespace prt::lfsr

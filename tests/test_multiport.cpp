@@ -1,0 +1,173 @@
+// Tests for the multi-port pi-testing schemes (core/prt_multiport) —
+// paper §4 and Fig. 2.
+#include "core/prt_multiport.hpp"
+
+#include <gtest/gtest.h>
+
+#include "mem/fault_injector.hpp"
+#include "mem/sram.hpp"
+
+namespace prt::core {
+namespace {
+
+PiTester wom_tester() {
+  return PiTester(gf::GF2m(0b10011), {1, 2, 2});
+}
+
+PiTester bom_tester() { return PiTester(gf::GF2m(0b11), {1, 1, 1}); }
+
+PiConfig seed01() {
+  PiConfig cfg;
+  cfg.init = {0, 1};
+  return cfg;
+}
+
+TEST(DualPort, PassesOnFaultFreeMemory) {
+  mem::SimRam ram(100, 4, 2);
+  const MultiPortResult r = run_pi_dualport(ram, wom_tester(), seed01());
+  EXPECT_TRUE(r.pass);
+}
+
+TEST(DualPort, CyclesAre2nPlusConstant) {
+  // Fig. 2: "the time complexity of a pi-test iteration ... is equal
+  // 2n": 1 init cycle + (n-2) sub-iterations x 2 cycles + 1 Fin cycle
+  // + 1 Init re-read cycle.
+  const mem::Addr n = 128;
+  mem::SimRam ram(n, 4, 2);
+  const MultiPortResult r = run_pi_dualport(ram, wom_tester(), seed01());
+  EXPECT_EQ(r.cycles, 2u * (n - 2) + 3);
+  EXPECT_LE(r.cycles, 2u * n);
+}
+
+TEST(DualPort, SameFinAsSinglePort) {
+  const PiTester t = wom_tester();
+  mem::SimRam ram1(77, 4, 1);
+  mem::SimRam ram2(77, 4, 2);
+  const PiResult single = t.run(ram1, seed01());
+  const MultiPortResult dual = run_pi_dualport(ram2, t, seed01());
+  EXPECT_EQ(dual.fin, single.fin);
+  EXPECT_EQ(dual.fin_expected, single.fin_expected);
+  EXPECT_EQ(ram1.image(), ram2.image());
+}
+
+TEST(DualPort, SpreadsReadsAcrossPorts) {
+  mem::SimRam ram(64, 4, 2);
+  (void)run_pi_dualport(ram, wom_tester(), seed01());
+  EXPECT_GT(ram.stats(0).reads, 0u);
+  EXPECT_GT(ram.stats(1).reads, 0u);
+}
+
+TEST(DualPort, DetectsSaf) {
+  // Cells whose Fig. 1b sequence value has bit0 = 1 (s_1 = 1, s_5 = F,
+  // s_9 = 1), so a stuck-at-0 on bit 0 activates.
+  for (mem::Addr cell : {1u, 5u, 9u}) {
+    mem::FaultyRam ram(64, 4, 2);
+    ram.inject(mem::Fault::saf({cell, 0}, 0));
+    const MultiPortResult r = run_pi_dualport(ram, wom_tester(), seed01());
+    EXPECT_FALSE(r.pass) << "cell " << cell;
+  }
+}
+
+TEST(DualPort, RingClosure) {
+  mem::SimRam ram(257, 4, 2);
+  const MultiPortResult r = run_pi_dualport(ram, wom_tester(), seed01());
+  EXPECT_TRUE(r.pass);
+  EXPECT_EQ(r.fin, (std::vector<gf::Elem>{0, 1}));
+}
+
+TEST(DualPort, CyclesBeatSinglePort) {
+  const mem::Addr n = 256;
+  mem::SimRam ram1(n, 1, 1);
+  mem::SimRam ram2(n, 1, 2);
+  const PiTester t = bom_tester();
+  const PiResult single = t.run(ram1, seed01());
+  const MultiPortResult dual = run_pi_dualport(ram2, t, seed01());
+  // Single-port cycles = ops ~ 3n; dual ~ 2n.
+  EXPECT_LT(dual.cycles, single.cycles());
+  EXPECT_NEAR(static_cast<double>(single.cycles()) /
+                  static_cast<double>(dual.cycles),
+              1.5, 0.05);
+}
+
+TEST(QuadPort, PassesAndUsesNCycles) {
+  const mem::Addr n = 128;
+  mem::SimRam ram(n, 4, 4);
+  const MultiPortResult r = run_pi_quadport(ram, wom_tester(), seed01());
+  EXPECT_TRUE(r.pass);
+  EXPECT_EQ(r.cycles, (n - 2) + 3);
+  EXPECT_LE(r.cycles, n + 1);
+}
+
+TEST(QuadPort, SameImageAsSinglePort) {
+  const PiTester t = wom_tester();
+  mem::SimRam ram1(50, 4, 1);
+  mem::SimRam ram2(50, 4, 4);
+  t.run(ram1, seed01());
+  (void)run_pi_quadport(ram2, t, seed01());
+  EXPECT_EQ(ram1.image(), ram2.image());
+}
+
+TEST(QuadPort, DetectsRdf) {
+  mem::FaultyRam ram(64, 4, 4);
+  ram.inject(mem::Fault::rdf({20, 1}));
+  EXPECT_FALSE(run_pi_quadport(ram, wom_tester(), seed01()).pass);
+}
+
+TEST(MultiLfsr, PassesOnFaultFreeMemory) {
+  mem::SimRam ram(120, 4, 4);
+  const MultiPortResult r = run_pi_multilfsr(ram, wom_tester(), seed01());
+  EXPECT_TRUE(r.pass);
+  EXPECT_EQ(r.fin.size(), 4u);  // two 2-element Fin states
+}
+
+TEST(MultiLfsr, HalvesRunConcurrently) {
+  // ~n cycles: both halves advance in the same read/write cycle pair.
+  const mem::Addr n = 200;
+  mem::SimRam ram(n, 4, 4);
+  const MultiPortResult r = run_pi_multilfsr(ram, wom_tester(), seed01());
+  EXPECT_LE(r.cycles, n + 8);
+  EXPECT_GT(r.cycles, n / 2);
+}
+
+TEST(MultiLfsr, DetectsFaultInEitherHalf) {
+  // Position 3 of either half's sequence holds s_3 = 6 (bit2 = 1), so
+  // a stuck-at-0 on bit 2 activates: cell 3 (half 0) and cell
+  // 60 + 3 = 63 (half 1).
+  for (mem::Addr cell : {3u, 63u}) {
+    mem::FaultyRam ram(120, 4, 4);
+    ram.inject(mem::Fault::saf({cell, 2}, 0));
+    EXPECT_FALSE(run_pi_multilfsr(ram, wom_tester(), seed01()).pass)
+        << "cell " << cell;
+  }
+}
+
+TEST(MultiLfsr, OddSizeSplitsCleanly) {
+  mem::SimRam ram(101, 4, 4);
+  const MultiPortResult r = run_pi_multilfsr(ram, wom_tester(), seed01());
+  EXPECT_TRUE(r.pass);
+}
+
+TEST(MultiLfsr, RandomTrajectoriesDecorrelated) {
+  PiConfig cfg = seed01();
+  cfg.trajectory = TrajectoryKind::kRandom;
+  cfg.seed = 3;
+  mem::SimRam ram(96, 4, 4);
+  const MultiPortResult r = run_pi_multilfsr(ram, wom_tester(), cfg);
+  EXPECT_TRUE(r.pass);
+}
+
+TEST(OpCounts, AllSchemesIssueSameWorkPerCell) {
+  // Reads/writes (not cycles) are scheme-invariant: 2n reads and
+  // n writes for the single-LFSR schemes.
+  const mem::Addr n = 64;
+  mem::SimRam r1(n, 4, 2);
+  mem::SimRam r2(n, 4, 4);
+  const auto dual = run_pi_dualport(r1, wom_tester(), seed01());
+  const auto quad = run_pi_quadport(r2, wom_tester(), seed01());
+  EXPECT_EQ(dual.reads, quad.reads);
+  EXPECT_EQ(dual.writes, quad.writes);
+  EXPECT_EQ(dual.writes, static_cast<std::uint64_t>(n));
+}
+
+}  // namespace
+}  // namespace prt::core

@@ -1,0 +1,279 @@
+// Tests for the pi-test iteration engine (core/pi_iteration) — Eq. (1)
+// of the paper and Figures 1a/1b.
+#include "core/pi_iteration.hpp"
+
+#include <gtest/gtest.h>
+
+#include "mem/fault_injector.hpp"
+#include "mem/sram.hpp"
+
+namespace prt::core {
+namespace {
+
+using gf::Elem;
+
+PiTester bom_tester() {
+  return PiTester(gf::GF2m(0b11), {1, 1, 1});  // Fig. 1a
+}
+
+PiTester wom_tester() {
+  return PiTester(gf::GF2m(0b10011), {1, 2, 2});  // Fig. 1b
+}
+
+TEST(PiIteration, Fig1aMemoryImage) {
+  // After the iteration the BOM holds the period-3 LFSR sequence.
+  mem::SimRam ram(9, 1);
+  PiConfig cfg;
+  cfg.init = {1, 1};
+  const PiResult r = bom_tester().run(ram, cfg);
+  EXPECT_TRUE(r.pass);
+  EXPECT_EQ(ram.image(),
+            (std::vector<mem::Word>{1, 1, 0, 1, 1, 0, 1, 1, 0}));
+}
+
+TEST(PiIteration, Fig1bMemoryImage) {
+  // The WOM traces 0, 1, 2, 6, 8, F, ... (paper Fig. 1b).
+  mem::SimRam ram(8, 4);
+  PiConfig cfg;
+  cfg.init = {0, 1};
+  const PiResult r = wom_tester().run(ram, cfg);
+  EXPECT_TRUE(r.pass);
+  EXPECT_EQ(ram.peek(0), 0x0u);
+  EXPECT_EQ(ram.peek(1), 0x1u);
+  EXPECT_EQ(ram.peek(2), 0x2u);
+  EXPECT_EQ(ram.peek(3), 0x6u);
+  EXPECT_EQ(ram.peek(4), 0x8u);
+  EXPECT_EQ(ram.peek(5), 0xFu);
+}
+
+TEST(PiIteration, PassesOnFaultFreeMemoryEveryTrajectory) {
+  for (auto traj : {TrajectoryKind::kAscending, TrajectoryKind::kDescending,
+                    TrajectoryKind::kRandom}) {
+    mem::SimRam ram(200, 4);
+    PiConfig cfg;
+    cfg.init = {3, 7};
+    cfg.trajectory = traj;
+    cfg.seed = 11;
+    EXPECT_TRUE(wom_tester().run(ram, cfg).pass)
+        << to_string(traj);
+  }
+}
+
+TEST(PiIteration, OpCountIsExactly3n) {
+  // k=2: 2 init writes + (n-2)*3 sweep ops + 2 Fin reads + 2 Init
+  // re-reads = 3n (§3: O(3n)).
+  mem::SimRam ram(100, 1);
+  PiConfig cfg;
+  cfg.init = {1, 0};
+  const PiResult r = bom_tester().run(ram, cfg);
+  EXPECT_EQ(r.reads + r.writes, 3u * 100);
+  EXPECT_EQ(r.writes, 100u);        // every cell written exactly once
+  EXPECT_EQ(r.reads, 2u * 100);     // window reads + Init/Fin read-back
+  EXPECT_EQ(ram.total_stats().total(), r.reads + r.writes);
+}
+
+TEST(PiIteration, VerifyPassAddsNReads) {
+  mem::SimRam ram(100, 1);
+  PiConfig cfg;
+  cfg.init = {1, 0};
+  cfg.verify_pass = true;
+  const PiResult r = bom_tester().run(ram, cfg);
+  EXPECT_TRUE(r.pass);
+  EXPECT_EQ(r.verify_mismatches, 0u);
+  EXPECT_EQ(r.reads + r.writes, 4u * 100);
+}
+
+TEST(PiIteration, VerifyPassFlagsLastingCorruption) {
+  // The late-corruption escape of the plain iteration is exactly what
+  // the verify pass closes.
+  mem::FaultyRam ram(32, 1);
+  ram.inject(mem::Fault::cf_id({4, 0}, {30, 0}, /*up=*/true, /*forced=*/0));
+  PiConfig cfg;
+  cfg.init = {1, 1};
+  cfg.verify_pass = true;
+  const PiResult r = bom_tester().run(ram, cfg);
+  EXPECT_FALSE(r.pass);
+  EXPECT_GT(r.verify_mismatches, 0u);
+}
+
+TEST(PiIteration, ExpectedFinMatchesRun) {
+  mem::SimRam ram(77, 4);
+  PiConfig cfg;
+  cfg.init = {5, 9};
+  const PiTester t = wom_tester();
+  const PiResult r = t.run(ram, cfg);
+  EXPECT_EQ(r.fin, t.expected_fin(77, cfg.init));
+  EXPECT_EQ(r.fin, r.fin_expected);
+}
+
+TEST(PiIteration, RingClosureFig1b) {
+  // (n - k) multiple of 255: Fin == Init — the closed pseudo-ring.
+  const PiTester t = wom_tester();
+  EXPECT_EQ(t.period(), 255u);
+  EXPECT_TRUE(t.ring_closes(257));   // 255 + k
+  EXPECT_FALSE(t.ring_closes(255));
+  EXPECT_TRUE(t.ring_closes(512));   // 2*255 + 2
+  mem::SimRam ram(257, 4);
+  PiConfig cfg;
+  cfg.init = {0, 1};
+  const PiResult r = t.run(ram, cfg);
+  EXPECT_TRUE(r.pass);
+  EXPECT_EQ(r.fin, cfg.init);  // the ring closed
+}
+
+TEST(PiIteration, RingClosureFig1a) {
+  const PiTester t = bom_tester();
+  EXPECT_EQ(t.period(), 3u);
+  EXPECT_TRUE(t.ring_closes(5));  // 3 + 2
+  mem::SimRam ram(5, 1);
+  PiConfig cfg;
+  cfg.init = {0, 1};
+  const PiResult r = t.run(ram, cfg);
+  EXPECT_TRUE(r.pass);
+  EXPECT_EQ(r.fin, cfg.init);
+}
+
+TEST(PiIteration, NonClosingSizeHasDifferentFin) {
+  const PiTester t = bom_tester();
+  mem::SimRam ram(6, 1);
+  PiConfig cfg;
+  cfg.init = {0, 1};
+  const PiResult r = t.run(ram, cfg);
+  EXPECT_TRUE(r.pass);
+  EXPECT_NE(r.fin, cfg.init);
+}
+
+TEST(PiIteration, ExpectedImageMatchesMemory) {
+  for (auto traj : {TrajectoryKind::kAscending, TrajectoryKind::kDescending,
+                    TrajectoryKind::kRandom}) {
+    mem::SimRam ram(64, 4);
+    PiConfig cfg;
+    cfg.init = {1, 2};
+    cfg.trajectory = traj;
+    cfg.seed = 77;
+    const PiTester t = wom_tester();
+    t.run(ram, cfg);
+    const auto image = t.expected_image(64, cfg);
+    for (mem::Addr a = 0; a < 64; ++a) {
+      EXPECT_EQ(ram.peek(a), image[a]) << "addr " << a;
+    }
+  }
+}
+
+TEST(PiIteration, DetectsSafAnywhere) {
+  // §3: single-cell faults have high per-iteration resolution.  A SAF
+  // disturbing the traced sequence must corrupt Fin deterministically
+  // (linear error propagation never cancels a single fault).
+  for (mem::Addr cell = 0; cell < 32; ++cell) {
+    mem::FaultyRam ram(32, 1);
+    ram.inject(mem::Fault::saf({cell, 0}, 0));
+    PiConfig cfg;
+    cfg.init = {1, 1};
+    const PiResult r = bom_tester().run(ram, cfg);
+    // The period-3 pattern 1,1,0 holds a 1 in 2/3 of cells; stuck-at-0
+    // activates there.
+    const unsigned pos = cell % 3;
+    const bool should_activate = pos != 2;
+    EXPECT_EQ(!r.pass, should_activate) << "cell " << cell;
+  }
+}
+
+TEST(PiIteration, DetectsRdfEverywhere) {
+  for (mem::Addr cell = 1; cell < 31; ++cell) {
+    mem::FaultyRam ram(32, 1);
+    ram.inject(mem::Fault::rdf({cell, 0}));
+    PiConfig cfg;
+    cfg.init = {1, 1};
+    EXPECT_FALSE(bom_tester().run(ram, cfg).pass) << "cell " << cell;
+  }
+}
+
+TEST(PiIteration, DetectsAdjacentCouplingAscending) {
+  // Aggressor visited exactly one position after the victim is the
+  // within-iteration detectable case (see prt_engine.hpp).
+  mem::FaultyRam ram(32, 1);
+  ram.inject(mem::Fault::cf_in({11, 0}, {12, 0}));
+  PiConfig cfg;
+  cfg.init = {1, 1};
+  // Aggressor 12 transitions when written (pattern value 1 over the
+  // zero-initialized cell -> up transition) right between the victim's
+  // two window reads, so the flipped victim value propagates to Fin.
+  const PiResult r = bom_tester().run(ram, cfg);
+  EXPECT_FALSE(r.pass);
+}
+
+TEST(PiIteration, LateCorruptionEscapesOneIterationBothVerdicts) {
+  // A victim corrupted *after* its last sweep read is invisible to both
+  // the Fin comparison and the MISR (they observe the same reads).
+  // This documents the single-iteration escape channel that motivates
+  // the multi-iteration TDB of §3.
+  mem::FaultyRam ram(32, 1);
+  ram.inject(mem::Fault::cf_id({4, 0}, {30, 0}, /*up=*/true, /*forced=*/0));
+  PiTester t = bom_tester();
+  t.enable_misr(0b1000011);  // degree 6
+  PiConfig cfg;
+  cfg.init = {1, 1};
+  const PiResult r = t.run(ram, cfg);
+  EXPECT_TRUE(r.pass);
+  EXPECT_TRUE(r.misr_pass);
+  // Victim 4 expects pattern value 1; the corruption to 0 is present in
+  // memory (activation happened) but after its last read.
+  EXPECT_EQ(ram.peek(4), 0u);
+}
+
+TEST(PiIteration, MisrMatchesFinVerdictOnCleanRun) {
+  mem::SimRam ram(64, 4);
+  PiTester t = wom_tester();
+  t.enable_misr(0b10011);
+  PiConfig cfg;
+  cfg.init = {0, 1};
+  const PiResult r = t.run(ram, cfg);
+  EXPECT_TRUE(r.pass);
+  EXPECT_TRUE(r.misr_pass);
+  EXPECT_EQ(r.misr, r.misr_expected);
+}
+
+TEST(PiIteration, RandomTrajectoryStillDetectsSaf) {
+  mem::FaultyRam ram(64, 1);
+  ram.inject(mem::Fault::saf({20, 0}, 1));
+  PiConfig cfg;
+  cfg.init = {1, 0};
+  cfg.trajectory = TrajectoryKind::kRandom;
+  cfg.seed = 4;
+  // Stuck-at-1: activates wherever the pattern expects 0 (1/3 of
+  // positions).  Sweep a few seeds; at least one must place the cell
+  // on an activating position.
+  bool detected = false;
+  for (std::uint64_t s = 0; s < 6; ++s) {
+    mem::FaultyRam fresh(64, 1);
+    fresh.inject(mem::Fault::saf({20, 0}, 1));
+    cfg.seed = s;
+    detected |= !bom_tester().run(fresh, cfg).pass;
+  }
+  EXPECT_TRUE(detected);
+}
+
+TEST(PiIteration, DegreeThreeGenerator) {
+  // k = 3 generalization: g = 1 + x + x^3 over GF(2), ops 4(n-3)+6.
+  PiTester t(gf::GF2m(0b11), {1, 1, 0, 1});
+  mem::SimRam ram(20, 1);
+  PiConfig cfg;
+  cfg.init = {1, 0, 0};
+  const PiResult r = t.run(ram, cfg);
+  EXPECT_TRUE(r.pass);
+  EXPECT_EQ(r.writes, 20u);
+  EXPECT_EQ(r.reads, 3u * (20 - 3) + 3 + 3);  // window + Fin + Init
+}
+
+TEST(PiIteration, WomChecksWidthInvariant) {
+  // Memory of matching width runs fine; the image stays within mask.
+  mem::SimRam ram(300, 4);
+  PiConfig cfg;
+  cfg.init = {0xF, 0xF};
+  const PiResult r = wom_tester().run(ram, cfg);
+  EXPECT_TRUE(r.pass);
+  for (mem::Addr a = 0; a < 300; ++a) EXPECT_LE(ram.peek(a), 0xFu);
+}
+
+}  // namespace
+}  // namespace prt::core

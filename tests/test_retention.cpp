@@ -1,0 +1,173 @@
+// Tests for data-retention faults (mem fault model kDrf) and the
+// pause-aware pi-iteration that detects them — the write/pause/verify
+// pattern classic retention testing requires.
+#include <gtest/gtest.h>
+
+#include "core/pi_iteration.hpp"
+#include "core/prt_engine.hpp"
+#include "march/march_library.hpp"
+#include "march/march_runner.hpp"
+#include "mem/fault_injector.hpp"
+
+namespace prt {
+namespace {
+
+TEST(Retention, CellDecaysAfterDelay) {
+  mem::FaultyRam ram(8, 1);
+  ram.inject(mem::Fault::retention({3, 0}, /*decays_to=*/0,
+                                   /*delay_ticks=*/100));
+  ram.write(3, 1, 0);
+  EXPECT_EQ(ram.read(3, 0), 1u);  // fresh: still 1
+  ram.advance_time(99);
+  EXPECT_EQ(ram.read(3, 0), 0u);  // decayed
+  EXPECT_EQ(ram.peek(3), 0u);     // decay is persistent
+}
+
+TEST(Retention, WriteRefreshesTheCharge) {
+  mem::FaultyRam ram(8, 1);
+  ram.inject(mem::Fault::retention({3, 0}, 0, 100));
+  ram.write(3, 1, 0);
+  ram.advance_time(80);
+  ram.write(3, 1, 0);  // refresh
+  ram.advance_time(80);
+  EXPECT_EQ(ram.read(3, 0), 1u);  // each interval below the delay
+  ram.advance_time(200);
+  EXPECT_EQ(ram.read(3, 0), 0u);
+}
+
+TEST(Retention, DecayToOne) {
+  mem::FaultyRam ram(8, 1);
+  ram.inject(mem::Fault::retention({5, 0}, /*decays_to=*/1, 50));
+  ram.write(5, 0, 0);
+  ram.advance_time(60);
+  EXPECT_EQ(ram.read(5, 0), 1u);
+}
+
+TEST(Retention, HoldingTheDecayValueIsUnaffected) {
+  mem::FaultyRam ram(8, 1);
+  ram.inject(mem::Fault::retention({5, 0}, 0, 50));
+  ram.write(5, 0, 0);
+  ram.advance_time(500);
+  EXPECT_EQ(ram.read(5, 0), 0u);
+}
+
+TEST(Retention, OperationsTickTheClock) {
+  // Every read/write counts one tick; enough traffic alone can exceed
+  // the delay without any explicit pause.
+  mem::FaultyRam ram(8, 1);
+  ram.inject(mem::Fault::retention({0, 0}, 0, 10));
+  ram.write(0, 1, 0);
+  for (int i = 0; i < 12; ++i) ram.read(7, 0);
+  EXPECT_EQ(ram.read(0, 0), 0u);
+}
+
+TEST(Retention, OnlyTheFaultyBitDecays) {
+  mem::FaultyRam ram(8, 4);
+  ram.inject(mem::Fault::retention({2, 1}, 0, 20));
+  ram.write(2, 0xF, 0);
+  ram.advance_time(40);
+  EXPECT_EQ(ram.read(2, 0), 0xDu);  // bit 1 dropped
+}
+
+TEST(Retention, PiIterationWithoutPauseEscapes) {
+  // The sweep reads every cell ~2 ops after writing it: a realistic
+  // retention delay never trips inside a pause-less iteration.
+  mem::FaultyRam ram(32, 1);
+  ram.inject(mem::Fault::retention({10, 0}, 0, 1000));
+  core::PiTester tester(gf::GF2m(0b11), {1, 1, 1});
+  core::PiConfig cfg;
+  cfg.init = {1, 1};
+  cfg.verify_pass = true;  // even with the verify pass, no pause
+  const core::PiResult r = tester.run(ram, cfg);
+  EXPECT_TRUE(r.pass);
+}
+
+TEST(Retention, PauseBeforeVerifyDetects) {
+  mem::FaultyRam ram(32, 1);
+  // Cell 10 expects pattern value 1 (10 mod 3 = 1 in the 1,1,0
+  // pattern); decay to 0 is observable.
+  ram.inject(mem::Fault::retention({10, 0}, 0, 1000));
+  core::PiTester tester(gf::GF2m(0b11), {1, 1, 1});
+  core::PiConfig cfg;
+  cfg.init = {1, 1};
+  cfg.verify_pass = true;
+  cfg.pause_ticks = 5000;
+  const core::PiResult r = tester.run(ram, cfg);
+  EXPECT_FALSE(r.pass);
+  EXPECT_GT(r.verify_mismatches, 0u);
+}
+
+TEST(Retention, PauseSweepOverEveryCell) {
+  // Both decay polarities, every cell: the paused verify iteration
+  // pair (solid-1 then solid-0 backgrounds) catches all of them.
+  core::PiTester tester(gf::GF2m(0b11), {1, 0, 1});
+  for (mem::Addr cell = 0; cell < 16; ++cell) {
+    for (unsigned decays_to : {0u, 1u}) {
+      mem::FaultyRam ram(16, 1);
+      ram.inject(mem::Fault::retention({cell, 0}, decays_to, 500));
+      bool detected = false;
+      for (gf::Elem background : {1u, 0u}) {
+        core::PiConfig cfg;
+        cfg.init = {background, background};
+        cfg.verify_pass = true;
+        cfg.pause_ticks = 1000;
+        detected |= !tester.run(ram, cfg).pass;
+      }
+      EXPECT_TRUE(detected) << "cell " << cell << " to " << decays_to;
+    }
+  }
+}
+
+TEST(Retention, RetentionSchemeCoversWholeUniverse) {
+  // The packaged scheme: every cell, both decay polarities, BOM + WOM.
+  for (unsigned m : {1u, 4u}) {
+    const core::PrtScheme scheme = core::retention_scheme(16, m, 1000);
+    for (mem::Addr cell = 0; cell < 16; ++cell) {
+      for (unsigned decays_to : {0u, 1u}) {
+        mem::FaultyRam ram(16, m);
+        ram.inject(mem::Fault::retention({cell, m - 1}, decays_to, 500));
+        EXPECT_TRUE(core::run_prt(ram, scheme).detected())
+            << "m " << m << " cell " << cell << " to " << decays_to;
+      }
+    }
+  }
+}
+
+TEST(Retention, RetentionSchemeNoFalsePositives) {
+  mem::SimRam ram(64, 4);
+  EXPECT_FALSE(
+      core::run_prt(ram, core::retention_scheme(64, 4, 10'000)).detected());
+}
+
+TEST(Retention, MarchGDelayElementsDetectDrf) {
+  mem::FaultyRam ram(16, 1);
+  ram.inject(mem::Fault::retention({7, 0}, 0, 50'000));
+  const auto r =
+      march::run_march(march::march_g(), ram, 0, /*delay_ticks=*/100'000);
+  EXPECT_TRUE(r.fail);
+}
+
+TEST(Retention, MarchGWithoutEnoughDelayMisses) {
+  mem::FaultyRam ram(16, 1);
+  ram.inject(mem::Fault::retention({7, 0}, 0, 50'000));
+  const auto r =
+      march::run_march(march::march_g(), ram, 0, /*delay_ticks=*/10);
+  EXPECT_FALSE(r.fail);
+}
+
+TEST(Retention, GoldenMemoryIgnoresTime) {
+  mem::SimRam ram(4, 1);
+  ram.write(0, 1, 0);
+  ram.advance_time(1U << 20);
+  EXPECT_EQ(ram.read(0, 0), 1u);
+}
+
+TEST(Retention, DescribeMentionsDelay) {
+  const mem::Fault f = mem::Fault::retention({1, 0}, 0, 42);
+  const std::string d = f.describe();
+  EXPECT_NE(d.find("DRF"), std::string::npos);
+  EXPECT_NE(d.find("42"), std::string::npos);
+}
+
+}  // namespace
+}  // namespace prt

@@ -1,0 +1,102 @@
+// Tests for the golden RAM model (mem/sram).
+#include "mem/sram.hpp"
+
+#include <gtest/gtest.h>
+
+namespace prt::mem {
+namespace {
+
+TEST(SimRam, ReadBackAfterWrite) {
+  SimRam ram(16, 8);
+  ram.write(3, 0xAB, 0);
+  EXPECT_EQ(ram.read(3, 0), 0xABu);
+}
+
+TEST(SimRam, InitializedToZero) {
+  SimRam ram(8, 4);
+  for (Addr a = 0; a < 8; ++a) EXPECT_EQ(ram.read(a, 0), 0u);
+}
+
+TEST(SimRam, WidthMaskApplied) {
+  SimRam ram(4, 4);
+  ram.write(0, 0xFF, 0);
+  EXPECT_EQ(ram.read(0, 0), 0xFu);
+  EXPECT_EQ(ram.word_mask(), 0xFu);
+}
+
+TEST(SimRam, FullWidth32) {
+  SimRam ram(2, 32);
+  ram.write(1, 0xDEADBEEF, 0);
+  EXPECT_EQ(ram.read(1, 0), 0xDEADBEEFu);
+  EXPECT_EQ(ram.word_mask(), 0xFFFFFFFFu);
+}
+
+TEST(SimRam, BitOrientedCell) {
+  SimRam ram(4, 1);
+  ram.write(2, 1, 0);
+  ram.write(3, 0, 0);
+  EXPECT_EQ(ram.read(2, 0), 1u);
+  EXPECT_EQ(ram.read(3, 0), 0u);
+}
+
+TEST(SimRam, PortsShareStorage) {
+  SimRam ram(8, 8, 2);
+  ram.write(5, 0x42, 0);
+  EXPECT_EQ(ram.read(5, 1), 0x42u);
+  ram.write(5, 0x17, 1);
+  EXPECT_EQ(ram.read(5, 0), 0x17u);
+}
+
+TEST(SimRam, StatsPerPort) {
+  SimRam ram(8, 8, 2);
+  ram.write(0, 1, 0);
+  ram.read(0, 0);
+  ram.read(0, 1);
+  ram.read(0, 1);
+  EXPECT_EQ(ram.stats(0).writes, 1u);
+  EXPECT_EQ(ram.stats(0).reads, 1u);
+  EXPECT_EQ(ram.stats(1).reads, 2u);
+  EXPECT_EQ(ram.stats(1).writes, 0u);
+  EXPECT_EQ(ram.total_stats().total(), 4u);
+}
+
+TEST(SimRam, ResetStats) {
+  SimRam ram(4, 8);
+  ram.write(0, 1, 0);
+  ram.reset_stats();
+  EXPECT_EQ(ram.total_stats().total(), 0u);
+}
+
+TEST(SimRam, PeekPokeBypassStats) {
+  SimRam ram(4, 8);
+  ram.poke(2, 0x55);
+  EXPECT_EQ(ram.peek(2), 0x55u);
+  EXPECT_EQ(ram.total_stats().total(), 0u);
+}
+
+TEST(SimRam, FillSetsEveryCell) {
+  SimRam ram(16, 4);
+  ram.fill(0xF);
+  for (Addr a = 0; a < 16; ++a) EXPECT_EQ(ram.peek(a), 0xFu);
+  ram.fill(0x30);  // masked to 0
+  for (Addr a = 0; a < 16; ++a) EXPECT_EQ(ram.peek(a), 0u);
+}
+
+TEST(SimRam, ImageSnapshot) {
+  SimRam ram(3, 8);
+  ram.write(0, 1, 0);
+  ram.write(1, 2, 0);
+  ram.write(2, 3, 0);
+  EXPECT_EQ(ram.image(), (std::vector<Word>{1, 2, 3}));
+}
+
+TEST(SimRam, QuadPortStats) {
+  SimRam ram(8, 8, 4);
+  for (unsigned p = 0; p < 4; ++p) ram.read(0, p);
+  for (unsigned p = 0; p < 4; ++p) {
+    EXPECT_EQ(ram.stats(p).reads, 1u);
+  }
+}
+
+}  // namespace
+}  // namespace prt::mem

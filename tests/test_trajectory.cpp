@@ -1,0 +1,58 @@
+// Tests for address trajectories (core/trajectory).
+#include "core/trajectory.hpp"
+
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <numeric>
+
+namespace prt::core {
+namespace {
+
+TEST(Trajectory, AscendingIsIdentity) {
+  const Trajectory t = Trajectory::make(TrajectoryKind::kAscending, 8);
+  for (mem::Addr q = 0; q < 8; ++q) EXPECT_EQ(t.at(q), q);
+}
+
+TEST(Trajectory, DescendingIsReverse) {
+  const Trajectory t = Trajectory::make(TrajectoryKind::kDescending, 8);
+  for (mem::Addr q = 0; q < 8; ++q) EXPECT_EQ(t.at(q), 7 - q);
+}
+
+TEST(Trajectory, RandomIsAPermutation) {
+  const Trajectory t = Trajectory::make(TrajectoryKind::kRandom, 100, 5);
+  std::vector<mem::Addr> sorted = t.order();
+  std::sort(sorted.begin(), sorted.end());
+  std::vector<mem::Addr> expected(100);
+  std::iota(expected.begin(), expected.end(), 0u);
+  EXPECT_EQ(sorted, expected);
+}
+
+TEST(Trajectory, RandomDeterministicPerSeed) {
+  const Trajectory a = Trajectory::make(TrajectoryKind::kRandom, 64, 9);
+  const Trajectory b = Trajectory::make(TrajectoryKind::kRandom, 64, 9);
+  const Trajectory c = Trajectory::make(TrajectoryKind::kRandom, 64, 10);
+  EXPECT_EQ(a.order(), b.order());
+  EXPECT_NE(a.order(), c.order());
+}
+
+TEST(Trajectory, RandomActuallyShuffles) {
+  const Trajectory t = Trajectory::make(TrajectoryKind::kRandom, 64, 1);
+  const Trajectory asc = Trajectory::make(TrajectoryKind::kAscending, 64);
+  EXPECT_NE(t.order(), asc.order());
+}
+
+TEST(Trajectory, SizeOne) {
+  const Trajectory t = Trajectory::make(TrajectoryKind::kRandom, 1, 3);
+  EXPECT_EQ(t.size(), 1u);
+  EXPECT_EQ(t.at(0), 0u);
+}
+
+TEST(Trajectory, ToStringNames) {
+  EXPECT_STREQ(to_string(TrajectoryKind::kAscending), "ascending");
+  EXPECT_STREQ(to_string(TrajectoryKind::kDescending), "descending");
+  EXPECT_STREQ(to_string(TrajectoryKind::kRandom), "random");
+}
+
+}  // namespace
+}  // namespace prt::core

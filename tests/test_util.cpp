@@ -1,0 +1,164 @@
+// Tests for utility components (util/*).
+#include <gtest/gtest.h>
+
+#include <set>
+
+#include "util/bitops.hpp"
+#include "util/rng.hpp"
+#include "util/table.hpp"
+
+namespace prt {
+namespace {
+
+// --- bitops ---------------------------------------------------------------
+
+TEST(Bitops, Parity) {
+  EXPECT_EQ(parity64(0), 0u);
+  EXPECT_EQ(parity64(1), 1u);
+  EXPECT_EQ(parity64(0b11), 0u);
+  EXPECT_EQ(parity64(~0ULL), 0u);
+  EXPECT_EQ(parity64(0x8000000000000001ULL), 0u);
+  EXPECT_EQ(parity64(0x8000000000000000ULL), 1u);
+}
+
+TEST(Bitops, BitOfAndWithBit) {
+  EXPECT_EQ(bit_of(0b1010, 1), 1u);
+  EXPECT_EQ(bit_of(0b1010, 0), 0u);
+  EXPECT_EQ(with_bit(0, 3, 1), 0b1000u);
+  EXPECT_EQ(with_bit(0b1111, 2, 0), 0b1011u);
+}
+
+TEST(Bitops, LowMask) {
+  EXPECT_EQ(low_mask(0), 0u);
+  EXPECT_EQ(low_mask(1), 1u);
+  EXPECT_EQ(low_mask(4), 0xFu);
+  EXPECT_EQ(low_mask(64), ~0ULL);
+}
+
+TEST(Bitops, PolyDegree) {
+  EXPECT_EQ(poly_degree(0), -1);
+  EXPECT_EQ(poly_degree(1), 0);
+  EXPECT_EQ(poly_degree(0b10011), 4);
+  EXPECT_EQ(poly_degree(1ULL << 63), 63);
+}
+
+TEST(Bitops, CeilLog2) {
+  EXPECT_EQ(ceil_log2(1), 0u);
+  EXPECT_EQ(ceil_log2(2), 1u);
+  EXPECT_EQ(ceil_log2(3), 2u);
+  EXPECT_EQ(ceil_log2(1024), 10u);
+  EXPECT_EQ(ceil_log2(1025), 11u);
+}
+
+TEST(Bitops, IsPow2) {
+  EXPECT_TRUE(is_pow2(1));
+  EXPECT_TRUE(is_pow2(64));
+  EXPECT_FALSE(is_pow2(0));
+  EXPECT_FALSE(is_pow2(12));
+}
+
+// --- rng --------------------------------------------------------------------
+
+TEST(Rng, DeterministicPerSeed) {
+  Xoshiro256 a(42);
+  Xoshiro256 b(42);
+  Xoshiro256 c(43);
+  for (int i = 0; i < 10; ++i) {
+    EXPECT_EQ(a(), b());
+  }
+  bool differs = false;
+  Xoshiro256 a2(42);
+  for (int i = 0; i < 10; ++i) differs |= a2() != c();
+  EXPECT_TRUE(differs);
+}
+
+TEST(Rng, BelowStaysInRange) {
+  Xoshiro256 rng(7);
+  for (int i = 0; i < 1000; ++i) {
+    EXPECT_LT(rng.below(17), 17u);
+  }
+}
+
+TEST(Rng, BelowCoversRange) {
+  Xoshiro256 rng(9);
+  std::set<std::uint64_t> seen;
+  for (int i = 0; i < 500; ++i) seen.insert(rng.below(8));
+  EXPECT_EQ(seen.size(), 8u);
+}
+
+TEST(Rng, RoughUniformity) {
+  Xoshiro256 rng(11);
+  std::array<int, 4> bucket{};
+  const int draws = 40000;
+  for (int i = 0; i < draws; ++i) ++bucket[rng.below(4)];
+  for (int b : bucket) {
+    EXPECT_NEAR(b, draws / 4, draws / 40);
+  }
+}
+
+TEST(Rng, ShuffleIsPermutation) {
+  std::vector<int> v{1, 2, 3, 4, 5, 6, 7, 8};
+  Xoshiro256 rng(3);
+  shuffle(v.begin(), v.end(), rng);
+  std::set<int> s(v.begin(), v.end());
+  EXPECT_EQ(s.size(), 8u);
+}
+
+// --- table ---------------------------------------------------------------
+
+TEST(TableTest, RendersHeaderSeparatorRows) {
+  Table t({"name", "value"});
+  t.add("alpha", 1);
+  t.add("beta", 2.5);
+  const std::string s = t.str();
+  EXPECT_NE(s.find("name"), std::string::npos);
+  EXPECT_NE(s.find("alpha"), std::string::npos);
+  EXPECT_NE(s.find("2.500"), std::string::npos);
+  EXPECT_NE(s.find("|--"), std::string::npos);
+  EXPECT_EQ(t.rows(), 2u);
+  EXPECT_EQ(t.cols(), 2u);
+}
+
+TEST(TableTest, AlignmentPadsCorrectly) {
+  Table t({"h"});
+  t.set_align(0, Align::kLeft);
+  t.add_row({"x"});
+  t.add_row({"xxxx"});
+  const std::string s = t.str();
+  EXPECT_NE(s.find("| x    |"), std::string::npos);
+}
+
+TEST(TableTest, CsvOutput) {
+  Table t({"a", "b"});
+  t.add(1, 2);
+  EXPECT_EQ(t.csv(), "a,b\n1,2\n");
+}
+
+TEST(TableTest, BoolCells) {
+  Table t({"flag"});
+  t.add(true);
+  t.add(false);
+  const std::string s = t.str();
+  EXPECT_NE(s.find("yes"), std::string::npos);
+  EXPECT_NE(s.find("no"), std::string::npos);
+}
+
+TEST(TableTest, ScientificForExtremes) {
+  EXPECT_NE(Table::to_cell(1e-9).find("e"), std::string::npos);
+  EXPECT_NE(Table::to_cell(3.5e12).find("e"), std::string::npos);
+  EXPECT_EQ(Table::to_cell(0.0), "0.000");
+}
+
+TEST(Formatting, FormatFixed) {
+  EXPECT_EQ(format_fixed(3.14159, 2), "3.14");
+  EXPECT_EQ(format_fixed(100.0, 0), "100");
+}
+
+TEST(Formatting, FormatPow2Ratio) {
+  EXPECT_EQ(format_pow2_ratio(0.25), "2^-2.0");
+  EXPECT_EQ(format_pow2_ratio(1.0), "2^0.0");
+  EXPECT_EQ(format_pow2_ratio(0.0), "0");
+}
+
+}  // namespace
+}  // namespace prt
