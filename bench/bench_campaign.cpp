@@ -1,0 +1,182 @@
+// Campaign-engine micro-benchmark: the seed's serial per-fault path
+// (fresh FaultyRam + full scheme re-derivation per fault) against the
+// oracle-backed engine, its parallel fan-out, and early-abort — the
+// perf trajectory behind the CampaignEngine overhaul (DESIGN.md §7).
+//
+// Runs the extended BOM scheme over the classical fault universe at
+// n in {256, 1024, 4096} and writes a machine-readable summary to
+// BENCH_campaign.json next to the working directory's other artifacts.
+// At n = 4096 every configuration runs on the same leading slice of
+// the universe so the serial baseline stays tractable; ratios remain
+// apples-to-apples.
+#include <chrono>
+#include <cstdio>
+#include <cstdlib>
+#include <fstream>
+#include <span>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include "analysis/campaign_engine.hpp"
+#include "core/prt_engine.hpp"
+#include "mem/fault_injector.hpp"
+#include "mem/fault_universe.hpp"
+
+namespace {
+
+using namespace prt;
+using Clock = std::chrono::steady_clock;
+
+double seconds_since(Clock::time_point start) {
+  return std::chrono::duration<double>(Clock::now() - start).count();
+}
+
+/// The seed code path, reproduced verbatim as the baseline: one heap
+/// FaultyRam per fault, prefilled cell by cell, and run_prt re-deriving
+/// trajectory/golden sequence/Fin*/image per fault.
+analysis::CampaignResult seed_serial_campaign(
+    std::span<const mem::Fault> universe, const core::PrtScheme& scheme,
+    const analysis::CampaignOptions& opt) {
+  analysis::CampaignResult result;
+  for (std::size_t i = 0; i < universe.size(); ++i) {
+    mem::FaultyRam ram(opt.n, opt.m, opt.ports);
+    for (mem::Addr a = 0; a < opt.n; ++a) ram.poke(a, 0);
+    ram.inject(universe[i]);
+    const bool detected = core::run_prt(ram, scheme).detected();
+    result.ops += ram.total_stats().total();
+    auto& cls = result.by_class[mem::fault_class(universe[i].kind)];
+    ++cls.total;
+    ++result.overall.total;
+    if (detected) {
+      ++cls.detected;
+      ++result.overall.detected;
+    } else {
+      result.escapes.push_back(i);
+    }
+  }
+  return result;
+}
+
+struct ConfigTiming {
+  std::string name;
+  double seconds = 0;
+  std::uint64_t ops = 0;
+  double coverage = 0;
+};
+
+struct SizeReport {
+  mem::Addr n = 0;
+  std::size_t faults = 0;
+  std::vector<ConfigTiming> configs;
+  [[nodiscard]] double speedup_vs_serial(std::size_t idx) const {
+    return configs[idx].seconds > 0 ? configs[0].seconds / configs[idx].seconds
+                                    : 0.0;
+  }
+};
+
+SizeReport bench_size(mem::Addr n, std::size_t fault_cap) {
+  auto universe = mem::classical_universe(n);
+  if (universe.size() > fault_cap) universe.resize(fault_cap);
+  const auto scheme = core::extended_scheme_bom(n);
+  analysis::CampaignOptions opt;
+  opt.n = n;
+
+  SizeReport report;
+  report.n = n;
+  report.faults = universe.size();
+
+  analysis::CampaignResult reference;
+  auto record = [&](const std::string& name, auto&& run) {
+    const auto start = Clock::now();
+    const analysis::CampaignResult r = run();
+    const double secs = seconds_since(start);
+    if (report.configs.empty()) {
+      reference = r;
+    } else if (!(r.overall == reference.overall &&
+                 r.escapes == reference.escapes)) {
+      std::fprintf(stderr, "PARITY VIOLATION in config %s at n=%u\n",
+                   name.c_str(), n);
+      std::exit(1);
+    }
+    report.configs.push_back(
+        {name, secs, r.ops, r.overall.percent()});
+    std::printf("  %-24s %8.3f s   %12llu ops   %6.2f %% coverage\n",
+                name.c_str(), secs,
+                static_cast<unsigned long long>(r.ops), r.overall.percent());
+  };
+
+  std::printf("n = %u, %zu faults, scheme %s\n", n, universe.size(),
+              scheme.name.c_str());
+  record("serial (seed path)", [&] {
+    return seed_serial_campaign(universe, scheme, opt);
+  });
+  record("oracle", [&] {
+    analysis::EngineOptions eng;
+    eng.parallel = false;
+    return analysis::run_prt_campaign(universe, scheme, opt, eng);
+  });
+  record("oracle+parallel", [&] {
+    return analysis::run_prt_campaign(universe, scheme, opt, {});
+  });
+  record("oracle+parallel+abort", [&] {
+    analysis::EngineOptions eng;
+    eng.early_abort = true;
+    return analysis::run_prt_campaign(universe, scheme, opt, eng);
+  });
+  for (std::size_t i = 1; i < report.configs.size(); ++i) {
+    std::printf("  %-24s %.2fx vs serial\n", report.configs[i].name.c_str(),
+                report.speedup_vs_serial(i));
+  }
+  std::printf("\n");
+  return report;
+}
+
+void write_json(const std::vector<SizeReport>& reports,
+                unsigned hardware_threads) {
+  std::ofstream out("BENCH_campaign.json");
+  out << "{\n"
+      << "  \"bench\": \"campaign\",\n"
+      << "  \"scheme\": \"PRT-ext BOM\",\n"
+      << "  \"universe\": \"classical\",\n"
+      << "  \"hardware_concurrency\": " << hardware_threads << ",\n"
+      << "  \"sizes\": [\n";
+  for (std::size_t s = 0; s < reports.size(); ++s) {
+    const SizeReport& r = reports[s];
+    out << "    {\n      \"n\": " << r.n << ",\n      \"faults\": "
+        << r.faults << ",\n      \"configs\": [\n";
+    for (std::size_t c = 0; c < r.configs.size(); ++c) {
+      const ConfigTiming& t = r.configs[c];
+      out << "        {\"name\": \"" << t.name << "\", \"seconds\": "
+          << t.seconds << ", \"ops\": " << t.ops << ", \"coverage\": "
+          << t.coverage << ", \"speedup_vs_serial\": "
+          << r.speedup_vs_serial(c) << "}"
+          << (c + 1 < r.configs.size() ? "," : "") << "\n";
+    }
+    out << "      ]\n    }" << (s + 1 < reports.size() ? "," : "") << "\n";
+  }
+  out << "  ]\n}\n";
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  // --quick caps every universe for smoke runs (CI, 1-core boxes).
+  std::size_t cap_small = static_cast<std::size_t>(-1);
+  std::size_t cap_large = 4096;
+  for (int i = 1; i < argc; ++i) {
+    if (std::string(argv[i]) == "--quick") {
+      cap_small = 512;
+      cap_large = 512;
+    }
+  }
+  const unsigned hw = std::thread::hardware_concurrency();
+  std::printf("campaign engine bench — %u hardware thread(s)\n\n", hw);
+  std::vector<SizeReport> reports;
+  reports.push_back(bench_size(256, cap_small));
+  reports.push_back(bench_size(1024, cap_small));
+  reports.push_back(bench_size(4096, cap_large));
+  write_json(reports, hw);
+  std::printf("wrote BENCH_campaign.json\n");
+  return 0;
+}

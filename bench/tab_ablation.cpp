@@ -23,34 +23,6 @@ using namespace prt;
 using analysis::CampaignOptions;
 using analysis::run_campaign;
 
-std::vector<mem::Fault> full_universe(mem::Addr n) {
-  std::vector<mem::Fault> u = mem::single_cell_universe(n, 1, true);
-  for (mem::Addr c = 0; c + 1 < n; ++c) {
-    for (auto [a, v] :
-         {std::pair<mem::Addr, mem::Addr>{c, c + 1}, {c + 1, c}}) {
-      u.push_back(mem::Fault::cf_in({v, 0}, {a, 0}));
-      for (unsigned when : {0u, 1u}) {
-        for (unsigned forced : {0u, 1u}) {
-          u.push_back(mem::Fault::cf_st({v, 0}, {a, 0}, when, forced));
-        }
-      }
-      for (bool up : {true, false}) {
-        for (unsigned forced : {0u, 1u}) {
-          u.push_back(mem::Fault::cf_id({v, 0}, {a, 0}, up, forced));
-        }
-      }
-    }
-    u.push_back(mem::Fault::bridge({c, 0}, {c + 1, 0}, true));
-    u.push_back(mem::Fault::bridge({c, 0}, {c + 1, 0}, false));
-  }
-  for (mem::Addr a = 0; a < n; ++a) {
-    u.push_back(mem::Fault::af_no_access(a));
-    u.push_back(mem::Fault::af_wrong_access(a, a + 1 < n ? a + 1 : n - 2));
-    u.push_back(mem::Fault::af_multi_access(a, (a + n / 2) % n));
-  }
-  return u;
-}
-
 core::PrtScheme without_verify(core::PrtScheme s) {
   for (auto& it : s.iterations) it.config.verify_pass = false;
   s.name += " -verify";
@@ -67,7 +39,7 @@ core::PrtScheme without_random(core::PrtScheme s) {
 
 void print_tables() {
   const mem::Addr n = 64;
-  const auto universe = full_universe(n);
+  const auto universe = mem::van_de_goor_universe(n);
   CampaignOptions opt;
   opt.n = n;
 

@@ -16,6 +16,7 @@
 #include <cstdio>
 
 #include "analysis/coverage.hpp"
+#include "analysis/campaign_engine.hpp"
 #include "analysis/fault_sim.hpp"
 #include "march/march_library.hpp"
 #include "mem/fault_universe.hpp"
@@ -25,57 +26,6 @@ namespace {
 using namespace prt;
 using analysis::CampaignOptions;
 using analysis::run_campaign;
-
-std::vector<mem::Fault> classical_universe(mem::Addr n) {
-  std::vector<mem::Fault> u;
-  for (mem::Addr c = 0; c < n; ++c) {
-    u.push_back(mem::Fault::saf({c, 0}, 0));
-    u.push_back(mem::Fault::saf({c, 0}, 1));
-    u.push_back(mem::Fault::tf({c, 0}, true));
-    u.push_back(mem::Fault::tf({c, 0}, false));
-  }
-  for (mem::Addr c = 0; c + 1 < n; ++c) {
-    for (auto [a, v] :
-         {std::pair<mem::Addr, mem::Addr>{c, c + 1}, {c + 1, c}}) {
-      u.push_back(mem::Fault::cf_in({v, 0}, {a, 0}));
-    }
-    u.push_back(mem::Fault::bridge({c, 0}, {c + 1, 0}, true));
-    u.push_back(mem::Fault::bridge({c, 0}, {c + 1, 0}, false));
-  }
-  for (mem::Addr a = 0; a < n; ++a) {
-    u.push_back(mem::Fault::af_no_access(a));
-    u.push_back(mem::Fault::af_wrong_access(a, a + 1 < n ? a + 1 : n - 2));
-  }
-  return u;
-}
-
-std::vector<mem::Fault> full_universe(mem::Addr n) {
-  std::vector<mem::Fault> u = mem::single_cell_universe(n, 1, true);
-  for (mem::Addr c = 0; c + 1 < n; ++c) {
-    for (auto [a, v] :
-         {std::pair<mem::Addr, mem::Addr>{c, c + 1}, {c + 1, c}}) {
-      u.push_back(mem::Fault::cf_in({v, 0}, {a, 0}));
-      for (unsigned when : {0u, 1u}) {
-        for (unsigned forced : {0u, 1u}) {
-          u.push_back(mem::Fault::cf_st({v, 0}, {a, 0}, when, forced));
-        }
-      }
-      for (bool up : {true, false}) {
-        for (unsigned forced : {0u, 1u}) {
-          u.push_back(mem::Fault::cf_id({v, 0}, {a, 0}, up, forced));
-        }
-      }
-    }
-    u.push_back(mem::Fault::bridge({c, 0}, {c + 1, 0}, true));
-    u.push_back(mem::Fault::bridge({c, 0}, {c + 1, 0}, false));
-  }
-  for (mem::Addr a = 0; a < n; ++a) {
-    u.push_back(mem::Fault::af_no_access(a));
-    u.push_back(mem::Fault::af_wrong_access(a, a + 1 < n ? a + 1 : n - 2));
-    u.push_back(mem::Fault::af_multi_access(a, (a + n / 2) % n));
-  }
-  return u;
-}
 
 void run_tables() {
   const mem::Addr n = 64;
@@ -87,14 +37,13 @@ void run_tables() {
         "== §3 claim, classical model (n = %u): coverage vs iterations "
         "==\n",
         n);
-    const auto universe = classical_universe(n);
+    const auto universe = mem::classical_universe(n);
     std::vector<analysis::NamedResult> rows;
     for (unsigned iters = 1; iters <= 3; ++iters) {
+      core::PrtScheme prefix = core::standard_scheme_bom(n);
+      prefix.iterations.resize(iters);
       rows.push_back({"PRT-" + std::to_string(iters),
-                      run_campaign(universe,
-                                   analysis::prt_algorithm_prefix(
-                                       core::standard_scheme_bom(n), iters),
-                                   opt)});
+                      analysis::run_prt_campaign(universe, prefix, opt)});
     }
     rows.push_back(
         {"MATS+", run_campaign(universe,
@@ -113,18 +62,13 @@ void run_tables() {
         "== full van de Goor model (n = %u): 3 pure iterations vs "
         "extended scheme ==\n",
         n);
-    const auto universe = full_universe(n);
+    const auto universe = mem::van_de_goor_universe(n);
     std::vector<analysis::NamedResult> rows;
-    rows.push_back(
-        {"PRT-3",
-         run_campaign(universe,
-                      analysis::prt_algorithm(core::standard_scheme_bom(n)),
-                      opt)});
-    rows.push_back(
-        {"PRT-ext",
-         run_campaign(universe,
-                      analysis::prt_algorithm(core::extended_scheme_bom(n)),
-                      opt)});
+    rows.push_back({"PRT-3", analysis::run_prt_campaign(
+                                 universe, core::standard_scheme_bom(n), opt)});
+    rows.push_back({"PRT-ext",
+                    analysis::run_prt_campaign(
+                        universe, core::extended_scheme_bom(n), opt)});
     rows.push_back({"March C-",
                     run_campaign(universe,
                                  analysis::march_algorithm(
@@ -153,15 +97,12 @@ void run_tables() {
     wopt.n = n;
     wopt.m = m;
     std::vector<analysis::NamedResult> rows;
-    rows.push_back({"PRT-3", run_campaign(universe,
-                                          analysis::prt_algorithm(
-                                              core::standard_scheme_wom(n, m)),
-                                          wopt)});
-    rows.push_back(
-        {"PRT-ext",
-         run_campaign(universe,
-                      analysis::prt_algorithm(core::extended_scheme_wom(n, m)),
-                      wopt)});
+    rows.push_back({"PRT-3",
+                    analysis::run_prt_campaign(
+                        universe, core::standard_scheme_wom(n, m), wopt)});
+    rows.push_back({"PRT-ext",
+                    analysis::run_prt_campaign(
+                        universe, core::extended_scheme_wom(n, m), wopt)});
     rows.push_back({"March C-",
                     run_campaign(universe,
                                  analysis::march_algorithm(
@@ -212,7 +153,7 @@ void run_retention_table() {
 
 void BM_CampaignClassical(benchmark::State& state) {
   const mem::Addr n = static_cast<mem::Addr>(state.range(0));
-  const auto universe = classical_universe(n);
+  const auto universe = mem::classical_universe(n);
   CampaignOptions opt;
   opt.n = n;
   const auto algo = analysis::prt_algorithm(core::standard_scheme_bom(n));
@@ -222,6 +163,19 @@ void BM_CampaignClassical(benchmark::State& state) {
   state.SetItemsProcessed(state.iterations() * universe.size());
 }
 BENCHMARK(BM_CampaignClassical)->Arg(32)->Arg(64);
+
+void BM_CampaignEngineClassical(benchmark::State& state) {
+  const mem::Addr n = static_cast<mem::Addr>(state.range(0));
+  const auto universe = mem::classical_universe(n);
+  CampaignOptions opt;
+  opt.n = n;
+  const analysis::CampaignEngine engine(core::standard_scheme_bom(n), opt);
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(engine.run(universe));
+  }
+  state.SetItemsProcessed(state.iterations() * universe.size());
+}
+BENCHMARK(BM_CampaignEngineClassical)->Arg(32)->Arg(64);
 
 }  // namespace
 

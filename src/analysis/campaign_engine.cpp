@@ -1,0 +1,94 @@
+#include "analysis/campaign_engine.hpp"
+
+#include <algorithm>
+#include <cassert>
+#include <thread>
+#include <vector>
+
+#include "mem/fault_injector.hpp"
+#include "util/thread_pool.hpp"
+
+namespace prt::analysis {
+
+CampaignEngine::CampaignEngine(core::PrtScheme scheme,
+                               const CampaignOptions& opt,
+                               const EngineOptions& engine)
+    : scheme_(std::move(scheme)),
+      opt_(opt),
+      engine_(engine),
+      oracle_(core::make_prt_oracle(scheme_, opt.n)) {}
+
+CampaignEngine::~CampaignEngine() = default;
+
+void CampaignEngine::run_shard(std::span<const mem::Fault> universe,
+                               std::size_t begin, std::size_t end,
+                               CampaignResult& out) const {
+  mem::FaultyRam ram(opt_.n, opt_.m, opt_.ports);
+  const core::PrtRunOptions run_opts{.early_abort = engine_.early_abort,
+                                     .record_iterations = false};
+  for (std::size_t i = begin; i < end; ++i) {
+    ram.reset(universe[i]);
+    const bool detected =
+        engine_.use_oracle
+            ? core::run_prt(ram, scheme_, oracle_, run_opts).detected()
+            : core::run_prt(ram, scheme_).detected();
+    out.ops += ram.total_stats().total();
+    auto& cls = out.by_class[mem::fault_class(universe[i].kind)];
+    ++cls.total;
+    ++out.overall.total;
+    if (detected) {
+      ++cls.detected;
+      ++out.overall.detected;
+    } else {
+      out.escapes.push_back(i);
+    }
+  }
+}
+
+CampaignResult CampaignEngine::run(
+    std::span<const mem::Fault> universe) const {
+  unsigned workers = engine_.threads;
+  if (workers == 0) workers = std::thread::hardware_concurrency();
+  if (workers == 0) workers = 1;
+  if (!engine_.parallel || workers == 1 || universe.size() < 2) {
+    CampaignResult result;
+    run_shard(universe, 0, universe.size(), result);
+    return result;
+  }
+  if (!pool_) pool_ = std::make_unique<util::ThreadPool>(workers);
+  const auto shard_count =
+      std::min<std::size_t>(pool_->workers(), universe.size());
+  std::vector<CampaignResult> shards(shard_count);
+  pool_->parallel_for_chunks(
+      universe.size(),
+      [&](unsigned chunk, std::size_t begin, std::size_t end) {
+        run_shard(universe, begin, end, shards[chunk]);
+      });
+  return merge_results(shards);
+}
+
+CampaignResult merge_results(std::span<const CampaignResult> shards) {
+  CampaignResult merged;
+  for (const CampaignResult& shard : shards) {
+    for (const auto& [cls, cov] : shard.by_class) {
+      auto& acc = merged.by_class[cls];
+      acc.detected += cov.detected;
+      acc.total += cov.total;
+    }
+    merged.overall.detected += shard.overall.detected;
+    merged.overall.total += shard.overall.total;
+    merged.ops += shard.ops;
+    merged.escapes.insert(merged.escapes.end(), shard.escapes.begin(),
+                          shard.escapes.end());
+  }
+  return merged;
+}
+
+CampaignResult run_prt_campaign(std::span<const mem::Fault> universe,
+                                const core::PrtScheme& scheme,
+                                const CampaignOptions& opt,
+                                const EngineOptions& engine) {
+  return CampaignEngine(scheme, opt, engine).run(universe);
+}
+
+}  // namespace prt::analysis

@@ -1,0 +1,99 @@
+// Oracle-backed, thread-parallel fault-simulation campaign engine.
+//
+// run_campaign (fault_sim.hpp) evaluates an arbitrary TestAlgorithm
+// serially; this engine is the fast path for the common case where the
+// algorithm is a PRT scheme.  It exploits the fact that everything a
+// scheme derives from its own structure — trajectory permutations,
+// golden LFSR sequences, expected images, expected Fin states, golden
+// MISR signatures — is independent of the injected fault:
+//
+//  * the whole derivation is done once per (scheme, n) as a PrtOracle
+//    and shared read-only by every fault and every worker;
+//  * the fault universe is sharded over a hardware-concurrency-sized
+//    worker pool (util/thread_pool.hpp) in contiguous index ranges,
+//    and the per-shard partial results are merged in shard order, so
+//    the output is bit-identical to the serial reference;
+//  * each worker owns exactly one FaultyRam and rewinds it with the
+//    reset(fault) fast path instead of constructing and prefilling a
+//    fresh memory per fault, so the per-fault loop performs no
+//    allocation and no LFSR re-derivation.
+//
+// See DESIGN.md §7 for the architecture and bench/bench_campaign.cpp
+// for the measured speedups.
+#pragma once
+
+#include <memory>
+#include <span>
+
+#include "analysis/fault_sim.hpp"
+#include "core/prt_engine.hpp"
+
+namespace prt::util {
+class ThreadPool;
+}
+
+namespace prt::analysis {
+
+struct EngineOptions {
+  /// Worker count; 0 sizes the pool to the hardware concurrency.
+  unsigned threads = 0;
+  /// Fan the universe out over the pool.  Off = one shard, inline on
+  /// the calling thread (still oracle-backed and allocation-free).
+  bool parallel = true;
+  /// Reuse the precomputed PrtOracle per fault.  Turning this off
+  /// re-derives the scheme per fault like the legacy path — only
+  /// useful as a bench baseline.
+  bool use_oracle = true;
+  /// Stop each fault's run at the first failing iteration.  Verdicts
+  /// (and therefore coverage numbers and escapes) are unchanged;
+  /// CampaignResult::ops shrinks.  Keep off when the campaign's
+  /// read/write counts must reflect complete runs.
+  bool early_abort = false;
+};
+
+class CampaignEngine {
+ public:
+  /// Builds the per-scheme oracle once.  Precondition: opt.n exceeds
+  /// the scheme's register length k; opt.m equals the scheme field's m.
+  CampaignEngine(core::PrtScheme scheme, const CampaignOptions& opt,
+                 const EngineOptions& engine = {});
+  ~CampaignEngine();
+  CampaignEngine(const CampaignEngine&) = delete;
+  CampaignEngine& operator=(const CampaignEngine&) = delete;
+
+  [[nodiscard]] const core::PrtScheme& scheme() const { return scheme_; }
+  [[nodiscard]] const core::PrtOracle& oracle() const { return oracle_; }
+
+  /// Simulates every fault of the universe.  Identical CampaignResult
+  /// to run_campaign(universe, prt_algorithm(scheme), opt) regardless
+  /// of thread count.  Not safe to call concurrently on one engine
+  /// (workers share the engine's pool); distinct engines are
+  /// independent.
+  [[nodiscard]] CampaignResult run(std::span<const mem::Fault> universe) const;
+
+ private:
+  void run_shard(std::span<const mem::Fault> universe, std::size_t begin,
+                 std::size_t end, CampaignResult& out) const;
+
+  core::PrtScheme scheme_;
+  CampaignOptions opt_;
+  EngineOptions engine_;
+  core::PrtOracle oracle_;
+  /// Worker pool, spun up on the first parallel run() and reused —
+  /// repeated campaigns (benches, multi-universe sweeps) pay thread
+  /// spawn/join once, not per call.
+  mutable std::unique_ptr<util::ThreadPool> pool_;
+};
+
+/// Folds shard results produced over contiguous ascending fault-index
+/// ranges back into one CampaignResult, in shard order — the merge that
+/// makes the parallel path bit-identical to the serial one.
+[[nodiscard]] CampaignResult merge_results(
+    std::span<const CampaignResult> shards);
+
+/// Convenience: one-shot engine run with default engine options.
+[[nodiscard]] CampaignResult run_prt_campaign(
+    std::span<const mem::Fault> universe, const core::PrtScheme& scheme,
+    const CampaignOptions& opt, const EngineOptions& engine = {});
+
+}  // namespace prt::analysis

@@ -1,6 +1,9 @@
 #include "analysis/fault_sim.hpp"
 
-#include <cassert>
+#include <map>
+#include <stdexcept>
+#include <string>
+#include <utility>
 
 namespace prt::analysis {
 
@@ -8,15 +11,15 @@ CampaignResult run_campaign(std::span<const mem::Fault> universe,
                             const TestAlgorithm& test,
                             const CampaignOptions& opt) {
   CampaignResult result;
+  // One RAM for the whole campaign, rewound per fault: reset() restores
+  // the exact just-constructed all-zero state without reallocating the
+  // array.
+  mem::FaultyRam ram(opt.n, opt.m, opt.ports);
   for (std::size_t i = 0; i < universe.size(); ++i) {
-    const mem::Fault& fault = universe[i];
-    mem::FaultyRam ram(opt.n, opt.m, opt.ports);
-    if (opt.prefill_zero) {
-      for (mem::Addr a = 0; a < opt.n; ++a) ram.poke(a, 0);
-    }
-    ram.inject(fault);
+    ram.reset(universe[i]);
     const bool detected = test(ram);
-    auto& cls = result.by_class[mem::fault_class(fault.kind)];
+    result.ops += ram.total_stats().total();
+    auto& cls = result.by_class[mem::fault_class(universe[i].kind)];
     ++cls.total;
     ++result.overall.total;
     if (detected) {
@@ -37,14 +40,30 @@ TestAlgorithm march_algorithm(march::MarchTest test) {
 }
 
 TestAlgorithm prt_algorithm(core::PrtScheme scheme) {
-  return [scheme = std::move(scheme)](mem::Memory& memory) {
-    return core::run_prt(memory, scheme).detected();
+  // The oracle depends only on (scheme, n), so it is derived lazily on
+  // the first memory of each size and reused for every subsequent run —
+  // each copy of the returned std::function carries its own cache, so
+  // copies stay independent (and a single copy is not thread-safe,
+  // matching run_campaign's serial contract).
+  return [scheme = std::move(scheme),
+          oracles = std::map<mem::Addr, core::PrtOracle>{}](
+             mem::Memory& memory) mutable {
+    auto [it, inserted] = oracles.try_emplace(memory.size());
+    if (inserted) it->second = core::make_prt_oracle(scheme, memory.size());
+    const core::PrtRunOptions opts{.early_abort = false,
+                                   .record_iterations = false};
+    return core::run_prt(memory, scheme, it->second, opts).detected();
   };
 }
 
 TestAlgorithm prt_algorithm_prefix(core::PrtScheme scheme,
                                    std::size_t iterations) {
-  assert(iterations >= 1 && iterations <= scheme.iterations.size());
+  if (iterations < 1 || iterations > scheme.iterations.size()) {
+    throw std::invalid_argument(
+        "prt_algorithm_prefix: iterations must be in [1, " +
+        std::to_string(scheme.iterations.size()) + "], got " +
+        std::to_string(iterations));
+  }
   scheme.iterations.resize(iterations);
   return prt_algorithm(std::move(scheme));
 }

@@ -30,6 +30,7 @@ struct ClassCoverage {
     return total == 0 ? 100.0 : 100.0 * static_cast<double>(detected) /
                                     static_cast<double>(total);
   }
+  bool operator==(const ClassCoverage&) const = default;
 };
 
 struct CampaignResult {
@@ -38,21 +39,29 @@ struct CampaignResult {
   /// Indices (into the universe) of undetected faults, for debugging
   /// and for the TDB search.
   std::vector<std::size_t> escapes;
+  /// Memory operations (reads + writes) the test issued summed over
+  /// every fault's run — the campaign-level cost figure early-abort
+  /// shrinks (analysis/campaign_engine).
+  std::uint64_t ops = 0;
+
+  bool operator==(const CampaignResult&) const = default;
 };
 
 struct CampaignOptions {
   mem::Addr n = 64;
   unsigned m = 1;
   unsigned ports = 1;
-  /// Fill the array with zeros before the test (deterministic start; a
-  /// real power-up state is unknown, but every algorithm under test
-  /// writes each cell before reading it back, so the fill only pins
-  /// down the "previous value" seen by first-write transitions).
-  bool prefill_zero = true;
+  // Every run starts from an all-zero array (deterministic start; a
+  // real power-up state is unknown, but every algorithm under test
+  // writes each cell before reading it back, so the fill only pins
+  // down the "previous value" seen by first-write transitions).
 };
 
-/// Runs `test` once per fault; each run gets a fresh memory with
-/// exactly that fault injected.
+/// Runs `test` once per fault; each run sees a freshly reset memory
+/// with exactly that fault injected.  Serial by construction (the
+/// TestAlgorithm may capture mutable state); PRT-scheme campaigns
+/// should prefer the oracle-backed, parallel CampaignEngine
+/// (analysis/campaign_engine.hpp), which produces identical results.
 [[nodiscard]] CampaignResult run_campaign(
     std::span<const mem::Fault> universe, const TestAlgorithm& test,
     const CampaignOptions& opt);
@@ -62,11 +71,16 @@ struct CampaignOptions {
 /// March test with the standard backgrounds for the memory width.
 [[nodiscard]] TestAlgorithm march_algorithm(march::MarchTest test);
 
-/// PRT scheme (all iterations).
+/// PRT scheme (all iterations).  The returned algorithm memoizes a
+/// PrtOracle per memory size, so even legacy run_campaign call sites
+/// derive each scheme's trajectories/golden sequences once per
+/// campaign instead of once per fault.
 [[nodiscard]] TestAlgorithm prt_algorithm(core::PrtScheme scheme);
 
 /// PRT scheme truncated to its first `iterations` iterations — the
-/// coverage-vs-iterations sweep of the §3 claim.
+/// coverage-vs-iterations sweep of the §3 claim.  Throws
+/// std::invalid_argument unless 1 <= iterations <= the scheme's
+/// iteration count.
 [[nodiscard]] TestAlgorithm prt_algorithm_prefix(core::PrtScheme scheme,
                                                  std::size_t iterations);
 

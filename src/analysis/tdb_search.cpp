@@ -23,12 +23,9 @@ std::vector<bool> detection_map(const core::PrtScheme& scheme,
                                 const CampaignOptions& opt) {
   const TestAlgorithm algo = prt_algorithm(scheme);
   std::vector<bool> detected(universe.size(), false);
+  mem::FaultyRam ram(opt.n, opt.m, opt.ports);
   for (std::size_t i = 0; i < universe.size(); ++i) {
-    mem::FaultyRam ram(opt.n, opt.m, opt.ports);
-    if (opt.prefill_zero) {
-      for (mem::Addr a = 0; a < opt.n; ++a) ram.poke(a, 0);
-    }
-    ram.inject(universe[i]);
+    ram.reset(universe[i]);
     detected[i] = algo(ram);
   }
   return detected;

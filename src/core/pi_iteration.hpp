@@ -70,6 +70,27 @@ struct PiResult {
   std::uint64_t verify_mismatches = 0;
 };
 
+/// Everything about one pi-iteration that does NOT depend on the memory
+/// under test: the trajectory permutation, the model-predicted Fin*,
+/// the fault-free image (when a verify pass will read it) and the
+/// golden MISR signature over the read stream.  Fault-simulation
+/// campaigns build one oracle per SchemeIteration and reuse it for
+/// every fault, so the per-fault hot loop re-derives nothing — see
+/// analysis/campaign_engine.  An oracle is immutable after
+/// construction and safe to share across threads.
+struct PiOracle {
+  mem::Addr n = 0;                     // array size the oracle was built for
+  Trajectory trajectory;               // visiting order for the config
+  std::vector<gf::Elem> fin_expected;  // Fin* (k elements)
+  /// Fault-free memory image after the sweep, indexed by address.
+  /// Empty unless the config has verify_pass set (only the verify pass
+  /// reads it).
+  std::vector<gf::Elem> image;
+  /// Golden MISR signature over the full read stream (sweep windows,
+  /// Fin read-back, Init read-back); 0 when the tester has no MISR.
+  std::uint64_t misr_expected = 0;
+};
+
 /// Binds the virtual-LFSR structure (factor 1 of §3: the field p(z) and
 /// generator g(x)) and runs pi-iterations against memories.
 class PiTester {
@@ -78,7 +99,11 @@ class PiTester {
   PiTester(gf::GF2m field, std::vector<gf::Elem> g);
 
   /// Enables the optional MISR read-stream compaction (DESIGN.md §6).
-  /// `poly` is a GF(2) polynomial of degree >= field.m().
+  /// `poly` is a GF(2) polynomial of degree in [1, 63]; a degree below
+  /// field.m() folds only the low deg(poly) bits of each read word
+  /// into the signature (both golden and observed streams fold
+  /// identically, so the verdict stays sound — only the aliasing
+  /// probability grows).
   void enable_misr(gf::Poly2 poly);
   [[nodiscard]] bool misr_enabled() const { return misr_poly_ != 0; }
 
@@ -96,6 +121,17 @@ class PiTester {
   /// Runs one pi-iteration.  Preconditions: memory.width() == m of the
   /// field, memory.size() > k, config.init.size() == k.
   PiResult run(mem::Memory& memory, const PiConfig& config) const;
+
+  /// Precomputes the memory-independent side of an iteration (see
+  /// PiOracle).  Preconditions as for run().
+  [[nodiscard]] PiOracle make_oracle(mem::Addr n, const PiConfig& config) const;
+
+  /// Runs one pi-iteration against a precomputed oracle: no trajectory
+  /// construction, no golden-sequence replay, no LFSR jump-ahead in the
+  /// hot path.  Preconditions: as for run(), plus oracle built by this
+  /// tester (same g, same MISR setting) for this n and config.
+  PiResult run(mem::Memory& memory, const PiConfig& config,
+               const PiOracle& oracle) const;
 
   /// Fin* for an n-cell sweep from the given seed: the LFSR state after
   /// n - k steps, computed by jump-ahead in O(log n).

@@ -6,19 +6,41 @@
 
 namespace prt::core {
 
-PrtVerdict run_prt(mem::Memory& memory, const PrtScheme& scheme) {
+PrtOracle make_prt_oracle(const PrtScheme& scheme, mem::Addr n) {
   assert(!scheme.iterations.empty());
   const gf::GF2m field(scheme.field_modulus);
-  PrtVerdict verdict;
+  PrtOracle oracle;
+  oracle.n = n;
+  oracle.testers.reserve(scheme.iterations.size());
+  oracle.iterations.reserve(scheme.iterations.size());
   for (const SchemeIteration& iter : scheme.iterations) {
     PiTester tester(field, iter.g);
     if (scheme.misr_poly != 0) tester.enable_misr(scheme.misr_poly);
-    PiResult r = tester.run(memory, iter.config);
+    oracle.iterations.push_back(tester.make_oracle(n, iter.config));
+    oracle.testers.push_back(std::move(tester));
+  }
+  return oracle;
+}
+
+PrtVerdict run_prt(mem::Memory& memory, const PrtScheme& scheme) {
+  return run_prt(memory, scheme, make_prt_oracle(scheme, memory.size()));
+}
+
+PrtVerdict run_prt(mem::Memory& memory, const PrtScheme& scheme,
+                   const PrtOracle& oracle, const PrtRunOptions& options) {
+  assert(!scheme.iterations.empty());
+  assert(oracle.testers.size() == scheme.iterations.size());
+  assert(oracle.n == memory.size());
+  PrtVerdict verdict;
+  for (std::size_t i = 0; i < scheme.iterations.size(); ++i) {
+    PiResult r = oracle.testers[i].run(memory, scheme.iterations[i].config,
+                                       oracle.iterations[i]);
     verdict.pass = verdict.pass && r.pass;
     verdict.misr_pass = verdict.misr_pass && r.misr_pass;
     verdict.reads += r.reads;
     verdict.writes += r.writes;
-    verdict.iterations.push_back(std::move(r));
+    if (options.record_iterations) verdict.iterations.push_back(std::move(r));
+    if (options.early_abort && verdict.detected()) break;
   }
   return verdict;
 }

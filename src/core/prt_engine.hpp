@@ -61,9 +61,44 @@ struct PrtVerdict {
   [[nodiscard]] bool detected() const { return !pass || !misr_pass; }
 };
 
+/// Memoized per-scheme oracle: one PiTester and one PiOracle per
+/// iteration, built exactly once per (scheme, n) and shared read-only
+/// by every fault of a campaign — and, being immutable, by every
+/// worker thread (analysis/campaign_engine).
+struct PrtOracle {
+  mem::Addr n = 0;
+  std::vector<PiTester> testers;
+  std::vector<PiOracle> iterations;
+};
+
+/// Precomputes the oracle for running `scheme` against n-cell memories.
+/// Precondition: n > k of every iteration's generator.
+[[nodiscard]] PrtOracle make_prt_oracle(const PrtScheme& scheme, mem::Addr n);
+
+struct PrtRunOptions {
+  /// Stop after the first failing iteration.  The verdict's detected()
+  /// is unchanged (a scheme detects iff any iteration fails) but the
+  /// skipped iterations issue no memory operations, so read/write
+  /// counts no longer reflect a full run — campaigns that only need
+  /// verdicts opt in, benches that report op counts must not.
+  bool early_abort = false;
+  /// Keep the per-iteration PiResults in the verdict.  Campaign hot
+  /// loops turn this off to avoid retaining k-sized vectors per
+  /// iteration per fault.
+  bool record_iterations = true;
+};
+
 /// Runs every iteration of the scheme in order.
 [[nodiscard]] PrtVerdict run_prt(mem::Memory& memory,
                                  const PrtScheme& scheme);
+
+/// Oracle-backed run: no trajectory/golden-sequence/Fin* re-derivation
+/// per call.  Precondition: oracle built by make_prt_oracle(scheme,
+/// memory.size()).
+[[nodiscard]] PrtVerdict run_prt(mem::Memory& memory,
+                                 const PrtScheme& scheme,
+                                 const PrtOracle& oracle,
+                                 const PrtRunOptions& options = {});
 
 /// The reconstructed 3-iteration TDB for a bit-oriented memory of n
 /// cells (field GF(2), k = 2).

@@ -25,12 +25,16 @@ void FaultyRam::inject(const Fault& fault) {
   }
   faults_.push_back(fault);
   refreshed_at_.push_back(clock_);
+  has_address_fault_ = has_address_fault_ || is_address_fault(fault.kind);
+  has_retention_fault_ =
+      has_retention_fault_ || fault.kind == FaultKind::kDrf;
 }
 
 DecodedAccess FaultyRam::decode(Addr addr) const {
   DecodedAccess acc;
   acc.cells[0] = addr;
   acc.count = 1;
+  if (!has_address_fault_) return acc;
   for (const Fault& f : faults_) {
     if (!is_address_fault(f.kind) || f.victim.cell != addr) continue;
     switch (f.kind) {
@@ -219,10 +223,12 @@ void FaultyRam::physical_write(Addr cell, Word value) {
   ram_.poke(cell, landed);
 
   // A write refreshes the charge of every retention victim in the cell.
-  for (std::size_t i = 0; i < faults_.size(); ++i) {
-    if (faults_[i].kind == FaultKind::kDrf &&
-        faults_[i].victim.cell == cell) {
-      refreshed_at_[i] = clock_;
+  if (has_retention_fault_) {
+    for (std::size_t i = 0; i < faults_.size(); ++i) {
+      if (faults_[i].kind == FaultKind::kDrf &&
+          faults_[i].victim.cell == cell) {
+        refreshed_at_[i] = clock_;
+      }
     }
   }
 
@@ -237,6 +243,7 @@ void FaultyRam::physical_write(Addr cell, Word value) {
 }
 
 void FaultyRam::apply_retention(Addr cell) {
+  if (!has_retention_fault_) return;
   for (std::size_t i = 0; i < faults_.size(); ++i) {
     const Fault& f = faults_[i];
     if (f.kind != FaultKind::kDrf || f.victim.cell != cell) continue;

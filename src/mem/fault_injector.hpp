@@ -34,6 +34,28 @@ class FaultyRam final : public Memory {
   void clear_faults() {
     faults_.clear();
     refreshed_at_.clear();
+    has_address_fault_ = false;
+    has_retention_fault_ = false;
+  }
+
+  /// Returns the wrapper to its just-constructed state (cells filled
+  /// with `fill_value`, no faults, counters/clock/sense-amp history
+  /// zero) without releasing storage.  Campaign workers reuse one
+  /// FaultyRam across a whole fault shard through this instead of
+  /// constructing and prefilling a fresh one per fault.
+  void reset(Word fill_value = 0) {
+    ram_.reset(fill_value);
+    clear_faults();
+    stats_.fill({});
+    last_read_.fill(0);
+    clock_ = 0;
+  }
+
+  /// reset() followed by injecting exactly `fault` — one fault universe
+  /// entry per campaign run.
+  void reset(const Fault& fault, Word fill_value = 0) {
+    reset(fill_value);
+    inject(fault);
   }
   [[nodiscard]] const std::vector<Fault>& faults() const { return faults_; }
 
@@ -92,6 +114,11 @@ class FaultyRam final : public Memory {
 
   SimRam ram_;
   std::vector<Fault> faults_;
+  // Fast-path gates: campaigns inject exactly one fault per run, so
+  // the per-access decoder and retention scans are skipped outright
+  // unless a fault of that family is present.
+  bool has_address_fault_ = false;
+  bool has_retention_fault_ = false;
   std::array<AccessStats, 4> stats_{};
   std::array<Word, 4> last_read_{};  // SOF sense-amp history per port
   std::uint64_t clock_ = 0;          // one tick per logical operation

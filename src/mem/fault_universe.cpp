@@ -71,6 +71,58 @@ std::vector<Fault> coupling_universe(
   return out;
 }
 
+std::vector<Fault> classical_universe(Addr n) {
+  assert(n >= 3);
+  std::vector<Fault> u;
+  u.reserve(static_cast<std::size_t>(n) * 12);
+  for (Addr c = 0; c < n; ++c) {
+    u.push_back(Fault::saf({c, 0}, 0));
+    u.push_back(Fault::saf({c, 0}, 1));
+    u.push_back(Fault::tf({c, 0}, /*up=*/true));
+    u.push_back(Fault::tf({c, 0}, /*up=*/false));
+  }
+  for (Addr c = 0; c + 1 < n; ++c) {
+    for (auto [a, v] : {std::pair<Addr, Addr>{c, c + 1}, {c + 1, c}}) {
+      u.push_back(Fault::cf_in({v, 0}, {a, 0}));
+    }
+    u.push_back(Fault::bridge({c, 0}, {c + 1, 0}, /*wired_and=*/true));
+    u.push_back(Fault::bridge({c, 0}, {c + 1, 0}, /*wired_and=*/false));
+  }
+  for (Addr a = 0; a < n; ++a) {
+    u.push_back(Fault::af_no_access(a));
+    u.push_back(Fault::af_wrong_access(a, a + 1 < n ? a + 1 : n - 2));
+  }
+  return u;
+}
+
+std::vector<Fault> van_de_goor_universe(Addr n) {
+  assert(n >= 3);
+  std::vector<Fault> u = single_cell_universe(n, 1, /*read_logic=*/true);
+  for (Addr c = 0; c + 1 < n; ++c) {
+    for (auto [a, v] : {std::pair<Addr, Addr>{c, c + 1}, {c + 1, c}}) {
+      u.push_back(Fault::cf_in({v, 0}, {a, 0}));
+      for (unsigned when : {0u, 1u}) {
+        for (unsigned forced : {0u, 1u}) {
+          u.push_back(Fault::cf_st({v, 0}, {a, 0}, when, forced));
+        }
+      }
+      for (bool up : {true, false}) {
+        for (unsigned forced : {0u, 1u}) {
+          u.push_back(Fault::cf_id({v, 0}, {a, 0}, up, forced));
+        }
+      }
+    }
+    u.push_back(Fault::bridge({c, 0}, {c + 1, 0}, /*wired_and=*/true));
+    u.push_back(Fault::bridge({c, 0}, {c + 1, 0}, /*wired_and=*/false));
+  }
+  for (Addr a = 0; a < n; ++a) {
+    u.push_back(Fault::af_no_access(a));
+    u.push_back(Fault::af_wrong_access(a, a + 1 < n ? a + 1 : n - 2));
+    u.push_back(Fault::af_multi_access(a, (a + n / 2) % n));
+  }
+  return u;
+}
+
 std::vector<Fault> make_universe(Addr n, unsigned m,
                                  const UniverseOptions& opt) {
   assert(n >= 2);

@@ -52,4 +52,17 @@ struct UniverseOptions {
 [[nodiscard]] std::vector<std::pair<Addr, Addr>> select_pairs(
     Addr n, std::uint64_t limit, std::uint64_t seed);
 
+/// The classical fault model the paper's §3 claim is stated over
+/// (DESIGN.md §2): SAF, TF, adjacent-cell CFin, adjacent bridges, and
+/// no-access / wrong-access decoder faults, on bit plane 0 of a
+/// bit-oriented memory.  O(n) faults.
+[[nodiscard]] std::vector<Fault> classical_universe(Addr n);
+
+/// The full van de Goor single+two-cell model (DESIGN.md §2): adds
+/// WDF, the read-logic faults (RDF/DRDF/IRF/SOF), 4-variant CFst and
+/// CFid on adjacent pairs, and multi-access decoder faults.  Still
+/// O(n) faults (adjacent pairs only; make_universe enumerates the
+/// all-pairs variant).
+[[nodiscard]] std::vector<Fault> van_de_goor_universe(Addr n);
+
 }  // namespace prt::mem

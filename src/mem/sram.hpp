@@ -44,6 +44,15 @@ class SimRam final : public Memory {
   /// Fills every cell with the given value (no stats impact).
   void fill(Word value);
 
+  /// Returns the array to its just-constructed state (every cell
+  /// `fill_value`, counters zero) without releasing storage — the
+  /// fast path campaign workers use instead of re-constructing a RAM
+  /// per fault.
+  void reset(Word fill_value = 0) {
+    fill(fill_value);
+    stats_.fill({});
+  }
+
   /// Whole-array snapshot, for golden comparisons in tests.
   [[nodiscard]] const std::vector<Word>& image() const { return data_; }
 

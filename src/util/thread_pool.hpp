@@ -1,0 +1,119 @@
+// Small fixed-size worker pool for fan-out/fan-in workloads.
+//
+// The fault-simulation campaigns (analysis/campaign_engine) shard a
+// fault universe over a hardware-concurrency-sized pool and merge the
+// per-worker partial results in shard order, so parallel output is
+// bit-identical to the serial path.  The pool is deliberately minimal:
+// fixed worker count, a mutex-guarded task queue, and a blocking
+// `parallel_for_chunks` helper that fans N items out as W contiguous
+// chunks — no futures, no work stealing.
+#pragma once
+
+#include <condition_variable>
+#include <cstddef>
+#include <functional>
+#include <mutex>
+#include <queue>
+#include <thread>
+#include <vector>
+
+namespace prt::util {
+
+class ThreadPool {
+ public:
+  /// `workers == 0` sizes the pool to the hardware concurrency
+  /// (minimum 1).
+  explicit ThreadPool(unsigned workers = 0) {
+    if (workers == 0) workers = std::thread::hardware_concurrency();
+    if (workers == 0) workers = 1;
+    threads_.reserve(workers);
+    for (unsigned i = 0; i < workers; ++i) {
+      threads_.emplace_back([this] { worker_loop(); });
+    }
+  }
+
+  ThreadPool(const ThreadPool&) = delete;
+  ThreadPool& operator=(const ThreadPool&) = delete;
+
+  ~ThreadPool() {
+    {
+      std::lock_guard lock(mutex_);
+      stopping_ = true;
+    }
+    wake_.notify_all();
+    for (auto& t : threads_) t.join();
+  }
+
+  [[nodiscard]] unsigned workers() const {
+    return static_cast<unsigned>(threads_.size());
+  }
+
+  /// Enqueues a task.  Tasks must not themselves block on the pool.
+  void submit(std::function<void()> task) {
+    {
+      std::lock_guard lock(mutex_);
+      tasks_.push(std::move(task));
+    }
+    wake_.notify_one();
+  }
+
+  /// Blocks until every submitted task has finished.
+  void wait_idle() {
+    std::unique_lock lock(mutex_);
+    idle_.wait(lock, [this] { return tasks_.empty() && active_ == 0; });
+  }
+
+  /// Splits [0, total) into one contiguous chunk per worker and runs
+  /// `fn(chunk_index, begin, end)` on the pool, blocking until all
+  /// chunks are done.  Chunk `i` covers a contiguous, ascending index
+  /// range, and chunk indices are dense in [0, chunks), so callers can
+  /// merge per-chunk results deterministically regardless of which
+  /// worker ran them or in which order they finished.
+  void parallel_for_chunks(
+      std::size_t total,
+      const std::function<void(unsigned, std::size_t, std::size_t)>& fn) {
+    if (total == 0) return;
+    const std::size_t w = std::min<std::size_t>(workers(), total);
+    const std::size_t base = total / w;
+    const std::size_t extra = total % w;
+    std::size_t begin = 0;
+    for (unsigned i = 0; i < w; ++i) {
+      const std::size_t len = base + (i < extra ? 1 : 0);
+      const std::size_t end = begin + len;
+      submit([&fn, i, begin, end] { fn(i, begin, end); });
+      begin = end;
+    }
+    wait_idle();
+  }
+
+ private:
+  void worker_loop() {
+    for (;;) {
+      std::function<void()> task;
+      {
+        std::unique_lock lock(mutex_);
+        wake_.wait(lock, [this] { return stopping_ || !tasks_.empty(); });
+        if (stopping_ && tasks_.empty()) return;
+        task = std::move(tasks_.front());
+        tasks_.pop();
+        ++active_;
+      }
+      task();
+      {
+        std::lock_guard lock(mutex_);
+        --active_;
+      }
+      idle_.notify_all();
+    }
+  }
+
+  std::vector<std::thread> threads_;
+  std::queue<std::function<void()>> tasks_;
+  std::mutex mutex_;
+  std::condition_variable wake_;
+  std::condition_variable idle_;
+  std::size_t active_ = 0;
+  bool stopping_ = false;
+};
+
+}  // namespace prt::util

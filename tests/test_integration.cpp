@@ -21,67 +21,11 @@ namespace {
 using analysis::CampaignOptions;
 using analysis::run_campaign;
 
-/// Classical-model universe over physically adjacent pairs.
-std::vector<mem::Fault> classical_universe(mem::Addr n) {
-  std::vector<mem::Fault> u;
-  for (mem::Addr c = 0; c < n; ++c) {
-    u.push_back(mem::Fault::saf({c, 0}, 0));
-    u.push_back(mem::Fault::saf({c, 0}, 1));
-    u.push_back(mem::Fault::tf({c, 0}, true));
-    u.push_back(mem::Fault::tf({c, 0}, false));
-  }
-  for (mem::Addr c = 0; c + 1 < n; ++c) {
-    for (auto [a, v] :
-         {std::pair<mem::Addr, mem::Addr>{c, c + 1}, {c + 1, c}}) {
-      u.push_back(mem::Fault::cf_in({v, 0}, {a, 0}));
-    }
-    u.push_back(mem::Fault::bridge({c, 0}, {c + 1, 0}, true));
-    u.push_back(mem::Fault::bridge({c, 0}, {c + 1, 0}, false));
-  }
-  for (mem::Addr a = 0; a < n; ++a) {
-    u.push_back(mem::Fault::af_no_access(a));
-    // Wrong-access aliases hit a *neighbouring* wordline (physical
-    // decoder defects are local); the last address aliases downwards.
-    u.push_back(mem::Fault::af_wrong_access(a, a + 1 < n ? a + 1 : n - 2));
-  }
-  return u;
-}
-
-/// Full van de Goor universe over adjacent pairs (adds WDF, read-logic,
-/// CFst, CFid and multi-access decoder faults).
-std::vector<mem::Fault> full_universe(mem::Addr n) {
-  std::vector<mem::Fault> u = mem::single_cell_universe(n, 1, true);
-  for (mem::Addr c = 0; c + 1 < n; ++c) {
-    for (auto [a, v] :
-         {std::pair<mem::Addr, mem::Addr>{c, c + 1}, {c + 1, c}}) {
-      u.push_back(mem::Fault::cf_in({v, 0}, {a, 0}));
-      for (unsigned when : {0u, 1u}) {
-        for (unsigned forced : {0u, 1u}) {
-          u.push_back(mem::Fault::cf_st({v, 0}, {a, 0}, when, forced));
-        }
-      }
-      for (bool up : {true, false}) {
-        for (unsigned forced : {0u, 1u}) {
-          u.push_back(mem::Fault::cf_id({v, 0}, {a, 0}, up, forced));
-        }
-      }
-    }
-    u.push_back(mem::Fault::bridge({c, 0}, {c + 1, 0}, true));
-    u.push_back(mem::Fault::bridge({c, 0}, {c + 1, 0}, false));
-  }
-  for (mem::Addr a = 0; a < n; ++a) {
-    u.push_back(mem::Fault::af_no_access(a));
-    u.push_back(mem::Fault::af_wrong_access(a, (a + 1) % n));
-    u.push_back(mem::Fault::af_multi_access(a, (a + n / 2) % n));
-  }
-  return u;
-}
-
 TEST(Integration, Prt3FullCoverageOnClassicalModel) {
   // The reproduced §3 headline on the classical fault model: three pure
   // pi-iterations detect every fault.
   for (mem::Addr n : {32u, 33u}) {
-    const auto universe = classical_universe(n);
+    const auto universe = mem::classical_universe(n);
     CampaignOptions opt;
     opt.n = n;
     const auto r = run_campaign(
@@ -94,7 +38,7 @@ TEST(Integration, Prt3FullCoverageOnClassicalModel) {
 
 TEST(Integration, ExtendedFullCoverageOnFullModel) {
   for (mem::Addr n : {18u, 32u}) {
-    const auto universe = full_universe(n);
+    const auto universe = mem::van_de_goor_universe(n);
     CampaignOptions opt;
     opt.n = n;
     const auto r = run_campaign(
@@ -107,7 +51,7 @@ TEST(Integration, ExtendedFullCoverageOnFullModel) {
 
 TEST(Integration, CoverageMonotoneOverIterations) {
   const mem::Addr n = 32;
-  const auto universe = classical_universe(n);
+  const auto universe = mem::classical_universe(n);
   CampaignOptions opt;
   opt.n = n;
   double prev = 0;
@@ -124,7 +68,7 @@ TEST(Integration, CoverageMonotoneOverIterations) {
 
 TEST(Integration, MarchCMinusAlsoFullOnClassicalModel) {
   const mem::Addr n = 32;
-  const auto universe = classical_universe(n);
+  const auto universe = mem::classical_universe(n);
   CampaignOptions opt;
   opt.n = n;
   const auto r = run_campaign(
@@ -134,7 +78,7 @@ TEST(Integration, MarchCMinusAlsoFullOnClassicalModel) {
 
 TEST(Integration, MatsWeakerThanPrt3) {
   const mem::Addr n = 32;
-  const auto universe = classical_universe(n);
+  const auto universe = mem::classical_universe(n);
   CampaignOptions opt;
   opt.n = n;
   const auto mats =
@@ -222,7 +166,7 @@ TEST(Integration, OpCountRatioMatchesPaper) {
 
 TEST(Integration, SearchedTdbMatchesHandSchemeOnClassicalModel) {
   const mem::Addr n = 16;
-  const auto universe = classical_universe(n);
+  const auto universe = mem::classical_universe(n);
   CampaignOptions opt;
   opt.n = n;
   const gf::GF2m f(0b11);
@@ -243,7 +187,7 @@ TEST(Integration, MisrAddsNoFalsePositives) {
 
 TEST(Integration, EndToEndReportRenders) {
   const mem::Addr n = 16;
-  const auto universe = full_universe(n);
+  const auto universe = mem::van_de_goor_universe(n);
   CampaignOptions opt;
   opt.n = n;
   std::vector<analysis::NamedResult> rows;
