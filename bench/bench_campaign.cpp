@@ -1,14 +1,25 @@
 // Campaign-engine micro-benchmark: the seed's serial per-fault path
 // (fresh FaultyRam + full scheme re-derivation per fault) against the
-// oracle-backed engine, its parallel fan-out, and early-abort — the
-// perf trajectory behind the CampaignEngine overhaul (DESIGN.md §7).
+// oracle-backed engine, its parallel fan-out, early-abort, and the
+// word-packed SIMD fault lanes — the perf trajectory behind the
+// CampaignEngine overhaul (DESIGN.md §7) and the bit-lane packing
+// (DESIGN.md §8).
 //
-// Runs the extended BOM scheme over the classical fault universe at
-// n in {256, 1024, 4096} and writes a machine-readable summary to
-// BENCH_campaign.json next to the working directory's other artifacts.
-// At n = 4096 every configuration runs on the same leading slice of
-// the universe so the serial baseline stays tractable; ratios remain
-// apples-to-apples.
+// Two universe families are measured and written to
+// BENCH_campaign.json:
+//
+//  * the shared classical universe (SAF/TF/CFin/bridge/AF), where only
+//    the 4n single-cell faults ride the packed lanes and the rest stay
+//    scalar — the mixed-workload picture;
+//  * the lane-compatible single-cell universe (SAF/TF/WDF + read
+//    logic, 9n faults, every one packable), where the packed path's
+//    64-faults-per-sweep gain is undiluted — the acceptance number is
+//    packed vs the PR 1 oracle+parallel path here.
+//
+// Every configuration of a section runs the same universe slice and is
+// parity-checked against the section's first configuration, so the
+// ratios stay apples-to-apples and a model divergence aborts the
+// bench.
 #include <chrono>
 #include <cstdio>
 #include <cstdlib>
@@ -58,6 +69,21 @@ analysis::CampaignResult seed_serial_campaign(
   return result;
 }
 
+/// Caps a universe by stride-sampling so the fault-family mix of the
+/// full universe is preserved — a plain resize() would keep only the
+/// leading single-cell faults and silently turn a mixed section into
+/// a fully lane-compatible one.
+std::vector<mem::Fault> cap_universe(std::vector<mem::Fault> universe,
+                                     std::size_t cap) {
+  if (universe.size() <= cap) return universe;
+  std::vector<mem::Fault> sampled;
+  sampled.reserve(cap);
+  for (std::size_t i = 0; i < cap; ++i) {
+    sampled.push_back(universe[i * universe.size() / cap]);
+  }
+  return sampled;
+}
+
 struct ConfigTiming {
   std::string name;
   double seconds = 0;
@@ -65,92 +91,176 @@ struct ConfigTiming {
   double coverage = 0;
 };
 
-struct SizeReport {
+struct SectionReport {
+  std::string universe;
+  std::string scheme;
   mem::Addr n = 0;
   std::size_t faults = 0;
   std::vector<ConfigTiming> configs;
-  [[nodiscard]] double speedup_vs_serial(std::size_t idx) const {
-    return configs[idx].seconds > 0 ? configs[0].seconds / configs[idx].seconds
-                                    : 0.0;
+  /// Ratio of the oracle+parallel config's time to the packed config's
+  /// time (0 when the section has neither) — the headline lane-packing
+  /// gain.
+  double packed_vs_parallel = 0;
+  [[nodiscard]] double speedup_vs_baseline(std::size_t idx) const {
+    return configs[idx].seconds > 0
+               ? configs[0].seconds / configs[idx].seconds
+               : 0.0;
   }
 };
 
-SizeReport bench_size(mem::Addr n, std::size_t fault_cap) {
-  auto universe = mem::classical_universe(n);
-  if (universe.size() > fault_cap) universe.resize(fault_cap);
+class SectionRunner {
+ public:
+  SectionRunner(SectionReport& report,
+                std::span<const mem::Fault> universe,
+                const core::PrtScheme& scheme,
+                const analysis::CampaignOptions& opt)
+      : report_(report), universe_(universe), scheme_(scheme), opt_(opt) {
+    std::printf("%s universe, n = %u, %zu faults, scheme %s\n",
+                report_.universe.c_str(), report_.n, universe_.size(),
+                scheme_.name.c_str());
+  }
+
+  void seed_serial() {
+    record("serial (seed path)",
+           [&] { return seed_serial_campaign(universe_, scheme_, opt_); });
+  }
+
+  void engine(const std::string& name, const analysis::EngineOptions& eng) {
+    // Early abort legitimately shrinks the op count; every other
+    // config must reproduce the baseline ops bit-for-bit.
+    record(
+        name,
+        [&] {
+          return analysis::run_prt_campaign(universe_, scheme_, opt_, eng);
+        },
+        /*ops_exempt=*/eng.early_abort);
+  }
+
+  void finish() {
+    double parallel_secs = 0, packed_secs = 0;
+    for (std::size_t i = 0; i < report_.configs.size(); ++i) {
+      std::printf("  %-28s %.2fx vs %s\n", report_.configs[i].name.c_str(),
+                  report_.speedup_vs_baseline(i),
+                  report_.configs[0].name.c_str());
+      if (report_.configs[i].name == "oracle+parallel") {
+        parallel_secs = report_.configs[i].seconds;
+      }
+      if (report_.configs[i].name == "oracle+parallel+packed") {
+        packed_secs = report_.configs[i].seconds;
+      }
+    }
+    if (parallel_secs > 0 && packed_secs > 0) {
+      report_.packed_vs_parallel = parallel_secs / packed_secs;
+      std::printf("  packed vs oracle+parallel: %.2fx\n",
+                  report_.packed_vs_parallel);
+    }
+    std::printf("\n");
+  }
+
+ private:
+  template <typename Run>
+  void record(const std::string& name, Run&& run, bool ops_exempt = false) {
+    const auto start = Clock::now();
+    const analysis::CampaignResult r = run();
+    const double secs = seconds_since(start);
+    if (report_.configs.empty()) {
+      reference_ = r;
+    } else if (!(r.overall == reference_.overall &&
+                 r.by_class == reference_.by_class &&
+                 r.escapes == reference_.escapes &&
+                 (ops_exempt || r.ops == reference_.ops))) {
+      std::fprintf(stderr, "PARITY VIOLATION in config %s at n=%u\n",
+                   name.c_str(), report_.n);
+      std::exit(1);
+    }
+    report_.configs.push_back({name, secs, r.ops, r.overall.percent()});
+    std::printf("  %-28s %8.3f s   %12llu ops   %6.2f %% coverage\n",
+                name.c_str(), secs,
+                static_cast<unsigned long long>(r.ops), r.overall.percent());
+  }
+
+  SectionReport& report_;
+  std::span<const mem::Fault> universe_;
+  const core::PrtScheme& scheme_;
+  analysis::CampaignOptions opt_;
+  analysis::CampaignResult reference_;
+};
+
+analysis::EngineOptions engine_opts(bool parallel, bool packed,
+                                    bool early_abort = false) {
+  analysis::EngineOptions eng;
+  eng.parallel = parallel;
+  eng.packed = packed;
+  eng.early_abort = early_abort;
+  return eng;
+}
+
+/// Classical universe: the PR 1 ladder (seed serial -> oracle ->
+/// parallel -> abort) plus the packed config — mixed workload, only the
+/// SAF/TF share rides the lanes.
+SectionReport bench_classical(mem::Addr n, std::size_t fault_cap) {
+  const auto universe = cap_universe(mem::classical_universe(n), fault_cap);
   const auto scheme = core::extended_scheme_bom(n);
   analysis::CampaignOptions opt;
   opt.n = n;
 
-  SizeReport report;
-  report.n = n;
-  report.faults = universe.size();
-
-  analysis::CampaignResult reference;
-  auto record = [&](const std::string& name, auto&& run) {
-    const auto start = Clock::now();
-    const analysis::CampaignResult r = run();
-    const double secs = seconds_since(start);
-    if (report.configs.empty()) {
-      reference = r;
-    } else if (!(r.overall == reference.overall &&
-                 r.escapes == reference.escapes)) {
-      std::fprintf(stderr, "PARITY VIOLATION in config %s at n=%u\n",
-                   name.c_str(), n);
-      std::exit(1);
-    }
-    report.configs.push_back(
-        {name, secs, r.ops, r.overall.percent()});
-    std::printf("  %-24s %8.3f s   %12llu ops   %6.2f %% coverage\n",
-                name.c_str(), secs,
-                static_cast<unsigned long long>(r.ops), r.overall.percent());
-  };
-
-  std::printf("n = %u, %zu faults, scheme %s\n", n, universe.size(),
-              scheme.name.c_str());
-  record("serial (seed path)", [&] {
-    return seed_serial_campaign(universe, scheme, opt);
-  });
-  record("oracle", [&] {
-    analysis::EngineOptions eng;
-    eng.parallel = false;
-    return analysis::run_prt_campaign(universe, scheme, opt, eng);
-  });
-  record("oracle+parallel", [&] {
-    return analysis::run_prt_campaign(universe, scheme, opt, {});
-  });
-  record("oracle+parallel+abort", [&] {
-    analysis::EngineOptions eng;
-    eng.early_abort = true;
-    return analysis::run_prt_campaign(universe, scheme, opt, eng);
-  });
-  for (std::size_t i = 1; i < report.configs.size(); ++i) {
-    std::printf("  %-24s %.2fx vs serial\n", report.configs[i].name.c_str(),
-                report.speedup_vs_serial(i));
-  }
-  std::printf("\n");
+  SectionReport report{.universe = "classical",
+                       .scheme = scheme.name,
+                       .n = n,
+                       .faults = universe.size()};
+  SectionRunner run(report, universe, scheme, opt);
+  run.seed_serial();
+  run.engine("oracle", engine_opts(false, false));
+  run.engine("oracle+parallel", engine_opts(true, false));
+  run.engine("oracle+parallel+abort", engine_opts(true, false, true));
+  run.engine("oracle+parallel+packed", engine_opts(true, true));
+  run.finish();
   return report;
 }
 
-void write_json(const std::vector<SizeReport>& reports,
+/// Lane-compatible universe: every fault is packable, so the packed
+/// config shows the undiluted 64-faults-per-sweep gain over the PR 1
+/// oracle+parallel path (the acceptance ratio).
+SectionReport bench_lane_compatible(mem::Addr n, const core::PrtScheme& scheme,
+                                    std::size_t fault_cap) {
+  const auto universe =
+      cap_universe(mem::single_cell_universe(n, 1, /*read_logic=*/true),
+                   fault_cap);
+  analysis::CampaignOptions opt;
+  opt.n = n;
+
+  SectionReport report{.universe = "single-cell (lane-compatible)",
+                       .scheme = scheme.name,
+                       .n = n,
+                       .faults = universe.size()};
+  SectionRunner run(report, universe, scheme, opt);
+  run.engine("oracle", engine_opts(false, false));
+  run.engine("oracle+parallel", engine_opts(true, false));
+  run.engine("oracle+parallel+packed", engine_opts(true, true));
+  run.finish();
+  return report;
+}
+
+void write_json(const std::vector<SectionReport>& reports,
                 unsigned hardware_threads) {
   std::ofstream out("BENCH_campaign.json");
   out << "{\n"
       << "  \"bench\": \"campaign\",\n"
-      << "  \"scheme\": \"PRT-ext BOM\",\n"
-      << "  \"universe\": \"classical\",\n"
       << "  \"hardware_concurrency\": " << hardware_threads << ",\n"
-      << "  \"sizes\": [\n";
+      << "  \"sections\": [\n";
   for (std::size_t s = 0; s < reports.size(); ++s) {
-    const SizeReport& r = reports[s];
-    out << "    {\n      \"n\": " << r.n << ",\n      \"faults\": "
-        << r.faults << ",\n      \"configs\": [\n";
+    const SectionReport& r = reports[s];
+    out << "    {\n      \"universe\": \"" << r.universe
+        << "\",\n      \"scheme\": \"" << r.scheme << "\",\n      \"n\": "
+        << r.n << ",\n      \"faults\": " << r.faults
+        << ",\n      \"packed_vs_parallel\": " << r.packed_vs_parallel
+        << ",\n      \"configs\": [\n";
     for (std::size_t c = 0; c < r.configs.size(); ++c) {
       const ConfigTiming& t = r.configs[c];
       out << "        {\"name\": \"" << t.name << "\", \"seconds\": "
           << t.seconds << ", \"ops\": " << t.ops << ", \"coverage\": "
-          << t.coverage << ", \"speedup_vs_serial\": "
-          << r.speedup_vs_serial(c) << "}"
+          << t.coverage << ", \"speedup_vs_baseline\": "
+          << r.speedup_vs_baseline(c) << "}"
           << (c + 1 < r.configs.size() ? "," : "") << "\n";
     }
     out << "      ]\n    }" << (s + 1 < reports.size() ? "," : "") << "\n";
@@ -164,18 +274,24 @@ int main(int argc, char** argv) {
   // --quick caps every universe for smoke runs (CI, 1-core boxes).
   std::size_t cap_small = static_cast<std::size_t>(-1);
   std::size_t cap_large = 4096;
+  std::size_t cap_lane = 16384;
   for (int i = 1; i < argc; ++i) {
     if (std::string(argv[i]) == "--quick") {
       cap_small = 512;
       cap_large = 512;
+      cap_lane = 512;
     }
   }
   const unsigned hw = std::thread::hardware_concurrency();
   std::printf("campaign engine bench — %u hardware thread(s)\n\n", hw);
-  std::vector<SizeReport> reports;
-  reports.push_back(bench_size(256, cap_small));
-  reports.push_back(bench_size(1024, cap_small));
-  reports.push_back(bench_size(4096, cap_large));
+  std::vector<SectionReport> reports;
+  reports.push_back(bench_classical(256, cap_small));
+  reports.push_back(bench_classical(1024, cap_small));
+  reports.push_back(bench_classical(4096, cap_large));
+  reports.push_back(
+      bench_lane_compatible(1024, core::extended_scheme_bom(1024), cap_small));
+  reports.push_back(
+      bench_lane_compatible(4096, core::standard_scheme_bom(4096), cap_lane));
   write_json(reports, hw);
   std::printf("wrote BENCH_campaign.json\n");
   return 0;

@@ -1,11 +1,14 @@
 #include "analysis/campaign_engine.hpp"
 
 #include <algorithm>
+#include <array>
 #include <cassert>
 #include <thread>
 #include <vector>
 
+#include "core/prt_packed.hpp"
 #include "mem/fault_injector.hpp"
+#include "mem/packed_fault_ram.hpp"
 #include "util/thread_pool.hpp"
 
 namespace prt::analysis {
@@ -16,9 +19,15 @@ CampaignEngine::CampaignEngine(core::PrtScheme scheme,
     : scheme_(std::move(scheme)),
       opt_(opt),
       engine_(engine),
-      oracle_(core::make_prt_oracle(scheme_, opt.n)) {}
+      oracle_(core::make_prt_oracle(scheme_, opt.n)),
+      scheme_packable_(opt.m == 1 && core::prt_scheme_packable(scheme_)) {}
 
 CampaignEngine::~CampaignEngine() = default;
+
+bool CampaignEngine::packed_enabled() const {
+  return engine_.packed && engine_.use_oracle && !engine_.early_abort &&
+         scheme_packable_;
+}
 
 void CampaignEngine::run_shard(std::span<const mem::Fault> universe,
                                std::size_t begin, std::size_t end,
@@ -26,13 +35,7 @@ void CampaignEngine::run_shard(std::span<const mem::Fault> universe,
   mem::FaultyRam ram(opt_.n, opt_.m, opt_.ports);
   const core::PrtRunOptions run_opts{.early_abort = engine_.early_abort,
                                      .record_iterations = false};
-  for (std::size_t i = begin; i < end; ++i) {
-    ram.reset(universe[i]);
-    const bool detected =
-        engine_.use_oracle
-            ? core::run_prt(ram, scheme_, oracle_, run_opts).detected()
-            : core::run_prt(ram, scheme_).detected();
-    out.ops += ram.total_stats().total();
+  auto tally = [&](std::size_t i, bool detected) {
     auto& cls = out.by_class[mem::fault_class(universe[i].kind)];
     ++cls.total;
     ++out.overall.total;
@@ -42,7 +45,51 @@ void CampaignEngine::run_shard(std::span<const mem::Fault> universe,
     } else {
       out.escapes.push_back(i);
     }
+  };
+  auto run_scalar = [&](std::size_t i) {
+    ram.reset(universe[i]);
+    const bool detected =
+        engine_.use_oracle
+            ? core::run_prt(ram, scheme_, oracle_, run_opts).detected()
+            : core::run_prt(ram, scheme_).detected();
+    out.ops += ram.total_stats().total();
+    tally(i, detected);
+  };
+
+  if (!packed_enabled()) {
+    for (std::size_t i = begin; i < end; ++i) run_scalar(i);
+    return;
   }
+
+  // Lane-batched path: compatible faults ride the packed ram 64 at a
+  // time, the rest run scalar in place.  Escapes are gathered out of
+  // order and sorted once — counts and op sums are order-independent,
+  // so the shard output is bit-identical to the all-scalar loop.
+  mem::PackedFaultRam packed(opt_.n);
+  std::array<std::size_t, mem::PackedFaultRam::kLanes> batch_index{};
+  auto flush = [&]() {
+    const unsigned lanes = packed.lanes_used();
+    if (lanes == 0) return;
+    const std::uint64_t detected =
+        core::run_prt_packed(packed, scheme_, oracle_) & packed.active_mask();
+    // Every lane's fault "ran" the complete scheme: the packed op count
+    // equals the scalar per-fault op count of a full run.
+    out.ops += packed.ops() * lanes;
+    for (unsigned lane = 0; lane < lanes; ++lane) {
+      tally(batch_index[lane], ((detected >> lane) & 1U) != 0);
+    }
+    packed.reset();
+  };
+  for (std::size_t i = begin; i < end; ++i) {
+    if (mem::lane_compatible(universe[i])) {
+      batch_index[packed.add_fault(universe[i])] = i;
+      if (packed.lanes_used() == mem::PackedFaultRam::kLanes) flush();
+    } else {
+      run_scalar(i);
+    }
+  }
+  flush();
+  std::sort(out.escapes.begin(), out.escapes.end());
 }
 
 CampaignResult CampaignEngine::run(

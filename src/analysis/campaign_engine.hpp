@@ -16,10 +16,16 @@
 //  * each worker owns exactly one FaultyRam and rewinds it with the
 //    reset(fault) fast path instead of constructing and prefilling a
 //    fresh memory per fault, so the per-fault loop performs no
-//    allocation and no LFSR re-derivation.
+//    allocation and no LFSR re-derivation;
+//  * for GF(2) bit-oriented campaigns, lane-compatible faults are
+//    additionally batched 64 per sweep onto a bit-packed
+//    mem::PackedFaultRam (core/prt_packed), so one memory sweep
+//    evaluates up to 64 faults — the remaining (coupling, decoder,
+//    retention, NPSF) faults take the scalar path and the merged
+//    result stays bit-identical.
 //
-// See DESIGN.md §7 for the architecture and bench/bench_campaign.cpp
-// for the measured speedups.
+// See DESIGN.md §7/§8 for the architecture and
+// bench/bench_campaign.cpp for the measured speedups.
 #pragma once
 
 #include <memory>
@@ -49,6 +55,16 @@ struct EngineOptions {
   /// CampaignResult::ops shrinks.  Keep off when the campaign's
   /// read/write counts must reflect complete runs.
   bool early_abort = false;
+  /// Evaluate lane-compatible faults (single-bit SAF/TF/WDF and the
+  /// read-logic kinds) 64 per sweep on a bit-packed mem::PackedFaultRam
+  /// (core/prt_packed) when the scheme is a GF(2)/m = 1 scheme.
+  /// Coupling, bridge, decoder, NPSF and retention faults fall back to
+  /// the scalar per-fault path, and results stay bit-identical to the
+  /// all-scalar reference.  Ignored (everything scalar) when the scheme
+  /// is not packable, use_oracle is off, or early_abort is on (a packed
+  /// batch always runs the full scheme, so its op accounting matches
+  /// complete scalar runs only).
+  bool packed = true;
 };
 
 class CampaignEngine {
@@ -75,10 +91,15 @@ class CampaignEngine {
   void run_shard(std::span<const mem::Fault> universe, std::size_t begin,
                  std::size_t end, CampaignResult& out) const;
 
+  /// True when this engine's runs may route lane-compatible faults
+  /// through the packed path (scheme + options both allow it).
+  [[nodiscard]] bool packed_enabled() const;
+
   core::PrtScheme scheme_;
   CampaignOptions opt_;
   EngineOptions engine_;
   core::PrtOracle oracle_;
+  bool scheme_packable_ = false;
   /// Worker pool, spun up on the first parallel run() and reused —
   /// repeated campaigns (benches, multi-universe sweeps) pay thread
   /// spawn/join once, not per call.

@@ -1,0 +1,143 @@
+#include "core/prt_packed.hpp"
+
+#include <cassert>
+#include <vector>
+
+#include "gf/gf2_poly.hpp"
+#include "util/bitops.hpp"
+
+namespace prt::core {
+
+namespace {
+
+/// Broadcasts one golden bit to every lane.
+constexpr mem::LaneWord bcast(gf::Elem bit) {
+  return bit ? ~mem::LaneWord{0} : mem::LaneWord{0};
+}
+
+/// 64 independent MISRs, bit-sliced: state bit b of all lanes lives in
+/// state[b], so one shift costs O(width) lane-wide XORs instead of 64
+/// scalar shifts.  Mirrors lfsr::Misr::shift exactly.
+class PackedMisr {
+ public:
+  explicit PackedMisr(gf::Poly2 poly)
+      : poly_(poly),
+        width_(static_cast<unsigned>(poly_degree(poly))),
+        state_(width_, 0) {}
+
+  void shift(mem::LaneWord input) {
+    const mem::LaneWord msb = state_[width_ - 1];
+    for (unsigned b = width_; b-- > 1;) {
+      state_[b] = state_[b - 1] ^ (((poly_ >> b) & 1U) ? msb : 0);
+    }
+    state_[0] = (((poly_ & 1U) != 0) ? msb : 0) ^ input;
+  }
+
+  /// Lanes whose signature differs from the golden scalar signature.
+  [[nodiscard]] mem::LaneWord mismatch(std::uint64_t expected) const {
+    mem::LaneWord m = 0;
+    for (unsigned b = 0; b < width_; ++b) {
+      m |= state_[b] ^ bcast(static_cast<gf::Elem>((expected >> b) & 1U));
+    }
+    return m;
+  }
+
+ private:
+  gf::Poly2 poly_;
+  unsigned width_;
+  std::vector<mem::LaneWord> state_;
+};
+
+}  // namespace
+
+bool prt_scheme_packable(const PrtScheme& scheme) {
+  if (scheme.field_modulus != 0b11) return false;  // GF(2) only
+  if (scheme.iterations.empty()) return false;
+  for (const SchemeIteration& it : scheme.iterations) {
+    if (it.g.size() < 2) return false;
+    for (const gf::Elem c : it.g) {
+      if (c > 1) return false;
+    }
+    if (it.config.init.size() != it.g.size() - 1) return false;
+    for (const gf::Elem d : it.config.init) {
+      if (d > 1) return false;
+    }
+  }
+  return true;
+}
+
+std::uint64_t run_prt_packed(mem::PackedFaultRam& ram,
+                             const PrtScheme& scheme,
+                             const PrtOracle& oracle) {
+  assert(prt_scheme_packable(scheme));
+  assert(oracle.iterations.size() == scheme.iterations.size());
+  assert(oracle.n == ram.size());
+  const mem::Addr n = ram.size();
+  const bool use_misr = scheme.misr_poly != 0;
+  mem::LaneWord mismatch = 0;
+
+  mem::LaneWord window_buf[16];
+  std::vector<mem::LaneWord> window_spill;
+
+  for (std::size_t i = 0; i < scheme.iterations.size(); ++i) {
+    const SchemeIteration& it = scheme.iterations[i];
+    const PiOracle& orc = oracle.iterations[i];
+    const unsigned kk = static_cast<unsigned>(it.g.size() - 1);
+    const Trajectory& traj = orc.trajectory;
+    assert(traj.size() == n);
+    assert(orc.fin_expected.size() == kk);
+    assert(!it.config.verify_pass || orc.image.size() == n);
+
+    mem::LaneWord* window = window_buf;
+    if (kk > std::size(window_buf)) {
+      window_spill.resize(kk);
+      window = window_spill.data();
+    }
+    PackedMisr misr(use_misr ? scheme.misr_poly : gf::Poly2{0b111});
+
+    // Initialization: broadcast the seed values to every lane.
+    for (unsigned j = 0; j < kk; ++j) {
+      ram.write(traj.at(j), bcast(it.config.init[j]));
+    }
+
+    // Sweep: each lane's feedback is the XOR of its own window reads
+    // selected by the non-zero g coefficients (Eq. 1 over GF(2)).
+    for (mem::Addr q = 0; q + kk < n; ++q) {
+      for (unsigned j = 0; j < kk; ++j) {
+        window[j] = ram.read(traj.at(q + j));
+        if (use_misr) misr.shift(window[j]);
+      }
+      mem::LaneWord fb = 0;
+      for (unsigned j = 1; j <= kk; ++j) {
+        if (it.g[j]) fb ^= window[kk - j];
+      }
+      ram.write(traj.at(q + kk), fb);
+    }
+
+    // Verdict: Fin read-back against Fin*, Init re-read against the
+    // seed — any deviating lane is detected.
+    for (unsigned j = 0; j < kk; ++j) {
+      const mem::LaneWord raw = ram.read(traj.at(n - kk + j));
+      mismatch |= raw ^ bcast(orc.fin_expected[j]);
+      if (use_misr) misr.shift(raw);
+    }
+    for (unsigned j = 0; j < kk; ++j) {
+      const mem::LaneWord raw = ram.read(traj.at(j));
+      mismatch |= raw ^ bcast(it.config.init[j]);
+      if (use_misr) misr.shift(raw);
+    }
+
+    if (it.config.verify_pass) {
+      // No lane-compatible fault is clock-dependent, so the pause only
+      // mirrors the scalar control flow.
+      if (it.config.pause_ticks != 0) ram.advance_time(it.config.pause_ticks);
+      for (mem::Addr a = 0; a < n; ++a) {
+        mismatch |= ram.read(a) ^ bcast(orc.image[a]);
+      }
+    }
+    if (use_misr) mismatch |= misr.mismatch(orc.misr_expected);
+  }
+  return mismatch;
+}
+
+}  // namespace prt::core

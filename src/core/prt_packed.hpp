@@ -1,0 +1,47 @@
+// Bit-parallel PRT evaluation over packed fault lanes.
+//
+// Over GF(2) every scheme value is a single bit, so the LFSR feedback
+// sum_j g_j * window[k-j] degenerates to an XOR of the selected window
+// entries — which is *lane-wise*: one 64-bit XOR computes all 64
+// packed memories' feedback at once, each from its own (possibly
+// fault-corrupted) reads.  run_prt_packed replays the exact control
+// flow of PiTester::run / run_prt against a mem::PackedFaultRam and
+// compares each lane's observed Fin, Init read-back, verify-pass image
+// and (bit-sliced) MISR signature against the shared PrtOracle
+// goldens, returning the 64-bit detected mask.
+//
+// Detection semantics per lane are identical to
+// run_prt(FaultyRam, scheme, oracle).detected() for the same single
+// fault — the parity tests in tests/test_packed_campaign.cpp and the
+// lane-batching campaign layer (analysis/campaign_engine) rely on it.
+#pragma once
+
+#include <cstdint>
+
+#include "core/prt_engine.hpp"
+#include "mem/packed_fault_ram.hpp"
+
+namespace prt::core {
+
+/// True when `scheme` can run bit-parallel: a GF(2) scheme (field
+/// modulus z + 1), where every generator coefficient and seed value is
+/// a single bit.  Word-oriented schemes (m > 1) need real GF(2^m)
+/// multiplies per lane and stay scalar.
+[[nodiscard]] bool prt_scheme_packable(const PrtScheme& scheme);
+
+/// Runs every iteration of the scheme against the packed ram.  Returns
+/// the mask of lanes whose observed behaviour (Fin, Init read-back,
+/// verify pass, MISR signature) deviates from the golden run —
+/// bit L set means lane L's fault is detected.  Lanes beyond
+/// ram.lanes_used() simulate fault-free memories and never deviate,
+/// but callers should still AND with ram.active_mask().
+///
+/// Preconditions: prt_scheme_packable(scheme), oracle built by
+/// make_prt_oracle(scheme, ram.size()).  Always runs the full scheme
+/// (no early abort), so the packed op count ram.ops() equals the
+/// scalar per-fault op count of a complete run.
+[[nodiscard]] std::uint64_t run_prt_packed(mem::PackedFaultRam& ram,
+                                           const PrtScheme& scheme,
+                                           const PrtOracle& oracle);
+
+}  // namespace prt::core

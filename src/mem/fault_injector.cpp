@@ -1,6 +1,7 @@
 #include "mem/fault_injector.hpp"
 
 #include <cassert>
+#include <stdexcept>
 
 namespace prt::mem {
 
@@ -12,22 +13,65 @@ FaultyRam::FaultyRam(Addr cells, unsigned width_bits, unsigned port_count)
     : ram_(cells, width_bits, port_count) {}
 
 void FaultyRam::inject(const Fault& fault) {
-  assert(fault.victim.cell < size() && fault.victim.bit < width());
+  // Malformed universes must fail loudly in release campaigns too, so
+  // these are runtime throws, not asserts (same precedent as
+  // prt_algorithm_prefix).
+  if (fault.victim.cell >= size() || fault.victim.bit >= width()) {
+    throw std::invalid_argument("FaultyRam::inject: victim out of range: " +
+                                fault.describe());
+  }
   if (is_coupling(fault.kind)) {
-    assert(fault.aggressor.cell < size() && fault.aggressor.bit < width());
-    assert(!(fault.aggressor == fault.victim));
+    if (fault.aggressor.cell >= size() || fault.aggressor.bit >= width()) {
+      throw std::invalid_argument(
+          "FaultyRam::inject: aggressor out of range: " + fault.describe());
+    }
+    if (fault.aggressor == fault.victim) {
+      throw std::invalid_argument(
+          "FaultyRam::inject: aggressor must differ from victim: " +
+          fault.describe());
+    }
   }
-  if (is_address_fault(fault.kind) && fault.kind != FaultKind::kAfNoAccess) {
-    assert(fault.alias < size());
+  if (is_address_fault(fault.kind) && fault.kind != FaultKind::kAfNoAccess &&
+      fault.alias >= size()) {
+    throw std::invalid_argument("FaultyRam::inject: alias out of range: " +
+                                fault.describe());
   }
-  if (fault.kind == FaultKind::kDrf) {
-    assert(fault.delay > 0);
+  if (fault.kind == FaultKind::kDrf && fault.delay == 0) {
+    throw std::invalid_argument(
+        "FaultyRam::inject: retention fault needs delay > 0: " +
+        fault.describe());
   }
   faults_.push_back(fault);
   refreshed_at_.push_back(clock_);
   has_address_fault_ = has_address_fault_ || is_address_fault(fault.kind);
   has_retention_fault_ =
       has_retention_fault_ || fault.kind == FaultKind::kDrf;
+  // A defect's effect holds from the moment it exists, not only from
+  // the first write it observes — and regardless of injection order:
+  //  * stuck-at victims are clamped to their stuck value now (the
+  //    write path and set_bit cascades clamp on their own), and the
+  //    clamp is a state perturbation, so static conditions touching
+  //    the cell are re-applied;
+  //  * a freshly injected static condition (bridge tie, CFst, NPSF)
+  //    is enforced against the current state immediately.
+  // Dynamic (transition-triggered) couplings do not fire — a defect
+  // appearing is not a write edge.
+  switch (fault.kind) {
+    case FaultKind::kSaf0:
+    case FaultKind::kSaf1:
+      enforce_saf(fault.victim.cell);
+      enforce_conditions(fault.victim.cell, 0);
+      break;
+    case FaultKind::kCfSt0:
+    case FaultKind::kCfSt1:
+    case FaultKind::kBridgeAnd:
+    case FaultKind::kBridgeOr:
+    case FaultKind::kNpsfStatic:
+      enforce_conditions(fault.victim.cell, 0);
+      break;
+    default:
+      break;
+  }
 }
 
 DecodedAccess FaultyRam::decode(Addr addr) const {

@@ -25,11 +25,16 @@ struct DecodedAccess {
 
 class FaultyRam final : public Memory {
  public:
-  /// Precondition: cells/width/ports as for SimRam.
+  /// Throws std::invalid_argument unless cells >= 1, 1 <= width_bits
+  /// <= 32 and port_count is 1, 2 or 4 (the stats/sense-amp arrays are
+  /// sized for 4 ports; anything else would index out of bounds).
   FaultyRam(Addr cells, unsigned width_bits, unsigned port_count = 1);
 
-  /// Injects a fault.  Precondition: all referenced cells < size(),
-  /// bits < width(); coupling faults must have victim != aggressor bit.
+  /// Injects a fault.  Throws std::invalid_argument when a referenced
+  /// cell/bit/alias is out of range, a coupling fault has victim ==
+  /// aggressor, or a retention fault has delay == 0 — malformed
+  /// universes must not silently corrupt release-build campaigns.
+  /// Stuck-at victims are clamped to their stuck value immediately.
   void inject(const Fault& fault);
   void clear_faults() {
     faults_.clear();
@@ -99,7 +104,10 @@ class FaultyRam final : public Memory {
   /// conditional faults touching `cell`.
   void fire_transition(Addr cell, unsigned bit, bool up, int depth);
 
-  /// Forces stuck-at victims; applied after every perturbation.
+  /// Forces stuck-at victims of `cell` to their stuck value.  Called at
+  /// injection time so the stuck value holds before any write; the
+  /// write path (physical_write) and bit cascades (set_bit) clamp
+  /// inline, so no per-access call is needed.
   void enforce_saf(Addr cell);
   /// Applies CFst / bridge / NPSF conditions affected by `cell`.
   void enforce_conditions(Addr cell, int depth);

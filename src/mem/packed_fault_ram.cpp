@@ -1,0 +1,149 @@
+#include "mem/packed_fault_ram.hpp"
+
+#include <algorithm>
+#include <cassert>
+#include <stdexcept>
+
+namespace prt::mem {
+
+bool lane_compatible(const Fault& fault) {
+  if (fault.victim.bit != 0) return false;
+  switch (fault.kind) {
+    case FaultKind::kSaf0:
+    case FaultKind::kSaf1:
+    case FaultKind::kTfUp:
+    case FaultKind::kTfDown:
+    case FaultKind::kWdf:
+    case FaultKind::kRdf:
+    case FaultKind::kDrdf:
+    case FaultKind::kIrf:
+    case FaultKind::kSof:
+      return true;
+    default:
+      return false;
+  }
+}
+
+PackedFaultRam::PackedFaultRam(Addr cells)
+    : size_(cells), data_(cells, 0), slot_of_cell_(cells, -1) {
+  if (cells < 1) {
+    throw std::invalid_argument("PackedFaultRam: cells must be >= 1");
+  }
+  slots_.reserve(kLanes);
+  dirty_cells_.reserve(kLanes);
+}
+
+void PackedFaultRam::reset() {
+  std::fill(data_.begin(), data_.end(), LaneWord{0});
+  for (const Addr cell : dirty_cells_) slot_of_cell_[cell] = -1;
+  slots_.clear();
+  dirty_cells_.clear();
+  lanes_used_ = 0;
+  last_read_ = 0;
+  reads_ = 0;
+  writes_ = 0;
+}
+
+PackedFaultRam::CellFaults& PackedFaultRam::slot_for(Addr cell) {
+  if (slot_of_cell_[cell] < 0) {
+    slot_of_cell_[cell] = static_cast<std::int16_t>(slots_.size());
+    slots_.emplace_back();
+    dirty_cells_.push_back(cell);
+  }
+  return slots_[static_cast<std::size_t>(slot_of_cell_[cell])];
+}
+
+unsigned PackedFaultRam::add_fault(const Fault& fault) {
+  if (!lane_compatible(fault)) {
+    throw std::invalid_argument(
+        "PackedFaultRam::add_fault: fault is not lane-compatible: " +
+        fault.describe());
+  }
+  if (fault.victim.cell >= size_) {
+    throw std::invalid_argument(
+        "PackedFaultRam::add_fault: victim out of range: " +
+        fault.describe());
+  }
+  if (lanes_used_ >= kLanes) {
+    throw std::length_error("PackedFaultRam::add_fault: all 64 lanes taken");
+  }
+  const unsigned lane = lanes_used_++;
+  const LaneWord mask = LaneWord{1} << lane;
+  CellFaults& f = slot_for(fault.victim.cell);
+  switch (fault.kind) {
+    case FaultKind::kSaf0:
+      f.saf0 |= mask;
+      // Stuck-at victims hold from injection, matching FaultyRam.
+      data_[fault.victim.cell] &= ~mask;
+      break;
+    case FaultKind::kSaf1:
+      f.saf1 |= mask;
+      data_[fault.victim.cell] |= mask;
+      break;
+    case FaultKind::kTfUp:
+      f.tf_up |= mask;
+      break;
+    case FaultKind::kTfDown:
+      f.tf_down |= mask;
+      break;
+    case FaultKind::kWdf:
+      f.wdf |= mask;
+      break;
+    case FaultKind::kRdf:
+      f.rdf |= mask;
+      break;
+    case FaultKind::kDrdf:
+      f.drdf |= mask;
+      break;
+    case FaultKind::kIrf:
+      f.irf |= mask;
+      break;
+    case FaultKind::kSof:
+      f.sof |= mask;
+      break;
+    default:
+      break;  // unreachable: lane_compatible() filtered
+  }
+  return lane;
+}
+
+LaneWord PackedFaultRam::read(Addr addr) {
+  assert(addr < size_);
+  ++reads_;
+  LaneWord value = data_[addr];
+  const std::int16_t slot = slot_of_cell_[addr];
+  if (slot >= 0) {
+    const CellFaults& f = slots_[static_cast<std::size_t>(slot)];
+    // RDF: the cell flips and the sense amp sees the flipped value.
+    value ^= f.rdf;
+    // DRDF: the correct value is returned, the cell flips behind the
+    // reader's back.
+    data_[addr] = value ^ f.drdf;
+    // IRF: inverted data on the bus, cell untouched.
+    value ^= f.irf;
+    // SOF: the open cell echoes the sense amp's previous read.
+    value = (value & ~f.sof) | (last_read_ & f.sof);
+  }
+  last_read_ = value;
+  return value;
+}
+
+void PackedFaultRam::write(Addr addr, LaneWord value) {
+  assert(addr < size_);
+  ++writes_;
+  const LaneWord old = data_[addr];
+  LaneWord nb = value;
+  const std::int16_t slot = slot_of_cell_[addr];
+  if (slot >= 0) {
+    // The per-kind masks are lane-disjoint (one fault per lane), so the
+    // sequential updates below never interact across kinds.
+    const CellFaults& f = slots_[static_cast<std::size_t>(slot)];
+    nb ^= f.wdf & ~(old ^ nb);   // WDF: non-transition write disturbs
+    nb &= ~(f.tf_up & ~old);     // TF up: 0 -> 1 writes fail
+    nb |= f.tf_down & old;       // TF down: 1 -> 0 writes fail
+    nb = (nb & ~f.saf0) | f.saf1;
+  }
+  data_[addr] = nb;
+}
+
+}  // namespace prt::mem

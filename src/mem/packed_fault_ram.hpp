@@ -1,0 +1,112 @@
+// Word-packed SIMD fault lanes.
+//
+// PackedFaultRam simulates up to 64 *independent* single-bit faulty
+// memories in one pass: each cell stores a 64-bit word whose bit lane L
+// is the cell's value in lane L's memory, and each lane carries exactly
+// one injected fault.  One sweep over the array therefore evaluates up
+// to 64 faults simultaneously — the SIMD unit is the ordinary 64-bit
+// ALU, and every fault effect below is a handful of bitwise ops.
+//
+// Only faults whose behaviour is a pure function of their own bit's
+// history are lane-compatible (lane_compatible()): stuck-at, transition,
+// write-disturb and the read-logic faults.  Coupling/bridge/NPSF faults
+// touch a second bit, decoder faults remap whole accesses, and
+// retention faults need the global clock — those stay on the scalar
+// FaultyRam path (analysis/campaign_engine does the partitioning).
+//
+// Semantics are bit-exact per lane with a FaultyRam holding the same
+// single fault (tests/test_packed_campaign.cpp runs the differential
+// check), including the injection-time stuck-at clamp and the per-port
+// sense-amp history of SOF (the PRT engines drive port 0 only).
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "mem/fault.hpp"
+
+namespace prt::mem {
+
+/// One bit per lane across the 64 packed memories.
+using LaneWord = std::uint64_t;
+
+/// True when `fault` can ride a bit lane: a single-bit, single-cell
+/// fault on bit 0 (the packed array models a 1-bit-wide memory) whose
+/// effect never references another bit, the decoder or the clock.
+[[nodiscard]] bool lane_compatible(const Fault& fault);
+
+class PackedFaultRam {
+ public:
+  static constexpr unsigned kLanes = 64;
+
+  /// A packed array of `cells` one-bit cells, all lanes zero-filled,
+  /// no faults.  Throws std::invalid_argument when cells < 1.
+  explicit PackedFaultRam(Addr cells);
+
+  [[nodiscard]] Addr size() const { return size_; }
+  [[nodiscard]] unsigned lanes_used() const { return lanes_used_; }
+  /// Mask with one bit set per occupied lane (low lanes_used() bits).
+  [[nodiscard]] LaneWord active_mask() const {
+    return lanes_used_ == kLanes ? ~LaneWord{0}
+                                 : (LaneWord{1} << lanes_used_) - 1;
+  }
+
+  /// Returns to the just-constructed state (all lanes zero, no faults,
+  /// counters zero) without releasing storage.  Only the cells dirtied
+  /// by faults pay a per-cell cost; the data array is one memset.
+  void reset();
+
+  /// Assigns `fault` to the next free lane and returns its index.
+  /// Throws std::invalid_argument when the fault is not
+  /// lane_compatible() or out of range, std::length_error when all 64
+  /// lanes are taken.
+  unsigned add_fault(const Fault& fault);
+
+  /// Reads every lane's bit of `addr` at once, applying each lane's
+  /// read-logic fault.  Precondition: addr < size().
+  LaneWord read(Addr addr);
+
+  /// Writes bit lane L of `value` to cell `addr` in lane L's memory,
+  /// applying each lane's write fault.  Precondition: addr < size().
+  void write(Addr addr, LaneWord value);
+
+  /// Idle time: no lane-compatible fault is clock-dependent, so this
+  /// only keeps the operation counters honest (no-op otherwise).
+  void advance_time(std::uint64_t ticks) { (void)ticks; }
+
+  /// Packed operations issued since the last reset().  Each packed
+  /// read/write counts once; a scalar campaign issues the same count
+  /// *per fault*, so the per-fault op cost is reads() + writes().
+  [[nodiscard]] std::uint64_t reads() const { return reads_; }
+  [[nodiscard]] std::uint64_t writes() const { return writes_; }
+  [[nodiscard]] std::uint64_t ops() const { return reads_ + writes_; }
+
+  /// Direct state access for tests (bypasses faults and counters).
+  [[nodiscard]] LaneWord peek(Addr addr) const { return data_[addr]; }
+
+ private:
+  /// Per-kind lane masks for one faulty cell; a lane's bit is set in at
+  /// most one mask of at most one cell (one fault per lane).
+  struct CellFaults {
+    LaneWord saf0 = 0, saf1 = 0;
+    LaneWord tf_up = 0, tf_down = 0, wdf = 0;
+    LaneWord rdf = 0, drdf = 0, irf = 0, sof = 0;
+  };
+
+  CellFaults& slot_for(Addr cell);
+
+  Addr size_;
+  std::vector<LaneWord> data_;
+  /// Cell -> index into slots_, -1 for fault-free cells — the hot path
+  /// pays one branch per access and only faulty cells (<= 64 of them)
+  /// touch a CellFaults record.
+  std::vector<std::int16_t> slot_of_cell_;
+  std::vector<CellFaults> slots_;
+  std::vector<Addr> dirty_cells_;
+  unsigned lanes_used_ = 0;
+  LaneWord last_read_ = 0;  // packed sense-amp history (port 0)
+  std::uint64_t reads_ = 0;
+  std::uint64_t writes_ = 0;
+};
+
+}  // namespace prt::mem

@@ -1,5 +1,8 @@
 #include "mem/sram.hpp"
 
+#include <stdexcept>
+#include <string>
+
 namespace prt::mem {
 
 SimRam::SimRam(Addr cells, unsigned width_bits, unsigned port_count)
@@ -7,9 +10,20 @@ SimRam::SimRam(Addr cells, unsigned width_bits, unsigned port_count)
       width_(width_bits),
       ports_(port_count),
       data_(cells, 0) {
-  assert(cells >= 1);
-  assert(width_bits >= 1 && width_bits <= 32);
-  assert(port_count == 1 || port_count == 2 || port_count == 4);
+  // Runtime throws, not asserts: the per-port arrays hold 4 entries,
+  // so an unchecked port_count would read/write out of bounds in
+  // release builds (same for the width shifts).
+  if (cells < 1) {
+    throw std::invalid_argument("SimRam: cells must be >= 1");
+  }
+  if (width_bits < 1 || width_bits > 32) {
+    throw std::invalid_argument("SimRam: width_bits must be in [1, 32], got " +
+                                std::to_string(width_bits));
+  }
+  if (port_count != 1 && port_count != 2 && port_count != 4) {
+    throw std::invalid_argument("SimRam: port_count must be 1, 2 or 4, got " +
+                                std::to_string(port_count));
+  }
 }
 
 Word SimRam::read(Addr addr, unsigned port) {

@@ -15,7 +15,8 @@ namespace prt::mem {
 /// responsibility and are checked by the PRT engines, not here.
 class SimRam final : public Memory {
  public:
-  /// Precondition: cells >= 1, 1 <= width_bits <= 32, ports in {1,2,4}.
+  /// Throws std::invalid_argument unless cells >= 1, 1 <= width_bits
+  /// <= 32 and port_count is 1, 2 or 4.
   SimRam(Addr cells, unsigned width_bits, unsigned port_count = 1);
 
   [[nodiscard]] Addr size() const override { return size_; }

@@ -11,6 +11,7 @@
 
 #include <condition_variable>
 #include <cstddef>
+#include <exception>
 #include <functional>
 #include <mutex>
 #include <queue>
@@ -68,11 +69,17 @@ class ThreadPool {
   /// chunks are done.  Chunk `i` covers a contiguous, ascending index
   /// range, and chunk indices are dense in [0, chunks), so callers can
   /// merge per-chunk results deterministically regardless of which
-  /// worker ran them or in which order they finished.
+  /// worker ran them or in which order they finished.  If any chunk
+  /// throws, the first exception (in completion order) is rethrown on
+  /// the calling thread after every chunk has finished — an exception
+  /// escaping a worker thread would otherwise std::terminate the
+  /// process.
   void parallel_for_chunks(
       std::size_t total,
       const std::function<void(unsigned, std::size_t, std::size_t)>& fn) {
     if (total == 0) return;
+    std::exception_ptr first_error;
+    std::mutex error_mutex;
     const std::size_t w = std::min<std::size_t>(workers(), total);
     const std::size_t base = total / w;
     const std::size_t extra = total % w;
@@ -80,10 +87,18 @@ class ThreadPool {
     for (unsigned i = 0; i < w; ++i) {
       const std::size_t len = base + (i < extra ? 1 : 0);
       const std::size_t end = begin + len;
-      submit([&fn, i, begin, end] { fn(i, begin, end); });
+      submit([&fn, &first_error, &error_mutex, i, begin, end] {
+        try {
+          fn(i, begin, end);
+        } catch (...) {
+          std::lock_guard lock(error_mutex);
+          if (!first_error) first_error = std::current_exception();
+        }
+      });
       begin = end;
     }
     wait_idle();
+    if (first_error) std::rethrow_exception(first_error);
   }
 
  private:

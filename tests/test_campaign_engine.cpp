@@ -8,6 +8,7 @@
 
 #include <atomic>
 #include <numeric>
+#include <stdexcept>
 #include <vector>
 
 #include "core/prt_engine.hpp"
@@ -146,6 +147,40 @@ TEST(CampaignEngine, FaultyRamResetRestoresPristineState) {
   for (mem::Addr a = 0; a < 8; ++a) EXPECT_EQ(ram.peek(a), 0u);
 }
 
+TEST(CampaignEngine, ReusedRamMatchesFreshAcrossFaultFamilies) {
+  // Regression guard for the reset(fault) fast-path gates
+  // (has_address_fault_ / has_retention_fault_ / last_read_): running
+  // an address fault, then a retention fault, then a SOF fault on the
+  // *same* reused RAM must produce the verdicts of fresh-RAM runs —
+  // no family may leave state that leaks into the next fault's run.
+  const mem::Addr n = 32;
+  const std::vector<core::PrtScheme> schemes = {
+      core::extended_scheme_bom(n),
+      core::retention_scheme(n, 1, /*pause_ticks=*/64)};
+  const std::vector<mem::Fault> sequence = {
+      mem::Fault::af_wrong_access(3, 5),
+      mem::Fault::retention({4, 0}, /*decays_to=*/1, /*delay_ticks=*/8),
+      mem::Fault::sof({6, 0}),
+      mem::Fault::af_multi_access(2, 9),
+      mem::Fault::retention({7, 0}, /*decays_to=*/0, /*delay_ticks=*/16),
+      mem::Fault::sof({1, 0})};
+  for (const auto& scheme : schemes) {
+    const auto oracle = core::make_prt_oracle(scheme, n);
+    mem::FaultyRam reused(n, 1);
+    for (const mem::Fault& fault : sequence) {
+      reused.reset(fault);
+      const auto got = core::run_prt(reused, scheme, oracle);
+      mem::FaultyRam fresh(n, 1);
+      fresh.inject(fault);
+      const auto want = core::run_prt(fresh, scheme, oracle);
+      EXPECT_EQ(got.pass, want.pass) << fault.describe();
+      EXPECT_EQ(got.misr_pass, want.misr_pass) << fault.describe();
+      EXPECT_EQ(got.reads, want.reads) << fault.describe();
+      EXPECT_EQ(got.writes, want.writes) << fault.describe();
+    }
+  }
+}
+
 TEST(PrtAlgorithmPrefix, RejectsOutOfRangeIterationCounts) {
   const auto scheme = core::standard_scheme_bom(16);
   EXPECT_THROW((void)prt_algorithm_prefix(scheme, 0), std::invalid_argument);
@@ -154,6 +189,47 @@ TEST(PrtAlgorithmPrefix, RejectsOutOfRangeIterationCounts) {
       std::invalid_argument);
   EXPECT_NO_THROW(
       (void)prt_algorithm_prefix(scheme, scheme.iterations.size()));
+}
+
+TEST(CampaignEngine, MalformedUniverseThrowsOnEveryPath) {
+  // inject()'s std::invalid_argument contract must survive the
+  // parallel fan-out (worker exceptions are rethrown on the caller,
+  // not left to std::terminate) and the packed lane path.
+  const mem::Addr n = 16;
+  auto universe = mem::classical_universe(n);
+  universe.push_back(mem::Fault::saf({n + 10, 0}, 1));  // out of range
+  const auto scheme = core::standard_scheme_bom(n);
+  CampaignOptions opt;
+  opt.n = n;
+  for (bool packed : {false, true}) {
+    for (unsigned threads : {1u, 3u}) {
+      EngineOptions eng;
+      eng.threads = threads;
+      eng.packed = packed;
+      EXPECT_THROW((void)run_prt_campaign(universe, scheme, opt, eng),
+                   std::invalid_argument);
+    }
+  }
+}
+
+TEST(ThreadPool, ParallelForChunksRethrowsWorkerExceptions) {
+  util::ThreadPool pool(3);
+  EXPECT_THROW(
+      pool.parallel_for_chunks(
+          100,
+          [](unsigned, std::size_t begin, std::size_t) {
+            if (begin > 0) throw std::runtime_error("boom");
+          }),
+      std::runtime_error);
+  // The pool stays usable after a throwing batch.
+  std::vector<std::atomic<int>> hits(10);
+  pool.parallel_for_chunks(hits.size(),
+                           [&](unsigned, std::size_t begin, std::size_t end) {
+                             for (std::size_t i = begin; i < end; ++i) {
+                               ++hits[i];
+                             }
+                           });
+  for (const auto& h : hits) EXPECT_EQ(h.load(), 1);
 }
 
 TEST(ThreadPool, ChunksCoverEveryIndexExactlyOnce) {

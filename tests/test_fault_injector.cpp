@@ -3,6 +3,8 @@
 
 #include <gtest/gtest.h>
 
+#include <stdexcept>
+
 namespace prt::mem {
 namespace {
 
@@ -29,6 +31,55 @@ TEST(Saf, OnlyTheFaultyBitSticks) {
   EXPECT_EQ(ram.read(2, 0), 0b0010u);
   ram.write(2, 0b1101, 0);
   EXPECT_EQ(ram.read(2, 0), 0b1111u);
+}
+
+TEST(Saf, HoldsFromInjectionBeforeAnyWrite) {
+  // A stuck-at victim holds its value from the moment the defect
+  // exists: a read that precedes every write already sees it.
+  FaultyRam ram(8, 1);
+  ram.inject(Fault::saf({3, 0}, 1));
+  EXPECT_EQ(ram.peek(3), 1u);
+  EXPECT_EQ(ram.read(3, 0), 1u);
+  FaultyRam ram0(8, 1);
+  ram0.poke(5, 1);
+  ram0.inject(Fault::saf({5, 0}, 0));
+  EXPECT_EQ(ram0.read(5, 0), 0u);
+}
+
+TEST(Saf, HoldsThroughRetentionDecay) {
+  // A retention fault decaying towards 1 cannot move a stuck-at-0 bit.
+  FaultyRam ram(8, 1);
+  ram.inject(Fault::saf({2, 0}, 0));
+  ram.inject(Fault::retention({2, 0}, /*decays_to=*/1, /*delay_ticks=*/2));
+  ram.write(2, 0, 0);
+  ram.advance_time(10);
+  EXPECT_EQ(ram.read(2, 0), 0u);
+}
+
+TEST(Saf, InjectionClampReappliesStaticConditions) {
+  // The injection-time clamp is a state perturbation: a previously
+  // injected static condition (here a wired-OR bridge) must be
+  // re-applied immediately, not first on the next write — and the
+  // result must not depend on the injection order.
+  FaultyRam ram(8, 1);
+  ram.inject(Fault::bridge({2, 0}, {3, 0}, /*wired_and=*/false));
+  ram.inject(Fault::saf({2, 0}, 1));
+  EXPECT_EQ(ram.peek(2), 1u);
+  EXPECT_EQ(ram.read(3, 0), 1u);  // bridge ties cell 3 to 1 OR 0
+  FaultyRam swapped(8, 1);
+  swapped.inject(Fault::saf({2, 0}, 1));
+  swapped.inject(Fault::bridge({2, 0}, {3, 0}, /*wired_and=*/false));
+  EXPECT_EQ(swapped.read(3, 0), 1u);
+}
+
+TEST(Saf, HoldsThroughMultiAccessWiredAndRead) {
+  // The stuck value participates in the wired-AND of a multi-access
+  // read even when the stuck cell was never written.
+  FaultyRam ram(8, 1);
+  ram.inject(Fault::saf({6, 0}, 1));
+  ram.inject(Fault::af_multi_access(2, 6));
+  ram.poke(2, 1);
+  EXPECT_EQ(ram.read(2, 0), 1u);  // 1 AND 1 (cell 6 stuck at 1 unwritten)
 }
 
 TEST(Saf, OtherCellsUnaffected) {
@@ -382,6 +433,40 @@ TEST(Injector, FaultFreeMatchesSimRamOnRandomTraffic) {
       ASSERT_EQ(faulty.read(a, 0), golden.read(a, 0)) << "step " << i;
     }
   }
+}
+
+// --- precondition enforcement (release builds included) -----------------
+
+TEST(Inject, ThrowsOnMalformedFaults) {
+  FaultyRam ram(8, 2);
+  EXPECT_THROW(ram.inject(Fault::saf({8, 0}, 1)), std::invalid_argument);
+  EXPECT_THROW(ram.inject(Fault::saf({0, 2}, 1)), std::invalid_argument);
+  EXPECT_THROW(ram.inject(Fault::cf_in({1, 0}, {9, 0})),
+               std::invalid_argument);
+  EXPECT_THROW(ram.inject(Fault::cf_in({1, 0}, {1, 0})),
+               std::invalid_argument);
+  EXPECT_THROW(ram.inject(Fault::af_wrong_access(1, 8)),
+               std::invalid_argument);
+  EXPECT_THROW(ram.inject(Fault::af_multi_access(1, 99)),
+               std::invalid_argument);
+  EXPECT_THROW(ram.inject(Fault::retention({1, 0}, 1, /*delay_ticks=*/0)),
+               std::invalid_argument);
+  // Nothing was recorded by the rejected injections.
+  EXPECT_TRUE(ram.faults().empty());
+  EXPECT_NO_THROW(ram.inject(Fault::saf({7, 1}, 1)));
+}
+
+TEST(Ctor, RejectsUnsupportedGeometry) {
+  // The per-port stats/sense-amp arrays hold 4 entries; anything else
+  // would index out of bounds in release builds.
+  EXPECT_THROW(FaultyRam(8, 1, 0), std::invalid_argument);
+  EXPECT_THROW(FaultyRam(8, 1, 3), std::invalid_argument);
+  EXPECT_THROW(FaultyRam(8, 1, 5), std::invalid_argument);
+  EXPECT_THROW(FaultyRam(8, 0, 1), std::invalid_argument);
+  EXPECT_THROW(FaultyRam(8, 33, 1), std::invalid_argument);
+  EXPECT_THROW(FaultyRam(0, 1, 1), std::invalid_argument);
+  EXPECT_THROW(SimRam(8, 1, 8), std::invalid_argument);
+  EXPECT_NO_THROW(FaultyRam(8, 32, 4));
 }
 
 TEST(FaultDescribe, MentionsKindAndCells) {

@@ -1,0 +1,272 @@
+// Word-packed SIMD fault lanes (mem/packed_fault_ram, core/prt_packed,
+// and the lane-batching layer in analysis/campaign_engine).
+//
+// The load-bearing property is bit-identity: every lane of the packed
+// ram must behave exactly like a scalar FaultyRam holding that lane's
+// single fault, and the packed campaign path must reproduce the serial
+// scalar CampaignResult — coverage, per-class counts, escape indices
+// and op totals — on any universe.
+#include "core/prt_packed.hpp"
+
+#include <gtest/gtest.h>
+
+#include <cstdint>
+#include <memory>
+#include <span>
+#include <stdexcept>
+#include <vector>
+
+#include "analysis/campaign_engine.hpp"
+#include "mem/fault_injector.hpp"
+#include "mem/fault_universe.hpp"
+#include "mem/packed_fault_ram.hpp"
+
+namespace prt {
+namespace {
+
+std::uint64_t next_rand(std::uint64_t& x) {
+  x = x * 6364136223846793005ULL + 1442695040888963407ULL;
+  return x ^ (x >> 29);
+}
+
+void expect_identical(const analysis::CampaignResult& a,
+                      const analysis::CampaignResult& b) {
+  EXPECT_EQ(a.overall, b.overall);
+  EXPECT_EQ(a.by_class, b.by_class);
+  EXPECT_EQ(a.escapes, b.escapes);
+  EXPECT_EQ(a.ops, b.ops);
+}
+
+// --- lane compatibility ------------------------------------------------
+
+TEST(LaneCompatible, SingleBitKindsRideLanesOthersDoNot) {
+  EXPECT_TRUE(mem::lane_compatible(mem::Fault::saf({3, 0}, 0)));
+  EXPECT_TRUE(mem::lane_compatible(mem::Fault::saf({3, 0}, 1)));
+  EXPECT_TRUE(mem::lane_compatible(mem::Fault::tf({3, 0}, true)));
+  EXPECT_TRUE(mem::lane_compatible(mem::Fault::tf({3, 0}, false)));
+  EXPECT_TRUE(mem::lane_compatible(mem::Fault::wdf({3, 0})));
+  EXPECT_TRUE(mem::lane_compatible(mem::Fault::rdf({3, 0})));
+  EXPECT_TRUE(mem::lane_compatible(mem::Fault::drdf({3, 0})));
+  EXPECT_TRUE(mem::lane_compatible(mem::Fault::irf({3, 0})));
+  EXPECT_TRUE(mem::lane_compatible(mem::Fault::sof({3, 0})));
+  // Second-cell, decoder, pattern and clock-dependent faults stay
+  // scalar.
+  EXPECT_FALSE(mem::lane_compatible(mem::Fault::cf_in({1, 0}, {2, 0})));
+  EXPECT_FALSE(mem::lane_compatible(mem::Fault::bridge({1, 0}, {2, 0}, true)));
+  EXPECT_FALSE(mem::lane_compatible(mem::Fault::af_no_access(1)));
+  EXPECT_FALSE(mem::lane_compatible(mem::Fault::af_wrong_access(1, 2)));
+  EXPECT_FALSE(mem::lane_compatible(mem::Fault::npsf_static({5, 0}, 0xF, 0, 4)));
+  EXPECT_FALSE(mem::lane_compatible(mem::Fault::retention({1, 0}, 1, 8)));
+  // The packed array models a 1-bit-wide memory: bit planes > 0 do not
+  // ride.
+  EXPECT_FALSE(mem::lane_compatible(mem::Fault::saf({3, 1}, 0)));
+}
+
+TEST(PackedFaultRam, RejectsIncompatibleAndOverflowingFaults) {
+  mem::PackedFaultRam ram(8);
+  EXPECT_THROW(ram.add_fault(mem::Fault::cf_in({1, 0}, {2, 0})),
+               std::invalid_argument);
+  EXPECT_THROW(ram.add_fault(mem::Fault::saf({8, 0}, 1)),
+               std::invalid_argument);
+  for (unsigned i = 0; i < mem::PackedFaultRam::kLanes; ++i) {
+    EXPECT_EQ(ram.add_fault(mem::Fault::saf({i % 8, 0}, 1)), i);
+  }
+  EXPECT_THROW(ram.add_fault(mem::Fault::saf({0, 0}, 0)), std::length_error);
+}
+
+TEST(PackedFaultRam, StuckAtClampsFromInjectionLikeFaultyRam) {
+  mem::PackedFaultRam packed(8);
+  const unsigned lane = packed.add_fault(mem::Fault::saf({3, 0}, 1));
+  // Before any write, the stuck-at-1 lane already reads 1.
+  EXPECT_EQ((packed.read(3) >> lane) & 1U, 1U);
+  mem::FaultyRam scalar(8, 1);
+  scalar.inject(mem::Fault::saf({3, 0}, 1));
+  EXPECT_EQ(scalar.read(3, 0), 1U);
+}
+
+// --- per-lane differential check against FaultyRam ---------------------
+
+TEST(PackedFaultRam, EveryLaneMatchesScalarFaultyRamOnRandomTraffic) {
+  const mem::Addr n = 24;
+  // 64 faults cycling through every lane-compatible kind and cell.
+  std::vector<mem::Fault> faults;
+  for (unsigned i = 0; faults.size() < mem::PackedFaultRam::kLanes; ++i) {
+    const mem::BitRef v{i % n, 0};
+    switch (i % 9) {
+      case 0: faults.push_back(mem::Fault::saf(v, 0)); break;
+      case 1: faults.push_back(mem::Fault::saf(v, 1)); break;
+      case 2: faults.push_back(mem::Fault::tf(v, true)); break;
+      case 3: faults.push_back(mem::Fault::tf(v, false)); break;
+      case 4: faults.push_back(mem::Fault::wdf(v)); break;
+      case 5: faults.push_back(mem::Fault::rdf(v)); break;
+      case 6: faults.push_back(mem::Fault::drdf(v)); break;
+      case 7: faults.push_back(mem::Fault::irf(v)); break;
+      case 8: faults.push_back(mem::Fault::sof(v)); break;
+    }
+  }
+  mem::PackedFaultRam packed(n);
+  std::vector<std::unique_ptr<mem::FaultyRam>> scalars;
+  for (const mem::Fault& f : faults) {
+    packed.add_fault(f);
+    scalars.push_back(std::make_unique<mem::FaultyRam>(n, 1));
+    scalars.back()->inject(f);
+  }
+  std::uint64_t x = 0xC0FFEE;
+  for (int step = 0; step < 4000; ++step) {
+    const mem::Addr addr = static_cast<mem::Addr>(next_rand(x) % n);
+    if (next_rand(x) & 1) {
+      const mem::LaneWord value = next_rand(x);
+      packed.write(addr, value);
+      for (unsigned lane = 0; lane < scalars.size(); ++lane) {
+        scalars[lane]->write(addr,
+                             static_cast<mem::Word>((value >> lane) & 1U), 0);
+      }
+    } else {
+      const mem::LaneWord got = packed.read(addr);
+      for (unsigned lane = 0; lane < scalars.size(); ++lane) {
+        ASSERT_EQ((got >> lane) & 1U, scalars[lane]->read(addr, 0))
+            << "step " << step << " lane " << lane << " ("
+            << faults[lane].describe() << ")";
+      }
+    }
+  }
+}
+
+// --- packed PRT evaluation ---------------------------------------------
+
+TEST(RunPrtPacked, SchemePackability) {
+  EXPECT_TRUE(core::prt_scheme_packable(core::standard_scheme_bom(16)));
+  EXPECT_TRUE(core::prt_scheme_packable(core::extended_scheme_bom(16)));
+  EXPECT_TRUE(
+      core::prt_scheme_packable(core::retention_scheme(16, 1, 100)));
+  // Word-oriented schemes need GF(2^m) multiplies per lane.
+  EXPECT_FALSE(core::prt_scheme_packable(core::standard_scheme_wom(16, 4)));
+}
+
+// One full batch of every lane-compatible fault on a tiny array: each
+// lane's detected bit must equal the scalar oracle-backed run_prt
+// verdict for that fault alone.
+void check_packed_verdicts(const core::PrtScheme& scheme, mem::Addr n) {
+  const auto universe = mem::single_cell_universe(n, 1, /*read_logic=*/true);
+  ASSERT_LE(universe.size(), mem::PackedFaultRam::kLanes);
+  const auto oracle = core::make_prt_oracle(scheme, n);
+  mem::PackedFaultRam packed(n);
+  for (const mem::Fault& f : universe) packed.add_fault(f);
+  const std::uint64_t detected =
+      core::run_prt_packed(packed, scheme, oracle) & packed.active_mask();
+  mem::FaultyRam scalar(n, 1);
+  for (unsigned lane = 0; lane < universe.size(); ++lane) {
+    scalar.reset(universe[lane]);
+    const core::PrtRunOptions opts{.early_abort = false,
+                                   .record_iterations = false};
+    const bool expected =
+        core::run_prt(scalar, scheme, oracle, opts).detected();
+    EXPECT_EQ(((detected >> lane) & 1U) != 0, expected)
+        << "lane " << lane << " (" << universe[lane].describe() << ")";
+    // A packed batch runs the complete scheme, so its op count matches
+    // the scalar per-fault cost.
+    EXPECT_EQ(packed.ops(), scalar.total_stats().total());
+  }
+}
+
+TEST(RunPrtPacked, LaneVerdictsMatchScalarStandardScheme) {
+  check_packed_verdicts(core::standard_scheme_bom(7), 7);
+}
+
+TEST(RunPrtPacked, LaneVerdictsMatchScalarExtendedScheme) {
+  check_packed_verdicts(core::extended_scheme_bom(7), 7);
+}
+
+TEST(RunPrtPacked, LaneVerdictsMatchScalarWithMisr) {
+  core::PrtScheme scheme = core::standard_scheme_bom(7);
+  scheme.misr_poly = 0b100101;  // degree-5 signature over the read stream
+  check_packed_verdicts(scheme, 7);
+}
+
+// --- campaign-level parity (the acceptance criterion) -------------------
+
+analysis::CampaignResult serial_scalar_reference(
+    std::span<const mem::Fault> universe, const core::PrtScheme& scheme,
+    const analysis::CampaignOptions& opt) {
+  return analysis::run_campaign(universe, analysis::prt_algorithm(scheme),
+                                opt);
+}
+
+TEST(PackedCampaign, BitIdenticalToSerialScalarOnClassical256) {
+  const mem::Addr n = 256;
+  const auto universe = mem::classical_universe(n);
+  const auto scheme = core::extended_scheme_bom(n);
+  analysis::CampaignOptions opt;
+  opt.n = n;
+  const auto reference = serial_scalar_reference(universe, scheme, opt);
+  for (unsigned threads : {1u, 4u}) {
+    analysis::EngineOptions eng;
+    eng.threads = threads;
+    eng.packed = true;
+    expect_identical(reference,
+                     analysis::run_prt_campaign(universe, scheme, opt, eng));
+  }
+}
+
+TEST(PackedCampaign, BitIdenticalToSerialScalarOnClassical1024) {
+  const mem::Addr n = 1024;
+  const auto universe = mem::classical_universe(n);
+  const auto scheme = core::standard_scheme_bom(n);
+  analysis::CampaignOptions opt;
+  opt.n = n;
+  const auto reference = serial_scalar_reference(universe, scheme, opt);
+  analysis::EngineOptions eng;
+  eng.packed = true;
+  expect_identical(reference,
+                   analysis::run_prt_campaign(universe, scheme, opt, eng));
+}
+
+// The van de Goor universe interleaves packed (single-cell, read-logic)
+// and scalar (coupling, decoder) faults within every shard, exercising
+// the escape re-sort and the per-class merge.
+TEST(PackedCampaign, BitIdenticalToSerialScalarOnVanDeGoor) {
+  const mem::Addr n = 48;
+  const auto universe = mem::van_de_goor_universe(n);
+  const auto scheme = core::extended_scheme_bom(n);
+  analysis::CampaignOptions opt;
+  opt.n = n;
+  const auto reference = serial_scalar_reference(universe, scheme, opt);
+  analysis::EngineOptions eng;
+  eng.threads = 3;  // uneven shards split batches at arbitrary points
+  eng.packed = true;
+  expect_identical(reference,
+                   analysis::run_prt_campaign(universe, scheme, opt, eng));
+}
+
+TEST(PackedCampaign, MisrEnabledCampaignStaysBitIdentical) {
+  const mem::Addr n = 64;
+  const auto universe = mem::single_cell_universe(n, 1, /*read_logic=*/true);
+  core::PrtScheme scheme = core::standard_scheme_bom(n);
+  scheme.misr_poly = 0b1000011;  // degree-6
+  analysis::CampaignOptions opt;
+  opt.n = n;
+  const auto reference = serial_scalar_reference(universe, scheme, opt);
+  analysis::EngineOptions eng;
+  eng.packed = true;
+  expect_identical(reference,
+                   analysis::run_prt_campaign(universe, scheme, opt, eng));
+}
+
+// Word-oriented campaigns must transparently fall back to scalar.
+TEST(PackedCampaign, WomCampaignFallsBackToScalar) {
+  const mem::Addr n = 24;
+  const unsigned m = 4;
+  const auto universe = mem::single_cell_universe(n, m, /*read_logic=*/false);
+  const auto scheme = core::standard_scheme_wom(n, m);
+  analysis::CampaignOptions opt;
+  opt.n = n;
+  opt.m = m;
+  const auto reference = serial_scalar_reference(universe, scheme, opt);
+  analysis::EngineOptions eng;
+  eng.packed = true;  // ignored: the scheme is not packable
+  expect_identical(reference,
+                   analysis::run_prt_campaign(universe, scheme, opt, eng));
+}
+
+}  // namespace
+}  // namespace prt
