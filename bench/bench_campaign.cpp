@@ -1,38 +1,51 @@
 // Campaign-engine micro-benchmark: the seed's serial per-fault path
 // (fresh FaultyRam + full scheme re-derivation per fault) against the
-// oracle-backed engine, its parallel fan-out, early-abort, and the
-// word-packed SIMD fault lanes — the perf trajectory behind the
-// CampaignEngine overhaul (DESIGN.md §7) and the bit-lane packing
-// (DESIGN.md §8).
+// oracle-backed engine, its parallel fan-out, early-abort, the
+// word-packed SIMD fault lanes — now including two-cell coupling
+// lanes and per-lane early abort (DESIGN.md §7/§8) — and the packed
+// March campaign.
 //
-// Two universe families are measured and written to
-// BENCH_campaign.json:
+// Three universe families are measured and written to
+// BENCH_campaign.json (and appended, one compact line per run, to
+// BENCH_history.jsonl — the cross-PR perf trajectory):
 //
-//  * the shared classical universe (SAF/TF/CFin/bridge/AF), where only
-//    the 4n single-cell faults ride the packed lanes and the rest stay
-//    scalar — the mixed-workload picture;
+//  * the shared classical universe (SAF/TF/CFin/bridge/AF), where
+//    everything except the decoder faults now rides the packed lanes
+//    and early abort composes with packing — the headline
+//    packed_vs_parallel ratio compares the PR 1-era oracle+parallel
+//    config against the fastest packed config;
 //  * the lane-compatible single-cell universe (SAF/TF/WDF + read
 //    logic, 9n faults, every one packable), where the packed path's
-//    64-faults-per-sweep gain is undiluted — the acceptance number is
-//    packed vs the PR 1 oracle+parallel path here.
+//    64-faults-per-sweep gain is undiluted;
+//  * a March campaign over the classical universe (March C-), where
+//    the same lanes drive march::run_march_packed via
+//    analysis::MarchCampaign.
 //
 // Every configuration of a section runs the same universe slice and is
-// parity-checked against the section's first configuration, so the
-// ratios stay apples-to-apples and a model divergence aborts the
-// bench.
+// parity-checked against the section's first configuration (abort
+// configs additionally against each other's op counts), so the ratios
+// stay apples-to-apples and a model divergence aborts the bench.
+//
+// Flags: --quick caps every universe for smoke runs; --threads N pins
+// the worker count (equivalent to PRT_THREADS=N in the environment).
 #include <chrono>
 #include <cstdio>
 #include <cstdlib>
+#include <ctime>
 #include <fstream>
 #include <span>
+#include <sstream>
 #include <string>
 #include <thread>
 #include <vector>
 
 #include "analysis/campaign_engine.hpp"
+#include "analysis/march_campaign.hpp"
 #include "core/prt_engine.hpp"
+#include "march/march_library.hpp"
 #include "mem/fault_injector.hpp"
 #include "mem/fault_universe.hpp"
+#include "util/thread_pool.hpp"
 
 namespace {
 
@@ -41,6 +54,34 @@ using Clock = std::chrono::steady_clock;
 
 double seconds_since(Clock::time_point start) {
   return std::chrono::duration<double>(Clock::now() - start).count();
+}
+
+/// Short git revision of the working tree, "unknown" outside a repo —
+/// stamps every report so BENCH_history.jsonl lines map to commits.
+std::string git_revision() {
+  std::string rev = "unknown";
+  if (FILE* pipe = popen("git rev-parse --short HEAD 2>/dev/null", "r")) {
+    char buf[64];
+    if (std::fgets(buf, sizeof buf, pipe)) {
+      rev.assign(buf);
+      while (!rev.empty() && (rev.back() == '\n' || rev.back() == '\r')) {
+        rev.pop_back();
+      }
+      if (rev.empty()) rev = "unknown";
+    }
+    pclose(pipe);
+  }
+  return rev;
+}
+
+std::string utc_timestamp() {
+  const std::time_t now =
+      std::chrono::system_clock::to_time_t(std::chrono::system_clock::now());
+  std::tm tm{};
+  gmtime_r(&now, &tm);
+  char buf[32];
+  std::strftime(buf, sizeof buf, "%Y-%m-%dT%H:%M:%SZ", &tm);
+  return buf;
 }
 
 /// The seed code path, reproduced verbatim as the baseline: one heap
@@ -97,10 +138,14 @@ struct SectionReport {
   mem::Addr n = 0;
   std::size_t faults = 0;
   std::vector<ConfigTiming> configs;
-  /// Ratio of the oracle+parallel config's time to the packed config's
-  /// time (0 when the section has neither) — the headline lane-packing
-  /// gain.
+  /// Headline lane-packing gain: the "oracle+parallel"-style config's
+  /// time over the *fastest* packed config's time (abort now composes
+  /// with packing, so the composed config counts); 0 when the section
+  /// has no such pair.
   double packed_vs_parallel = 0;
+  /// Same ratio restricted to the full-run packed config (no abort) —
+  /// the PR 2-comparable number.
+  double packed_vs_parallel_full_run = 0;
   [[nodiscard]] double speedup_vs_baseline(std::size_t idx) const {
     return configs[idx].seconds > 0
                ? configs[0].seconds / configs[idx].seconds
@@ -112,78 +157,84 @@ class SectionRunner {
  public:
   SectionRunner(SectionReport& report,
                 std::span<const mem::Fault> universe,
-                const core::PrtScheme& scheme,
                 const analysis::CampaignOptions& opt)
-      : report_(report), universe_(universe), scheme_(scheme), opt_(opt) {
-    std::printf("%s universe, n = %u, %zu faults, scheme %s\n",
+      : report_(report), universe_(universe), opt_(opt) {
+    std::printf("%s universe, n = %u, %zu faults, %s\n",
                 report_.universe.c_str(), report_.n, universe_.size(),
-                scheme_.name.c_str());
+                report_.scheme.c_str());
   }
 
-  void seed_serial() {
-    record("serial (seed path)",
-           [&] { return seed_serial_campaign(universe_, scheme_, opt_); });
-  }
-
-  void engine(const std::string& name, const analysis::EngineOptions& eng) {
-    // Early abort legitimately shrinks the op count; every other
-    // config must reproduce the baseline ops bit-for-bit.
-    record(
-        name,
-        [&] {
-          return analysis::run_prt_campaign(universe_, scheme_, opt_, eng);
-        },
-        /*ops_exempt=*/eng.early_abort);
-  }
-
-  void finish() {
-    double parallel_secs = 0, packed_secs = 0;
-    for (std::size_t i = 0; i < report_.configs.size(); ++i) {
-      std::printf("  %-28s %.2fx vs %s\n", report_.configs[i].name.c_str(),
-                  report_.speedup_vs_baseline(i),
-                  report_.configs[0].name.c_str());
-      if (report_.configs[i].name == "oracle+parallel") {
-        parallel_secs = report_.configs[i].seconds;
-      }
-      if (report_.configs[i].name == "oracle+parallel+packed") {
-        packed_secs = report_.configs[i].seconds;
-      }
-    }
-    if (parallel_secs > 0 && packed_secs > 0) {
-      report_.packed_vs_parallel = parallel_secs / packed_secs;
-      std::printf("  packed vs oracle+parallel: %.2fx\n",
-                  report_.packed_vs_parallel);
-    }
-    std::printf("\n");
-  }
-
- private:
   template <typename Run>
   void record(const std::string& name, Run&& run, bool ops_exempt = false) {
     const auto start = Clock::now();
     const analysis::CampaignResult r = run();
     const double secs = seconds_since(start);
+    bool parity = true;
     if (report_.configs.empty()) {
       reference_ = r;
-    } else if (!(r.overall == reference_.overall &&
-                 r.by_class == reference_.by_class &&
-                 r.escapes == reference_.escapes &&
-                 (ops_exempt || r.ops == reference_.ops))) {
+    } else {
+      parity = r.overall == reference_.overall &&
+               r.by_class == reference_.by_class &&
+               r.escapes == reference_.escapes &&
+               (ops_exempt || r.ops == reference_.ops);
+    }
+    if (ops_exempt) {
+      // All abort configs of a section must agree on the shrunk op
+      // count — the packed per-lane accounting reproduces the scalar
+      // abort path exactly.
+      if (abort_ops_ == 0) {
+        abort_ops_ = r.ops;
+      } else if (r.ops != abort_ops_) {
+        parity = false;
+      }
+    }
+    if (!parity) {
       std::fprintf(stderr, "PARITY VIOLATION in config %s at n=%u\n",
                    name.c_str(), report_.n);
       std::exit(1);
     }
     report_.configs.push_back({name, secs, r.ops, r.overall.percent()});
-    std::printf("  %-28s %8.3f s   %12llu ops   %6.2f %% coverage\n",
+    std::printf("  %-30s %8.3f s   %12llu ops   %6.2f %% coverage\n",
                 name.c_str(), secs,
                 static_cast<unsigned long long>(r.ops), r.overall.percent());
   }
 
+  void finish() {
+    double parallel_secs = 0, packed_secs = 0, packed_abort_secs = 0;
+    for (std::size_t i = 0; i < report_.configs.size(); ++i) {
+      const std::string& name = report_.configs[i].name;
+      std::printf("  %-30s %.2fx vs %s\n", name.c_str(),
+                  report_.speedup_vs_baseline(i),
+                  report_.configs[0].name.c_str());
+      if (name == "oracle+parallel" || name == "parallel") {
+        parallel_secs = report_.configs[i].seconds;
+      } else if (name == "oracle+parallel+packed" ||
+                 name == "parallel+packed") {
+        packed_secs = report_.configs[i].seconds;
+      } else if (name == "oracle+parallel+packed+abort") {
+        packed_abort_secs = report_.configs[i].seconds;
+      }
+    }
+    if (parallel_secs > 0 && packed_secs > 0) {
+      report_.packed_vs_parallel_full_run = parallel_secs / packed_secs;
+      double best = packed_secs;
+      if (packed_abort_secs > 0 && packed_abort_secs < best) {
+        best = packed_abort_secs;
+      }
+      report_.packed_vs_parallel = parallel_secs / best;
+      std::printf("  packed vs parallel: %.2fx (full-run %.2fx)\n",
+                  report_.packed_vs_parallel,
+                  report_.packed_vs_parallel_full_run);
+    }
+    std::printf("\n");
+  }
+
+ private:
   SectionReport& report_;
   std::span<const mem::Fault> universe_;
-  const core::PrtScheme& scheme_;
   analysis::CampaignOptions opt_;
   analysis::CampaignResult reference_;
+  std::uint64_t abort_ops_ = 0;
 };
 
 analysis::EngineOptions engine_opts(bool parallel, bool packed,
@@ -196,8 +247,9 @@ analysis::EngineOptions engine_opts(bool parallel, bool packed,
 }
 
 /// Classical universe: the PR 1 ladder (seed serial -> oracle ->
-/// parallel -> abort) plus the packed config — mixed workload, only the
-/// SAF/TF share rides the lanes.
+/// parallel -> abort) plus the packed configs.  Coupling and bridge
+/// faults now ride the lanes, and packed+abort is the composed fast
+/// path — only the decoder faults stay scalar.
 SectionReport bench_classical(mem::Addr n, std::size_t fault_cap) {
   const auto universe = cap_universe(mem::classical_universe(n), fault_cap);
   const auto scheme = core::extended_scheme_bom(n);
@@ -208,19 +260,28 @@ SectionReport bench_classical(mem::Addr n, std::size_t fault_cap) {
                        .scheme = scheme.name,
                        .n = n,
                        .faults = universe.size()};
-  SectionRunner run(report, universe, scheme, opt);
-  run.seed_serial();
-  run.engine("oracle", engine_opts(false, false));
-  run.engine("oracle+parallel", engine_opts(true, false));
-  run.engine("oracle+parallel+abort", engine_opts(true, false, true));
-  run.engine("oracle+parallel+packed", engine_opts(true, true));
+  SectionRunner run(report, universe, opt);
+  auto engine = [&](const std::string& name,
+                    const analysis::EngineOptions& eng) {
+    run.record(
+        name,
+        [&] { return analysis::run_prt_campaign(universe, scheme, opt, eng); },
+        /*ops_exempt=*/eng.early_abort);
+  };
+  run.record("serial (seed path)",
+             [&] { return seed_serial_campaign(universe, scheme, opt); });
+  engine("oracle", engine_opts(false, false));
+  engine("oracle+parallel", engine_opts(true, false));
+  engine("oracle+parallel+abort", engine_opts(true, false, true));
+  engine("oracle+parallel+packed", engine_opts(true, true));
+  engine("oracle+parallel+packed+abort", engine_opts(true, true, true));
   run.finish();
   return report;
 }
 
 /// Lane-compatible universe: every fault is packable, so the packed
 /// config shows the undiluted 64-faults-per-sweep gain over the PR 1
-/// oracle+parallel path (the acceptance ratio).
+/// oracle+parallel path.
 SectionReport bench_lane_compatible(mem::Addr n, const core::PrtScheme& scheme,
                                     std::size_t fault_cap) {
   const auto universe =
@@ -233,57 +294,132 @@ SectionReport bench_lane_compatible(mem::Addr n, const core::PrtScheme& scheme,
                        .scheme = scheme.name,
                        .n = n,
                        .faults = universe.size()};
-  SectionRunner run(report, universe, scheme, opt);
-  run.engine("oracle", engine_opts(false, false));
-  run.engine("oracle+parallel", engine_opts(true, false));
-  run.engine("oracle+parallel+packed", engine_opts(true, true));
+  SectionRunner run(report, universe, opt);
+  auto engine = [&](const std::string& name,
+                    const analysis::EngineOptions& eng) {
+    run.record(
+        name,
+        [&] { return analysis::run_prt_campaign(universe, scheme, opt, eng); },
+        /*ops_exempt=*/eng.early_abort);
+  };
+  engine("oracle", engine_opts(false, false));
+  engine("oracle+parallel", engine_opts(true, false));
+  engine("oracle+parallel+packed", engine_opts(true, true));
+  engine("oracle+parallel+packed+abort", engine_opts(true, true, true));
   run.finish();
   return report;
 }
 
-void write_json(const std::vector<SectionReport>& reports,
-                unsigned hardware_threads) {
-  std::ofstream out("BENCH_campaign.json");
-  out << "{\n"
-      << "  \"bench\": \"campaign\",\n"
-      << "  \"hardware_concurrency\": " << hardware_threads << ",\n"
-      << "  \"sections\": [\n";
+/// March campaign over the classical universe: serial run_campaign
+/// baseline vs the sharded MarchCampaign, scalar and packed.
+SectionReport bench_march(mem::Addr n, std::size_t fault_cap) {
+  const auto universe = cap_universe(mem::classical_universe(n), fault_cap);
+  const auto test = march::march_c_minus();
+  analysis::CampaignOptions opt;
+  opt.n = n;
+
+  SectionReport report{.universe = "classical (March)",
+                       .scheme = test.name,
+                       .n = n,
+                       .faults = universe.size()};
+  SectionRunner run(report, universe, opt);
+  run.record("serial (run_campaign)", [&] {
+    return analysis::run_campaign(universe, analysis::march_algorithm(test),
+                                  opt);
+  });
+  auto engine = [&](const std::string& name,
+                    const analysis::MarchEngineOptions& eng) {
+    run.record(name, [&] {
+      return analysis::run_march_campaign(universe, test, opt, eng);
+    });
+  };
+  engine("parallel", {.packed = false});
+  engine("parallel+packed", {.packed = true});
+  run.finish();
+  return report;
+}
+
+void write_report(std::ostream& out, const std::vector<SectionReport>& reports,
+                  const std::string& rev, const std::string& utc,
+                  unsigned hardware_threads, unsigned workers, bool pretty) {
+  // Field separator: newline-indented in pretty mode, a single space
+  // in compact mode — never a trailing space before a newline.
+  const char* nl = pretty ? "\n" : "";
+  const char* sp = pretty ? "" : " ";
+  auto indent = [&](int level) {
+    return pretty ? std::string(static_cast<std::size_t>(level) * 2, ' ')
+                  : std::string();
+  };
+  out << "{" << nl << indent(1) << "\"bench\": \"campaign\"," << sp << nl
+      << indent(1) << "\"rev\": \"" << rev << "\"," << sp << nl << indent(1)
+      << "\"utc\": \"" << utc << "\"," << sp << nl << indent(1)
+      << "\"hardware_concurrency\": " << hardware_threads << "," << sp << nl
+      << indent(1) << "\"threads\": " << workers << "," << sp << nl
+      << indent(1) << "\"sections\": [" << nl;
   for (std::size_t s = 0; s < reports.size(); ++s) {
     const SectionReport& r = reports[s];
-    out << "    {\n      \"universe\": \"" << r.universe
-        << "\",\n      \"scheme\": \"" << r.scheme << "\",\n      \"n\": "
-        << r.n << ",\n      \"faults\": " << r.faults
-        << ",\n      \"packed_vs_parallel\": " << r.packed_vs_parallel
-        << ",\n      \"configs\": [\n";
+    out << indent(2) << "{" << nl << indent(3) << "\"universe\": \""
+        << r.universe << "\"," << sp << nl << indent(3) << "\"scheme\": \""
+        << r.scheme << "\"," << sp << nl << indent(3) << "\"n\": " << r.n
+        << "," << sp << nl << indent(3) << "\"faults\": " << r.faults << ","
+        << sp << nl << indent(3)
+        << "\"packed_vs_parallel\": " << r.packed_vs_parallel << "," << sp
+        << nl << indent(3) << "\"packed_vs_parallel_full_run\": "
+        << r.packed_vs_parallel_full_run << "," << sp << nl << indent(3)
+        << "\"configs\": [" << nl;
     for (std::size_t c = 0; c < r.configs.size(); ++c) {
       const ConfigTiming& t = r.configs[c];
-      out << "        {\"name\": \"" << t.name << "\", \"seconds\": "
-          << t.seconds << ", \"ops\": " << t.ops << ", \"coverage\": "
-          << t.coverage << ", \"speedup_vs_baseline\": "
-          << r.speedup_vs_baseline(c) << "}"
-          << (c + 1 < r.configs.size() ? "," : "") << "\n";
+      out << indent(4) << "{\"name\": \"" << t.name
+          << "\", \"seconds\": " << t.seconds << ", \"ops\": " << t.ops
+          << ", \"coverage\": " << t.coverage
+          << ", \"speedup_vs_baseline\": " << r.speedup_vs_baseline(c) << "}"
+          << (c + 1 < r.configs.size() ? "," : "") << nl;
     }
-    out << "      ]\n    }" << (s + 1 < reports.size() ? "," : "") << "\n";
+    out << indent(3) << "]" << nl << indent(2) << "}"
+        << (s + 1 < reports.size() ? "," : "") << nl;
   }
-  out << "  ]\n}\n";
+  out << indent(1) << "]" << nl << "}" << (pretty ? "\n" : "");
 }
 
 }  // namespace
 
 int main(int argc, char** argv) {
-  // --quick caps every universe for smoke runs (CI, 1-core boxes).
+  // --quick caps every universe for smoke runs (CI, 1-core boxes);
+  // --threads N pins the worker count for reproducible timings.
   std::size_t cap_small = static_cast<std::size_t>(-1);
   std::size_t cap_large = 4096;
   std::size_t cap_lane = 16384;
   for (int i = 1; i < argc; ++i) {
-    if (std::string(argv[i]) == "--quick") {
+    const std::string arg = argv[i];
+    if (arg == "--quick") {
       cap_small = 512;
       cap_large = 512;
       cap_lane = 512;
+    } else if (arg == "--threads" && i + 1 < argc) {
+      // Same effect as PRT_THREADS=N: every pool sized 0 picks it up.
+      // Validated here so a typo cannot silently record an unpinned
+      // run into the perf trajectory.
+      const char* value = argv[++i];
+      char* end = nullptr;
+      const unsigned long parsed = std::strtoul(value, &end, 10);
+      if (end == value || *end != '\0' || parsed < 1 || parsed > 4096) {
+        std::fprintf(stderr, "--threads expects an integer in [1, 4096], got '%s'\n",
+                     value);
+        return 2;
+      }
+      setenv("PRT_THREADS", value, /*overwrite=*/1);
+    } else {
+      std::fprintf(stderr, "usage: %s [--quick] [--threads N]\n", argv[0]);
+      return 2;
     }
   }
   const unsigned hw = std::thread::hardware_concurrency();
-  std::printf("campaign engine bench — %u hardware thread(s)\n\n", hw);
+  const unsigned workers = util::default_worker_count();
+  const std::string rev = git_revision();
+  const std::string utc = utc_timestamp();
+  std::printf(
+      "campaign engine bench — rev %s, %u hardware thread(s), %u worker(s)\n\n",
+      rev.c_str(), hw, workers);
   std::vector<SectionReport> reports;
   reports.push_back(bench_classical(256, cap_small));
   reports.push_back(bench_classical(1024, cap_small));
@@ -292,7 +428,18 @@ int main(int argc, char** argv) {
       bench_lane_compatible(1024, core::extended_scheme_bom(1024), cap_small));
   reports.push_back(
       bench_lane_compatible(4096, core::standard_scheme_bom(4096), cap_lane));
-  write_json(reports, hw);
-  std::printf("wrote BENCH_campaign.json\n");
+  reports.push_back(bench_march(1024, cap_small));
+  reports.push_back(bench_march(4096, cap_large));
+  {
+    std::ofstream out("BENCH_campaign.json");
+    write_report(out, reports, rev, utc, hw, workers, /*pretty=*/true);
+  }
+  {
+    // One compact line per run — the cross-PR perf trajectory.
+    std::ofstream hist("BENCH_history.jsonl", std::ios::app);
+    write_report(hist, reports, rev, utc, hw, workers, /*pretty=*/false);
+    hist << "\n";
+  }
+  std::printf("wrote BENCH_campaign.json, appended BENCH_history.jsonl\n");
   return 0;
 }

@@ -1,0 +1,89 @@
+#!/usr/bin/env python3
+"""Compare a fresh BENCH_campaign.json against a committed baseline.
+
+Timings are machine-dependent, but every other field of the report is
+deterministic: the universes, the per-config coverage percentages and
+the op counts (including the shrunk early-abort counts) must reproduce
+exactly run over run.  The bench binary itself aborts on intra-run
+parity violations; this checker catches *cross-commit* regressions —
+a scheme change that silently drops coverage, or an accounting change
+that breaks the packed/scalar op identity — by diffing the fresh
+report against the baseline generated with the same flags
+(`bench_campaign --quick`, threads pinned via PRT_THREADS).
+
+Usage: check_bench_baseline.py FRESH.json BASELINE.json
+Exit status 0 when everything matches, 1 with a diff report otherwise.
+"""
+
+import json
+import sys
+
+
+def section_key(section):
+    return (section["universe"], section["scheme"], section["n"])
+
+
+def main():
+    if len(sys.argv) != 3:
+        print(__doc__, file=sys.stderr)
+        return 2
+    with open(sys.argv[1]) as f:
+        fresh = json.load(f)
+    with open(sys.argv[2]) as f:
+        baseline = json.load(f)
+
+    errors = []
+    fresh_sections = {section_key(s): s for s in fresh["sections"]}
+    baseline_sections = {section_key(s): s for s in baseline["sections"]}
+    # Both directions: a section/config present on only one side means
+    # either a regression (dropped from the fresh run) or a bench
+    # change whose baseline was not regenerated — both must fail so
+    # nothing ships unchecked.
+    for key in fresh_sections.keys() - baseline_sections.keys():
+        errors.append(
+            f"section {key} not in baseline (regenerate the baseline)"
+        )
+    for key, base in baseline_sections.items():
+        got = fresh_sections.get(key)
+        if got is None:
+            errors.append(f"section {key} missing from fresh report")
+            continue
+        if got["faults"] != base["faults"]:
+            errors.append(
+                f"section {key}: faults {got['faults']} != "
+                f"baseline {base['faults']}"
+            )
+            continue
+        base_configs = {c["name"]: c for c in base["configs"]}
+        got_configs = {c["name"]: c for c in got["configs"]}
+        for name in got_configs.keys() - base_configs.keys():
+            errors.append(
+                f"section {key}: config '{name}' not in baseline "
+                "(regenerate the baseline)"
+            )
+        for name, bc in base_configs.items():
+            gc = got_configs.get(name)
+            if gc is None:
+                errors.append(f"section {key}: config '{name}' missing")
+                continue
+            for field in ("ops", "coverage"):
+                if gc[field] != bc[field]:
+                    errors.append(
+                        f"section {key} config '{name}': {field} "
+                        f"{gc[field]} != baseline {bc[field]}"
+                    )
+
+    if errors:
+        print("bench baseline check FAILED:", file=sys.stderr)
+        for e in errors:
+            print(f"  {e}", file=sys.stderr)
+        return 1
+    print(
+        f"bench baseline check OK: {len(baseline['sections'])} sections, "
+        "ops and coverage match"
+    )
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

@@ -1,11 +1,10 @@
 #include "analysis/campaign_engine.hpp"
 
-#include <algorithm>
-#include <array>
 #include <cassert>
-#include <thread>
+#include <utility>
 #include <vector>
 
+#include "analysis/campaign_shard.hpp"
 #include "core/prt_packed.hpp"
 #include "mem/fault_injector.hpp"
 #include "mem/packed_fault_ram.hpp"
@@ -25,8 +24,7 @@ CampaignEngine::CampaignEngine(core::PrtScheme scheme,
 CampaignEngine::~CampaignEngine() = default;
 
 bool CampaignEngine::packed_enabled() const {
-  return engine_.packed && engine_.use_oracle && !engine_.early_abort &&
-         scheme_packable_;
+  return engine_.packed && engine_.use_oracle && scheme_packable_;
 }
 
 void CampaignEngine::run_shard(std::span<const mem::Fault> universe,
@@ -35,17 +33,6 @@ void CampaignEngine::run_shard(std::span<const mem::Fault> universe,
   mem::FaultyRam ram(opt_.n, opt_.m, opt_.ports);
   const core::PrtRunOptions run_opts{.early_abort = engine_.early_abort,
                                      .record_iterations = false};
-  auto tally = [&](std::size_t i, bool detected) {
-    auto& cls = out.by_class[mem::fault_class(universe[i].kind)];
-    ++cls.total;
-    ++out.overall.total;
-    if (detected) {
-      ++cls.detected;
-      ++out.overall.detected;
-    } else {
-      out.escapes.push_back(i);
-    }
-  };
   auto run_scalar = [&](std::size_t i) {
     ram.reset(universe[i]);
     const bool detected =
@@ -53,65 +40,37 @@ void CampaignEngine::run_shard(std::span<const mem::Fault> universe,
             ? core::run_prt(ram, scheme_, oracle_, run_opts).detected()
             : core::run_prt(ram, scheme_).detected();
     out.ops += ram.total_stats().total();
-    tally(i, detected);
+    return detected;
   };
 
   if (!packed_enabled()) {
-    for (std::size_t i = begin; i < end; ++i) run_scalar(i);
+    detail::scalar_shard(universe, begin, end, out, run_scalar);
     return;
   }
 
-  // Lane-batched path: compatible faults ride the packed ram 64 at a
-  // time, the rest run scalar in place.  Escapes are gathered out of
-  // order and sorted once — counts and op sums are order-independent,
-  // so the shard output is bit-identical to the all-scalar loop.
   mem::PackedFaultRam packed(opt_.n);
-  std::array<std::size_t, mem::PackedFaultRam::kLanes> batch_index{};
-  auto flush = [&]() {
-    const unsigned lanes = packed.lanes_used();
-    if (lanes == 0) return;
-    const std::uint64_t detected =
-        core::run_prt_packed(packed, scheme_, oracle_) & packed.active_mask();
-    // Every lane's fault "ran" the complete scheme: the packed op count
-    // equals the scalar per-fault op count of a full run.
-    out.ops += packed.ops() * lanes;
-    for (unsigned lane = 0; lane < lanes; ++lane) {
-      tally(batch_index[lane], ((detected >> lane) & 1U) != 0);
-    }
-    packed.reset();
+  auto run_batch = [&](mem::PackedFaultRam& batch) {
+    const core::PackedRunOptions run{.early_abort = engine_.early_abort};
+    const core::PackedVerdict v =
+        core::run_prt_packed(batch, scheme_, oracle_, run);
+    // scalar_ops reproduces, per lane, exactly what the scalar path
+    // would have issued for that fault (complete iterations until the
+    // first failing one under early_abort, the full scheme otherwise).
+    return std::pair{v.detected & batch.active_mask(), v.scalar_ops};
   };
-  for (std::size_t i = begin; i < end; ++i) {
-    if (mem::lane_compatible(universe[i])) {
-      batch_index[packed.add_fault(universe[i])] = i;
-      if (packed.lanes_used() == mem::PackedFaultRam::kLanes) flush();
-    } else {
-      run_scalar(i);
-    }
-  }
-  flush();
-  std::sort(out.escapes.begin(), out.escapes.end());
+  detail::lane_batched_shard(universe, begin, end, packed, out, run_batch,
+                             run_scalar);
 }
 
 CampaignResult CampaignEngine::run(
     std::span<const mem::Fault> universe) const {
-  unsigned workers = engine_.threads;
-  if (workers == 0) workers = std::thread::hardware_concurrency();
-  if (workers == 0) workers = 1;
-  if (!engine_.parallel || workers == 1 || universe.size() < 2) {
-    CampaignResult result;
-    run_shard(universe, 0, universe.size(), result);
-    return result;
-  }
-  if (!pool_) pool_ = std::make_unique<util::ThreadPool>(workers);
-  const auto shard_count =
-      std::min<std::size_t>(pool_->workers(), universe.size());
-  std::vector<CampaignResult> shards(shard_count);
-  pool_->parallel_for_chunks(
-      universe.size(),
-      [&](unsigned chunk, std::size_t begin, std::size_t end) {
-        run_shard(universe, begin, end, shards[chunk]);
+  const unsigned workers =
+      engine_.threads != 0 ? engine_.threads : util::default_worker_count();
+  return detail::run_sharded(
+      universe.size(), workers, engine_.parallel, pool_,
+      [&](std::size_t begin, std::size_t end, CampaignResult& out) {
+        run_shard(universe, begin, end, out);
       });
-  return merge_results(shards);
 }
 
 CampaignResult merge_results(std::span<const CampaignResult> shards) {

@@ -17,12 +17,14 @@
 //    reset(fault) fast path instead of constructing and prefilling a
 //    fresh memory per fault, so the per-fault loop performs no
 //    allocation and no LFSR re-derivation;
-//  * for GF(2) bit-oriented campaigns, lane-compatible faults are
-//    additionally batched 64 per sweep onto a bit-packed
+//  * for GF(2) bit-oriented campaigns, lane-compatible faults
+//    (single-cell kinds plus the two-cell CFin/CFid/CFst/bridge kinds)
+//    are additionally batched 64 per sweep onto a bit-packed
 //    mem::PackedFaultRam (core/prt_packed), so one memory sweep
-//    evaluates up to 64 faults — the remaining (coupling, decoder,
-//    retention, NPSF) faults take the scalar path and the merged
-//    result stays bit-identical.
+//    evaluates up to 64 faults — the remaining (decoder, retention,
+//    NPSF) faults take the scalar path and the merged result stays
+//    bit-identical.  Early abort composes with the packed path via
+//    per-lane mismatch retirement.
 //
 // See DESIGN.md §7/§8 for the architecture and
 // bench/bench_campaign.cpp for the measured speedups.
@@ -41,7 +43,8 @@ class ThreadPool;
 namespace prt::analysis {
 
 struct EngineOptions {
-  /// Worker count; 0 sizes the pool to the hardware concurrency.
+  /// Worker count; 0 defers to the PRT_THREADS environment override,
+  /// then the hardware concurrency (util::default_worker_count).
   unsigned threads = 0;
   /// Fan the universe out over the pool.  Off = one shard, inline on
   /// the calling thread (still oracle-backed and allocation-free).
@@ -52,18 +55,20 @@ struct EngineOptions {
   bool use_oracle = true;
   /// Stop each fault's run at the first failing iteration.  Verdicts
   /// (and therefore coverage numbers and escapes) are unchanged;
-  /// CampaignResult::ops shrinks.  Keep off when the campaign's
-  /// read/write counts must reflect complete runs.
+  /// CampaignResult::ops shrinks.  Composes with `packed`: packed
+  /// batches retire lanes as their mismatch latches and stop when the
+  /// detected mask saturates, with op accounting still bit-identical
+  /// to the scalar early-abort path (core/prt_packed).  Keep off when
+  /// the campaign's read/write counts must reflect complete runs.
   bool early_abort = false;
-  /// Evaluate lane-compatible faults (single-bit SAF/TF/WDF and the
-  /// read-logic kinds) 64 per sweep on a bit-packed mem::PackedFaultRam
+  /// Evaluate lane-compatible faults (single-bit SAF/TF/WDF, the
+  /// read-logic kinds, and the two-cell CFin/CFid/CFst/bridge kinds on
+  /// bit plane 0) 64 per sweep on a bit-packed mem::PackedFaultRam
   /// (core/prt_packed) when the scheme is a GF(2)/m = 1 scheme.
-  /// Coupling, bridge, decoder, NPSF and retention faults fall back to
-  /// the scalar per-fault path, and results stay bit-identical to the
-  /// all-scalar reference.  Ignored (everything scalar) when the scheme
-  /// is not packable, use_oracle is off, or early_abort is on (a packed
-  /// batch always runs the full scheme, so its op accounting matches
-  /// complete scalar runs only).
+  /// Decoder, NPSF and retention faults fall back to the scalar
+  /// per-fault path, and results stay bit-identical to the all-scalar
+  /// reference.  Ignored (everything scalar) when the scheme is not
+  /// packable or use_oracle is off.
   bool packed = true;
 };
 

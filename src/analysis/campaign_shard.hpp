@@ -1,0 +1,116 @@
+// Internal scaffolding shared by the PRT (campaign_engine) and March
+// (march_campaign) campaign drivers: per-fault tallying, the 64-lane
+// batching loop with its escape re-sort, and the pool fan-out with the
+// order-deterministic merge.  Keeping both campaign types on one copy
+// of this machinery is what keeps their bit-identical-to-serial
+// guarantees in lockstep — fix it here, both paths get it.
+//
+// Header is internal to analysis/ (included by the two .cpp files
+// only); the public surfaces are campaign_engine.hpp and
+// march_campaign.hpp.
+#pragma once
+
+#include <algorithm>
+#include <array>
+#include <cstdint>
+#include <memory>
+#include <span>
+#include <vector>
+
+#include "analysis/campaign_engine.hpp"
+#include "analysis/fault_sim.hpp"
+#include "mem/packed_fault_ram.hpp"
+#include "util/thread_pool.hpp"
+
+namespace prt::analysis::detail {
+
+/// Records one fault's verdict into the shard result (class + overall
+/// counters, escape index on a miss).
+inline void tally_fault(CampaignResult& out,
+                        std::span<const mem::Fault> universe, std::size_t i,
+                        bool detected) {
+  auto& cls = out.by_class[mem::fault_class(universe[i].kind)];
+  ++cls.total;
+  ++out.overall.total;
+  if (detected) {
+    ++cls.detected;
+    ++out.overall.detected;
+  } else {
+    out.escapes.push_back(i);
+  }
+}
+
+/// All-scalar shard loop: run_scalar(i) -> detected, charging its own
+/// ops to `out`.
+template <typename RunScalar>
+void scalar_shard(std::span<const mem::Fault> universe, std::size_t begin,
+                  std::size_t end, CampaignResult& out,
+                  RunScalar&& run_scalar) {
+  for (std::size_t i = begin; i < end; ++i) {
+    tally_fault(out, universe, i, run_scalar(i));
+  }
+}
+
+/// Lane-batched shard loop: compatible faults ride the packed ram 64
+/// at a time, the rest run scalar in place.  run_batch(packed) runs
+/// one flushed batch and returns {detected mask, ops to charge for the
+/// whole batch}; run_scalar(i) -> detected as above.  Escapes are
+/// gathered out of order and sorted once — counts and op sums are
+/// order-independent, so the shard output is bit-identical to the
+/// all-scalar loop.
+template <typename RunBatch, typename RunScalar>
+void lane_batched_shard(std::span<const mem::Fault> universe,
+                        std::size_t begin, std::size_t end,
+                        mem::PackedFaultRam& packed, CampaignResult& out,
+                        RunBatch&& run_batch, RunScalar&& run_scalar) {
+  std::array<std::size_t, mem::PackedFaultRam::kLanes> batch_index{};
+  auto flush = [&]() {
+    const unsigned lanes = packed.lanes_used();
+    if (lanes == 0) return;
+    const auto [detected, ops] = run_batch(packed);
+    out.ops += ops;
+    for (unsigned lane = 0; lane < lanes; ++lane) {
+      tally_fault(out, universe, batch_index[lane],
+                  ((detected >> lane) & 1U) != 0);
+    }
+    packed.reset();
+  };
+  for (std::size_t i = begin; i < end; ++i) {
+    if (mem::lane_compatible(universe[i])) {
+      batch_index[packed.add_fault(universe[i])] = i;
+      if (packed.lanes_used() == mem::PackedFaultRam::kLanes) flush();
+    } else {
+      tally_fault(out, universe, i, run_scalar(i));
+    }
+  }
+  flush();
+  std::sort(out.escapes.begin(), out.escapes.end());
+}
+
+/// Pool fan-out with the order-deterministic merge: shards
+/// [0, universe_size) contiguously over `pool` (created lazily,
+/// `workers` wide) and merges per-shard results in shard order.  Falls
+/// back to one inline shard when parallelism is off or pointless.
+/// run_shard(begin, end, out) fills one shard.
+template <typename RunShard>
+CampaignResult run_sharded(std::size_t universe_size, unsigned workers,
+                           bool parallel,
+                           std::unique_ptr<util::ThreadPool>& pool,
+                           RunShard&& run_shard) {
+  if (!parallel || workers == 1 || universe_size < 2) {
+    CampaignResult result;
+    run_shard(std::size_t{0}, universe_size, result);
+    return result;
+  }
+  if (!pool) pool = std::make_unique<util::ThreadPool>(workers);
+  const auto shard_count =
+      std::min<std::size_t>(pool->workers(), universe_size);
+  std::vector<CampaignResult> shards(shard_count);
+  pool->parallel_for_chunks(
+      universe_size, [&](unsigned chunk, std::size_t begin, std::size_t end) {
+        run_shard(begin, end, shards[chunk]);
+      });
+  return merge_results(shards);
+}
+
+}  // namespace prt::analysis::detail

@@ -1,0 +1,72 @@
+#include "analysis/march_campaign.hpp"
+
+#include <utility>
+
+#include "analysis/campaign_shard.hpp"
+#include "mem/fault_injector.hpp"
+#include "mem/packed_fault_ram.hpp"
+#include "util/thread_pool.hpp"
+
+namespace prt::analysis {
+
+MarchCampaign::MarchCampaign(march::MarchTest test,
+                             const CampaignOptions& opt,
+                             const MarchEngineOptions& engine)
+    : test_(std::move(test)),
+      opt_(opt),
+      engine_(engine),
+      backgrounds_(march::standard_backgrounds(opt.m)) {}
+
+MarchCampaign::~MarchCampaign() = default;
+
+void MarchCampaign::run_shard(std::span<const mem::Fault> universe,
+                              std::size_t begin, std::size_t end,
+                              CampaignResult& out) const {
+  mem::FaultyRam ram(opt_.n, opt_.m, opt_.ports);
+  auto run_scalar = [&](std::size_t i) {
+    ram.reset(universe[i]);
+    const bool detected =
+        march::run_march_backgrounds(test_, ram, backgrounds_).fail;
+    out.ops += ram.total_stats().total();
+    return detected;
+  };
+
+  if (!packed_enabled()) {
+    detail::scalar_shard(universe, begin, end, out, run_scalar);
+    return;
+  }
+
+  // m = 1 has the single background 0, so one packed sweep covers the
+  // whole background set march_algorithm runs.
+  mem::PackedFaultRam packed(opt_.n);
+  auto run_batch = [&](mem::PackedFaultRam& batch) {
+    const std::uint64_t detected =
+        march::run_march_packed(test_, batch, /*background=*/false) &
+        batch.active_mask();
+    // run_march always completes, so every lane's scalar-equivalent op
+    // cost is the packed op count of the sweep.
+    return std::pair{detected, batch.ops() * batch.lanes_used()};
+  };
+  detail::lane_batched_shard(universe, begin, end, packed, out, run_batch,
+                             run_scalar);
+}
+
+CampaignResult MarchCampaign::run(
+    std::span<const mem::Fault> universe) const {
+  const unsigned workers =
+      engine_.threads != 0 ? engine_.threads : util::default_worker_count();
+  return detail::run_sharded(
+      universe.size(), workers, engine_.parallel, pool_,
+      [&](std::size_t begin, std::size_t end, CampaignResult& out) {
+        run_shard(universe, begin, end, out);
+      });
+}
+
+CampaignResult run_march_campaign(std::span<const mem::Fault> universe,
+                                  march::MarchTest test,
+                                  const CampaignOptions& opt,
+                                  const MarchEngineOptions& engine) {
+  return MarchCampaign(std::move(test), opt, engine).run(universe);
+}
+
+}  // namespace prt::analysis

@@ -1,0 +1,86 @@
+// Lane-batched, thread-parallel March fault-simulation campaigns.
+//
+// run_campaign (fault_sim.hpp) evaluates march_algorithm serially, one
+// FaultyRam run per fault; this wrapper is the fast path for March
+// coverage tables, sharing the CampaignEngine machinery (one worker
+// pool, contiguous shards, order-deterministic merge) and the 64-lane
+// packing of mem::PackedFaultRam:
+//
+//  * for bit-oriented (m = 1) campaigns, lane-compatible faults are
+//    batched 64 per sweep through march::run_march_packed, so one
+//    March sweep evaluates up to 64 faults; the remaining (decoder,
+//    retention, NPSF) faults take the scalar run_march_backgrounds
+//    path, and the shard's escape indices are re-sorted so the merged
+//    CampaignResult — coverage, per-class counts, escapes and op
+//    totals — is bit-identical to
+//    run_campaign(universe, march_algorithm(test), opt);
+//  * word-oriented (m > 1) campaigns run entirely scalar over the
+//    standard data backgrounds, still sharded over the pool.
+//
+// See DESIGN.md §8 and bench/bench_campaign.cpp's March section.
+#pragma once
+
+#include <memory>
+#include <span>
+#include <vector>
+
+#include "analysis/fault_sim.hpp"
+#include "march/march_runner.hpp"
+
+namespace prt::util {
+class ThreadPool;
+}
+
+namespace prt::analysis {
+
+struct MarchEngineOptions {
+  /// Worker count; 0 defers to the PRT_THREADS environment override,
+  /// then the hardware concurrency (util::default_worker_count).
+  unsigned threads = 0;
+  /// Fan the universe out over the pool.  Off = one shard, inline on
+  /// the calling thread.
+  bool parallel = true;
+  /// Batch lane-compatible faults 64 per March sweep on a bit-packed
+  /// mem::PackedFaultRam when m = 1.  Results stay bit-identical to
+  /// the all-scalar reference.
+  bool packed = true;
+};
+
+class MarchCampaign {
+ public:
+  MarchCampaign(march::MarchTest test, const CampaignOptions& opt,
+                const MarchEngineOptions& engine = {});
+  ~MarchCampaign();
+  MarchCampaign(const MarchCampaign&) = delete;
+  MarchCampaign& operator=(const MarchCampaign&) = delete;
+
+  [[nodiscard]] const march::MarchTest& test() const { return test_; }
+
+  /// Simulates every fault of the universe.  Identical CampaignResult
+  /// to run_campaign(universe, march_algorithm(test), opt) regardless
+  /// of thread count.  Not safe to call concurrently on one campaign
+  /// (workers share its pool); distinct campaigns are independent.
+  [[nodiscard]] CampaignResult run(std::span<const mem::Fault> universe) const;
+
+ private:
+  void run_shard(std::span<const mem::Fault> universe, std::size_t begin,
+                 std::size_t end, CampaignResult& out) const;
+
+  [[nodiscard]] bool packed_enabled() const {
+    return engine_.packed && opt_.m == 1;
+  }
+
+  march::MarchTest test_;
+  CampaignOptions opt_;
+  MarchEngineOptions engine_;
+  /// standard_backgrounds(opt.m), the set march_algorithm sweeps.
+  std::vector<mem::Word> backgrounds_;
+  mutable std::unique_ptr<util::ThreadPool> pool_;
+};
+
+/// Convenience: one-shot March campaign with default engine options.
+[[nodiscard]] CampaignResult run_march_campaign(
+    std::span<const mem::Fault> universe, march::MarchTest test,
+    const CampaignOptions& opt, const MarchEngineOptions& engine = {});
+
+}  // namespace prt::analysis

@@ -1,5 +1,6 @@
 #include "core/prt_packed.hpp"
 
+#include <bit>
 #include <cassert>
 #include <vector>
 
@@ -48,6 +49,17 @@ class PackedMisr {
   std::vector<mem::LaneWord> state_;
 };
 
+/// Ops a scalar single-port run of this iteration issues: k init
+/// writes, (n-k) windows of k reads + 1 feedback write, k Fin reads,
+/// k Init re-reads, and the n verify-pass reads when enabled —
+/// deterministic per (scheme, n), which is what lets the packed path
+/// reproduce scalar early-abort op accounting analytically.
+std::uint64_t iteration_ops(const SchemeIteration& it, mem::Addr n) {
+  const std::uint64_t kk = it.g.size() - 1;
+  return kk + (n - kk) * (kk + 1) + 2 * kk +
+         (it.config.verify_pass ? n : 0);
+}
+
 }  // namespace
 
 bool prt_scheme_packable(const PrtScheme& scheme) {
@@ -66,15 +78,23 @@ bool prt_scheme_packable(const PrtScheme& scheme) {
   return true;
 }
 
-std::uint64_t run_prt_packed(mem::PackedFaultRam& ram,
+PackedVerdict run_prt_packed(mem::PackedFaultRam& ram,
                              const PrtScheme& scheme,
-                             const PrtOracle& oracle) {
+                             const PrtOracle& oracle,
+                             const PackedRunOptions& options) {
   assert(prt_scheme_packable(scheme));
   assert(oracle.iterations.size() == scheme.iterations.size());
   assert(oracle.n == ram.size());
   const mem::Addr n = ram.size();
   const bool use_misr = scheme.misr_poly != 0;
+  const mem::LaneWord active = ram.active_mask();
+  PackedVerdict verdict;
   mem::LaneWord mismatch = 0;
+  // Active lanes whose mismatch has not latched yet; a detected lane
+  // is retired immediately (its verdict is final), and the run stops
+  // once every active lane is retired.
+  mem::LaneWord pending = active;
+  std::uint64_t ops_so_far = 0;
 
   mem::LaneWord window_buf[16];
   std::vector<mem::LaneWord> window_spill;
@@ -102,6 +122,8 @@ std::uint64_t run_prt_packed(mem::PackedFaultRam& ram,
 
     // Sweep: each lane's feedback is the XOR of its own window reads
     // selected by the non-zero g coefficients (Eq. 1 over GF(2)).
+    // Nothing latches during the sweep, so there is no abort point
+    // inside it.
     for (mem::Addr q = 0; q + kk < n; ++q) {
       for (unsigned j = 0; j < kk; ++j) {
         window[j] = ram.read(traj.at(q + j));
@@ -133,11 +155,42 @@ std::uint64_t run_prt_packed(mem::PackedFaultRam& ram,
       if (it.config.pause_ticks != 0) ram.advance_time(it.config.pause_ticks);
       for (mem::Addr a = 0; a < n; ++a) {
         mismatch |= ram.read(a) ^ bcast(orc.image[a]);
+        // Once every pending lane has latched, the rest of the verify
+        // pass cannot change any verdict (the latch is monotone and
+        // verify reads do not feed the MISR) — skip it.  The reported
+        // ops stay the scalar-equivalent complete-iteration count.
+        if (options.early_abort && (pending & ~mismatch) == 0) break;
       }
     }
     if (use_misr) mismatch |= misr.mismatch(orc.misr_expected);
+
+    ops_so_far += iteration_ops(it, n);
+    if (options.early_abort) {
+      // Lanes that latched this iteration ran, scalar-equivalently,
+      // every iteration up to and including this one.
+      const mem::LaneWord newly = pending & mismatch;
+      verdict.scalar_ops +=
+          static_cast<std::uint64_t>(std::popcount(newly)) * ops_so_far;
+      pending &= ~mismatch;
+      if (pending == 0) {
+        verdict.detected = mismatch;
+        return verdict;
+      }
+    }
   }
-  return mismatch;
+  // Remaining lanes (all active lanes when early_abort is off) ran the
+  // complete scheme.
+  const mem::LaneWord full = options.early_abort ? pending : active;
+  verdict.scalar_ops +=
+      static_cast<std::uint64_t>(std::popcount(full)) * ops_so_far;
+  verdict.detected = mismatch;
+  return verdict;
+}
+
+std::uint64_t run_prt_packed(mem::PackedFaultRam& ram,
+                             const PrtScheme& scheme,
+                             const PrtOracle& oracle) {
+  return run_prt_packed(ram, scheme, oracle, PackedRunOptions{}).detected;
 }
 
 }  // namespace prt::core

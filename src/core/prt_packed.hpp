@@ -14,6 +14,15 @@
 // run_prt(FaultyRam, scheme, oracle).detected() for the same single
 // fault — the parity tests in tests/test_packed_campaign.cpp and the
 // lane-batching campaign layer (analysis/campaign_engine) rely on it.
+//
+// Per-lane early abort: a lane's mismatch latch is monotone, so the
+// moment it is set the lane's verdict is final and the lane is retired
+// from the pending mask.  With PackedRunOptions::early_abort the run
+// stops as soon as every active lane is retired (at iteration
+// boundaries, or mid-verify-pass once the mask saturates), and the
+// reported scalar-equivalent op count reproduces exactly what
+// run_prt(..., {.early_abort = true}) would have issued per lane:
+// complete iterations up to and including the first failing one.
 #pragma once
 
 #include <cstdint>
@@ -29,17 +38,40 @@ namespace prt::core {
 /// multiplies per lane and stay scalar.
 [[nodiscard]] bool prt_scheme_packable(const PrtScheme& scheme);
 
-/// Runs every iteration of the scheme against the packed ram.  Returns
-/// the mask of lanes whose observed behaviour (Fin, Init read-back,
-/// verify pass, MISR signature) deviates from the golden run —
-/// bit L set means lane L's fault is detected.  Lanes beyond
-/// ram.lanes_used() simulate fault-free memories and never deviate,
-/// but callers should still AND with ram.active_mask().
-///
-/// Preconditions: prt_scheme_packable(scheme), oracle built by
-/// make_prt_oracle(scheme, ram.size()).  Always runs the full scheme
-/// (no early abort), so the packed op count ram.ops() equals the
-/// scalar per-fault op count of a complete run.
+struct PackedRunOptions {
+  /// Retire lanes as their mismatch latches and stop the run once the
+  /// detected mask saturates over the active lanes.  Detected masks
+  /// are unchanged (the latch is monotone); scalar_ops shrinks to the
+  /// per-lane scalar early-abort cost.
+  bool early_abort = false;
+};
+
+/// Verdict of a packed run.
+struct PackedVerdict {
+  /// Bit L set means lane L's fault is detected.  Lanes beyond
+  /// ram.lanes_used() simulate fault-free memories and never deviate,
+  /// but callers should still AND with ram.active_mask().
+  std::uint64_t detected = 0;
+  /// Sum over the ram's *active* lanes of the ops a scalar
+  /// run_prt(FaultyRam, scheme, oracle, {.early_abort}) would have
+  /// issued for that lane's fault: complete iterations up to and
+  /// including the first failing one under early_abort, the full
+  /// scheme otherwise.  Campaigns charge this to CampaignResult::ops
+  /// so packed accounting stays bit-identical to the scalar path.
+  std::uint64_t scalar_ops = 0;
+};
+
+/// Runs the scheme against the packed ram.  Preconditions:
+/// prt_scheme_packable(scheme), oracle built by
+/// make_prt_oracle(scheme, ram.size()).
+[[nodiscard]] PackedVerdict run_prt_packed(mem::PackedFaultRam& ram,
+                                           const PrtScheme& scheme,
+                                           const PrtOracle& oracle,
+                                           const PackedRunOptions& options);
+
+/// Full-scheme convenience overload: returns just the detected mask of
+/// a run without early abort (the packed op count ram.ops() then
+/// equals the scalar per-fault op count of a complete run).
 [[nodiscard]] std::uint64_t run_prt_packed(mem::PackedFaultRam& ram,
                                            const PrtScheme& scheme,
                                            const PrtOracle& oracle);

@@ -57,6 +57,37 @@ MarchResult run_march(const MarchTest& test, mem::Memory& memory,
   return result;
 }
 
+std::uint64_t run_march_packed(const MarchTest& test,
+                               mem::PackedFaultRam& ram, bool background,
+                               std::uint64_t delay_ticks) {
+  const mem::LaneWord zero_data = background ? ~mem::LaneWord{0} : 0;
+  std::uint64_t mismatch = 0;
+  const mem::Addr n = ram.size();
+  // One element applied completely at one address, all lanes at once.
+  auto apply_ops = [&](const MarchElement& elem, mem::Addr addr) {
+    for (const MarchOp& op : elem.ops) {
+      const mem::LaneWord data = op.data == 0 ? zero_data : ~zero_data;
+      if (op.is_read()) {
+        mismatch |= ram.read(addr) ^ data;
+      } else {
+        ram.write(addr, data);
+      }
+    }
+  };
+  for (const MarchElement& elem : test.elements) {
+    if (elem.is_delay) {
+      ram.advance_time(delay_ticks);
+      continue;
+    }
+    if (elem.order == Order::kDown) {
+      for (mem::Addr i = n; i-- > 0;) apply_ops(elem, i);
+    } else {
+      for (mem::Addr i = 0; i < n; ++i) apply_ops(elem, i);
+    }
+  }
+  return mismatch;
+}
+
 MarchResult run_march_backgrounds(const MarchTest& test, mem::Memory& memory,
                                   const std::vector<mem::Word>& backgrounds) {
   assert(!backgrounds.empty());

@@ -12,6 +12,7 @@
 
 #include "march/march_test.hpp"
 #include "mem/memory.hpp"
+#include "mem/packed_fault_ram.hpp"
 
 namespace prt::march {
 
@@ -40,6 +41,21 @@ struct MarchResult {
 [[nodiscard]] MarchResult run_march_backgrounds(
     const MarchTest& test, mem::Memory& memory,
     const std::vector<mem::Word>& backgrounds);
+
+/// Runs one March sweep bit-parallel over a mem::PackedFaultRam (a
+/// packed one-bit-wide memory, up to 64 independent single-fault
+/// lanes): each write broadcasts the element's data bit to every lane
+/// and each read compares every lane against the expected background
+/// bit at once.  Returns the mask of lanes whose reads deviated — bit
+/// L set means lane L's fault is detected, with per-lane semantics
+/// identical to run_march(test, FaultyRam-with-that-fault,
+/// background).fail for background bit `background`.  Lanes beyond
+/// ram.lanes_used() never deviate, but callers should still AND with
+/// ram.active_mask().  "Del" elements advance the ram's virtual time
+/// (a no-op: no lane-compatible fault is clock-dependent).
+[[nodiscard]] std::uint64_t run_march_packed(
+    const MarchTest& test, mem::PackedFaultRam& ram,
+    bool background = false, std::uint64_t delay_ticks = 100'000);
 
 /// The standard data backgrounds for an m-bit word: solid 0,
 /// checkerboard 0101.., double stripe 0011.., quad stripe 00001111..,

@@ -1,6 +1,7 @@
 #include "mem/packed_fault_ram.hpp"
 
 #include <algorithm>
+#include <bit>
 #include <cassert>
 #include <stdexcept>
 
@@ -19,6 +20,23 @@ bool lane_compatible(const Fault& fault) {
     case FaultKind::kIrf:
     case FaultKind::kSof:
       return true;
+    case FaultKind::kCfSt0:
+    case FaultKind::kCfSt1:
+      // A trigger state beyond {0, 1} can never match a stored bit;
+      // FaultyRam treats such a fault as inert, so leave it on the
+      // scalar reference path instead of teaching the lanes a
+      // degenerate encoding.
+      if (fault.state > 1) return false;
+      [[fallthrough]];
+    case FaultKind::kCfIn:
+    case FaultKind::kCfIdUp0:
+    case FaultKind::kCfIdUp1:
+    case FaultKind::kCfIdDown0:
+    case FaultKind::kCfIdDown1:
+    case FaultKind::kBridgeAnd:
+    case FaultKind::kBridgeOr:
+      // Both halves of the pair live on bit plane 0 of the same lane.
+      return fault.aggressor.bit == 0;
     default:
       return false;
   }
@@ -29,8 +47,8 @@ PackedFaultRam::PackedFaultRam(Addr cells)
   if (cells < 1) {
     throw std::invalid_argument("PackedFaultRam: cells must be >= 1");
   }
-  slots_.reserve(kLanes);
-  dirty_cells_.reserve(kLanes);
+  slots_.reserve(2 * kLanes);
+  dirty_cells_.reserve(2 * kLanes);
 }
 
 void PackedFaultRam::reset() {
@@ -38,6 +56,9 @@ void PackedFaultRam::reset() {
   for (const Addr cell : dirty_cells_) slot_of_cell_[cell] = -1;
   slots_.clear();
   dirty_cells_.clear();
+  forced1_ = 0;
+  cfst_state1_ = 0;
+  bridge_or_ = 0;
   lanes_used_ = 0;
   last_read_ = 0;
   reads_ = 0;
@@ -64,43 +85,110 @@ unsigned PackedFaultRam::add_fault(const Fault& fault) {
         "PackedFaultRam::add_fault: victim out of range: " +
         fault.describe());
   }
+  if (is_coupling(fault.kind)) {
+    if (fault.aggressor.cell >= size_) {
+      throw std::invalid_argument(
+          "PackedFaultRam::add_fault: aggressor out of range: " +
+          fault.describe());
+    }
+    if (fault.aggressor == fault.victim) {
+      throw std::invalid_argument(
+          "PackedFaultRam::add_fault: aggressor must differ from victim: " +
+          fault.describe());
+    }
+  }
   if (lanes_used_ >= kLanes) {
     throw std::length_error("PackedFaultRam::add_fault: all 64 lanes taken");
   }
   const unsigned lane = lanes_used_++;
   const LaneWord mask = LaneWord{1} << lane;
-  CellFaults& f = slot_for(fault.victim.cell);
+  const Addr vic = fault.victim.cell;
+  const Addr agg = fault.aggressor.cell;
+  // Forces the victim cell's lane bit to `value`, the packed equivalent
+  // of FaultyRam's injection-time condition enforcement.
+  auto force_bit = [&](Addr cell, unsigned value) {
+    data_[cell] = value ? (data_[cell] | mask) : (data_[cell] & ~mask);
+  };
   switch (fault.kind) {
     case FaultKind::kSaf0:
-      f.saf0 |= mask;
+      slot_for(vic).saf0 |= mask;
       // Stuck-at victims hold from injection, matching FaultyRam.
-      data_[fault.victim.cell] &= ~mask;
+      force_bit(vic, 0);
       break;
     case FaultKind::kSaf1:
-      f.saf1 |= mask;
-      data_[fault.victim.cell] |= mask;
+      slot_for(vic).saf1 |= mask;
+      force_bit(vic, 1);
       break;
     case FaultKind::kTfUp:
-      f.tf_up |= mask;
+      slot_for(vic).tf_up |= mask;
       break;
     case FaultKind::kTfDown:
-      f.tf_down |= mask;
+      slot_for(vic).tf_down |= mask;
       break;
     case FaultKind::kWdf:
-      f.wdf |= mask;
+      slot_for(vic).wdf |= mask;
       break;
     case FaultKind::kRdf:
-      f.rdf |= mask;
+      slot_for(vic).rdf |= mask;
       break;
     case FaultKind::kDrdf:
-      f.drdf |= mask;
+      slot_for(vic).drdf |= mask;
       break;
     case FaultKind::kIrf:
-      f.irf |= mask;
+      slot_for(vic).irf |= mask;
       break;
     case FaultKind::kSof:
-      f.sof |= mask;
+      slot_for(vic).sof |= mask;
       break;
+    case FaultKind::kCfIn:
+      slot_for(agg).cfin |= mask;
+      lane_victim_[lane] = vic;
+      break;
+    case FaultKind::kCfIdUp0:
+    case FaultKind::kCfIdUp1:
+      slot_for(agg).cfid_up |= mask;
+      lane_victim_[lane] = vic;
+      if (fault.kind == FaultKind::kCfIdUp1) forced1_ |= mask;
+      break;
+    case FaultKind::kCfIdDown0:
+    case FaultKind::kCfIdDown1:
+      slot_for(agg).cfid_down |= mask;
+      lane_victim_[lane] = vic;
+      if (fault.kind == FaultKind::kCfIdDown1) forced1_ |= mask;
+      break;
+    case FaultKind::kCfSt0:
+    case FaultKind::kCfSt1: {
+      slot_for(agg).cfst_agg |= mask;
+      slot_for(vic).cfst_vic |= mask;
+      lane_victim_[lane] = vic;
+      lane_aggressor_[lane] = agg;
+      const unsigned forced = fault.kind == FaultKind::kCfSt1 ? 1U : 0U;
+      if (forced) forced1_ |= mask;
+      if (fault.state & 1U) cfst_state1_ |= mask;
+      // A freshly injected state condition is enforced against the
+      // current contents immediately (a defect's effect holds from the
+      // moment it exists).
+      if (((data_[agg] >> lane) & 1U) == (fault.state & 1U)) {
+        force_bit(vic, forced);
+      }
+      break;
+    }
+    case FaultKind::kBridgeAnd:
+    case FaultKind::kBridgeOr: {
+      slot_for(vic).bridge |= mask;
+      slot_for(agg).bridge |= mask;
+      lane_victim_[lane] = vic;
+      lane_aggressor_[lane] = agg;
+      const bool wired_or = fault.kind == FaultKind::kBridgeOr;
+      if (wired_or) bridge_or_ |= mask;
+      const LaneWord a = (data_[vic] >> lane) & 1U;
+      const LaneWord b = (data_[agg] >> lane) & 1U;
+      const unsigned tied =
+          static_cast<unsigned>(wired_or ? (a | b) : (a & b));
+      force_bit(vic, tied);
+      force_bit(agg, tied);
+      break;
+    }
     default:
       break;  // unreachable: lane_compatible() filtered
   }
@@ -123,6 +211,9 @@ LaneWord PackedFaultRam::read(Addr addr) {
     value ^= f.irf;
     // SOF: the open cell echoes the sense amp's previous read.
     value = (value & ~f.sof) | (last_read_ & f.sof);
+    // Coupling lanes are untouched by reads: their lane has no
+    // read-logic fault, and a read never changes the bits a condition
+    // watches (FaultyRam likewise only enforces conditions on writes).
   }
   last_read_ = value;
   return value;
@@ -134,16 +225,77 @@ void PackedFaultRam::write(Addr addr, LaneWord value) {
   const LaneWord old = data_[addr];
   LaneWord nb = value;
   const std::int16_t slot = slot_of_cell_[addr];
-  if (slot >= 0) {
-    // The per-kind masks are lane-disjoint (one fault per lane), so the
-    // sequential updates below never interact across kinds.
-    const CellFaults& f = slots_[static_cast<std::size_t>(slot)];
-    nb ^= f.wdf & ~(old ^ nb);   // WDF: non-transition write disturbs
-    nb &= ~(f.tf_up & ~old);     // TF up: 0 -> 1 writes fail
-    nb |= f.tf_down & old;       // TF down: 1 -> 0 writes fail
-    nb = (nb & ~f.saf0) | f.saf1;
+  if (slot < 0) {
+    data_[addr] = nb;
+    return;
   }
+  // A lane holds exactly one fault, so the per-kind masks are
+  // lane-disjoint and the sequential updates below never interact
+  // across kinds.
+  const CellFaults& f = slots_[static_cast<std::size_t>(slot)];
+  nb ^= f.wdf & ~(old ^ nb);   // WDF: non-transition write disturbs
+  nb &= ~(f.tf_up & ~old);     // TF up: 0 -> 1 writes fail
+  nb |= f.tf_down & old;       // TF down: 1 -> 0 writes fail
+  nb = (nb & ~f.saf0) | f.saf1;
   data_[addr] = nb;
+  if (f.coupling_any() != 0) apply_coupling(addr, old, nb, f);
+}
+
+void PackedFaultRam::apply_coupling(Addr addr, LaneWord old, LaneWord now,
+                                    const CellFaults& f) {
+  // Per-lane scatter over the few lanes coupled to this cell.  Lanes
+  // are disjoint across the masks (one fault per lane), so the order
+  // of the blocks is irrelevant.
+  auto for_each_lane = [](LaneWord m, auto&& fn) {
+    while (m != 0) {
+      const unsigned lane = static_cast<unsigned>(std::countr_zero(m));
+      m &= m - 1;
+      fn(lane, LaneWord{1} << lane);
+    }
+  };
+  auto force = [&](Addr cell, unsigned lane, LaneWord bit) {
+    data_[cell] = (forced1_ >> lane) & 1U ? (data_[cell] | bit)
+                                          : (data_[cell] & ~bit);
+  };
+  const LaneWord up = now & ~old;
+  const LaneWord down = old & ~now;
+
+  // CFin: any transition of this (aggressor) cell inverts the victim.
+  for_each_lane(f.cfin & (up | down), [&](unsigned lane, LaneWord bit) {
+    data_[lane_victim_[lane]] ^= bit;
+  });
+
+  // CFid: a matching-direction transition forces the victim.
+  for_each_lane((f.cfid_up & up) | (f.cfid_down & down),
+                [&](unsigned lane, LaneWord bit) {
+                  force(lane_victim_[lane], lane, bit);
+                });
+
+  // CFst, this cell as aggressor: the condition is state-based, so it
+  // is re-evaluated against the landed value on every write (matching
+  // FaultyRam's enforce_conditions after each physical_write).
+  for_each_lane(f.cfst_agg & ~(now ^ cfst_state1_),
+                [&](unsigned lane, LaneWord bit) {
+                  force(lane_victim_[lane], lane, bit);
+                });
+
+  // CFst, this cell as victim: a write under a holding condition is
+  // forced straight back.
+  for_each_lane(f.cfst_vic, [&](unsigned lane, LaneWord bit) {
+    const LaneWord agg_bit = (data_[lane_aggressor_[lane]] >> lane) & 1U;
+    if (agg_bit == ((cfst_state1_ >> lane) & 1U)) force(addr, lane, bit);
+  });
+
+  // Bridge: tie both endpoints to the wired-AND/OR of their bits.
+  for_each_lane(f.bridge, [&](unsigned lane, LaneWord bit) {
+    const Addr other =
+        addr == lane_victim_[lane] ? lane_aggressor_[lane] : lane_victim_[lane];
+    const LaneWord a = (data_[addr] >> lane) & 1U;
+    const LaneWord b = (data_[other] >> lane) & 1U;
+    const LaneWord tied = (bridge_or_ >> lane) & 1U ? (a | b) : (a & b);
+    data_[addr] = tied ? (data_[addr] | bit) : (data_[addr] & ~bit);
+    data_[other] = tied ? (data_[other] | bit) : (data_[other] & ~bit);
+  });
 }
 
 }  // namespace prt::mem

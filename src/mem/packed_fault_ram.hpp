@@ -1,25 +1,33 @@
 // Word-packed SIMD fault lanes.
 //
-// PackedFaultRam simulates up to 64 *independent* single-bit faulty
+// PackedFaultRam simulates up to 64 *independent* single-fault faulty
 // memories in one pass: each cell stores a 64-bit word whose bit lane L
 // is the cell's value in lane L's memory, and each lane carries exactly
 // one injected fault.  One sweep over the array therefore evaluates up
 // to 64 faults simultaneously — the SIMD unit is the ordinary 64-bit
 // ALU, and every fault effect below is a handful of bitwise ops.
 //
-// Only faults whose behaviour is a pure function of their own bit's
-// history are lane-compatible (lane_compatible()): stuck-at, transition,
-// write-disturb and the read-logic faults.  Coupling/bridge/NPSF faults
-// touch a second bit, decoder faults remap whole accesses, and
-// retention faults need the global clock — those stay on the scalar
-// FaultyRam path (analysis/campaign_engine does the partitioning).
+// Lane-compatible faults (lane_compatible()) are those whose behaviour
+// is a pure function of bit-plane-0 state reachable from inside one
+// lane: the single-cell kinds (stuck-at, transition, write-disturb, the
+// read-logic kinds) and — because a lane is a whole memory, so an
+// aggressor/victim *pair* fits in one lane — the two-cell coupling
+// kinds (CFin, CFid, CFst) and bridges.  Decoder faults remap whole
+// accesses, NPSF needs a 4-cell neighbourhood pattern, and retention
+// faults need the global clock — those stay on the scalar FaultyRam
+// path (analysis/campaign_engine does the partitioning).
 //
 // Semantics are bit-exact per lane with a FaultyRam holding the same
 // single fault (tests/test_packed_campaign.cpp runs the differential
-// check), including the injection-time stuck-at clamp and the per-port
-// sense-amp history of SOF (the PRT engines drive port 0 only).
+// check), including the injection-time stuck-at clamp, the
+// injection-time enforcement of state conditions (CFst, bridge) and the
+// per-port sense-amp history of SOF (the PRT engines drive port 0
+// only).  Because every lane holds exactly one fault, the scalar
+// model's cascade machinery (a victim flip re-triggering other faults)
+// degenerates to a single direct effect per lane.
 #pragma once
 
+#include <array>
 #include <cstdint>
 #include <vector>
 
@@ -30,9 +38,10 @@ namespace prt::mem {
 /// One bit per lane across the 64 packed memories.
 using LaneWord = std::uint64_t;
 
-/// True when `fault` can ride a bit lane: a single-bit, single-cell
-/// fault on bit 0 (the packed array models a 1-bit-wide memory) whose
-/// effect never references another bit, the decoder or the clock.
+/// True when `fault` can ride a bit lane: a fault on bit plane 0 (the
+/// packed array models a 1-bit-wide memory) whose effect never
+/// references the decoder, a neighbourhood pattern or the clock.
+/// Single-cell kinds and the two-cell coupling/bridge kinds qualify.
 [[nodiscard]] bool lane_compatible(const Fault& fault);
 
 class PackedFaultRam {
@@ -57,9 +66,11 @@ class PackedFaultRam {
   void reset();
 
   /// Assigns `fault` to the next free lane and returns its index.
-  /// Throws std::invalid_argument when the fault is not
-  /// lane_compatible() or out of range, std::length_error when all 64
-  /// lanes are taken.
+  /// State conditions (CFst, bridge) are enforced against the lane's
+  /// current contents immediately, matching FaultyRam::inject.  Throws
+  /// std::invalid_argument when the fault is not lane_compatible(), a
+  /// referenced cell is out of range, or a two-cell fault has aggressor
+  /// == victim; std::length_error when all 64 lanes are taken.
   unsigned add_fault(const Fault& fault);
 
   /// Reads every lane's bit of `addr` at once, applying each lane's
@@ -67,7 +78,9 @@ class PackedFaultRam {
   LaneWord read(Addr addr);
 
   /// Writes bit lane L of `value` to cell `addr` in lane L's memory,
-  /// applying each lane's write fault.  Precondition: addr < size().
+  /// applying each lane's write fault and firing each lane's coupling
+  /// effects (this cell as aggressor, victim or bridge endpoint).
+  /// Precondition: addr < size().
   void write(Addr addr, LaneWord value);
 
   /// Idle time: no lane-compatible fault is clock-dependent, so this
@@ -85,24 +98,51 @@ class PackedFaultRam {
   [[nodiscard]] LaneWord peek(Addr addr) const { return data_[addr]; }
 
  private:
-  /// Per-kind lane masks for one faulty cell; a lane's bit is set in at
-  /// most one mask of at most one cell (one fault per lane).
+  /// Per-kind lane masks for one faulty cell; a lane's bit is set in
+  /// the masks of at most the two cells its single fault references.
   struct CellFaults {
+    // Single-cell kinds (this cell is the victim).
     LaneWord saf0 = 0, saf1 = 0;
     LaneWord tf_up = 0, tf_down = 0, wdf = 0;
     LaneWord rdf = 0, drdf = 0, irf = 0, sof = 0;
+    // Two-cell kinds.  cfin/cfid_*/cfst_agg are registered on the
+    // *aggressor* cell, cfst_vic on the *victim* cell (its writes must
+    // re-enforce the condition), bridge on *both* endpoints.
+    LaneWord cfin = 0;
+    LaneWord cfid_up = 0, cfid_down = 0;
+    LaneWord cfst_agg = 0, cfst_vic = 0;
+    LaneWord bridge = 0;
+
+    [[nodiscard]] LaneWord coupling_any() const {
+      return cfin | cfid_up | cfid_down | cfst_agg | cfst_vic | bridge;
+    }
   };
 
   CellFaults& slot_for(Addr cell);
 
+  /// Fires the two-cell effects of a write to `addr` that landed
+  /// `now` over `old` (per-lane scatter over the few coupled lanes).
+  void apply_coupling(Addr addr, LaneWord old, LaneWord now,
+                      const CellFaults& f);
+
   Addr size_;
   std::vector<LaneWord> data_;
   /// Cell -> index into slots_, -1 for fault-free cells — the hot path
-  /// pays one branch per access and only faulty cells (<= 64 of them)
-  /// touch a CellFaults record.
+  /// pays one branch per access and only faulty cells (<= 128 of them,
+  /// two per two-cell lane) touch a CellFaults record.
   std::vector<std::int16_t> slot_of_cell_;
   std::vector<CellFaults> slots_;
   std::vector<Addr> dirty_cells_;
+  /// Per-lane two-cell metadata, only read for lanes registered in a
+  /// coupling/bridge mask.
+  std::array<Addr, kLanes> lane_victim_{};
+  std::array<Addr, kLanes> lane_aggressor_{};
+  /// Lanes whose CFid/CFst forces the victim to 1 (clear = forces 0).
+  LaneWord forced1_ = 0;
+  /// CFst lanes triggered while the aggressor holds 1 (clear = 0).
+  LaneWord cfst_state1_ = 0;
+  /// Bridge lanes with wired-OR semantics (clear = wired-AND).
+  LaneWord bridge_or_ = 0;
   unsigned lanes_used_ = 0;
   LaneWord last_read_ = 0;  // packed sense-amp history (port 0)
   std::uint64_t reads_ = 0;

@@ -11,6 +11,7 @@
 
 #include <condition_variable>
 #include <cstddef>
+#include <cstdlib>
 #include <exception>
 #include <functional>
 #include <mutex>
@@ -20,13 +21,28 @@
 
 namespace prt::util {
 
+/// Default worker count for pools and campaign fan-out: the
+/// PRT_THREADS environment variable when set to a positive integer
+/// (benches and CI pin it for reproducible runs), else the hardware
+/// concurrency, minimum 1.
+[[nodiscard]] inline unsigned default_worker_count() {
+  if (const char* env = std::getenv("PRT_THREADS")) {
+    char* end = nullptr;
+    const unsigned long v = std::strtoul(env, &end, 10);
+    if (end != env && *end == '\0' && v >= 1 && v <= 4096) {
+      return static_cast<unsigned>(v);
+    }
+  }
+  const unsigned hw = std::thread::hardware_concurrency();
+  return hw == 0 ? 1 : hw;
+}
+
 class ThreadPool {
  public:
-  /// `workers == 0` sizes the pool to the hardware concurrency
-  /// (minimum 1).
+  /// `workers == 0` sizes the pool to default_worker_count() (the
+  /// PRT_THREADS override, else the hardware concurrency, minimum 1).
   explicit ThreadPool(unsigned workers = 0) {
-    if (workers == 0) workers = std::thread::hardware_concurrency();
-    if (workers == 0) workers = 1;
+    if (workers == 0) workers = default_worker_count();
     threads_.reserve(workers);
     for (unsigned i = 0; i < workers; ++i) {
       threads_.emplace_back([this] { worker_loop(); });

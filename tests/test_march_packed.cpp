@@ -1,0 +1,177 @@
+// 64-lane March runner (march::run_march_packed) and the lane-batched
+// March campaign wrapper (analysis::MarchCampaign).
+//
+// The load-bearing property mirrors the packed PRT path: every lane of
+// a packed March sweep must reproduce run_march against a scalar
+// FaultyRam holding that lane's single fault, and MarchCampaign must
+// reproduce the serial run_campaign(march_algorithm) CampaignResult —
+// coverage, per-class counts, escape indices and op totals — on any
+// universe, any thread count, packed or scalar.
+#include "march/march_runner.hpp"
+
+#include <gtest/gtest.h>
+
+#include <cstdint>
+#include <memory>
+#include <span>
+#include <vector>
+
+#include "analysis/march_campaign.hpp"
+#include "march/march_library.hpp"
+#include "mem/fault_injector.hpp"
+#include "mem/fault_universe.hpp"
+#include "mem/packed_fault_ram.hpp"
+
+namespace prt {
+namespace {
+
+void expect_identical(const analysis::CampaignResult& a,
+                      const analysis::CampaignResult& b) {
+  EXPECT_EQ(a.overall, b.overall);
+  EXPECT_EQ(a.by_class, b.by_class);
+  EXPECT_EQ(a.escapes, b.escapes);
+  EXPECT_EQ(a.ops, b.ops);
+}
+
+/// A 64-lane mix of every lane-compatible kind: single-cell, read
+/// logic and the two-cell coupling/bridge kinds.
+std::vector<mem::Fault> mixed_lane_universe(mem::Addr n) {
+  std::vector<mem::Fault> faults;
+  for (unsigned i = 0; faults.size() < mem::PackedFaultRam::kLanes; ++i) {
+    const mem::BitRef v{i % n, 0};
+    const mem::BitRef a{(i + 1 + i % 3) % n, 0};
+    switch (i % 16) {
+      case 0: faults.push_back(mem::Fault::saf(v, 0)); break;
+      case 1: faults.push_back(mem::Fault::saf(v, 1)); break;
+      case 2: faults.push_back(mem::Fault::tf(v, true)); break;
+      case 3: faults.push_back(mem::Fault::tf(v, false)); break;
+      case 4: faults.push_back(mem::Fault::wdf(v)); break;
+      case 5: faults.push_back(mem::Fault::rdf(v)); break;
+      case 6: faults.push_back(mem::Fault::drdf(v)); break;
+      case 7: faults.push_back(mem::Fault::irf(v)); break;
+      case 8: faults.push_back(mem::Fault::sof(v)); break;
+      case 9: faults.push_back(mem::Fault::cf_in(v, a)); break;
+      case 10: faults.push_back(mem::Fault::cf_id(v, a, true, 1)); break;
+      case 11: faults.push_back(mem::Fault::cf_id(v, a, false, 0)); break;
+      case 12: faults.push_back(mem::Fault::cf_st(v, a, 1, 0)); break;
+      case 13: faults.push_back(mem::Fault::cf_st(v, a, 0, 1)); break;
+      case 14: faults.push_back(mem::Fault::bridge(v, a, true)); break;
+      case 15: faults.push_back(mem::Fault::bridge(v, a, false)); break;
+    }
+  }
+  return faults;
+}
+
+// --- per-lane parity of one packed sweep --------------------------------
+
+/// Each lane's detected bit must equal run_march's fail verdict on a
+/// scalar FaultyRam with the same fault, for both background bits, and
+/// the packed op count must equal the scalar per-fault op count.
+void check_march_lane_parity(const march::MarchTest& test, mem::Addr n) {
+  const auto faults = mixed_lane_universe(n);
+  for (const bool background : {false, true}) {
+    mem::PackedFaultRam packed(n);
+    for (const mem::Fault& f : faults) packed.add_fault(f);
+    const std::uint64_t detected =
+        march::run_march_packed(test, packed, background) &
+        packed.active_mask();
+    mem::FaultyRam scalar(n, 1);
+    for (unsigned lane = 0; lane < faults.size(); ++lane) {
+      scalar.reset(faults[lane]);
+      const march::MarchResult r =
+          march::run_march(test, scalar, background ? 1U : 0U);
+      EXPECT_EQ(((detected >> lane) & 1U) != 0, r.fail)
+          << test.name << " bg=" << background << " lane " << lane << " ("
+          << faults[lane].describe() << ")";
+      EXPECT_EQ(packed.ops(), scalar.total_stats().total());
+    }
+  }
+}
+
+TEST(RunMarchPacked, LaneVerdictsMatchScalarAcrossStandardTests) {
+  const mem::Addr n = 16;
+  for (const march::MarchTest& test :
+       {march::mats_plus(), march::march_x(), march::march_y(),
+        march::march_c_minus(), march::march_a(), march::march_b(),
+        march::march_ss(), march::march_g()}) {
+    check_march_lane_parity(test, n);
+  }
+}
+
+// The delay elements of March G are a no-op for lane-compatible faults
+// on both paths (retention faults never ride a lane), so parity above
+// already covers them; this pins the op accounting across a Del.
+TEST(RunMarchPacked, DelayElementsIssueNoOps) {
+  mem::PackedFaultRam packed(8);
+  packed.add_fault(mem::Fault::saf({3, 0}, 1));
+  const auto test = march::march_g();
+  (void)march::run_march_packed(test, packed);
+  EXPECT_EQ(packed.ops(), test.total_ops(8));
+}
+
+// --- campaign-level parity ----------------------------------------------
+
+analysis::CampaignResult serial_reference(
+    std::span<const mem::Fault> universe, const march::MarchTest& test,
+    const analysis::CampaignOptions& opt) {
+  return analysis::run_campaign(universe, analysis::march_algorithm(test),
+                                opt);
+}
+
+void check_march_campaign_parity(std::span<const mem::Fault> universe,
+                                 const march::MarchTest& test,
+                                 const analysis::CampaignOptions& opt) {
+  const auto reference = serial_reference(universe, test, opt);
+  for (const bool packed : {false, true}) {
+    for (const unsigned threads : {1u, 3u}) {
+      analysis::MarchEngineOptions eng;
+      eng.threads = threads;
+      eng.packed = packed;
+      expect_identical(
+          reference, analysis::run_march_campaign(universe, test, opt, eng));
+    }
+  }
+}
+
+TEST(MarchCampaign, BitIdenticalToSerialScalarOnClassical256) {
+  const mem::Addr n = 256;
+  analysis::CampaignOptions opt;
+  opt.n = n;
+  check_march_campaign_parity(mem::classical_universe(n),
+                              march::march_c_minus(), opt);
+}
+
+TEST(MarchCampaign, BitIdenticalToSerialScalarOnClassical1024) {
+  const mem::Addr n = 1024;
+  analysis::CampaignOptions opt;
+  opt.n = n;
+  check_march_campaign_parity(mem::classical_universe(n),
+                              march::march_c_minus(), opt);
+}
+
+// The van de Goor universe interleaves packed (single-cell, read
+// logic, coupling) and scalar (decoder) faults within every shard,
+// exercising the escape re-sort and the per-class merge.
+TEST(MarchCampaign, BitIdenticalToSerialScalarOnVanDeGoor) {
+  const mem::Addr n = 64;
+  analysis::CampaignOptions opt;
+  opt.n = n;
+  check_march_campaign_parity(mem::van_de_goor_universe(n), march::march_ss(),
+                              opt);
+}
+
+// Word-oriented campaigns must transparently fall back to scalar (the
+// packed array models a 1-bit memory) while still fanning out.
+TEST(MarchCampaign, WomCampaignFallsBackToScalar) {
+  const mem::Addr n = 32;
+  const unsigned m = 4;
+  const auto universe = mem::make_universe(
+      n, m, {.coupling = false, .bridges = false, .npsf = false});
+  analysis::CampaignOptions opt;
+  opt.n = n;
+  opt.m = m;
+  check_march_campaign_parity(universe, march::march_c_minus(), opt);
+}
+
+}  // namespace
+}  // namespace prt

@@ -10,10 +10,12 @@
 
 #include <gtest/gtest.h>
 
+#include <algorithm>
 #include <cstdint>
 #include <memory>
 #include <span>
 #include <stdexcept>
+#include <utility>
 #include <vector>
 
 #include "analysis/campaign_engine.hpp"
@@ -49,24 +51,40 @@ TEST(LaneCompatible, SingleBitKindsRideLanesOthersDoNot) {
   EXPECT_TRUE(mem::lane_compatible(mem::Fault::drdf({3, 0})));
   EXPECT_TRUE(mem::lane_compatible(mem::Fault::irf({3, 0})));
   EXPECT_TRUE(mem::lane_compatible(mem::Fault::sof({3, 0})));
-  // Second-cell, decoder, pattern and clock-dependent faults stay
-  // scalar.
-  EXPECT_FALSE(mem::lane_compatible(mem::Fault::cf_in({1, 0}, {2, 0})));
-  EXPECT_FALSE(mem::lane_compatible(mem::Fault::bridge({1, 0}, {2, 0}, true)));
+  // Two-cell coupling faults ride a lane too: the aggressor/victim
+  // pair lives in one lane's memory.
+  EXPECT_TRUE(mem::lane_compatible(mem::Fault::cf_in({1, 0}, {2, 0})));
+  EXPECT_TRUE(mem::lane_compatible(mem::Fault::cf_id({1, 0}, {2, 0}, true, 1)));
+  EXPECT_TRUE(
+      mem::lane_compatible(mem::Fault::cf_id({1, 0}, {2, 0}, false, 0)));
+  EXPECT_TRUE(mem::lane_compatible(mem::Fault::cf_st({1, 0}, {2, 0}, 0, 1)));
+  EXPECT_TRUE(mem::lane_compatible(mem::Fault::cf_st({1, 0}, {2, 0}, 1, 0)));
+  EXPECT_TRUE(mem::lane_compatible(mem::Fault::bridge({1, 0}, {2, 0}, true)));
+  EXPECT_TRUE(mem::lane_compatible(mem::Fault::bridge({1, 0}, {2, 0}, false)));
+  // Decoder, pattern and clock-dependent faults stay scalar.
   EXPECT_FALSE(mem::lane_compatible(mem::Fault::af_no_access(1)));
   EXPECT_FALSE(mem::lane_compatible(mem::Fault::af_wrong_access(1, 2)));
   EXPECT_FALSE(mem::lane_compatible(mem::Fault::npsf_static({5, 0}, 0xF, 0, 4)));
   EXPECT_FALSE(mem::lane_compatible(mem::Fault::retention({1, 0}, 1, 8)));
   // The packed array models a 1-bit-wide memory: bit planes > 0 do not
-  // ride.
+  // ride, on either end of the pair.
   EXPECT_FALSE(mem::lane_compatible(mem::Fault::saf({3, 1}, 0)));
+  EXPECT_FALSE(mem::lane_compatible(mem::Fault::cf_in({1, 1}, {2, 0})));
+  EXPECT_FALSE(mem::lane_compatible(mem::Fault::cf_in({1, 0}, {2, 1})));
+  // A CFst trigger state beyond {0, 1} never matches a stored bit —
+  // FaultyRam treats it as inert, so it stays on the scalar path.
+  EXPECT_FALSE(mem::lane_compatible(mem::Fault::cf_st({1, 0}, {2, 0}, 2, 1)));
 }
 
 TEST(PackedFaultRam, RejectsIncompatibleAndOverflowingFaults) {
   mem::PackedFaultRam ram(8);
-  EXPECT_THROW(ram.add_fault(mem::Fault::cf_in({1, 0}, {2, 0})),
+  EXPECT_THROW(ram.add_fault(mem::Fault::af_no_access(1)),
                std::invalid_argument);
   EXPECT_THROW(ram.add_fault(mem::Fault::saf({8, 0}, 1)),
+               std::invalid_argument);
+  EXPECT_THROW(ram.add_fault(mem::Fault::cf_in({1, 0}, {8, 0})),
+               std::invalid_argument);
+  EXPECT_THROW(ram.add_fault(mem::Fault::cf_in({1, 0}, {1, 0})),
                std::invalid_argument);
   for (unsigned i = 0; i < mem::PackedFaultRam::kLanes; ++i) {
     EXPECT_EQ(ram.add_fault(mem::Fault::saf({i % 8, 0}, 1)), i);
@@ -132,6 +150,67 @@ TEST(PackedFaultRam, EveryLaneMatchesScalarFaultyRamOnRandomTraffic) {
   }
 }
 
+// Coupling lanes: every two-cell kind across varied aggressor/victim
+// pairs must match a scalar FaultyRam holding that one fault, op for
+// op, under random traffic.
+TEST(PackedFaultRam, EveryCouplingLaneMatchesScalarFaultyRam) {
+  const mem::Addr n = 24;
+  std::vector<mem::Fault> faults;
+  for (unsigned i = 0; faults.size() < mem::PackedFaultRam::kLanes; ++i) {
+    const mem::BitRef a{i % n, 0};
+    const mem::BitRef v{(i + 1 + i % 5) % n, 0};
+    switch (i % 11) {
+      case 0: faults.push_back(mem::Fault::cf_in(v, a)); break;
+      case 1: faults.push_back(mem::Fault::cf_id(v, a, true, 0)); break;
+      case 2: faults.push_back(mem::Fault::cf_id(v, a, true, 1)); break;
+      case 3: faults.push_back(mem::Fault::cf_id(v, a, false, 0)); break;
+      case 4: faults.push_back(mem::Fault::cf_id(v, a, false, 1)); break;
+      case 5: faults.push_back(mem::Fault::cf_st(v, a, 0, 0)); break;
+      case 6: faults.push_back(mem::Fault::cf_st(v, a, 0, 1)); break;
+      case 7: faults.push_back(mem::Fault::cf_st(v, a, 1, 0)); break;
+      case 8: faults.push_back(mem::Fault::cf_st(v, a, 1, 1)); break;
+      case 9: faults.push_back(mem::Fault::bridge(v, a, true)); break;
+      case 10: faults.push_back(mem::Fault::bridge(v, a, false)); break;
+    }
+  }
+  mem::PackedFaultRam packed(n);
+  std::vector<std::unique_ptr<mem::FaultyRam>> scalars;
+  for (const mem::Fault& f : faults) {
+    packed.add_fault(f);
+    scalars.push_back(std::make_unique<mem::FaultyRam>(n, 1));
+    scalars.back()->inject(f);
+  }
+  // Injection-time condition enforcement (CFst1 on a zero aggressor
+  // forces the victim immediately) must match before any traffic.
+  for (mem::Addr addr = 0; addr < n; ++addr) {
+    const mem::LaneWord got = packed.peek(addr);
+    for (unsigned lane = 0; lane < scalars.size(); ++lane) {
+      ASSERT_EQ((got >> lane) & 1U, scalars[lane]->peek(addr))
+          << "post-inject cell " << addr << " lane " << lane << " ("
+          << faults[lane].describe() << ")";
+    }
+  }
+  std::uint64_t x = 0xBADC0DE;
+  for (int step = 0; step < 6000; ++step) {
+    const mem::Addr addr = static_cast<mem::Addr>(next_rand(x) % n);
+    if (next_rand(x) & 1) {
+      const mem::LaneWord value = next_rand(x);
+      packed.write(addr, value);
+      for (unsigned lane = 0; lane < scalars.size(); ++lane) {
+        scalars[lane]->write(addr,
+                             static_cast<mem::Word>((value >> lane) & 1U), 0);
+      }
+    } else {
+      const mem::LaneWord got = packed.read(addr);
+      for (unsigned lane = 0; lane < scalars.size(); ++lane) {
+        ASSERT_EQ((got >> lane) & 1U, scalars[lane]->read(addr, 0))
+            << "step " << step << " lane " << lane << " ("
+            << faults[lane].describe() << ")";
+      }
+    }
+  }
+}
+
 // --- packed PRT evaluation ---------------------------------------------
 
 TEST(RunPrtPacked, SchemePackability) {
@@ -143,11 +222,11 @@ TEST(RunPrtPacked, SchemePackability) {
   EXPECT_FALSE(core::prt_scheme_packable(core::standard_scheme_wom(16, 4)));
 }
 
-// One full batch of every lane-compatible fault on a tiny array: each
+// One full batch of lane-compatible faults on a tiny array: each
 // lane's detected bit must equal the scalar oracle-backed run_prt
 // verdict for that fault alone.
-void check_packed_verdicts(const core::PrtScheme& scheme, mem::Addr n) {
-  const auto universe = mem::single_cell_universe(n, 1, /*read_logic=*/true);
+void check_packed_verdicts_on(const core::PrtScheme& scheme, mem::Addr n,
+                              const std::vector<mem::Fault>& universe) {
   ASSERT_LE(universe.size(), mem::PackedFaultRam::kLanes);
   const auto oracle = core::make_prt_oracle(scheme, n);
   mem::PackedFaultRam packed(n);
@@ -169,6 +248,19 @@ void check_packed_verdicts(const core::PrtScheme& scheme, mem::Addr n) {
   }
 }
 
+void check_packed_verdicts(const core::PrtScheme& scheme, mem::Addr n) {
+  check_packed_verdicts_on(
+      scheme, n, mem::single_cell_universe(n, 1, /*read_logic=*/true));
+}
+
+/// All 9 CFin/CFid/CFst variants on 7 ascending adjacent pairs — 63
+/// faults, one batch.
+std::vector<mem::Fault> small_coupling_universe(mem::Addr n) {
+  std::vector<std::pair<mem::Addr, mem::Addr>> pairs;
+  for (mem::Addr c = 0; c < 7 && c + 1 < n; ++c) pairs.emplace_back(c, c + 1);
+  return mem::coupling_universe(pairs, /*bit=*/0);
+}
+
 TEST(RunPrtPacked, LaneVerdictsMatchScalarStandardScheme) {
   check_packed_verdicts(core::standard_scheme_bom(7), 7);
 }
@@ -181,6 +273,61 @@ TEST(RunPrtPacked, LaneVerdictsMatchScalarWithMisr) {
   core::PrtScheme scheme = core::standard_scheme_bom(7);
   scheme.misr_poly = 0b100101;  // degree-5 signature over the read stream
   check_packed_verdicts(scheme, 7);
+}
+
+TEST(RunPrtPacked, CouplingLaneVerdictsMatchScalarStandardScheme) {
+  check_packed_verdicts_on(core::standard_scheme_bom(16), 16,
+                           small_coupling_universe(16));
+}
+
+TEST(RunPrtPacked, CouplingLaneVerdictsMatchScalarExtendedScheme) {
+  check_packed_verdicts_on(core::extended_scheme_bom(16), 16,
+                           small_coupling_universe(16));
+}
+
+// Per-lane early abort: the detected mask is unchanged and the
+// reported scalar-equivalent op count reproduces exactly what
+// run_prt(..., {.early_abort = true}) issues per fault.
+TEST(RunPrtPacked, EarlyAbortKeepsVerdictsAndMatchesScalarAbortOps) {
+  const mem::Addr n = 16;
+  for (const bool misr : {false, true}) {
+    core::PrtScheme scheme = core::extended_scheme_bom(n);
+    if (misr) scheme.misr_poly = 0b1000011;
+    const auto oracle = core::make_prt_oracle(scheme, n);
+    auto universe = mem::single_cell_universe(n, 1, /*read_logic=*/true);
+    const auto coupling = small_coupling_universe(n);
+    universe.insert(universe.end(), coupling.begin(), coupling.end());
+    mem::FaultyRam scalar(n, 1);
+    for (std::size_t base = 0; base < universe.size();
+         base += mem::PackedFaultRam::kLanes) {
+      const std::size_t count = std::min<std::size_t>(
+          mem::PackedFaultRam::kLanes, universe.size() - base);
+      mem::PackedFaultRam packed(n);
+      for (std::size_t j = 0; j < count; ++j) {
+        packed.add_fault(universe[base + j]);
+      }
+      mem::PackedFaultRam packed_abort(n);
+      for (std::size_t j = 0; j < count; ++j) {
+        packed_abort.add_fault(universe[base + j]);
+      }
+      const auto full =
+          core::run_prt_packed(packed, scheme, oracle, {.early_abort = false});
+      const auto abort = core::run_prt_packed(packed_abort, scheme, oracle,
+                                              {.early_abort = true});
+      EXPECT_EQ(full.detected & packed.active_mask(),
+                abort.detected & packed_abort.active_mask());
+      std::uint64_t scalar_abort_ops = 0;
+      for (std::size_t j = 0; j < count; ++j) {
+        scalar.reset(universe[base + j]);
+        const core::PrtRunOptions opts{.early_abort = true,
+                                       .record_iterations = false};
+        (void)core::run_prt(scalar, scheme, oracle, opts);
+        scalar_abort_ops += scalar.total_stats().total();
+      }
+      EXPECT_EQ(abort.scalar_ops, scalar_abort_ops)
+          << "batch at " << base << " misr=" << misr;
+    }
+  }
 }
 
 // --- campaign-level parity (the acceptance criterion) -------------------
@@ -236,6 +383,78 @@ TEST(PackedCampaign, BitIdenticalToSerialScalarOnVanDeGoor) {
   eng.packed = true;
   expect_identical(reference,
                    analysis::run_prt_campaign(universe, scheme, opt, eng));
+}
+
+// --- early abort composed with packing ---------------------------------
+
+void expect_identical_verdicts(const analysis::CampaignResult& a,
+                               const analysis::CampaignResult& b) {
+  EXPECT_EQ(a.overall, b.overall);
+  EXPECT_EQ(a.by_class, b.by_class);
+  EXPECT_EQ(a.escapes, b.escapes);
+}
+
+/// The packed+abort engine must (a) reproduce the scalar early-abort
+/// engine bit-for-bit *including ops*, and (b) reproduce the no-abort
+/// reference's verdicts, coverage and escapes.
+void check_abort_composition(std::span<const mem::Fault> universe,
+                             const core::PrtScheme& scheme,
+                             const analysis::CampaignOptions& opt,
+                             const analysis::CampaignResult& reference) {
+  analysis::EngineOptions scalar_abort;
+  scalar_abort.threads = 2;
+  scalar_abort.packed = false;
+  scalar_abort.early_abort = true;
+  analysis::EngineOptions packed_abort = scalar_abort;
+  packed_abort.packed = true;
+  const auto a =
+      analysis::run_prt_campaign(universe, scheme, opt, scalar_abort);
+  const auto b =
+      analysis::run_prt_campaign(universe, scheme, opt, packed_abort);
+  expect_identical(a, b);
+  expect_identical_verdicts(reference, b);
+  EXPECT_LE(b.ops, reference.ops);
+}
+
+TEST(PackedCampaign, PerLaneAbortBitIdenticalOnClassical256) {
+  const mem::Addr n = 256;
+  const auto universe = mem::classical_universe(n);
+  const auto scheme = core::extended_scheme_bom(n);
+  analysis::CampaignOptions opt;
+  opt.n = n;
+  check_abort_composition(universe, scheme, opt,
+                          serial_scalar_reference(universe, scheme, opt));
+}
+
+TEST(PackedCampaign, PerLaneAbortBitIdenticalOnClassical1024) {
+  const mem::Addr n = 1024;
+  const auto universe = mem::classical_universe(n);
+  const auto scheme = core::standard_scheme_bom(n);
+  analysis::CampaignOptions opt;
+  opt.n = n;
+  check_abort_composition(universe, scheme, opt,
+                          serial_scalar_reference(universe, scheme, opt));
+}
+
+TEST(PackedCampaign, PerLaneAbortBitIdenticalOnVanDeGoor) {
+  const mem::Addr n = 48;
+  const auto universe = mem::van_de_goor_universe(n);
+  const auto scheme = core::extended_scheme_bom(n);
+  analysis::CampaignOptions opt;
+  opt.n = n;
+  check_abort_composition(universe, scheme, opt,
+                          serial_scalar_reference(universe, scheme, opt));
+}
+
+TEST(PackedCampaign, PerLaneAbortBitIdenticalWithMisr) {
+  const mem::Addr n = 64;
+  const auto universe = mem::van_de_goor_universe(n);
+  core::PrtScheme scheme = core::standard_scheme_bom(n);
+  scheme.misr_poly = 0b1000011;  // degree-6
+  analysis::CampaignOptions opt;
+  opt.n = n;
+  check_abort_composition(universe, scheme, opt,
+                          serial_scalar_reference(universe, scheme, opt));
 }
 
 TEST(PackedCampaign, MisrEnabledCampaignStaysBitIdentical) {
