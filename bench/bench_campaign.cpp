@@ -19,7 +19,15 @@
 //    64-faults-per-sweep gain is undiluted;
 //  * a March campaign over the classical universe (March C-), where
 //    the same lanes drive march::run_march_packed via
-//    analysis::MarchCampaign.
+//    analysis::MarchCampaign — now with the abort-aware scalar
+//    reference and the composed parallel+packed+abort config, whose
+//    per-lane analytic op accounting must agree;
+//  * a word-oriented (WOM, m = 4) single-cell universe with the
+//    extended GF(16) scheme — the all-scalar oracle path (word
+//    schemes need real field multiplies and stay unpacked);
+//  * a dual-port classical universe (ports = 2): the PRT engines
+//    drive port 0 only, so the packed lanes apply unchanged while the
+//    scalar reference models the second port's sense amp.
 //
 // Every configuration of a section runs the same universe slice and is
 // parity-checked against the section's first configuration (abort
@@ -211,7 +219,8 @@ class SectionRunner {
       } else if (name == "oracle+parallel+packed" ||
                  name == "parallel+packed") {
         packed_secs = report_.configs[i].seconds;
-      } else if (name == "oracle+parallel+packed+abort") {
+      } else if (name == "oracle+parallel+packed+abort" ||
+                 name == "parallel+packed+abort") {
         packed_abort_secs = report_.configs[i].seconds;
       }
     }
@@ -247,9 +256,9 @@ analysis::EngineOptions engine_opts(bool parallel, bool packed,
 }
 
 /// Classical universe: the PR 1 ladder (seed serial -> oracle ->
-/// parallel -> abort) plus the packed configs.  Coupling and bridge
-/// faults now ride the lanes, and packed+abort is the composed fast
-/// path — only the decoder faults stay scalar.
+/// parallel -> abort) plus the packed configs.  Every fault family of
+/// this universe — coupling, bridges and the decoder kinds included —
+/// now rides the lanes, and packed+abort is the composed fast path.
 SectionReport bench_classical(mem::Addr n, std::size_t fault_cap) {
   const auto universe = cap_universe(mem::classical_universe(n), fault_cap);
   const auto scheme = core::extended_scheme_bom(n);
@@ -329,12 +338,88 @@ SectionReport bench_march(mem::Addr n, std::size_t fault_cap) {
   });
   auto engine = [&](const std::string& name,
                     const analysis::MarchEngineOptions& eng) {
-    run.record(name, [&] {
-      return analysis::run_march_campaign(universe, test, opt, eng);
-    });
+    run.record(
+        name,
+        [&] { return analysis::run_march_campaign(universe, test, opt, eng); },
+        /*ops_exempt=*/eng.early_abort);
   };
   engine("parallel", {.packed = false});
+  engine("parallel+abort", {.packed = false, .early_abort = true});
   engine("parallel+packed", {.packed = true});
+  // The composed fast path: per-lane retirement with analytic op
+  // accounting that must equal the scalar abort reference above (the
+  // ops_exempt cross-check enforces it at bench runtime).
+  engine("parallel+packed+abort", {.packed = true, .early_abort = true});
+  run.finish();
+  return report;
+}
+
+/// Word-oriented universe: every fault lives on one of m = 4 bit
+/// planes, the scheme runs over GF(16) — packing does not apply, so
+/// this tracks the scalar oracle trajectory (open ROADMAP item: grow
+/// the campaign bench to WOM schemes).
+SectionReport bench_wom(mem::Addr n, std::size_t fault_cap) {
+  const unsigned m = 4;
+  const auto universe = cap_universe(
+      mem::single_cell_universe(n, m, /*read_logic=*/true), fault_cap);
+  const auto scheme = core::extended_scheme_wom(n, m);
+  analysis::CampaignOptions opt;
+  opt.n = n;
+  opt.m = m;
+
+  SectionReport report{.universe = "single-cell (WOM m=4)",
+                       .scheme = scheme.name,
+                       .n = n,
+                       .faults = universe.size()};
+  SectionRunner run(report, universe, opt);
+  auto engine = [&](const std::string& name,
+                    const analysis::EngineOptions& eng) {
+    run.record(
+        name,
+        [&] { return analysis::run_prt_campaign(universe, scheme, opt, eng); },
+        /*ops_exempt=*/eng.early_abort);
+  };
+  run.record("serial (seed path)",
+             [&] { return seed_serial_campaign(universe, scheme, opt); });
+  engine("oracle", engine_opts(false, false));
+  engine("oracle+parallel", engine_opts(true, false));
+  engine("oracle+parallel+abort", engine_opts(true, false, true));
+  run.finish();
+  return report;
+}
+
+/// Dual-port classical universe: the scalar reference simulates both
+/// ports' sense-amp state while the PRT engines drive port 0 only, so
+/// the packed lanes stay bit-identical (open ROADMAP item: grow the
+/// campaign bench to multi-port schemes).
+SectionReport bench_multiport(mem::Addr n, unsigned ports,
+                              std::size_t fault_cap) {
+  const auto universe = cap_universe(mem::classical_universe(n), fault_cap);
+  const auto scheme = core::extended_scheme_bom(n);
+  analysis::CampaignOptions opt;
+  opt.n = n;
+  opt.ports = ports;
+
+  SectionReport report{.universe =
+                           "classical (" + std::to_string(ports) + "-port)",
+                       .scheme = scheme.name,
+                       .n = n,
+                       .faults = universe.size()};
+  SectionRunner run(report, universe, opt);
+  auto engine = [&](const std::string& name,
+                    const analysis::EngineOptions& eng) {
+    run.record(
+        name,
+        [&] { return analysis::run_prt_campaign(universe, scheme, opt, eng); },
+        /*ops_exempt=*/eng.early_abort);
+  };
+  engine("oracle", engine_opts(false, false));
+  engine("oracle+parallel", engine_opts(true, false));
+  // The scalar abort reference first, so the packed+abort config's
+  // per-lane analytic op accounting is cross-checked against it.
+  engine("oracle+parallel+abort", engine_opts(true, false, true));
+  engine("oracle+parallel+packed", engine_opts(true, true));
+  engine("oracle+parallel+packed+abort", engine_opts(true, true, true));
   run.finish();
   return report;
 }
@@ -430,6 +515,8 @@ int main(int argc, char** argv) {
       bench_lane_compatible(4096, core::standard_scheme_bom(4096), cap_lane));
   reports.push_back(bench_march(1024, cap_small));
   reports.push_back(bench_march(4096, cap_large));
+  reports.push_back(bench_wom(256, cap_small));
+  reports.push_back(bench_multiport(1024, /*ports=*/2, cap_small));
   {
     std::ofstream out("BENCH_campaign.json");
     write_report(out, reports, rev, utc, hw, workers, /*pretty=*/true);

@@ -19,7 +19,11 @@ CampaignEngine::CampaignEngine(core::PrtScheme scheme,
       opt_(opt),
       engine_(engine),
       oracle_(core::make_prt_oracle(scheme_, opt.n)),
-      scheme_packable_(opt.m == 1 && core::prt_scheme_packable(scheme_)) {}
+      scheme_packable_(opt.m == 1 && core::prt_scheme_packable(scheme_)) {
+  if (scheme_packable_) {
+    transcript_ = core::make_op_transcript(scheme_, oracle_);
+  }
+}
 
 CampaignEngine::~CampaignEngine() = default;
 
@@ -33,10 +37,16 @@ void CampaignEngine::run_shard(std::span<const mem::Fault> universe,
   mem::FaultyRam ram(opt_.n, opt_.m, opt_.ports);
   const core::PrtRunOptions run_opts{.early_abort = engine_.early_abort,
                                      .record_iterations = false};
+  // Oracle-backed GF(2) campaigns replay the compiled transcript (no
+  // oracle indirection, FaultyRam devirtualized); other configurations
+  // keep the live paths.
+  const bool use_transcript = engine_.use_oracle && scheme_packable_;
   auto run_scalar = [&](std::size_t i) {
     ram.reset(universe[i]);
     const bool detected =
-        engine_.use_oracle
+        use_transcript
+            ? core::run_prt_transcript(ram, transcript_, run_opts).detected()
+        : engine_.use_oracle
             ? core::run_prt(ram, scheme_, oracle_, run_opts).detected()
             : core::run_prt(ram, scheme_).detected();
     out.ops += ram.total_stats().total();
@@ -49,10 +59,13 @@ void CampaignEngine::run_shard(std::span<const mem::Fault> universe,
   }
 
   mem::PackedFaultRam packed(opt_.n);
+  // Replay scratch hoisted out of the batch loop: one MISR state
+  // buffer per shard, not one per 64-fault batch.
+  core::PackedScratch scratch;
   auto run_batch = [&](mem::PackedFaultRam& batch) {
     const core::PackedRunOptions run{.early_abort = engine_.early_abort};
     const core::PackedVerdict v =
-        core::run_prt_packed(batch, scheme_, oracle_, run);
+        core::run_prt_packed(batch, transcript_, run, scratch);
     // scalar_ops reproduces, per lane, exactly what the scalar path
     // would have issued for that fault (complete iterations until the
     // first failing one under early_abort, the full scheme otherwise).

@@ -17,16 +17,20 @@
 //    reset(fault) fast path instead of constructing and prefilling a
 //    fresh memory per fault, so the per-fault loop performs no
 //    allocation and no LFSR re-derivation;
-//  * for GF(2) bit-oriented campaigns, lane-compatible faults
-//    (single-cell kinds plus the two-cell CFin/CFid/CFst/bridge kinds)
-//    are additionally batched 64 per sweep onto a bit-packed
-//    mem::PackedFaultRam (core/prt_packed), so one memory sweep
-//    evaluates up to 64 faults — the remaining (decoder, retention,
-//    NPSF) faults take the scalar path and the merged result stays
-//    bit-identical.  Early abort composes with the packed path via
-//    per-lane mismatch retirement.
+//  * for GF(2) bit-oriented campaigns, the golden run is additionally
+//    compiled once into a flat core::OpTranscript (cached next to the
+//    oracle) and every hot loop is a tight replay over it: the scalar
+//    fallback runs core::run_prt_transcript (devirtualized FaultyRam,
+//    no oracle indirection), and lane-compatible faults (single-cell
+//    kinds, the two-cell CFin/CFid/CFst/bridge kinds and the decoder
+//    kinds) are batched 64 per sweep onto a bit-packed
+//    mem::PackedFaultRam via the transcript run_prt_packed
+//    (core/prt_packed), so one memory sweep evaluates up to 64 faults
+//    — the remaining (retention, NPSF) faults take the scalar path
+//    and the merged result stays bit-identical.  Early abort composes
+//    with the packed path via per-lane mismatch retirement.
 //
-// See DESIGN.md §7/§8 for the architecture and
+// See DESIGN.md §7/§8/§9 for the architecture and
 // bench/bench_campaign.cpp for the measured speedups.
 #pragma once
 
@@ -34,6 +38,7 @@
 #include <span>
 
 #include "analysis/fault_sim.hpp"
+#include "core/op_transcript.hpp"
 #include "core/prt_engine.hpp"
 
 namespace prt::util {
@@ -62,13 +67,13 @@ struct EngineOptions {
   /// the campaign's read/write counts must reflect complete runs.
   bool early_abort = false;
   /// Evaluate lane-compatible faults (single-bit SAF/TF/WDF, the
-  /// read-logic kinds, and the two-cell CFin/CFid/CFst/bridge kinds on
-  /// bit plane 0) 64 per sweep on a bit-packed mem::PackedFaultRam
-  /// (core/prt_packed) when the scheme is a GF(2)/m = 1 scheme.
-  /// Decoder, NPSF and retention faults fall back to the scalar
-  /// per-fault path, and results stay bit-identical to the all-scalar
-  /// reference.  Ignored (everything scalar) when the scheme is not
-  /// packable or use_oracle is off.
+  /// read-logic kinds, the two-cell CFin/CFid/CFst/bridge kinds on
+  /// bit plane 0, and the decoder kinds) 64 per sweep on a bit-packed
+  /// mem::PackedFaultRam (core/prt_packed) when the scheme is a
+  /// GF(2)/m = 1 scheme.  NPSF and retention faults fall back to the
+  /// scalar per-fault path, and results stay bit-identical to the
+  /// all-scalar reference.  Ignored (everything scalar) when the
+  /// scheme is not packable or use_oracle is off.
   bool packed = true;
 };
 
@@ -105,6 +110,11 @@ class CampaignEngine {
   EngineOptions engine_;
   core::PrtOracle oracle_;
   bool scheme_packable_ = false;
+  /// Compiled golden op stream (core/op_transcript.hpp), built once
+  /// per (scheme, n) next to the oracle when the scheme is a GF(2)
+  /// bit scheme; empty otherwise.  Both the packed batches and the
+  /// scalar fallback replay it.
+  core::OpTranscript transcript_;
   /// Worker pool, spun up on the first parallel run() and reused —
   /// repeated campaigns (benches, multi-universe sweeps) pay thread
   /// spawn/join once, not per call.

@@ -15,7 +15,14 @@ MarchCampaign::MarchCampaign(march::MarchTest test,
     : test_(std::move(test)),
       opt_(opt),
       engine_(engine),
-      backgrounds_(march::standard_backgrounds(opt.m)) {}
+      backgrounds_(march::standard_backgrounds(opt.m)) {
+  // m = 1 has the single background 0, so one compiled transcript
+  // covers the whole background set march_algorithm runs.
+  if (opt_.m == 1) {
+    transcript_ =
+        march::make_march_transcript(test_, opt_.n, /*background=*/false);
+  }
+}
 
 MarchCampaign::~MarchCampaign() = default;
 
@@ -23,10 +30,17 @@ void MarchCampaign::run_shard(std::span<const mem::Fault> universe,
                               std::size_t begin, std::size_t end,
                               CampaignResult& out) const {
   mem::FaultyRam ram(opt_.n, opt_.m, opt_.ports);
+  const march::MarchRunOptions run_opts{.early_abort = engine_.early_abort};
   auto run_scalar = [&](std::size_t i) {
     ram.reset(universe[i]);
+    // m = 1 replays the compiled transcript (devirtualized FaultyRam,
+    // no element/op re-derivation); wider words sweep the live
+    // background set.
     const bool detected =
-        march::run_march_backgrounds(test_, ram, backgrounds_).fail;
+        opt_.m == 1
+            ? march::run_march_transcript(ram, transcript_, run_opts).fail
+            : march::run_march_backgrounds(test_, ram, backgrounds_, run_opts)
+                  .fail;
     out.ops += ram.total_stats().total();
     return detected;
   };
@@ -36,16 +50,15 @@ void MarchCampaign::run_shard(std::span<const mem::Fault> universe,
     return;
   }
 
-  // m = 1 has the single background 0, so one packed sweep covers the
-  // whole background set march_algorithm runs.
   mem::PackedFaultRam packed(opt_.n);
   auto run_batch = [&](mem::PackedFaultRam& batch) {
-    const std::uint64_t detected =
-        march::run_march_packed(test_, batch, /*background=*/false) &
-        batch.active_mask();
-    // run_march always completes, so every lane's scalar-equivalent op
-    // cost is the packed op count of the sweep.
-    return std::pair{detected, batch.ops() * batch.lanes_used()};
+    const march::MarchPackedVerdict v =
+        march::run_march_packed(batch, transcript_, run_opts);
+    // scalar_ops reproduces, per lane, exactly what the scalar path
+    // would have issued for that fault: everything up to and including
+    // the first mismatching read under early_abort, the full test
+    // otherwise.
+    return std::pair{v.detected & batch.active_mask(), v.scalar_ops};
   };
   detail::lane_batched_shard(universe, begin, end, packed, out, run_batch,
                              run_scalar);

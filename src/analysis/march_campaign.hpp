@@ -6,18 +6,24 @@
 // pool, contiguous shards, order-deterministic merge) and the 64-lane
 // packing of mem::PackedFaultRam:
 //
-//  * for bit-oriented (m = 1) campaigns, lane-compatible faults are
-//    batched 64 per sweep through march::run_march_packed, so one
-//    March sweep evaluates up to 64 faults; the remaining (decoder,
-//    retention, NPSF) faults take the scalar run_march_backgrounds
-//    path, and the shard's escape indices are re-sorted so the merged
-//    CampaignResult — coverage, per-class counts, escapes and op
-//    totals — is bit-identical to
-//    run_campaign(universe, march_algorithm(test), opt);
+//  * for bit-oriented (m = 1) campaigns the golden March run is
+//    compiled once per (test, n, background) into a flat
+//    core::OpTranscript (march::make_march_transcript) and every hot
+//    loop replays it: lane-compatible faults (now including the
+//    decoder kinds) are batched 64 per sweep through the transcript
+//    march::run_march_packed, the remaining (retention, NPSF) faults
+//    run the scalar
+//    march::run_march_transcript (devirtualized FaultyRam), and the
+//    shard's escape indices are re-sorted so the merged CampaignResult
+//    — coverage, per-class counts, escapes and op totals — is
+//    bit-identical to run_campaign(universe, march_algorithm(test),
+//    opt).  Early abort composes with packing: lanes retire at their
+//    first mismatching read with analytic per-lane op accounting
+//    identical to the abort-aware scalar run_march reference;
 //  * word-oriented (m > 1) campaigns run entirely scalar over the
 //    standard data backgrounds, still sharded over the pool.
 //
-// See DESIGN.md §8 and bench/bench_campaign.cpp's March section.
+// See DESIGN.md §8/§9 and bench/bench_campaign.cpp's March section.
 #pragma once
 
 #include <memory>
@@ -25,6 +31,7 @@
 #include <vector>
 
 #include "analysis/fault_sim.hpp"
+#include "core/op_transcript.hpp"
 #include "march/march_runner.hpp"
 
 namespace prt::util {
@@ -44,6 +51,13 @@ struct MarchEngineOptions {
   /// mem::PackedFaultRam when m = 1.  Results stay bit-identical to
   /// the all-scalar reference.
   bool packed = true;
+  /// Stop each fault's run at its first mismatching read (and skip the
+  /// remaining backgrounds after a failing run).  Verdicts, coverage
+  /// and escapes are unchanged; CampaignResult::ops shrinks to the
+  /// abort-aware scalar reference cost.  Composes with `packed`: lanes
+  /// retire as their mismatch latches, with per-lane op accounting
+  /// bit-identical to the scalar abort path (march/march_runner).
+  bool early_abort = false;
 };
 
 class MarchCampaign {
@@ -75,6 +89,10 @@ class MarchCampaign {
   MarchEngineOptions engine_;
   /// standard_backgrounds(opt.m), the set march_algorithm sweeps.
   std::vector<mem::Word> backgrounds_;
+  /// Compiled golden run per (test, n, background 0), built once when
+  /// m = 1 (the only background that width sweeps); empty otherwise.
+  /// Replayed by both the packed batches and the scalar fallback.
+  core::OpTranscript transcript_;
   mutable std::unique_ptr<util::ThreadPool> pool_;
 };
 

@@ -1,72 +1,21 @@
 #include "core/prt_packed.hpp"
 
+#include <algorithm>
 #include <bit>
 #include <cassert>
-#include <vector>
 
-#include "gf/gf2_poly.hpp"
 #include "util/bitops.hpp"
 
 namespace prt::core {
-
-namespace {
-
-/// Broadcasts one golden bit to every lane.
-constexpr mem::LaneWord bcast(gf::Elem bit) {
-  return bit ? ~mem::LaneWord{0} : mem::LaneWord{0};
-}
-
-/// 64 independent MISRs, bit-sliced: state bit b of all lanes lives in
-/// state[b], so one shift costs O(width) lane-wide XORs instead of 64
-/// scalar shifts.  Mirrors lfsr::Misr::shift exactly.
-class PackedMisr {
- public:
-  explicit PackedMisr(gf::Poly2 poly)
-      : poly_(poly),
-        width_(static_cast<unsigned>(poly_degree(poly))),
-        state_(width_, 0) {}
-
-  void shift(mem::LaneWord input) {
-    const mem::LaneWord msb = state_[width_ - 1];
-    for (unsigned b = width_; b-- > 1;) {
-      state_[b] = state_[b - 1] ^ (((poly_ >> b) & 1U) ? msb : 0);
-    }
-    state_[0] = (((poly_ & 1U) != 0) ? msb : 0) ^ input;
-  }
-
-  /// Lanes whose signature differs from the golden scalar signature.
-  [[nodiscard]] mem::LaneWord mismatch(std::uint64_t expected) const {
-    mem::LaneWord m = 0;
-    for (unsigned b = 0; b < width_; ++b) {
-      m |= state_[b] ^ bcast(static_cast<gf::Elem>((expected >> b) & 1U));
-    }
-    return m;
-  }
-
- private:
-  gf::Poly2 poly_;
-  unsigned width_;
-  std::vector<mem::LaneWord> state_;
-};
-
-/// Ops a scalar single-port run of this iteration issues: k init
-/// writes, (n-k) windows of k reads + 1 feedback write, k Fin reads,
-/// k Init re-reads, and the n verify-pass reads when enabled —
-/// deterministic per (scheme, n), which is what lets the packed path
-/// reproduce scalar early-abort op accounting analytically.
-std::uint64_t iteration_ops(const SchemeIteration& it, mem::Addr n) {
-  const std::uint64_t kk = it.g.size() - 1;
-  return kk + (n - kk) * (kk + 1) + 2 * kk +
-         (it.config.verify_pass ? n : 0);
-}
-
-}  // namespace
 
 bool prt_scheme_packable(const PrtScheme& scheme) {
   if (scheme.field_modulus != 0b11) return false;  // GF(2) only
   if (scheme.iterations.empty()) return false;
   for (const SchemeIteration& it : scheme.iterations) {
     if (it.g.size() < 2) return false;
+    // The transcript's feedback-selection mask covers windows up to 64
+    // positions wide (every real scheme uses k = 2).
+    if (it.g.size() > 65) return false;
     for (const gf::Elem c : it.g) {
       if (c > 1) return false;
     }
@@ -79,14 +28,18 @@ bool prt_scheme_packable(const PrtScheme& scheme) {
 }
 
 PackedVerdict run_prt_packed(mem::PackedFaultRam& ram,
-                             const PrtScheme& scheme,
-                             const PrtOracle& oracle,
-                             const PackedRunOptions& options) {
-  assert(prt_scheme_packable(scheme));
-  assert(oracle.iterations.size() == scheme.iterations.size());
-  assert(oracle.n == ram.size());
-  const mem::Addr n = ram.size();
-  const bool use_misr = scheme.misr_poly != 0;
+                             const OpTranscript& t,
+                             const PackedRunOptions& options,
+                             PackedScratch& scratch) {
+  assert(!t.iterations.empty());
+  assert(t.n == ram.size());
+  const mem::Addr n = t.n;
+  const bool use_misr = t.misr_poly != 0;
+  const unsigned misr_width =
+      use_misr ? static_cast<unsigned>(poly_degree(t.misr_poly)) : 0;
+  if (scratch.misr.size() < misr_width) scratch.misr.resize(misr_width);
+  mem::LaneWord* misr = scratch.misr.data();
+
   const mem::LaneWord active = ram.active_mask();
   PackedVerdict verdict;
   mem::LaneWord mismatch = 0;
@@ -94,67 +47,61 @@ PackedVerdict run_prt_packed(mem::PackedFaultRam& ram,
   // is retired immediately (its verdict is final), and the run stops
   // once every active lane is retired.
   mem::LaneWord pending = active;
-  std::uint64_t ops_so_far = 0;
 
-  mem::LaneWord window_buf[16];
-  std::vector<mem::LaneWord> window_spill;
-
-  for (std::size_t i = 0; i < scheme.iterations.size(); ++i) {
-    const SchemeIteration& it = scheme.iterations[i];
-    const PiOracle& orc = oracle.iterations[i];
-    const unsigned kk = static_cast<unsigned>(it.g.size() - 1);
-    const Trajectory& traj = orc.trajectory;
-    assert(traj.size() == n);
-    assert(orc.fin_expected.size() == kk);
-    assert(!it.config.verify_pass || orc.image.size() == n);
-
-    mem::LaneWord* window = window_buf;
-    if (kk > std::size(window_buf)) {
-      window_spill.resize(kk);
-      window = window_spill.data();
-    }
-    PackedMisr misr(use_misr ? scheme.misr_poly : gf::Poly2{0b111});
+  for (const PrtIterSpan& it : t.iterations) {
+    const OpRec* traj = t.recs.data() + it.traj_begin;
+    const unsigned kk = it.k;
+    // 64 independent MISRs, bit-sliced: state bit b of all lanes lives
+    // in misr[b], so one shift costs O(width) lane-wide XORs instead
+    // of 64 scalar shifts.  Mirrors lfsr::Misr::shift exactly.
+    if (use_misr) std::fill_n(misr, misr_width, mem::LaneWord{0});
+    auto misr_shift = [&](mem::LaneWord input) {
+      const mem::LaneWord msb = misr[misr_width - 1];
+      for (unsigned b = misr_width; b-- > 1;) {
+        misr[b] = misr[b - 1] ^ (((t.misr_poly >> b) & 1U) ? msb : 0);
+      }
+      misr[0] = (((t.misr_poly & 1U) != 0) ? msb : 0) ^ input;
+    };
 
     // Initialization: broadcast the seed values to every lane.
     for (unsigned j = 0; j < kk; ++j) {
-      ram.write(traj.at(j), bcast(it.config.init[j]));
+      ram.write(traj[j].addr, mem::lane_broadcast(traj[j].golden));
     }
 
     // Sweep: each lane's feedback is the XOR of its own window reads
-    // selected by the non-zero g coefficients (Eq. 1 over GF(2)).
-    // Nothing latches during the sweep, so there is no abort point
-    // inside it.
+    // selected by the transcript's feedback mask (Eq. 1 over GF(2)),
+    // accumulated inline — no window buffer.  Nothing latches during
+    // the sweep, so there is no abort point inside it.
     for (mem::Addr q = 0; q + kk < n; ++q) {
-      for (unsigned j = 0; j < kk; ++j) {
-        window[j] = ram.read(traj.at(q + j));
-        if (use_misr) misr.shift(window[j]);
-      }
       mem::LaneWord fb = 0;
-      for (unsigned j = 1; j <= kk; ++j) {
-        if (it.g[j]) fb ^= window[kk - j];
+      for (unsigned j = 0; j < kk; ++j) {
+        const mem::LaneWord w = ram.read(traj[q + j].addr);
+        if (use_misr) misr_shift(w);
+        if ((it.fb_mask >> j) & 1U) fb ^= w;
       }
-      ram.write(traj.at(q + kk), fb);
+      ram.write(traj[q + kk].addr, fb);
     }
 
     // Verdict: Fin read-back against Fin*, Init re-read against the
     // seed — any deviating lane is detected.
     for (unsigned j = 0; j < kk; ++j) {
-      const mem::LaneWord raw = ram.read(traj.at(n - kk + j));
-      mismatch |= raw ^ bcast(orc.fin_expected[j]);
-      if (use_misr) misr.shift(raw);
+      const mem::LaneWord raw = ram.read(traj[n - kk + j].addr);
+      mismatch |= raw ^ mem::lane_broadcast(traj[n - kk + j].golden);
+      if (use_misr) misr_shift(raw);
     }
     for (unsigned j = 0; j < kk; ++j) {
-      const mem::LaneWord raw = ram.read(traj.at(j));
-      mismatch |= raw ^ bcast(it.config.init[j]);
-      if (use_misr) misr.shift(raw);
+      const mem::LaneWord raw = ram.read(traj[j].addr);
+      mismatch |= raw ^ mem::lane_broadcast(traj[j].golden);
+      if (use_misr) misr_shift(raw);
     }
 
-    if (it.config.verify_pass) {
+    if (it.has_verify) {
       // No lane-compatible fault is clock-dependent, so the pause only
       // mirrors the scalar control flow.
-      if (it.config.pause_ticks != 0) ram.advance_time(it.config.pause_ticks);
+      if (it.pause_ticks != 0) ram.advance_time(it.pause_ticks);
+      const OpRec* img = t.recs.data() + it.verify_begin;
       for (mem::Addr a = 0; a < n; ++a) {
-        mismatch |= ram.read(a) ^ bcast(orc.image[a]);
+        mismatch |= ram.read(img[a].addr) ^ mem::lane_broadcast(img[a].golden);
         // Once every pending lane has latched, the rest of the verify
         // pass cannot change any verdict (the latch is monotone and
         // verify reads do not feed the MISR) — skip it.  The reported
@@ -162,15 +109,21 @@ PackedVerdict run_prt_packed(mem::PackedFaultRam& ram,
         if (options.early_abort && (pending & ~mismatch) == 0) break;
       }
     }
-    if (use_misr) mismatch |= misr.mismatch(orc.misr_expected);
+    if (use_misr) {
+      // Lanes whose signature differs from the golden scalar signature.
+      for (unsigned b = 0; b < misr_width; ++b) {
+        mismatch |= misr[b] ^ mem::lane_broadcast(
+                                  static_cast<unsigned>((it.misr_expected >> b) & 1U));
+      }
+    }
 
-    ops_so_far += iteration_ops(it, n);
     if (options.early_abort) {
       // Lanes that latched this iteration ran, scalar-equivalently,
-      // every iteration up to and including this one.
+      // every iteration up to and including this one — the
+      // transcript's abort-op prefix sum.
       const mem::LaneWord newly = pending & mismatch;
       verdict.scalar_ops +=
-          static_cast<std::uint64_t>(std::popcount(newly)) * ops_so_far;
+          static_cast<std::uint64_t>(std::popcount(newly)) * it.ops_end();
       pending &= ~mismatch;
       if (pending == 0) {
         verdict.detected = mismatch;
@@ -182,9 +135,20 @@ PackedVerdict run_prt_packed(mem::PackedFaultRam& ram,
   // complete scheme.
   const mem::LaneWord full = options.early_abort ? pending : active;
   verdict.scalar_ops +=
-      static_cast<std::uint64_t>(std::popcount(full)) * ops_so_far;
+      static_cast<std::uint64_t>(std::popcount(full)) * t.total_ops();
   verdict.detected = mismatch;
   return verdict;
+}
+
+PackedVerdict run_prt_packed(mem::PackedFaultRam& ram,
+                             const PrtScheme& scheme,
+                             const PrtOracle& oracle,
+                             const PackedRunOptions& options) {
+  assert(prt_scheme_packable(scheme));
+  assert(oracle.n == ram.size());
+  const OpTranscript transcript = make_op_transcript(scheme, oracle);
+  PackedScratch scratch;
+  return run_prt_packed(ram, transcript, options, scratch);
 }
 
 std::uint64_t run_prt_packed(mem::PackedFaultRam& ram,

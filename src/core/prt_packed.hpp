@@ -4,11 +4,14 @@
 // sum_j g_j * window[k-j] degenerates to an XOR of the selected window
 // entries — which is *lane-wise*: one 64-bit XOR computes all 64
 // packed memories' feedback at once, each from its own (possibly
-// fault-corrupted) reads.  run_prt_packed replays the exact control
-// flow of PiTester::run / run_prt against a mem::PackedFaultRam and
-// compares each lane's observed Fin, Init read-back, verify-pass image
-// and (bit-sliced) MISR signature against the shared PrtOracle
-// goldens, returning the 64-bit detected mask.
+// fault-corrupted) reads.  run_prt_packed replays the compiled op
+// transcript of the scheme (core/op_transcript.hpp) against a
+// mem::PackedFaultRam: a tight stream over flat {addr, golden}
+// records with no Trajectory::at(), no oracle indirection and no
+// per-op dispatch, comparing each lane's observed Fin, Init read-back,
+// verify-pass image and (bit-sliced) MISR signature against the golden
+// values baked into the transcript, returning the 64-bit detected
+// mask.
 //
 // Detection semantics per lane are identical to
 // run_prt(FaultyRam, scheme, oracle).detected() for the same single
@@ -22,11 +25,14 @@
 // boundaries, or mid-verify-pass once the mask saturates), and the
 // reported scalar-equivalent op count reproduces exactly what
 // run_prt(..., {.early_abort = true}) would have issued per lane:
-// complete iterations up to and including the first failing one.
+// complete iterations up to and including the first failing one —
+// analytic, from the transcript's per-iteration abort-op prefix sums.
 #pragma once
 
 #include <cstdint>
+#include <vector>
 
+#include "core/op_transcript.hpp"
 #include "core/prt_engine.hpp"
 #include "mem/packed_fault_ram.hpp"
 
@@ -46,6 +52,15 @@ struct PackedRunOptions {
   bool early_abort = false;
 };
 
+/// Reusable replay scratch: the bit-sliced MISR state, the only
+/// per-run buffer the replay needs (the feedback accumulates inline,
+/// so there is no window buffer at all).  Campaign shard loops own one
+/// and pass it to every batch instead of reallocating per 64-fault
+/// batch.
+struct PackedScratch {
+  std::vector<mem::LaneWord> misr;
+};
+
 /// Verdict of a packed run.
 struct PackedVerdict {
   /// Bit L set means lane L's fault is detected.  Lanes beyond
@@ -61,7 +76,16 @@ struct PackedVerdict {
   std::uint64_t scalar_ops = 0;
 };
 
-/// Runs the scheme against the packed ram.  Preconditions:
+/// Replays a compiled PRT transcript against the packed ram — the
+/// campaign hot loop.  Preconditions: transcript built by
+/// make_op_transcript for this scheme with transcript.n == ram.size().
+[[nodiscard]] PackedVerdict run_prt_packed(mem::PackedFaultRam& ram,
+                                           const OpTranscript& transcript,
+                                           const PackedRunOptions& options,
+                                           PackedScratch& scratch);
+
+/// Oracle-based convenience overload: compiles the transcript on the
+/// fly (one-shot callers, tests).  Preconditions:
 /// prt_scheme_packable(scheme), oracle built by
 /// make_prt_oracle(scheme, ram.size()).
 [[nodiscard]] PackedVerdict run_prt_packed(mem::PackedFaultRam& ram,

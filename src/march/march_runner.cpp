@@ -1,6 +1,8 @@
 #include "march/march_runner.hpp"
 
+#include <bit>
 #include <cassert>
+#include <stdexcept>
 
 #include "util/bitops.hpp"
 
@@ -9,8 +11,10 @@ namespace prt::march {
 namespace {
 
 /// Applies one March element at a single address, updating the result.
-void apply_ops(const MarchElement& elem, mem::Memory& memory,
-               mem::Addr addr, mem::Word bg, MarchResult& result) {
+/// Returns false when an early abort fired (stop the whole run).
+bool apply_ops(const MarchElement& elem, mem::Memory& memory,
+               mem::Addr addr, mem::Word bg, const MarchRunOptions& options,
+               MarchResult& result) {
   const mem::Word mask = memory.word_mask();
   for (const MarchOp& op : elem.ops) {
     const mem::Word data = (op.data == 0 ? bg : ~bg) & mask;
@@ -25,18 +29,21 @@ void apply_ops(const MarchElement& elem, mem::Memory& memory,
         }
         result.fail = true;
         ++result.mismatches;
+        if (options.early_abort) return false;
       }
     } else {
       memory.write(addr, data, 0);
       ++result.ops;
     }
   }
+  return true;
 }
 
 }  // namespace
 
 MarchResult run_march(const MarchTest& test, mem::Memory& memory,
-                      mem::Word background, std::uint64_t delay_ticks) {
+                      mem::Word background, std::uint64_t delay_ticks,
+                      const MarchRunOptions& options) {
   MarchResult result;
   const mem::Addr n = memory.size();
   for (const MarchElement& elem : test.elements) {
@@ -46,54 +53,150 @@ MarchResult run_march(const MarchTest& test, mem::Memory& memory,
     }
     if (elem.order == Order::kDown) {
       for (mem::Addr i = n; i-- > 0;) {
-        apply_ops(elem, memory, i, background, result);
+        if (!apply_ops(elem, memory, i, background, options, result)) {
+          return result;
+        }
       }
     } else {
       for (mem::Addr i = 0; i < n; ++i) {
-        apply_ops(elem, memory, i, background, result);
+        if (!apply_ops(elem, memory, i, background, options, result)) {
+          return result;
+        }
       }
     }
   }
   return result;
 }
 
+core::OpTranscript make_march_transcript(const MarchTest& test, mem::Addr n,
+                                         bool background,
+                                         std::uint64_t delay_ticks) {
+  // Malformed tests must fail loudly in release campaigns too (same
+  // precedent as FaultyRam::inject): a silent mis-compiled read_mask
+  // would corrupt coverage numbers instead of crashing.
+  if (n < 1) {
+    throw std::invalid_argument("make_march_transcript: n must be >= 1");
+  }
+  core::OpTranscript t;
+  t.n = n;
+  t.delay_ticks = delay_ticks;
+  const gf::Elem bg = background ? 1 : 0;
+  std::size_t rec_count = 0;
+  for (const MarchElement& elem : test.elements) {
+    if (!elem.is_delay) rec_count += elem.ops.size() * n;
+  }
+  t.recs.reserve(rec_count);
+  t.march.reserve(test.elements.size());
+  for (const MarchElement& elem : test.elements) {
+    core::MarchSegment seg;
+    seg.begin = t.recs.size();
+    if (elem.is_delay) {
+      seg.end = seg.begin;
+      seg.is_delay = true;
+      t.march.push_back(seg);
+      continue;
+    }
+    if (elem.ops.empty() || elem.ops.size() > 32) {
+      throw std::invalid_argument(
+          "make_march_transcript: element needs 1..32 ops (read_mask "
+          "width), got " +
+          std::to_string(elem.ops.size()));
+    }
+    seg.period = static_cast<std::uint32_t>(elem.ops.size());
+    for (std::uint32_t j = 0; j < seg.period; ++j) {
+      if (elem.ops[j].is_read()) {
+        seg.read_mask |= std::uint32_t{1} << j;
+        t.total_reads += n;
+      } else {
+        t.total_writes += n;
+      }
+    }
+    auto emit = [&](mem::Addr addr) {
+      for (const MarchOp& op : elem.ops) {
+        t.recs.push_back({addr, op.data == 0 ? bg : bg ^ 1U});
+      }
+    };
+    if (elem.order == Order::kDown) {
+      for (mem::Addr i = n; i-- > 0;) emit(i);
+    } else {
+      for (mem::Addr i = 0; i < n; ++i) emit(i);
+    }
+    seg.end = t.recs.size();
+    t.march.push_back(seg);
+  }
+  return t;
+}
+
+MarchPackedVerdict run_march_packed(mem::PackedFaultRam& ram,
+                                    const core::OpTranscript& t,
+                                    const MarchRunOptions& options) {
+  assert(t.n == ram.size());
+  const mem::LaneWord active = ram.active_mask();
+  MarchPackedVerdict verdict;
+  mem::LaneWord mismatch = 0;
+  // Active lanes whose mismatch has not latched yet (early abort
+  // retires lanes the moment they latch: a March verdict is monotone).
+  mem::LaneWord pending = active;
+  std::uint64_t op_idx = 0;
+  for (const core::MarchSegment& seg : t.march) {
+    if (seg.is_delay) {
+      ram.advance_time(t.delay_ticks);
+      continue;
+    }
+    const core::OpRec* r = t.recs.data() + seg.begin;
+    const core::OpRec* const end = t.recs.data() + seg.end;
+    const std::uint32_t period = seg.period;
+    const std::uint32_t read_mask = seg.read_mask;
+    while (r != end) {
+      for (std::uint32_t j = 0; j < period; ++j, ++r) {
+        ++op_idx;
+        if ((read_mask >> j) & 1U) {
+          mismatch |= ram.read(r->addr) ^ mem::lane_broadcast(r->golden);
+          if (options.early_abort) {
+            // A lane's scalar abort run stops at its first mismatching
+            // read having issued exactly op_idx ops.
+            const mem::LaneWord newly = pending & mismatch;
+            if (newly != 0) {
+              verdict.scalar_ops +=
+                  static_cast<std::uint64_t>(std::popcount(newly)) * op_idx;
+              pending &= ~newly;
+              if (pending == 0) {
+                verdict.detected = mismatch;
+                return verdict;
+              }
+            }
+          }
+        } else {
+          ram.write(r->addr, mem::lane_broadcast(r->golden));
+        }
+      }
+    }
+  }
+  // Remaining lanes (all active lanes when early_abort is off) ran the
+  // complete test.
+  const mem::LaneWord full = options.early_abort ? pending : active;
+  verdict.scalar_ops +=
+      static_cast<std::uint64_t>(std::popcount(full)) * t.total_ops();
+  verdict.detected = mismatch;
+  return verdict;
+}
+
 std::uint64_t run_march_packed(const MarchTest& test,
                                mem::PackedFaultRam& ram, bool background,
                                std::uint64_t delay_ticks) {
-  const mem::LaneWord zero_data = background ? ~mem::LaneWord{0} : 0;
-  std::uint64_t mismatch = 0;
-  const mem::Addr n = ram.size();
-  // One element applied completely at one address, all lanes at once.
-  auto apply_ops = [&](const MarchElement& elem, mem::Addr addr) {
-    for (const MarchOp& op : elem.ops) {
-      const mem::LaneWord data = op.data == 0 ? zero_data : ~zero_data;
-      if (op.is_read()) {
-        mismatch |= ram.read(addr) ^ data;
-      } else {
-        ram.write(addr, data);
-      }
-    }
-  };
-  for (const MarchElement& elem : test.elements) {
-    if (elem.is_delay) {
-      ram.advance_time(delay_ticks);
-      continue;
-    }
-    if (elem.order == Order::kDown) {
-      for (mem::Addr i = n; i-- > 0;) apply_ops(elem, i);
-    } else {
-      for (mem::Addr i = 0; i < n; ++i) apply_ops(elem, i);
-    }
-  }
-  return mismatch;
+  const core::OpTranscript t =
+      make_march_transcript(test, ram.size(), background, delay_ticks);
+  return run_march_packed(ram, t, MarchRunOptions{}).detected;
 }
 
 MarchResult run_march_backgrounds(const MarchTest& test, mem::Memory& memory,
-                                  const std::vector<mem::Word>& backgrounds) {
+                                  const std::vector<mem::Word>& backgrounds,
+                                  const MarchRunOptions& options) {
   assert(!backgrounds.empty());
   MarchResult merged;
   for (mem::Word bg : backgrounds) {
-    const MarchResult r = run_march(test, memory, bg);
+    const MarchResult r =
+        run_march(test, memory, bg, kDefaultDelayTicks, options);
     merged.ops += r.ops;
     merged.mismatches += r.mismatches;
     if (r.fail && !merged.fail) {
@@ -102,6 +205,9 @@ MarchResult run_march_backgrounds(const MarchTest& test, mem::Memory& memory,
       merged.first_expected = r.first_expected;
       merged.first_actual = r.first_actual;
     }
+    // The abort-aware reference stops the whole background sweep at
+    // the first failing run.
+    if (options.early_abort && merged.fail) break;
   }
   return merged;
 }

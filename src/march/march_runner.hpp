@@ -5,16 +5,33 @@
 // data indices are expanded over a set of data backgrounds; the
 // standard log2(m)+1 backgrounds (solid, checkerboard, double-stripe,
 // ...) are provided.
+//
+// Campaign hot loops do not re-derive the element/address/op nesting
+// per fault: make_march_transcript compiles one (test, n, background)
+// golden run into a flat core::OpTranscript, and the replays —
+// run_march_transcript (scalar, templated so the memory type
+// devirtualizes) and the transcript run_march_packed (64 lanes) —
+// stream through it.  Both are bit-identical to run_march, including
+// the early-abort op accounting (stop at the first mismatching read,
+// ops = everything issued up to and including it), which is what lets
+// the packed path report per-lane abort ops analytically.
 #pragma once
 
 #include <cstdint>
 #include <vector>
 
+#include "core/op_transcript.hpp"
 #include "march/march_test.hpp"
 #include "mem/memory.hpp"
 #include "mem/packed_fault_ram.hpp"
 
 namespace prt::march {
+
+/// Virtual-time ticks a "Del" element advances by default — long
+/// enough to out-wait every retention fault the universes inject.
+/// Shared by every runner/compiler so the scalar, transcript and
+/// background-sweep paths stay bit-identical.
+inline constexpr std::uint64_t kDefaultDelayTicks = 100'000;
 
 /// Outcome of one March run.
 struct MarchResult {
@@ -27,6 +44,16 @@ struct MarchResult {
   mem::Word first_actual = 0;
 };
 
+struct MarchRunOptions {
+  /// Stop at the first mismatching read.  The fail verdict is
+  /// unchanged (a March test detects iff any read deviates) but ops
+  /// counts only what was actually issued — the abort-aware scalar
+  /// reference the packed per-lane op accounting reproduces exactly.
+  /// run_march_backgrounds additionally skips the remaining
+  /// backgrounds after the first failing run.
+  bool early_abort = false;
+};
+
 /// Runs `test` over the whole address space of `memory` with data
 /// index 0 = `background`, index 1 = ~background.  Each "Del" element
 /// advances the memory's virtual time by `delay_ticks` (data-retention
@@ -34,28 +61,101 @@ struct MarchResult {
 [[nodiscard]] MarchResult run_march(const MarchTest& test,
                                     mem::Memory& memory,
                                     mem::Word background = 0,
-                                    std::uint64_t delay_ticks = 100'000);
+                                    std::uint64_t delay_ticks = kDefaultDelayTicks,
+                                    const MarchRunOptions& options = {});
 
 /// Runs the test once per background and merges the results (a fault is
 /// detected if any background run fails).
 [[nodiscard]] MarchResult run_march_backgrounds(
     const MarchTest& test, mem::Memory& memory,
-    const std::vector<mem::Word>& backgrounds);
+    const std::vector<mem::Word>& backgrounds,
+    const MarchRunOptions& options = {});
 
-/// Runs one March sweep bit-parallel over a mem::PackedFaultRam (a
-/// packed one-bit-wide memory, up to 64 independent single-fault
-/// lanes): each write broadcasts the element's data bit to every lane
-/// and each read compares every lane against the expected background
-/// bit at once.  Returns the mask of lanes whose reads deviated — bit
-/// L set means lane L's fault is detected, with per-lane semantics
-/// identical to run_march(test, FaultyRam-with-that-fault,
-/// background).fail for background bit `background`.  Lanes beyond
-/// ram.lanes_used() never deviate, but callers should still AND with
-/// ram.active_mask().  "Del" elements advance the ram's virtual time
-/// (a no-op: no lane-compatible fault is clock-dependent).
+/// Compiles one (test, n, background-bit) March run into a flat op
+/// transcript: one core::MarchSegment per element, records flattened
+/// in traversal order with the data bit resolved against the
+/// background.  Built once per campaign and replayed per fault.
+[[nodiscard]] core::OpTranscript make_march_transcript(
+    const MarchTest& test, mem::Addr n, bool background,
+    std::uint64_t delay_ticks = kDefaultDelayTicks);
+
+/// Verdict of a packed transcript March run (mirrors
+/// core::PackedVerdict).
+struct MarchPackedVerdict {
+  /// Bit L set means lane L's fault is detected.
+  std::uint64_t detected = 0;
+  /// Sum over the ram's active lanes of the ops a scalar
+  /// run_march(FaultyRam, ..., {.early_abort}) would have issued for
+  /// that lane's fault: everything up to and including the first
+  /// mismatching read under early_abort, the full test otherwise.
+  std::uint64_t scalar_ops = 0;
+};
+
+/// Replays a compiled March transcript bit-parallel over a
+/// mem::PackedFaultRam (up to 64 independent single-fault lanes): each
+/// write broadcasts the record's data bit to every lane and each read
+/// compares every lane against the expected bit at once.  Per-lane
+/// semantics are identical to run_march(test, FaultyRam-with-that-
+/// fault, background, delay, options).  With early_abort, lanes retire
+/// as their mismatch latches and the replay stops once every active
+/// lane is retired, with per-lane op accounting identical to the
+/// scalar abort path.  Lanes beyond ram.lanes_used() never deviate,
+/// but callers should still AND with ram.active_mask().
+[[nodiscard]] MarchPackedVerdict run_march_packed(
+    mem::PackedFaultRam& ram, const core::OpTranscript& transcript,
+    const MarchRunOptions& options = {});
+
+/// Convenience overload compiling the transcript on the fly (one-shot
+/// callers, tests): the detected mask of a full run without early
+/// abort.
 [[nodiscard]] std::uint64_t run_march_packed(
     const MarchTest& test, mem::PackedFaultRam& ram,
-    bool background = false, std::uint64_t delay_ticks = 100'000);
+    bool background = false, std::uint64_t delay_ticks = kDefaultDelayTicks);
+
+/// Scalar transcript replay: issues the exact operation stream of
+/// run_march(memory, ...) for the compiled (test, n, background) and
+/// returns an identical MarchResult — including mismatch counts,
+/// first-mismatch bookkeeping and early-abort op accounting.  A
+/// template so the concrete memory type's read/write devirtualize in
+/// the campaign hot loop.
+template <typename MemoryT>
+[[nodiscard]] MarchResult run_march_transcript(
+    MemoryT& memory, const core::OpTranscript& t,
+    const MarchRunOptions& options = {}) {
+  MarchResult result;
+  for (const core::MarchSegment& seg : t.march) {
+    if (seg.is_delay) {
+      memory.advance_time(t.delay_ticks);
+      continue;
+    }
+    const core::OpRec* r = t.recs.data() + seg.begin;
+    const core::OpRec* const end = t.recs.data() + seg.end;
+    const std::uint32_t period = seg.period;
+    const std::uint32_t read_mask = seg.read_mask;
+    while (r != end) {
+      for (std::uint32_t j = 0; j < period; ++j, ++r) {
+        if ((read_mask >> j) & 1U) {
+          const mem::Word got = memory.read(r->addr, 0);
+          ++result.ops;
+          if (got != r->golden) {
+            if (!result.fail) {
+              result.first_addr = r->addr;
+              result.first_expected = r->golden;
+              result.first_actual = got;
+            }
+            result.fail = true;
+            ++result.mismatches;
+            if (options.early_abort) return result;
+          }
+        } else {
+          memory.write(r->addr, r->golden, 0);
+          ++result.ops;
+        }
+      }
+    }
+  }
+  return result;
+}
 
 /// The standard data backgrounds for an m-bit word: solid 0,
 /// checkerboard 0101.., double stripe 0011.., quad stripe 00001111..,

@@ -37,6 +37,12 @@ bool lane_compatible(const Fault& fault) {
     case FaultKind::kBridgeOr:
       // Both halves of the pair live on bit plane 0 of the same lane.
       return fault.aggressor.bit == 0;
+    case FaultKind::kAfNoAccess:
+    case FaultKind::kAfWrongAccess:
+    case FaultKind::kAfMultiAccess:
+      // One fault per lane: the remap touches exactly one address and
+      // at most one alias cell — a per-lane scatter, like coupling.
+      return true;
     default:
       return false;
   }
@@ -60,6 +66,8 @@ void PackedFaultRam::reset() {
   cfst_state1_ = 0;
   bridge_or_ = 0;
   lanes_used_ = 0;
+  has_two_cell_ = false;
+  has_af_ = false;
   last_read_ = 0;
   reads_ = 0;
   writes_ = 0;
@@ -97,10 +105,17 @@ unsigned PackedFaultRam::add_fault(const Fault& fault) {
           fault.describe());
     }
   }
+  if ((fault.kind == FaultKind::kAfWrongAccess ||
+       fault.kind == FaultKind::kAfMultiAccess) &&
+      fault.alias >= size_) {
+    throw std::invalid_argument(
+        "PackedFaultRam::add_fault: alias out of range: " + fault.describe());
+  }
   if (lanes_used_ >= kLanes) {
     throw std::length_error("PackedFaultRam::add_fault: all 64 lanes taken");
   }
   const unsigned lane = lanes_used_++;
+  has_two_cell_ = has_two_cell_ || is_coupling(fault.kind);
   const LaneWord mask = LaneWord{1} << lane;
   const Addr vic = fault.victim.cell;
   const Addr agg = fault.aggressor.cell;
@@ -173,6 +188,20 @@ unsigned PackedFaultRam::add_fault(const Fault& fault) {
       }
       break;
     }
+    case FaultKind::kAfNoAccess:
+      slot_for(vic).af_no |= mask;
+      has_af_ = true;
+      break;
+    case FaultKind::kAfWrongAccess:
+      slot_for(vic).af_wrong |= mask;
+      lane_victim_[lane] = fault.alias;
+      has_af_ = true;
+      break;
+    case FaultKind::kAfMultiAccess:
+      slot_for(vic).af_multi |= mask;
+      lane_victim_[lane] = fault.alias;
+      has_af_ = true;
+      break;
     case FaultKind::kBridgeAnd:
     case FaultKind::kBridgeOr: {
       slot_for(vic).bridge |= mask;
@@ -195,50 +224,37 @@ unsigned PackedFaultRam::add_fault(const Fault& fault) {
   return lane;
 }
 
-LaneWord PackedFaultRam::read(Addr addr) {
-  assert(addr < size_);
-  ++reads_;
-  LaneWord value = data_[addr];
-  const std::int16_t slot = slot_of_cell_[addr];
-  if (slot >= 0) {
-    const CellFaults& f = slots_[static_cast<std::size_t>(slot)];
-    // RDF: the cell flips and the sense amp sees the flipped value.
-    value ^= f.rdf;
-    // DRDF: the correct value is returned, the cell flips behind the
-    // reader's back.
-    data_[addr] = value ^ f.drdf;
-    // IRF: inverted data on the bus, cell untouched.
-    value ^= f.irf;
-    // SOF: the open cell echoes the sense amp's previous read.
-    value = (value & ~f.sof) | (last_read_ & f.sof);
-    // Coupling lanes are untouched by reads: their lane has no
-    // read-logic fault, and a read never changes the bits a condition
-    // watches (FaultyRam likewise only enforces conditions on writes).
+LaneWord PackedFaultRam::apply_af_read(LaneWord value, const CellFaults& f) {
+  // Per-lane scatter over the few decoder lanes remapping this cell.
+  LaneWord m = f.af_wrong;
+  while (m != 0) {
+    const unsigned lane = static_cast<unsigned>(std::countr_zero(m));
+    m &= m - 1;
+    const LaneWord bit = LaneWord{1} << lane;
+    // Wrong access: the sense amp sees the alias cell.
+    value = (value & ~bit) | (data_[lane_victim_[lane]] & bit);
   }
-  last_read_ = value;
+  m = f.af_multi;
+  while (m != 0) {
+    const unsigned lane = static_cast<unsigned>(std::countr_zero(m));
+    m &= m - 1;
+    const LaneWord bit = LaneWord{1} << lane;
+    // Multi access: wired-AND of the addressed cell (already in
+    // `value` — AF lanes carry no read-logic fault) and the alias.
+    value &= ~bit | data_[lane_victim_[lane]];
+  }
   return value;
 }
 
-void PackedFaultRam::write(Addr addr, LaneWord value) {
-  assert(addr < size_);
-  ++writes_;
-  const LaneWord old = data_[addr];
-  LaneWord nb = value;
-  const std::int16_t slot = slot_of_cell_[addr];
-  if (slot < 0) {
-    data_[addr] = nb;
-    return;
+void PackedFaultRam::apply_af_write(LaneWord value, const CellFaults& f) {
+  LaneWord m = f.af_wrong | f.af_multi;
+  while (m != 0) {
+    const unsigned lane = static_cast<unsigned>(std::countr_zero(m));
+    m &= m - 1;
+    const LaneWord bit = LaneWord{1} << lane;
+    const Addr alias = lane_victim_[lane];
+    data_[alias] = (data_[alias] & ~bit) | (value & bit);
   }
-  // A lane holds exactly one fault, so the per-kind masks are
-  // lane-disjoint and the sequential updates below never interact
-  // across kinds.
-  const CellFaults& f = slots_[static_cast<std::size_t>(slot)];
-  nb ^= f.wdf & ~(old ^ nb);   // WDF: non-transition write disturbs
-  nb &= ~(f.tf_up & ~old);     // TF up: 0 -> 1 writes fail
-  nb |= f.tf_down & old;       // TF down: 1 -> 0 writes fail
-  nb = (nb & ~f.saf0) | f.saf1;
-  data_[addr] = nb;
-  if (f.coupling_any() != 0) apply_coupling(addr, old, nb, f);
 }
 
 void PackedFaultRam::apply_coupling(Addr addr, LaneWord old, LaneWord now,

@@ -10,12 +10,16 @@
 // Lane-compatible faults (lane_compatible()) are those whose behaviour
 // is a pure function of bit-plane-0 state reachable from inside one
 // lane: the single-cell kinds (stuck-at, transition, write-disturb, the
-// read-logic kinds) and — because a lane is a whole memory, so an
-// aggressor/victim *pair* fits in one lane — the two-cell coupling
-// kinds (CFin, CFid, CFst) and bridges.  Decoder faults remap whole
-// accesses, NPSF needs a 4-cell neighbourhood pattern, and retention
-// faults need the global clock — those stay on the scalar FaultyRam
-// path (analysis/campaign_engine does the partitioning).
+// read-logic kinds), the two-cell coupling kinds (CFin, CFid, CFst)
+// and bridges — a lane is a whole memory, so an aggressor/victim
+// *pair* fits in one lane — and the decoder faults: because each lane
+// holds exactly one fault, a decoder fault's remap touches exactly one
+// address (no-access drops it, wrong-access redirects it to the alias
+// cell, multi-access opens both and wires reads AND), which is a
+// per-lane scatter on that one cell, just like the coupling kinds.
+// NPSF needs a 4-cell neighbourhood pattern and retention faults need
+// the global clock — those stay on the scalar FaultyRam path
+// (analysis/campaign_engine does the partitioning).
 //
 // Semantics are bit-exact per lane with a FaultyRam holding the same
 // single fault (tests/test_packed_campaign.cpp runs the differential
@@ -28,6 +32,7 @@
 #pragma once
 
 #include <array>
+#include <cassert>
 #include <cstdint>
 #include <vector>
 
@@ -38,10 +43,18 @@ namespace prt::mem {
 /// One bit per lane across the 64 packed memories.
 using LaneWord = std::uint64_t;
 
+/// Broadcasts one data/golden bit to every lane — the bridge between
+/// scalar golden values and lane-parallel compares/writes, shared by
+/// every packed replay.
+[[nodiscard]] constexpr LaneWord lane_broadcast(unsigned bit) {
+  return bit != 0 ? ~LaneWord{0} : LaneWord{0};
+}
+
 /// True when `fault` can ride a bit lane: a fault on bit plane 0 (the
 /// packed array models a 1-bit-wide memory) whose effect never
-/// references the decoder, a neighbourhood pattern or the clock.
-/// Single-cell kinds and the two-cell coupling/bridge kinds qualify.
+/// references a neighbourhood pattern or the clock.  Single-cell
+/// kinds, the two-cell coupling/bridge kinds and the decoder (AF)
+/// kinds qualify.
 [[nodiscard]] bool lane_compatible(const Fault& fault);
 
 class PackedFaultRam {
@@ -74,13 +87,17 @@ class PackedFaultRam {
   unsigned add_fault(const Fault& fault);
 
   /// Reads every lane's bit of `addr` at once, applying each lane's
-  /// read-logic fault.  Precondition: addr < size().
+  /// read-logic fault.  Precondition: addr < size().  Defined inline
+  /// below: the campaign replay loops issue millions of these per
+  /// batch, so the fault-free-cell fast path must inline into them.
   LaneWord read(Addr addr);
 
   /// Writes bit lane L of `value` to cell `addr` in lane L's memory,
   /// applying each lane's write fault and firing each lane's coupling
   /// effects (this cell as aggressor, victim or bridge endpoint).
-  /// Precondition: addr < size().
+  /// Precondition: addr < size().  Defined inline below; batches with
+  /// only single-cell faults skip the two-cell fire step entirely
+  /// (has_two_cell_).
   void write(Addr addr, LaneWord value);
 
   /// Idle time: no lane-compatible fault is clock-dependent, so this
@@ -112,6 +129,12 @@ class PackedFaultRam {
     LaneWord cfid_up = 0, cfid_down = 0;
     LaneWord cfst_agg = 0, cfst_vic = 0;
     LaneWord bridge = 0;
+    // Decoder kinds, registered on the *faulty address* (accesses to
+    // any other address behave normally — one fault per lane).  The
+    // wrong/multi alias cell lives in lane_victim_.
+    LaneWord af_no = 0;      // address opens no cell: reads 0, writes lost
+    LaneWord af_wrong = 0;   // address opens the alias cell instead
+    LaneWord af_multi = 0;   // address opens its own cell and the alias
 
     [[nodiscard]] LaneWord coupling_any() const {
       return cfin | cfid_up | cfid_down | cfst_agg | cfst_vic | bridge;
@@ -125,6 +148,17 @@ class PackedFaultRam {
   void apply_coupling(Addr addr, LaneWord old, LaneWord now,
                       const CellFaults& f);
 
+  /// Patches a read of `addr` for the decoder lanes registered on it:
+  /// wrong-access lanes read their alias cell, multi-access lanes read
+  /// the wired-AND of both opened cells.
+  [[nodiscard]] LaneWord apply_af_read(LaneWord value, const CellFaults& f);
+
+  /// Lands a write of `value` to `addr` in the alias cells of the
+  /// wrong/multi decoder lanes registered on `addr` (the write to the
+  /// addressed cell itself was already suppressed for wrong-access
+  /// lanes by the caller).
+  void apply_af_write(LaneWord value, const CellFaults& f);
+
   Addr size_;
   std::vector<LaneWord> data_;
   /// Cell -> index into slots_, -1 for fault-free cells — the hot path
@@ -133,8 +167,9 @@ class PackedFaultRam {
   std::vector<std::int16_t> slot_of_cell_;
   std::vector<CellFaults> slots_;
   std::vector<Addr> dirty_cells_;
-  /// Per-lane two-cell metadata, only read for lanes registered in a
-  /// coupling/bridge mask.
+  /// Per-lane second-cell metadata, only read for lanes registered in
+  /// a coupling/bridge/decoder mask (the AF kinds keep their alias
+  /// cell in lane_victim_).
   std::array<Addr, kLanes> lane_victim_{};
   std::array<Addr, kLanes> lane_aggressor_{};
   /// Lanes whose CFid/CFst forces the victim to 1 (clear = forces 0).
@@ -144,9 +179,79 @@ class PackedFaultRam {
   /// Bridge lanes with wired-OR semantics (clear = wired-AND).
   LaneWord bridge_or_ = 0;
   unsigned lanes_used_ = 0;
+  /// True once any lane holds a two-cell (coupling/bridge) fault —
+  /// single-cell-only batches skip the coupling fire step on every
+  /// write without even loading the per-cell coupling masks.
+  bool has_two_cell_ = false;
+  /// True once any lane holds a decoder fault — batches without one
+  /// skip the remap patches on every access.
+  bool has_af_ = false;
   LaneWord last_read_ = 0;  // packed sense-amp history (port 0)
   std::uint64_t reads_ = 0;
   std::uint64_t writes_ = 0;
 };
+
+inline LaneWord PackedFaultRam::read(Addr addr) {
+  assert(addr < size_);
+  ++reads_;
+  LaneWord value = data_[addr];
+  const std::int16_t slot = slot_of_cell_[addr];
+  if (slot >= 0) {
+    const CellFaults& f = slots_[static_cast<std::size_t>(slot)];
+    // RDF: the cell flips and the sense amp sees the flipped value.
+    value ^= f.rdf;
+    // DRDF: the correct value is returned, the cell flips behind the
+    // reader's back.
+    data_[addr] = value ^ f.drdf;
+    // IRF: inverted data on the bus, cell untouched.
+    value ^= f.irf;
+    // SOF: the open cell echoes the sense amp's previous read.
+    value = (value & ~f.sof) | (last_read_ & f.sof);
+    // Decoder lanes: a no-access read floats the bus (reads zeros), a
+    // wrong/multi access reads the alias cell (wired-AND for multi).
+    // Pure bus-level patches — the addressed cell keeps its state.
+    if (has_af_) {
+      value &= ~f.af_no;
+      if ((f.af_wrong | f.af_multi) != 0) value = apply_af_read(value, f);
+    }
+    // Coupling lanes are untouched by reads: their lane has no
+    // read-logic fault, and a read never changes the bits a condition
+    // watches (FaultyRam likewise only enforces conditions on writes).
+  }
+  last_read_ = value;
+  return value;
+}
+
+inline void PackedFaultRam::write(Addr addr, LaneWord value) {
+  assert(addr < size_);
+  ++writes_;
+  const LaneWord old = data_[addr];
+  LaneWord nb = value;
+  const std::int16_t slot = slot_of_cell_[addr];
+  if (slot < 0) {
+    data_[addr] = nb;
+    return;
+  }
+  // A lane holds exactly one fault, so the per-kind masks are
+  // lane-disjoint and the sequential updates below never interact
+  // across kinds.
+  const CellFaults& f = slots_[static_cast<std::size_t>(slot)];
+  nb ^= f.wdf & ~(old ^ nb);   // WDF: non-transition write disturbs
+  nb &= ~(f.tf_up & ~old);     // TF up: 0 -> 1 writes fail
+  nb |= f.tf_down & old;       // TF down: 1 -> 0 writes fail
+  nb = (nb & ~f.saf0) | f.saf1;
+  if (has_af_) {
+    // Decoder lanes: a no-access or wrong-access write never reaches
+    // the addressed cell; wrong/multi lanes land the raw value in
+    // their alias cell instead (no other fault lives in those lanes).
+    const LaneWord suppressed = f.af_no | f.af_wrong;
+    nb = (nb & ~suppressed) | (old & suppressed);
+    data_[addr] = nb;
+    if ((f.af_wrong | f.af_multi) != 0) apply_af_write(value, f);
+  } else {
+    data_[addr] = nb;
+  }
+  if (has_two_cell_ && f.coupling_any() != 0) apply_coupling(addr, old, nb, f);
+}
 
 }  // namespace prt::mem

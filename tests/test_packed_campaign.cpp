@@ -61,9 +61,12 @@ TEST(LaneCompatible, SingleBitKindsRideLanesOthersDoNot) {
   EXPECT_TRUE(mem::lane_compatible(mem::Fault::cf_st({1, 0}, {2, 0}, 1, 0)));
   EXPECT_TRUE(mem::lane_compatible(mem::Fault::bridge({1, 0}, {2, 0}, true)));
   EXPECT_TRUE(mem::lane_compatible(mem::Fault::bridge({1, 0}, {2, 0}, false)));
-  // Decoder, pattern and clock-dependent faults stay scalar.
-  EXPECT_FALSE(mem::lane_compatible(mem::Fault::af_no_access(1)));
-  EXPECT_FALSE(mem::lane_compatible(mem::Fault::af_wrong_access(1, 2)));
+  // Decoder faults ride too: one fault per lane means the remap
+  // touches exactly one address and at most one alias cell.
+  EXPECT_TRUE(mem::lane_compatible(mem::Fault::af_no_access(1)));
+  EXPECT_TRUE(mem::lane_compatible(mem::Fault::af_wrong_access(1, 2)));
+  EXPECT_TRUE(mem::lane_compatible(mem::Fault::af_multi_access(1, 2)));
+  // Pattern and clock-dependent faults stay scalar.
   EXPECT_FALSE(mem::lane_compatible(mem::Fault::npsf_static({5, 0}, 0xF, 0, 4)));
   EXPECT_FALSE(mem::lane_compatible(mem::Fault::retention({1, 0}, 1, 8)));
   // The packed array models a 1-bit-wide memory: bit planes > 0 do not
@@ -78,13 +81,17 @@ TEST(LaneCompatible, SingleBitKindsRideLanesOthersDoNot) {
 
 TEST(PackedFaultRam, RejectsIncompatibleAndOverflowingFaults) {
   mem::PackedFaultRam ram(8);
-  EXPECT_THROW(ram.add_fault(mem::Fault::af_no_access(1)),
+  EXPECT_THROW(ram.add_fault(mem::Fault::retention({1, 0}, 1, 8)),
                std::invalid_argument);
   EXPECT_THROW(ram.add_fault(mem::Fault::saf({8, 0}, 1)),
                std::invalid_argument);
   EXPECT_THROW(ram.add_fault(mem::Fault::cf_in({1, 0}, {8, 0})),
                std::invalid_argument);
   EXPECT_THROW(ram.add_fault(mem::Fault::cf_in({1, 0}, {1, 0})),
+               std::invalid_argument);
+  EXPECT_THROW(ram.add_fault(mem::Fault::af_wrong_access(1, 8)),
+               std::invalid_argument);
+  EXPECT_THROW(ram.add_fault(mem::Fault::af_multi_access(1, 8)),
                std::invalid_argument);
   for (unsigned i = 0; i < mem::PackedFaultRam::kLanes; ++i) {
     EXPECT_EQ(ram.add_fault(mem::Fault::saf({i % 8, 0}, 1)), i);
@@ -191,6 +198,51 @@ TEST(PackedFaultRam, EveryCouplingLaneMatchesScalarFaultyRam) {
     }
   }
   std::uint64_t x = 0xBADC0DE;
+  for (int step = 0; step < 6000; ++step) {
+    const mem::Addr addr = static_cast<mem::Addr>(next_rand(x) % n);
+    if (next_rand(x) & 1) {
+      const mem::LaneWord value = next_rand(x);
+      packed.write(addr, value);
+      for (unsigned lane = 0; lane < scalars.size(); ++lane) {
+        scalars[lane]->write(addr,
+                             static_cast<mem::Word>((value >> lane) & 1U), 0);
+      }
+    } else {
+      const mem::LaneWord got = packed.read(addr);
+      for (unsigned lane = 0; lane < scalars.size(); ++lane) {
+        ASSERT_EQ((got >> lane) & 1U, scalars[lane]->read(addr, 0))
+            << "step " << step << " lane " << lane << " ("
+            << faults[lane].describe() << ")";
+      }
+    }
+  }
+}
+
+// Decoder lanes: the three AF kinds across varied address/alias pairs
+// must match a scalar FaultyRam holding that one fault, op for op,
+// under random traffic (no-access reads zeros and drops writes,
+// wrong-access redirects both, multi-access opens both cells and
+// wires reads AND).
+TEST(PackedFaultRam, EveryDecoderLaneMatchesScalarFaultyRam) {
+  const mem::Addr n = 24;
+  std::vector<mem::Fault> faults;
+  for (unsigned i = 0; faults.size() < mem::PackedFaultRam::kLanes; ++i) {
+    const mem::Addr a = i % n;
+    const mem::Addr alias = (i + 1 + i % 7) % n;
+    switch (i % 3) {
+      case 0: faults.push_back(mem::Fault::af_no_access(a)); break;
+      case 1: faults.push_back(mem::Fault::af_wrong_access(a, alias)); break;
+      case 2: faults.push_back(mem::Fault::af_multi_access(a, alias)); break;
+    }
+  }
+  mem::PackedFaultRam packed(n);
+  std::vector<std::unique_ptr<mem::FaultyRam>> scalars;
+  for (const mem::Fault& f : faults) {
+    packed.add_fault(f);
+    scalars.push_back(std::make_unique<mem::FaultyRam>(n, 1));
+    scalars.back()->inject(f);
+  }
+  std::uint64_t x = 0xDEC0DE;
   for (int step = 0; step < 6000; ++step) {
     const mem::Addr addr = static_cast<mem::Addr>(next_rand(x) % n);
     if (next_rand(x) & 1) {
