@@ -48,7 +48,9 @@
 #include <vector>
 
 #include "analysis/campaign_engine.hpp"
+#include "analysis/campaign_suite.hpp"
 #include "analysis/march_campaign.hpp"
+#include "analysis/oracle_cache.hpp"
 #include "core/prt_engine.hpp"
 #include "march/march_library.hpp"
 #include "mem/fault_injector.hpp"
@@ -154,6 +156,10 @@ struct SectionReport {
   /// Same ratio restricted to the full-run packed config (no abort) —
   /// the PR 2-comparable number.
   double packed_vs_parallel_full_run = 0;
+  /// Suite sections only: wall clock of the sequential per-point
+  /// engines (each compiling its own golden artifacts, the pre-suite
+  /// sweep cost) over the one CampaignSuite call; 0 elsewhere.
+  double suite_vs_sequential = 0;
   [[nodiscard]] double speedup_vs_baseline(std::size_t idx) const {
     return configs[idx].seconds > 0
                ? configs[0].seconds / configs[idx].seconds
@@ -424,6 +430,115 @@ SectionReport bench_multiport(mem::Addr n, unsigned ports,
   return report;
 }
 
+/// Multi-configuration suite over the paper's sweep shape (classical
+/// universes, n {256, 1024, 4096} x ports {1, 2, 4}; the oracle and
+/// transcript depend on (scheme, n) only, so the three port points of
+/// each n share one compile).  The same nine-point grid runs three
+/// ways, every per-point result parity-checked:
+///
+///   * "engines sequential (cold)" — one standalone engine per point,
+///     the golden-artifact cache cleared before each, reproducing the
+///     pre-suite sweep cost (every engine compiles its own oracle and
+///     transcript, nine compiles for the nine points);
+///   * "engines sequential (cached)" — the same engines sharing the
+///     process-wide OracleCache (three compiles, sequential runs);
+///   * "suite (one call)" — one CampaignSuite::run over the grid: one
+///     pool, (config x shard) tasks flattened, three compiles.
+///
+/// The headline suite_vs_sequential ratio is cold-engines over suite —
+/// the cost a sweep paid before this subsystem existed vs. one call.
+SectionReport bench_suite(std::size_t fault_cap) {
+  std::vector<analysis::CampaignOptions> grid;
+  for (const mem::Addr n : {256u, 1024u, 4096u}) {
+    for (const unsigned ports : {1u, 2u, 4u}) {
+      grid.push_back({.n = n, .m = 1, .ports = ports});
+    }
+  }
+  std::vector<std::vector<mem::Fault>> universes;
+  std::size_t total_faults = 0;
+  for (const auto& opt : grid) {
+    universes.push_back(cap_universe(mem::classical_universe(opt.n), fault_cap));
+    total_faults += universes.back().size();
+  }
+  auto universe_for = [&](const analysis::CampaignOptions&, std::size_t i) {
+    return universes[i];
+  };
+  auto factory = [](const analysis::CampaignOptions& opt) {
+    return core::extended_scheme_bom(opt.n);
+  };
+
+  SectionReport report{.universe = "classical (suite n x ports)",
+                       .scheme = factory(grid[0]).name,
+                       .n = 0,
+                       .faults = total_faults};
+  std::printf("%s, %zu grid points, %zu faults, %s\n",
+              report.universe.c_str(), grid.size(), total_faults,
+              report.scheme.c_str());
+
+  auto record = [&](const std::string& name, double secs,
+                    const std::vector<analysis::CampaignResult>& results,
+                    const std::vector<analysis::CampaignResult>& reference) {
+    analysis::ClassCoverage overall;
+    std::uint64_t ops = 0;
+    for (std::size_t i = 0; i < results.size(); ++i) {
+      if (!reference.empty() && !(results[i] == reference[i])) {
+        std::fprintf(stderr,
+                     "PARITY VIOLATION in suite config %s at grid point %zu\n",
+                     name.c_str(), i);
+        std::exit(1);
+      }
+      overall.detected += results[i].overall.detected;
+      overall.total += results[i].overall.total;
+      ops += results[i].ops;
+    }
+    report.configs.push_back({name, secs, ops, overall.percent()});
+    std::printf("  %-30s %8.3f s   %12llu ops   %6.2f %% coverage\n",
+                name.c_str(), secs, static_cast<unsigned long long>(ops),
+                overall.percent());
+  };
+
+  // Sequential per-point engines, cold golden artifacts per engine.
+  auto t0 = Clock::now();
+  std::vector<analysis::CampaignResult> reference;
+  for (std::size_t i = 0; i < grid.size(); ++i) {
+    analysis::OracleCache::global().clear();
+    reference.push_back(
+        analysis::run_prt_campaign(universes[i], factory(grid[i]), grid[i]));
+  }
+  const double secs_cold = seconds_since(t0);
+  record("engines sequential (cold)", secs_cold, reference, {});
+
+  // Sequential engines sharing the process-wide cache.
+  analysis::OracleCache::global().clear();
+  t0 = Clock::now();
+  std::vector<analysis::CampaignResult> cached;
+  for (std::size_t i = 0; i < grid.size(); ++i) {
+    cached.push_back(
+        analysis::run_prt_campaign(universes[i], factory(grid[i]), grid[i]));
+  }
+  const double secs_cached = seconds_since(t0);
+  record("engines sequential (cached)", secs_cached, cached, reference);
+
+  // One suite call over the whole grid.
+  analysis::OracleCache::global().clear();
+  t0 = Clock::now();
+  const analysis::SuiteResult suite =
+      analysis::run_prt_suite(grid, factory, universe_for);
+  const double secs_suite = seconds_since(t0);
+  std::vector<analysis::CampaignResult> suite_results;
+  for (const auto& entry : suite.configs) suite_results.push_back(entry.result);
+  record("suite (one call)", secs_suite, suite_results, reference);
+
+  if (secs_suite > 0) {
+    report.suite_vs_sequential = secs_cold / secs_suite;
+    std::printf("  suite vs sequential: %.2fx cold, %.2fx cached\n",
+                report.suite_vs_sequential,
+                secs_cached > 0 ? secs_cached / secs_suite : 0.0);
+  }
+  std::printf("%s\n", suite.table().str().c_str());
+  return report;
+}
+
 void write_report(std::ostream& out, const std::vector<SectionReport>& reports,
                   const std::string& rev, const std::string& utc,
                   unsigned hardware_threads, unsigned workers, bool pretty) {
@@ -451,7 +566,8 @@ void write_report(std::ostream& out, const std::vector<SectionReport>& reports,
         << "\"packed_vs_parallel\": " << r.packed_vs_parallel << "," << sp
         << nl << indent(3) << "\"packed_vs_parallel_full_run\": "
         << r.packed_vs_parallel_full_run << "," << sp << nl << indent(3)
-        << "\"configs\": [" << nl;
+        << "\"suite_vs_sequential\": " << r.suite_vs_sequential << "," << sp
+        << nl << indent(3) << "\"configs\": [" << nl;
     for (std::size_t c = 0; c < r.configs.size(); ++c) {
       const ConfigTiming& t = r.configs[c];
       out << indent(4) << "{\"name\": \"" << t.name
@@ -474,12 +590,16 @@ int main(int argc, char** argv) {
   std::size_t cap_small = static_cast<std::size_t>(-1);
   std::size_t cap_large = 4096;
   std::size_t cap_lane = 16384;
+  // The suite sweep runs 9 grid points, so its per-point cap is
+  // tighter than the single-point sections'.
+  std::size_t cap_suite = 2048;
   for (int i = 1; i < argc; ++i) {
     const std::string arg = argv[i];
     if (arg == "--quick") {
       cap_small = 512;
       cap_large = 512;
       cap_lane = 512;
+      cap_suite = 128;
     } else if (arg == "--threads" && i + 1 < argc) {
       // Same effect as PRT_THREADS=N: every pool sized 0 picks it up.
       // Validated here so a typo cannot silently record an unpinned
@@ -517,6 +637,10 @@ int main(int argc, char** argv) {
   reports.push_back(bench_march(4096, cap_large));
   reports.push_back(bench_wom(256, cap_small));
   reports.push_back(bench_multiport(1024, /*ports=*/2, cap_small));
+  // Last: the suite sweep clears the process-wide oracle cache for its
+  // cold-vs-shared comparison, so it must not warm (or drain) any
+  // other section's artifacts mid-measurement.
+  reports.push_back(bench_suite(cap_suite));
   {
     std::ofstream out("BENCH_campaign.json");
     write_report(out, reports, rev, utc, hw, workers, /*pretty=*/true);

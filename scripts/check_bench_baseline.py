@@ -54,6 +54,16 @@ def main():
                 f"baseline {base['faults']}"
             )
             continue
+        # Suite sections: the wall-clock ratio itself is machine
+        # dependent, but the field must survive (the bench computed a
+        # real suite run) and stay positive; a 0 would mean the suite
+        # config silently dropped out of the comparison.
+        if base.get("suite_vs_sequential", 0) > 0:
+            if got.get("suite_vs_sequential", 0) <= 0:
+                errors.append(
+                    f"section {key}: suite_vs_sequential missing or 0 "
+                    "(suite config dropped out of the sweep?)"
+                )
         base_configs = {c["name"]: c for c in base["configs"]}
         got_configs = {c["name"]: c for c in got["configs"]}
         for name in got_configs.keys() - base_configs.keys():

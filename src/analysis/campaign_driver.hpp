@@ -1,0 +1,336 @@
+// The one generic campaign driver both public campaign types are
+// instances of.
+//
+// CampaignEngine (PRT schemes) and MarchCampaign (March tests) used to
+// each own a copy of the same machinery: option plumbing, oracle /
+// transcript construction, a lazily spun-up worker pool, the
+// scalar-vs-lane-batched shard loop and the packed-enabled predicate.
+// This header collapses that shape into one core:
+//
+//   CampaignDriver<Workload>  — options validation, the lazy pool, the
+//     sharded run() and the per-shard scalar/packed dispatch, written
+//     once over the campaign_shard.hpp loops;
+//   PrtWorkload / MarchWorkload — the only parts that differ: how the
+//     golden artifacts are fetched from the analysis::OracleCache, how
+//     one fault runs scalar, how one 64-lane batch runs packed, and
+//     whether the workload is lane-packable at all.
+//
+// The public classes in campaign_engine.hpp / march_campaign.hpp are
+// thin facades over a driver instance; their results are bit-identical
+// to what the pre-unification engines produced (the parity suites in
+// tests/ pin this).  CampaignSuite (campaign_suite.hpp) drives the
+// same workloads shard-by-shard on its own flattened schedule.
+//
+// Header is internal to analysis/ (included by the campaign .cpp files
+// only); the public surfaces are campaign_engine.hpp,
+// march_campaign.hpp and campaign_suite.hpp.  See DESIGN.md §10.
+#pragma once
+
+#include <cstdint>
+#include <memory>
+#include <span>
+#include <utility>
+
+#include "analysis/campaign_engine.hpp"
+#include "analysis/campaign_shard.hpp"
+#include "analysis/march_campaign.hpp"
+#include "analysis/oracle_cache.hpp"
+#include "core/prt_packed.hpp"
+#include "march/march_runner.hpp"
+#include "mem/fault_injector.hpp"
+#include "util/thread_pool.hpp"
+
+namespace prt::analysis::detail {
+
+/// The engine-option shape shared by every campaign type.
+/// EngineOptions / MarchEngineOptions translate into this (plus their
+/// workload-specific knobs, which live in the workload).
+struct DriverOptions {
+  /// Worker count; 0 defers to the PRT_THREADS environment override,
+  /// then the hardware concurrency (util::default_worker_count).
+  unsigned threads = 0;
+  /// Fan the universe out over the pool.  Off = one shard, inline on
+  /// the calling thread.
+  bool parallel = true;
+  /// Batch lane-compatible faults 64 per sweep on a bit-packed
+  /// mem::PackedFaultRam when the workload permits (Workload::
+  /// packable()).  Results stay bit-identical to the all-scalar path.
+  bool packed = true;
+  /// Stop each fault's run at its first failure.  Verdicts, coverage
+  /// and escapes are unchanged; CampaignResult::ops shrinks to the
+  /// abort-aware scalar reference cost (packed lanes retire with
+  /// analytic per-lane op accounting).
+  bool early_abort = false;
+};
+
+/// PRT-scheme workload: golden artifacts from OracleCache::prt, scalar
+/// runs over the transcript replay (GF(2)) or the live oracle path,
+/// packed batches over core::run_prt_packed.
+class PrtWorkload {
+ public:
+  /// `use_oracle` off re-derives the scheme per fault like the legacy
+  /// path (bench baseline only).  Throws std::invalid_argument on
+  /// malformed `opt` (validate_campaign_options).
+  PrtWorkload(core::PrtScheme scheme, const CampaignOptions& opt,
+              bool early_abort, bool use_oracle, OracleCache& cache)
+      : scheme_(std::move(scheme)),
+        early_abort_(early_abort),
+        use_oracle_(use_oracle) {
+    validate_campaign_options(opt);
+    entry_ = cache.prt(scheme_, opt.n);
+    packable_ = opt.m == 1 && entry_->packable;
+  }
+
+  /// Per-shard mutable state: one rewindable FaultyRam and the packed
+  /// replay scratch, owned by exactly one worker at a time.
+  struct ShardState {
+    explicit ShardState(const CampaignOptions& opt)
+        : ram(opt.n, opt.m, opt.ports) {}
+    mem::FaultyRam ram;
+    core::PackedScratch scratch;
+  };
+
+  /// Lane batching permitted: oracle-backed GF(2)/m = 1 runs only.
+  [[nodiscard]] bool packable() const { return use_oracle_ && packable_; }
+
+  /// Runs one fault scalar; returns detected, charges its ops.
+  bool run_fault(ShardState& s, const mem::Fault& fault,
+                 std::uint64_t& ops) const {
+    s.ram.reset(fault);
+    const core::PrtRunOptions run{.early_abort = early_abort_,
+                                  .record_iterations = false};
+    // Oracle-backed GF(2) runs replay the compiled transcript (no
+    // oracle indirection, FaultyRam devirtualized); other
+    // configurations keep the live paths.
+    const bool detected =
+        use_oracle_ && packable_
+            ? core::run_prt_transcript(s.ram, entry_->transcript, run)
+                  .detected()
+        : use_oracle_
+            ? core::run_prt(s.ram, scheme_, entry_->oracle, run).detected()
+            : core::run_prt(s.ram, scheme_).detected();
+    ops += s.ram.total_stats().total();
+    return detected;
+  }
+
+  /// Runs one flushed 64-lane batch; returns {detected mask, ops to
+  /// charge for the whole batch} — scalar_ops reproduces, per lane,
+  /// exactly what the scalar path would have issued for that fault.
+  std::pair<std::uint64_t, std::uint64_t> run_batch(
+      ShardState& s, mem::PackedFaultRam& batch) const {
+    const core::PackedRunOptions run{.early_abort = early_abort_};
+    const core::PackedVerdict v =
+        core::run_prt_packed(batch, entry_->transcript, run, s.scratch);
+    return {v.detected & batch.active_mask(), v.scalar_ops};
+  }
+
+  [[nodiscard]] const core::PrtScheme& scheme() const { return scheme_; }
+  [[nodiscard]] const core::PrtOracle& oracle() const {
+    return entry_->oracle;
+  }
+  [[nodiscard]] const std::string& name() const { return scheme_.name; }
+
+ private:
+  core::PrtScheme scheme_;
+  std::shared_ptr<const OracleCache::PrtEntry> entry_;
+  bool early_abort_;
+  bool use_oracle_;
+  bool packable_ = false;
+};
+
+/// March-test workload: transcript from OracleCache::march when the
+/// campaign is bit-oriented, the live background sweep otherwise.
+class MarchWorkload {
+ public:
+  /// Throws std::invalid_argument on malformed `opt` and on March
+  /// tests whose data indices fall outside the {0, 1} notation (a
+  /// data index the background expansion cannot represent).
+  MarchWorkload(march::MarchTest test, const CampaignOptions& opt,
+                bool early_abort, OracleCache& cache)
+      : test_(std::move(test)),
+        early_abort_(early_abort),
+        bit_oriented_(opt.m == 1) {
+    validate_campaign_options(opt);
+    for (const march::MarchElement& elem : test_.elements) {
+      for (const march::MarchOp& op : elem.ops) {
+        if (op.data > 1) {
+          throw std::invalid_argument(
+              "MarchCampaign: op data index must be 0 or 1, got " +
+              std::to_string(op.data));
+        }
+      }
+    }
+    backgrounds_ = march::standard_backgrounds(opt.m);
+    // standard_backgrounds' contract: every background fits the m-bit
+    // word.  A wider word would silently mis-expand data index 1
+    // (~background) — reject it here, not in a worker thread.
+    for (const mem::Word bg : backgrounds_) {
+      if (opt.m < 32 && (bg >> opt.m) != 0) {
+        throw std::invalid_argument(
+            "MarchCampaign: background " + std::to_string(bg) +
+            " wider than the m = " + std::to_string(opt.m) + " word");
+      }
+    }
+    // m = 1 has the single background 0, so one compiled transcript
+    // covers the whole background set march_algorithm runs.
+    if (bit_oriented_) {
+      entry_ = cache.march(test_, opt.n, /*background=*/false);
+    }
+  }
+
+  struct ShardState {
+    explicit ShardState(const CampaignOptions& opt)
+        : ram(opt.n, opt.m, opt.ports) {}
+    mem::FaultyRam ram;
+  };
+
+  [[nodiscard]] bool packable() const { return bit_oriented_; }
+
+  bool run_fault(ShardState& s, const mem::Fault& fault,
+                 std::uint64_t& ops) const {
+    s.ram.reset(fault);
+    const march::MarchRunOptions run{.early_abort = early_abort_};
+    // m = 1 replays the compiled transcript (devirtualized FaultyRam,
+    // no element/op re-derivation); wider words sweep the live
+    // background set.
+    const bool detected =
+        bit_oriented_
+            ? march::run_march_transcript(s.ram, entry_->transcript, run).fail
+            : march::run_march_backgrounds(test_, s.ram, backgrounds_, run)
+                  .fail;
+    ops += s.ram.total_stats().total();
+    return detected;
+  }
+
+  std::pair<std::uint64_t, std::uint64_t> run_batch(
+      ShardState&, mem::PackedFaultRam& batch) const {
+    const march::MarchRunOptions run{.early_abort = early_abort_};
+    const march::MarchPackedVerdict v =
+        march::run_march_packed(batch, entry_->transcript, run);
+    return {v.detected & batch.active_mask(), v.scalar_ops};
+  }
+
+  [[nodiscard]] const march::MarchTest& test() const { return test_; }
+  [[nodiscard]] const std::string& name() const { return test_.name; }
+
+ private:
+  march::MarchTest test_;
+  std::vector<mem::Word> backgrounds_;
+  std::shared_ptr<const OracleCache::MarchEntry> entry_;
+  bool early_abort_;
+  bool bit_oriented_;
+};
+
+/// The generic driver: validated options, lazy pool, sharded fan-out
+/// with the order-deterministic merge, per-shard scalar/packed
+/// dispatch.  Workload supplies the four campaign-type-specific hooks
+/// (ShardState, packable, run_fault, run_batch).
+template <typename Workload>
+class CampaignDriver {
+ public:
+  CampaignDriver(Workload workload, const CampaignOptions& opt,
+                 const DriverOptions& drv)
+      : workload_(std::move(workload)), opt_(opt), drv_(drv) {}
+
+  CampaignDriver(const CampaignDriver&) = delete;
+  CampaignDriver& operator=(const CampaignDriver&) = delete;
+
+  /// True when runs may route lane-compatible faults through the
+  /// packed path (workload + options both allow it).
+  [[nodiscard]] bool packed_enabled() const {
+    return drv_.packed && workload_.packable();
+  }
+
+  /// Fills one shard over universe indices [begin, end).  Stateless
+  /// across calls (fresh ShardState per shard), so any contiguous
+  /// ascending partition merges — in shard order — to the same
+  /// CampaignResult; CampaignSuite calls this directly on its own
+  /// flattened (config x shard) schedule.
+  void run_shard(std::span<const mem::Fault> universe, std::size_t begin,
+                 std::size_t end, CampaignResult& out) const {
+    typename Workload::ShardState state(opt_);
+    auto run_scalar = [&](std::size_t i) {
+      return workload_.run_fault(state, universe[i], out.ops);
+    };
+    if (!packed_enabled()) {
+      scalar_shard(universe, begin, end, out, run_scalar);
+      return;
+    }
+    mem::PackedFaultRam packed(opt_.n);
+    auto run_batch = [&](mem::PackedFaultRam& batch) {
+      return workload_.run_batch(state, batch);
+    };
+    lane_batched_shard(universe, begin, end, packed, out, run_batch,
+                       run_scalar);
+  }
+
+  /// Simulates every fault of the universe; identical CampaignResult
+  /// regardless of thread count.  Not safe to call concurrently on one
+  /// driver (workers share its pool); distinct drivers are
+  /// independent.
+  [[nodiscard]] CampaignResult run(
+      std::span<const mem::Fault> universe) const {
+    const unsigned workers =
+        drv_.threads != 0 ? drv_.threads : util::default_worker_count();
+    return run_sharded(
+        universe.size(), workers, drv_.parallel, pool_,
+        [&](std::size_t begin, std::size_t end, CampaignResult& out) {
+          run_shard(universe, begin, end, out);
+        });
+  }
+
+  [[nodiscard]] const Workload& workload() const { return workload_; }
+  [[nodiscard]] const CampaignOptions& options() const { return opt_; }
+  [[nodiscard]] const DriverOptions& driver_options() const { return drv_; }
+
+ private:
+  Workload workload_;
+  CampaignOptions opt_;
+  DriverOptions drv_;
+  /// Worker pool, spun up on the first parallel run() and reused —
+  /// repeated campaigns pay thread spawn/join once, not per call.
+  mutable std::unique_ptr<util::ThreadPool> pool_;
+};
+
+using PrtDriver = CampaignDriver<PrtWorkload>;
+using MarchDriver = CampaignDriver<MarchWorkload>;
+
+/// The one construction path every public campaign surface goes
+/// through (CampaignEngine, MarchCampaign, CampaignSuite): translate
+/// the public option struct, build the workload against the shared
+/// cache, wrap it in a driver.
+[[nodiscard]] inline DriverOptions to_driver_options(
+    const EngineOptions& engine) {
+  return {.threads = engine.threads,
+          .parallel = engine.parallel,
+          .packed = engine.packed,
+          .early_abort = engine.early_abort};
+}
+
+[[nodiscard]] inline DriverOptions to_driver_options(
+    const MarchEngineOptions& engine) {
+  return {.threads = engine.threads,
+          .parallel = engine.parallel,
+          .packed = engine.packed,
+          .early_abort = engine.early_abort};
+}
+
+[[nodiscard]] inline std::unique_ptr<PrtDriver> make_driver(
+    core::PrtScheme scheme, const CampaignOptions& opt,
+    const EngineOptions& engine) {
+  return std::make_unique<PrtDriver>(
+      PrtWorkload(std::move(scheme), opt, engine.early_abort,
+                  engine.use_oracle, OracleCache::global()),
+      opt, to_driver_options(engine));
+}
+
+[[nodiscard]] inline std::unique_ptr<MarchDriver> make_driver(
+    march::MarchTest test, const CampaignOptions& opt,
+    const MarchEngineOptions& engine) {
+  return std::make_unique<MarchDriver>(
+      MarchWorkload(std::move(test), opt, engine.early_abort,
+                    OracleCache::global()),
+      opt, to_driver_options(engine));
+}
+
+}  // namespace prt::analysis::detail

@@ -1,106 +1,29 @@
 #include "analysis/campaign_engine.hpp"
 
-#include <cassert>
 #include <utility>
-#include <vector>
 
-#include "analysis/campaign_shard.hpp"
-#include "core/prt_packed.hpp"
-#include "mem/fault_injector.hpp"
-#include "mem/packed_fault_ram.hpp"
-#include "util/thread_pool.hpp"
+#include "analysis/campaign_driver.hpp"
 
 namespace prt::analysis {
 
 CampaignEngine::CampaignEngine(core::PrtScheme scheme,
                                const CampaignOptions& opt,
                                const EngineOptions& engine)
-    : scheme_(std::move(scheme)),
-      opt_(opt),
-      engine_(engine),
-      oracle_(core::make_prt_oracle(scheme_, opt.n)),
-      scheme_packable_(opt.m == 1 && core::prt_scheme_packable(scheme_)) {
-  if (scheme_packable_) {
-    transcript_ = core::make_op_transcript(scheme_, oracle_);
-  }
-}
+    : driver_(detail::make_driver(std::move(scheme), opt, engine)) {}
 
 CampaignEngine::~CampaignEngine() = default;
 
-bool CampaignEngine::packed_enabled() const {
-  return engine_.packed && engine_.use_oracle && scheme_packable_;
+const core::PrtScheme& CampaignEngine::scheme() const {
+  return driver_->workload().scheme();
 }
 
-void CampaignEngine::run_shard(std::span<const mem::Fault> universe,
-                               std::size_t begin, std::size_t end,
-                               CampaignResult& out) const {
-  mem::FaultyRam ram(opt_.n, opt_.m, opt_.ports);
-  const core::PrtRunOptions run_opts{.early_abort = engine_.early_abort,
-                                     .record_iterations = false};
-  // Oracle-backed GF(2) campaigns replay the compiled transcript (no
-  // oracle indirection, FaultyRam devirtualized); other configurations
-  // keep the live paths.
-  const bool use_transcript = engine_.use_oracle && scheme_packable_;
-  auto run_scalar = [&](std::size_t i) {
-    ram.reset(universe[i]);
-    const bool detected =
-        use_transcript
-            ? core::run_prt_transcript(ram, transcript_, run_opts).detected()
-        : engine_.use_oracle
-            ? core::run_prt(ram, scheme_, oracle_, run_opts).detected()
-            : core::run_prt(ram, scheme_).detected();
-    out.ops += ram.total_stats().total();
-    return detected;
-  };
-
-  if (!packed_enabled()) {
-    detail::scalar_shard(universe, begin, end, out, run_scalar);
-    return;
-  }
-
-  mem::PackedFaultRam packed(opt_.n);
-  // Replay scratch hoisted out of the batch loop: one MISR state
-  // buffer per shard, not one per 64-fault batch.
-  core::PackedScratch scratch;
-  auto run_batch = [&](mem::PackedFaultRam& batch) {
-    const core::PackedRunOptions run{.early_abort = engine_.early_abort};
-    const core::PackedVerdict v =
-        core::run_prt_packed(batch, transcript_, run, scratch);
-    // scalar_ops reproduces, per lane, exactly what the scalar path
-    // would have issued for that fault (complete iterations until the
-    // first failing one under early_abort, the full scheme otherwise).
-    return std::pair{v.detected & batch.active_mask(), v.scalar_ops};
-  };
-  detail::lane_batched_shard(universe, begin, end, packed, out, run_batch,
-                             run_scalar);
+const core::PrtOracle& CampaignEngine::oracle() const {
+  return driver_->workload().oracle();
 }
 
 CampaignResult CampaignEngine::run(
     std::span<const mem::Fault> universe) const {
-  const unsigned workers =
-      engine_.threads != 0 ? engine_.threads : util::default_worker_count();
-  return detail::run_sharded(
-      universe.size(), workers, engine_.parallel, pool_,
-      [&](std::size_t begin, std::size_t end, CampaignResult& out) {
-        run_shard(universe, begin, end, out);
-      });
-}
-
-CampaignResult merge_results(std::span<const CampaignResult> shards) {
-  CampaignResult merged;
-  for (const CampaignResult& shard : shards) {
-    for (const auto& [cls, cov] : shard.by_class) {
-      auto& acc = merged.by_class[cls];
-      acc.detected += cov.detected;
-      acc.total += cov.total;
-    }
-    merged.overall.detected += shard.overall.detected;
-    merged.overall.total += shard.overall.total;
-    merged.ops += shard.ops;
-    merged.escapes.insert(merged.escapes.end(), shard.escapes.begin(),
-                          shard.escapes.end());
-  }
-  return merged;
+  return driver_->run(universe);
 }
 
 CampaignResult run_prt_campaign(std::span<const mem::Fault> universe,

@@ -1,51 +1,48 @@
-// Oracle-backed, thread-parallel fault-simulation campaign engine.
+// Oracle-backed, thread-parallel fault-simulation campaign engine for
+// PRT schemes.
 //
 // run_campaign (fault_sim.hpp) evaluates an arbitrary TestAlgorithm
 // serially; this engine is the fast path for the common case where the
-// algorithm is a PRT scheme.  It exploits the fact that everything a
-// scheme derives from its own structure — trajectory permutations,
-// golden LFSR sequences, expected images, expected Fin states, golden
-// MISR signatures — is independent of the injected fault:
+// algorithm is a PRT scheme.  Since PR 5 it is a thin facade over the
+// generic analysis::CampaignDriver (campaign_driver.hpp) instantiated
+// with the PRT workload — MarchCampaign is the same driver with the
+// March workload, and CampaignSuite fans one request over a grid of
+// configurations on the same machinery:
 //
-//  * the whole derivation is done once per (scheme, n) as a PrtOracle
-//    and shared read-only by every fault and every worker;
-//  * the fault universe is sharded over a hardware-concurrency-sized
-//    worker pool (util/thread_pool.hpp) in contiguous index ranges,
-//    and the per-shard partial results are merged in shard order, so
-//    the output is bit-identical to the serial reference;
-//  * each worker owns exactly one FaultyRam and rewinds it with the
-//    reset(fault) fast path instead of constructing and prefilling a
-//    fresh memory per fault, so the per-fault loop performs no
-//    allocation and no LFSR re-derivation;
-//  * for GF(2) bit-oriented campaigns, the golden run is additionally
-//    compiled once into a flat core::OpTranscript (cached next to the
-//    oracle) and every hot loop is a tight replay over it: the scalar
-//    fallback runs core::run_prt_transcript (devirtualized FaultyRam,
-//    no oracle indirection), and lane-compatible faults (single-cell
-//    kinds, the two-cell CFin/CFid/CFst/bridge kinds and the decoder
-//    kinds) are batched 64 per sweep onto a bit-packed
-//    mem::PackedFaultRam via the transcript run_prt_packed
-//    (core/prt_packed), so one memory sweep evaluates up to 64 faults
-//    — the remaining (retention, NPSF) faults take the scalar path
-//    and the merged result stays bit-identical.  Early abort composes
-//    with the packed path via per-lane mismatch retirement.
+//  * everything a scheme derives from its own structure — trajectory
+//    permutations, golden LFSR sequences, expected images, Fin*
+//    states, golden MISR signatures, and the compiled core::
+//    OpTranscript — is fetched from the process-wide, thread-safe
+//    analysis::OracleCache, built exactly once per (scheme, n) and
+//    shared read-only by every fault, every worker and every engine;
+//  * the fault universe is sharded over a worker pool in contiguous
+//    index ranges and merged in shard order, so the output is
+//    bit-identical to the serial reference at any thread count;
+//  * each worker owns one FaultyRam and rewinds it with reset(fault) —
+//    no allocation, no LFSR re-derivation in the per-fault loop;
+//  * for GF(2) bit-oriented campaigns every hot loop is a tight replay
+//    of the cached transcript: the scalar fallback runs
+//    core::run_prt_transcript (devirtualized FaultyRam) and
+//    lane-compatible faults are batched 64 per sweep onto a bit-packed
+//    mem::PackedFaultRam via run_prt_packed, with early abort
+//    composing through per-lane mismatch retirement.
 //
-// See DESIGN.md §7/§8/§9 for the architecture and
-// bench/bench_campaign.cpp for the measured speedups.
+// See DESIGN.md §7/§8/§9/§10 and bench/bench_campaign.cpp.
 #pragma once
 
 #include <memory>
 #include <span>
 
 #include "analysis/fault_sim.hpp"
-#include "core/op_transcript.hpp"
 #include "core/prt_engine.hpp"
 
-namespace prt::util {
-class ThreadPool;
-}
-
 namespace prt::analysis {
+
+namespace detail {
+class PrtWorkload;
+template <typename Workload>
+class CampaignDriver;
+}  // namespace detail
 
 struct EngineOptions {
   /// Worker count; 0 defers to the PRT_THREADS environment override,
@@ -79,16 +76,19 @@ struct EngineOptions {
 
 class CampaignEngine {
  public:
-  /// Builds the per-scheme oracle once.  Precondition: opt.n exceeds
-  /// the scheme's register length k; opt.m equals the scheme field's m.
+  /// Fetches the per-(scheme, n) artifacts from OracleCache::global()
+  /// (building them on first use).  Throws std::invalid_argument on
+  /// malformed options (validate_campaign_options).  Precondition:
+  /// opt.n exceeds the scheme's register length k; opt.m equals the
+  /// scheme field's m.
   CampaignEngine(core::PrtScheme scheme, const CampaignOptions& opt,
                  const EngineOptions& engine = {});
   ~CampaignEngine();
   CampaignEngine(const CampaignEngine&) = delete;
   CampaignEngine& operator=(const CampaignEngine&) = delete;
 
-  [[nodiscard]] const core::PrtScheme& scheme() const { return scheme_; }
-  [[nodiscard]] const core::PrtOracle& oracle() const { return oracle_; }
+  [[nodiscard]] const core::PrtScheme& scheme() const;
+  [[nodiscard]] const core::PrtOracle& oracle() const;
 
   /// Simulates every fault of the universe.  Identical CampaignResult
   /// to run_campaign(universe, prt_algorithm(scheme), opt) regardless
@@ -98,34 +98,8 @@ class CampaignEngine {
   [[nodiscard]] CampaignResult run(std::span<const mem::Fault> universe) const;
 
  private:
-  void run_shard(std::span<const mem::Fault> universe, std::size_t begin,
-                 std::size_t end, CampaignResult& out) const;
-
-  /// True when this engine's runs may route lane-compatible faults
-  /// through the packed path (scheme + options both allow it).
-  [[nodiscard]] bool packed_enabled() const;
-
-  core::PrtScheme scheme_;
-  CampaignOptions opt_;
-  EngineOptions engine_;
-  core::PrtOracle oracle_;
-  bool scheme_packable_ = false;
-  /// Compiled golden op stream (core/op_transcript.hpp), built once
-  /// per (scheme, n) next to the oracle when the scheme is a GF(2)
-  /// bit scheme; empty otherwise.  Both the packed batches and the
-  /// scalar fallback replay it.
-  core::OpTranscript transcript_;
-  /// Worker pool, spun up on the first parallel run() and reused —
-  /// repeated campaigns (benches, multi-universe sweeps) pay thread
-  /// spawn/join once, not per call.
-  mutable std::unique_ptr<util::ThreadPool> pool_;
+  std::unique_ptr<detail::CampaignDriver<detail::PrtWorkload>> driver_;
 };
-
-/// Folds shard results produced over contiguous ascending fault-index
-/// ranges back into one CampaignResult, in shard order — the merge that
-/// makes the parallel path bit-identical to the serial one.
-[[nodiscard]] CampaignResult merge_results(
-    std::span<const CampaignResult> shards);
 
 /// Convenience: one-shot engine run with default engine options.
 [[nodiscard]] CampaignResult run_prt_campaign(

@@ -1,13 +1,13 @@
-// Internal scaffolding shared by the PRT (campaign_engine) and March
-// (march_campaign) campaign drivers: per-fault tallying, the 64-lane
-// batching loop with its escape re-sort, and the pool fan-out with the
-// order-deterministic merge.  Keeping both campaign types on one copy
+// Internal shard-loop scaffolding under the generic campaign driver
+// (campaign_driver.hpp): per-fault tallying, the 64-lane batching loop
+// with its escape re-sort, and the pool fan-out with the
+// order-deterministic merge.  Keeping every campaign type on one copy
 // of this machinery is what keeps their bit-identical-to-serial
-// guarantees in lockstep — fix it here, both paths get it.
+// guarantees in lockstep — fix it here, all paths get it.
 //
-// Header is internal to analysis/ (included by the two .cpp files
-// only); the public surfaces are campaign_engine.hpp and
-// march_campaign.hpp.
+// Header is internal to analysis/ (included via campaign_driver.hpp
+// by the campaign .cpp files only); the public surfaces are
+// campaign_engine.hpp, march_campaign.hpp and campaign_suite.hpp.
 #pragma once
 
 #include <algorithm>
@@ -17,7 +17,6 @@
 #include <span>
 #include <vector>
 
-#include "analysis/campaign_engine.hpp"
 #include "analysis/fault_sim.hpp"
 #include "mem/packed_fault_ram.hpp"
 #include "util/thread_pool.hpp"

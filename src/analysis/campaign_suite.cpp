@@ -1,0 +1,215 @@
+#include "analysis/campaign_suite.hpp"
+
+#include <algorithm>
+#include <optional>
+#include <utility>
+
+#include "analysis/campaign_driver.hpp"
+
+namespace prt::analysis {
+
+namespace {
+
+/// One configuration, prepared for scheduling: the generated universe
+/// plus a type-erased shard runner over the configuration's driver.
+/// The driver is owned by the closure so PRT and March configurations
+/// flow through one schedule.
+struct Prepared {
+  std::vector<mem::Fault> universe;
+  std::string name;
+  std::function<void(std::span<const mem::Fault>, std::size_t, std::size_t,
+                     CampaignResult&)>
+      run_shard;
+};
+
+template <typename Driver>
+Prepared prepared_from(std::shared_ptr<Driver> driver,
+                       std::vector<mem::Fault> universe, std::string name) {
+  Prepared p;
+  p.universe = std::move(universe);
+  p.name = std::move(name);
+  p.run_shard = [driver = std::move(driver)](
+                    std::span<const mem::Fault> universe, std::size_t begin,
+                    std::size_t end, CampaignResult& out) {
+    driver->run_shard(universe, begin, end, out);
+  };
+  return p;
+}
+
+std::string config_label(const CampaignOptions& opt) {
+  std::string label = "n=" + std::to_string(opt.n);
+  if (opt.m != 1) label += " m=" + std::to_string(opt.m);
+  if (opt.ports != 1) label += " ports=" + std::to_string(opt.ports);
+  return label;
+}
+
+}  // namespace
+
+struct CampaignSuite::Impl {
+  // Exactly one of the two workload kinds is set.
+  SchemeFactory factory;
+  std::optional<march::MarchTest> march_test;
+  EngineOptions prt_engine;
+  MarchEngineOptions march_engine;
+  /// The one pool every configuration's shards flatten onto; spun up
+  /// on the first parallel run() and reused across runs.
+  mutable std::unique_ptr<util::ThreadPool> pool;
+
+  [[nodiscard]] unsigned threads() const {
+    return march_test ? march_engine.threads : prt_engine.threads;
+  }
+  [[nodiscard]] bool parallel() const {
+    return march_test ? march_engine.parallel : prt_engine.parallel;
+  }
+
+  /// Generates the universe and builds the driver for one
+  /// configuration — through the same detail::make_driver path the
+  /// standalone engines use, so per-configuration behaviour (and the
+  /// OracleCache reuse) is identical by construction.
+  [[nodiscard]] Prepared prepare(const CampaignOptions& opt, std::size_t index,
+                                 const UniverseGenerator& universe) const {
+    if (march_test) {
+      std::shared_ptr<detail::MarchDriver> driver =
+          detail::make_driver(*march_test, opt, march_engine);
+      std::string name = march_test->name;
+      return prepared_from(std::move(driver), universe(opt, index),
+                           std::move(name));
+    }
+    std::shared_ptr<detail::PrtDriver> driver =
+        detail::make_driver(factory(opt), opt, prt_engine);
+    std::string name = driver->workload().name();
+    return prepared_from(std::move(driver), universe(opt, index),
+                         std::move(name));
+  }
+};
+
+CampaignSuite::CampaignSuite(SchemeFactory factory,
+                             const EngineOptions& engine)
+    : impl_(std::make_unique<Impl>()) {
+  impl_->factory = std::move(factory);
+  impl_->prt_engine = engine;
+}
+
+CampaignSuite::CampaignSuite(march::MarchTest test,
+                             const MarchEngineOptions& engine)
+    : impl_(std::make_unique<Impl>()) {
+  impl_->march_test = std::move(test);
+  impl_->march_engine = engine;
+}
+
+CampaignSuite::~CampaignSuite() = default;
+
+SuiteResult CampaignSuite::run(std::span<const CampaignOptions> configs,
+                               const UniverseGenerator& universe) const {
+  // Every configuration's geometry is validated before any universe is
+  // generated or any task scheduled — a malformed grid point fails the
+  // whole request up-front instead of mid-flight on a worker.
+  for (const CampaignOptions& opt : configs) validate_campaign_options(opt);
+
+  const std::size_t count = configs.size();
+  std::vector<Prepared> prepared(count);
+  /// Per-configuration shard slots, merged in shard order — the same
+  /// contiguous-ascending-ranges merge the standalone engines use, so
+  /// each configuration's result is bit-identical to its standalone
+  /// run no matter how the flattened schedule interleaved the work.
+  std::vector<std::vector<CampaignResult>> shards(count);
+
+  const unsigned workers = impl_->threads() != 0
+                               ? impl_->threads()
+                               : util::default_worker_count();
+  if (!impl_->parallel() || workers == 1) {
+    for (std::size_t c = 0; c < count; ++c) {
+      prepared[c] = impl_->prepare(configs[c], c, universe);
+      shards[c].resize(1);
+      prepared[c].run_shard(prepared[c].universe, 0,
+                            prepared[c].universe.size(), shards[c][0]);
+    }
+  } else {
+    if (!impl_->pool) impl_->pool = std::make_unique<util::ThreadPool>(workers);
+    util::ThreadPool& pool = *impl_->pool;
+    // Worker exceptions (universe generator, scheme factory, malformed
+    // faults) are captured and rethrown on the caller after the whole
+    // schedule drained — same contract as ThreadPool::
+    // parallel_for_chunks.
+    util::ErrorCollector errors;
+    for (std::size_t c = 0; c < count; ++c) {
+      // One prepare task per configuration; each fans its own shard
+      // tasks out onto the same pool as soon as it is ready, so small
+      // configurations interleave with big ones instead of waiting
+      // for them.  The shard partition is util::for_each_chunk — the
+      // same contiguous-ascending splitter parallel_for_chunks uses,
+      // which the bit-identical shard-order merge relies on.
+      pool.submit([&, c] {
+        errors.guard([&] {
+          prepared[c] = impl_->prepare(configs[c], c, universe);
+          const std::size_t total = prepared[c].universe.size();
+          if (total == 0) return;
+          shards[c].resize(std::min<std::size_t>(workers, total));
+          util::for_each_chunk(
+              total, workers,
+              [&, c](unsigned s, std::size_t begin, std::size_t end) {
+                pool.submit([&, c, s, begin, end] {
+                  errors.guard([&] {
+                    prepared[c].run_shard(prepared[c].universe, begin, end,
+                                          shards[c][s]);
+                  });
+                });
+              });
+        });
+      });
+    }
+    pool.wait_idle();
+    errors.rethrow_if_any();
+  }
+
+  SuiteResult out;
+  out.configs.reserve(count);
+  for (std::size_t c = 0; c < count; ++c) {
+    SuiteConfigResult entry;
+    entry.options = configs[c];
+    entry.workload = prepared[c].name;
+    entry.faults = prepared[c].universe.size();
+    entry.result = merge_results(shards[c]);
+    for (const auto& [cls, cov] : entry.result.by_class) {
+      auto& acc = out.by_class[cls];
+      acc.detected += cov.detected;
+      acc.total += cov.total;
+    }
+    out.overall.detected += entry.result.overall.detected;
+    out.overall.total += entry.result.overall.total;
+    out.ops += entry.result.ops;
+    out.configs.push_back(std::move(entry));
+  }
+  return out;
+}
+
+Table SuiteResult::table() const {
+  Table table({"config", "workload", "faults", "detected", "total",
+               "coverage %", "ops"});
+  table.set_align(0, Align::kLeft);
+  table.set_align(1, Align::kLeft);
+  for (const SuiteConfigResult& entry : configs) {
+    table.add(config_label(entry.options), entry.workload, entry.faults,
+              entry.result.overall.detected, entry.result.overall.total,
+              entry.result.overall.percent(), entry.result.ops);
+  }
+  table.add("TOTAL", "", overall.total, overall.detected, overall.total,
+            overall.percent(), ops);
+  return table;
+}
+
+SuiteResult run_prt_suite(std::span<const CampaignOptions> configs,
+                          SchemeFactory factory,
+                          const UniverseGenerator& universe,
+                          const EngineOptions& engine) {
+  return CampaignSuite(std::move(factory), engine).run(configs, universe);
+}
+
+SuiteResult run_march_suite(std::span<const CampaignOptions> configs,
+                            march::MarchTest test,
+                            const UniverseGenerator& universe,
+                            const MarchEngineOptions& engine) {
+  return CampaignSuite(std::move(test), engine).run(configs, universe);
+}
+
+}  // namespace prt::analysis

@@ -7,9 +7,42 @@
 
 namespace prt::analysis {
 
+void validate_campaign_options(const CampaignOptions& opt) {
+  if (opt.n < 1) {
+    throw std::invalid_argument("CampaignOptions: n must be >= 1");
+  }
+  if (opt.m < 1 || opt.m > 32) {
+    throw std::invalid_argument("CampaignOptions: m must be in [1, 32], got " +
+                                std::to_string(opt.m));
+  }
+  if (opt.ports != 1 && opt.ports != 2 && opt.ports != 4) {
+    throw std::invalid_argument(
+        "CampaignOptions: ports must be 1, 2 or 4, got " +
+        std::to_string(opt.ports));
+  }
+}
+
+CampaignResult merge_results(std::span<const CampaignResult> shards) {
+  CampaignResult merged;
+  for (const CampaignResult& shard : shards) {
+    for (const auto& [cls, cov] : shard.by_class) {
+      auto& acc = merged.by_class[cls];
+      acc.detected += cov.detected;
+      acc.total += cov.total;
+    }
+    merged.overall.detected += shard.overall.detected;
+    merged.overall.total += shard.overall.total;
+    merged.ops += shard.ops;
+    merged.escapes.insert(merged.escapes.end(), shard.escapes.begin(),
+                          shard.escapes.end());
+  }
+  return merged;
+}
+
 CampaignResult run_campaign(std::span<const mem::Fault> universe,
                             const TestAlgorithm& test,
                             const CampaignOptions& opt) {
+  validate_campaign_options(opt);
   CampaignResult result;
   // One RAM for the whole campaign, rewound per fault: reset() restores
   // the exact just-constructed all-zero state without reallocating the

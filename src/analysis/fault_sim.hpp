@@ -57,6 +57,21 @@ struct CampaignOptions {
   // down the "previous value" seen by first-write transitions).
 };
 
+/// Central geometry validation, shared by every campaign entry point
+/// (the unified driver behind CampaignEngine / MarchCampaign /
+/// CampaignSuite, and run_campaign below).  Throws
+/// std::invalid_argument — before any worker thread or memory is
+/// constructed — unless n >= 1, 1 <= m <= 32 (the SimRam word width)
+/// and ports is 1, 2 or 4 (the per-port state arrays).
+void validate_campaign_options(const CampaignOptions& opt);
+
+/// Folds shard results produced over contiguous ascending fault-index
+/// ranges back into one CampaignResult, in shard order — the merge
+/// that makes every parallel campaign path bit-identical to the serial
+/// one (campaign drivers and CampaignSuite both fold through this).
+[[nodiscard]] CampaignResult merge_results(
+    std::span<const CampaignResult> shards);
+
 /// Runs `test` once per fault; each run sees a freshly reset memory
 /// with exactly that fault injected.  Serial by construction (the
 /// TestAlgorithm may capture mutable state); PRT-scheme campaigns

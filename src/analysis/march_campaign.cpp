@@ -2,77 +2,23 @@
 
 #include <utility>
 
-#include "analysis/campaign_shard.hpp"
-#include "mem/fault_injector.hpp"
-#include "mem/packed_fault_ram.hpp"
-#include "util/thread_pool.hpp"
+#include "analysis/campaign_driver.hpp"
 
 namespace prt::analysis {
 
-MarchCampaign::MarchCampaign(march::MarchTest test,
-                             const CampaignOptions& opt,
+MarchCampaign::MarchCampaign(march::MarchTest test, const CampaignOptions& opt,
                              const MarchEngineOptions& engine)
-    : test_(std::move(test)),
-      opt_(opt),
-      engine_(engine),
-      backgrounds_(march::standard_backgrounds(opt.m)) {
-  // m = 1 has the single background 0, so one compiled transcript
-  // covers the whole background set march_algorithm runs.
-  if (opt_.m == 1) {
-    transcript_ =
-        march::make_march_transcript(test_, opt_.n, /*background=*/false);
-  }
-}
+    : driver_(detail::make_driver(std::move(test), opt, engine)) {}
 
 MarchCampaign::~MarchCampaign() = default;
 
-void MarchCampaign::run_shard(std::span<const mem::Fault> universe,
-                              std::size_t begin, std::size_t end,
-                              CampaignResult& out) const {
-  mem::FaultyRam ram(opt_.n, opt_.m, opt_.ports);
-  const march::MarchRunOptions run_opts{.early_abort = engine_.early_abort};
-  auto run_scalar = [&](std::size_t i) {
-    ram.reset(universe[i]);
-    // m = 1 replays the compiled transcript (devirtualized FaultyRam,
-    // no element/op re-derivation); wider words sweep the live
-    // background set.
-    const bool detected =
-        opt_.m == 1
-            ? march::run_march_transcript(ram, transcript_, run_opts).fail
-            : march::run_march_backgrounds(test_, ram, backgrounds_, run_opts)
-                  .fail;
-    out.ops += ram.total_stats().total();
-    return detected;
-  };
-
-  if (!packed_enabled()) {
-    detail::scalar_shard(universe, begin, end, out, run_scalar);
-    return;
-  }
-
-  mem::PackedFaultRam packed(opt_.n);
-  auto run_batch = [&](mem::PackedFaultRam& batch) {
-    const march::MarchPackedVerdict v =
-        march::run_march_packed(batch, transcript_, run_opts);
-    // scalar_ops reproduces, per lane, exactly what the scalar path
-    // would have issued for that fault: everything up to and including
-    // the first mismatching read under early_abort, the full test
-    // otherwise.
-    return std::pair{v.detected & batch.active_mask(), v.scalar_ops};
-  };
-  detail::lane_batched_shard(universe, begin, end, packed, out, run_batch,
-                             run_scalar);
+const march::MarchTest& MarchCampaign::test() const {
+  return driver_->workload().test();
 }
 
 CampaignResult MarchCampaign::run(
     std::span<const mem::Fault> universe) const {
-  const unsigned workers =
-      engine_.threads != 0 ? engine_.threads : util::default_worker_count();
-  return detail::run_sharded(
-      universe.size(), workers, engine_.parallel, pool_,
-      [&](std::size_t begin, std::size_t end, CampaignResult& out) {
-        run_shard(universe, begin, end, out);
-      });
+  return driver_->run(universe);
 }
 
 CampaignResult run_march_campaign(std::span<const mem::Fault> universe,

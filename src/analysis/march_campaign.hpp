@@ -1,44 +1,46 @@
 // Lane-batched, thread-parallel March fault-simulation campaigns.
 //
 // run_campaign (fault_sim.hpp) evaluates march_algorithm serially, one
-// FaultyRam run per fault; this wrapper is the fast path for March
-// coverage tables, sharing the CampaignEngine machinery (one worker
-// pool, contiguous shards, order-deterministic merge) and the 64-lane
-// packing of mem::PackedFaultRam:
+// FaultyRam run per fault; this campaign is the fast path for March
+// coverage tables.  Since PR 5 it is a thin facade over the generic
+// analysis::CampaignDriver (campaign_driver.hpp) instantiated with the
+// March workload — the same driver, pool, shard loops and
+// order-deterministic merge CampaignEngine runs on:
 //
 //  * for bit-oriented (m = 1) campaigns the golden March run is
 //    compiled once per (test, n, background) into a flat
-//    core::OpTranscript (march::make_march_transcript) and every hot
-//    loop replays it: lane-compatible faults (now including the
-//    decoder kinds) are batched 64 per sweep through the transcript
-//    march::run_march_packed, the remaining (retention, NPSF) faults
-//    run the scalar
+//    core::OpTranscript, cached in the process-wide
+//    analysis::OracleCache and shared by every campaign over the same
+//    test; lane-compatible faults (decoder kinds included) are batched
+//    64 per sweep through the transcript march::run_march_packed, the
+//    remaining (retention, NPSF) faults run the scalar
 //    march::run_march_transcript (devirtualized FaultyRam), and the
-//    shard's escape indices are re-sorted so the merged CampaignResult
-//    — coverage, per-class counts, escapes and op totals — is
-//    bit-identical to run_campaign(universe, march_algorithm(test),
-//    opt).  Early abort composes with packing: lanes retire at their
-//    first mismatching read with analytic per-lane op accounting
-//    identical to the abort-aware scalar run_march reference;
+//    merged CampaignResult — coverage, per-class counts, escapes and
+//    op totals — is bit-identical to run_campaign(universe,
+//    march_algorithm(test), opt).  Early abort composes with packing:
+//    lanes retire at their first mismatching read with analytic
+//    per-lane op accounting identical to the abort-aware scalar
+//    run_march reference;
 //  * word-oriented (m > 1) campaigns run entirely scalar over the
 //    standard data backgrounds, still sharded over the pool.
 //
-// See DESIGN.md §8/§9 and bench/bench_campaign.cpp's March section.
+// See DESIGN.md §8/§9/§10 and bench/bench_campaign.cpp's March
+// section.
 #pragma once
 
 #include <memory>
 #include <span>
-#include <vector>
 
 #include "analysis/fault_sim.hpp"
-#include "core/op_transcript.hpp"
 #include "march/march_runner.hpp"
 
-namespace prt::util {
-class ThreadPool;
-}
-
 namespace prt::analysis {
+
+namespace detail {
+class MarchWorkload;
+template <typename Workload>
+class CampaignDriver;
+}  // namespace detail
 
 struct MarchEngineOptions {
   /// Worker count; 0 defers to the PRT_THREADS environment override,
@@ -62,13 +64,17 @@ struct MarchEngineOptions {
 
 class MarchCampaign {
  public:
+  /// Fetches the per-(test, n, background) transcript from
+  /// OracleCache::global() when m = 1.  Throws std::invalid_argument
+  /// on malformed options (validate_campaign_options) and on March
+  /// tests with data indices outside {0, 1}.
   MarchCampaign(march::MarchTest test, const CampaignOptions& opt,
                 const MarchEngineOptions& engine = {});
   ~MarchCampaign();
   MarchCampaign(const MarchCampaign&) = delete;
   MarchCampaign& operator=(const MarchCampaign&) = delete;
 
-  [[nodiscard]] const march::MarchTest& test() const { return test_; }
+  [[nodiscard]] const march::MarchTest& test() const;
 
   /// Simulates every fault of the universe.  Identical CampaignResult
   /// to run_campaign(universe, march_algorithm(test), opt) regardless
@@ -77,23 +83,7 @@ class MarchCampaign {
   [[nodiscard]] CampaignResult run(std::span<const mem::Fault> universe) const;
 
  private:
-  void run_shard(std::span<const mem::Fault> universe, std::size_t begin,
-                 std::size_t end, CampaignResult& out) const;
-
-  [[nodiscard]] bool packed_enabled() const {
-    return engine_.packed && opt_.m == 1;
-  }
-
-  march::MarchTest test_;
-  CampaignOptions opt_;
-  MarchEngineOptions engine_;
-  /// standard_backgrounds(opt.m), the set march_algorithm sweeps.
-  std::vector<mem::Word> backgrounds_;
-  /// Compiled golden run per (test, n, background 0), built once when
-  /// m = 1 (the only background that width sweeps); empty otherwise.
-  /// Replayed by both the packed batches and the scalar fallback.
-  core::OpTranscript transcript_;
-  mutable std::unique_ptr<util::ThreadPool> pool_;
+  std::unique_ptr<detail::CampaignDriver<detail::MarchWorkload>> driver_;
 };
 
 /// Convenience: one-shot March campaign with default engine options.

@@ -1,0 +1,87 @@
+#include "analysis/oracle_cache.hpp"
+
+#include <utility>
+
+#include "core/prt_packed.hpp"
+
+namespace prt::analysis {
+
+template <typename Entry, typename Build>
+std::shared_ptr<const Entry> OracleCache::lookup(
+    std::unordered_map<std::string, Slot<Entry>>& map, std::string key,
+    std::atomic<std::size_t>& builds, Build&& build) {
+  std::promise<std::shared_ptr<const Entry>> promise;
+  Slot<Entry> slot;
+  {
+    std::lock_guard lock(mutex_);
+    auto [it, inserted] = map.try_emplace(key);
+    if (!inserted) {
+      slot = it->second;  // someone else built / is building this key
+    } else {
+      it->second = promise.get_future().share();
+    }
+  }
+  if (slot.valid()) return slot.get();  // blocks only while building
+  // First requester: build outside the lock so distinct keys build
+  // concurrently and lookups of cached keys never wait on a build.
+  try {
+    auto entry = std::make_shared<const Entry>(build());
+    ++builds;
+    promise.set_value(entry);
+    return entry;
+  } catch (...) {
+    // Un-publish the failed slot so a later call can retry, and hand
+    // the exception to this caller and to any concurrent waiter.
+    {
+      std::lock_guard lock(mutex_);
+      map.erase(key);
+    }
+    promise.set_exception(std::current_exception());
+    throw;
+  }
+}
+
+std::shared_ptr<const OracleCache::PrtEntry> OracleCache::prt(
+    const core::PrtScheme& scheme, mem::Addr n) {
+  std::string key =
+      core::scheme_fingerprint(scheme) + "|n=" + std::to_string(n);
+  return lookup(prt_, std::move(key), prt_builds_, [&] {
+    PrtEntry entry;
+    entry.oracle = core::make_prt_oracle(scheme, n);
+    entry.packable = core::prt_scheme_packable(scheme);
+    if (entry.packable) {
+      entry.transcript = core::make_op_transcript(scheme, entry.oracle);
+    }
+    return entry;
+  });
+}
+
+std::shared_ptr<const OracleCache::MarchEntry> OracleCache::march(
+    const march::MarchTest& test, mem::Addr n, bool background,
+    std::uint64_t delay_ticks) {
+  std::string key = march::test_fingerprint(test) + "|n=" + std::to_string(n) +
+                    "|bg=" + (background ? "1" : "0") +
+                    "|del=" + std::to_string(delay_ticks);
+  return lookup(march_, std::move(key), march_builds_, [&] {
+    return MarchEntry{
+        march::make_march_transcript(test, n, background, delay_ticks)};
+  });
+}
+
+std::size_t OracleCache::size() const {
+  std::lock_guard lock(mutex_);
+  return prt_.size() + march_.size();
+}
+
+void OracleCache::clear() {
+  std::lock_guard lock(mutex_);
+  prt_.clear();
+  march_.clear();
+}
+
+OracleCache& OracleCache::global() {
+  static OracleCache cache;
+  return cache;
+}
+
+}  // namespace prt::analysis

@@ -1,0 +1,115 @@
+// Thread-safe, build-once memoization of golden-run artifacts.
+//
+// Everything a campaign derives from the workload alone — the
+// PrtOracle, the scheme's packability, the compiled core::OpTranscript
+// (PRT and March flavours) — depends only on (scheme, n) or on
+// (march test, n, background, delay) and is immutable once built.
+// Before this cache each CampaignEngine / MarchCampaign built its own
+// copy in its constructor, so a multi-size sweep, a port sweep at one
+// size, or simply two engines over the same scheme recompiled the same
+// golden run from scratch.  OracleCache hoists that memoization out of
+// the engines:
+//
+//  * keys are structural fingerprints (core::scheme_fingerprint,
+//    march::test_fingerprint) plus the run geometry, so renamed but
+//    structurally identical workloads share entries and distinct
+//    structures never alias;
+//  * the first requester of a key builds the entry *outside* the cache
+//    lock while concurrent requesters of the same key block on a
+//    shared future — exactly one build per key, even under concurrent
+//    engine construction (pinned by tests/test_campaign_suite.cpp);
+//    concurrent requesters of different keys build in parallel;
+//  * entries are handed out as shared_ptr<const ...>: engines keep
+//    their artifacts alive independently of the cache (clear() cannot
+//    invalidate a running campaign).
+//
+// Engines and the suite share the process-wide instance (global());
+// tests and benches that need cold-start timings construct their own
+// or clear() the global one.  See DESIGN.md §10.
+#pragma once
+
+#include <atomic>
+#include <cstddef>
+#include <future>
+#include <memory>
+#include <mutex>
+#include <string>
+#include <unordered_map>
+
+#include "core/op_transcript.hpp"
+#include "core/prt_engine.hpp"
+#include "march/march_runner.hpp"
+
+namespace prt::analysis {
+
+class OracleCache {
+ public:
+  /// Everything derivable from (scheme, n): the memoized oracle, the
+  /// scheme's lane-packability, and — iff packable — the compiled
+  /// replay transcript.  Immutable after construction.
+  struct PrtEntry {
+    core::PrtOracle oracle;
+    /// core::prt_scheme_packable(scheme): the scheme runs bit-parallel
+    /// (GF(2), XOR feedback).  Campaign packing additionally requires
+    /// m == 1 — a per-campaign fact that stays outside the cache.
+    bool packable = false;
+    /// Compiled golden op stream; empty unless `packable`.
+    core::OpTranscript transcript;
+  };
+
+  /// Everything derivable from (test, n, background, delay_ticks): the
+  /// compiled March transcript.  Immutable after construction.
+  struct MarchEntry {
+    core::OpTranscript transcript;
+  };
+
+  OracleCache() = default;
+  OracleCache(const OracleCache&) = delete;
+  OracleCache& operator=(const OracleCache&) = delete;
+
+  /// Returns the entry for (scheme, n), building it exactly once per
+  /// key.  Blocks only when another thread is already building the
+  /// same key.  Precondition (as for make_prt_oracle): n exceeds every
+  /// iteration's register length k.
+  [[nodiscard]] std::shared_ptr<const PrtEntry> prt(
+      const core::PrtScheme& scheme, mem::Addr n);
+
+  /// Returns the entry for (test, n, background, delay_ticks),
+  /// building it exactly once per key.
+  [[nodiscard]] std::shared_ptr<const MarchEntry> march(
+      const march::MarchTest& test, mem::Addr n, bool background,
+      std::uint64_t delay_ticks = march::kDefaultDelayTicks);
+
+  /// Number of entries actually built (not lookups) — the
+  /// one-build-per-key test hook and the bench's cache-hit telemetry.
+  [[nodiscard]] std::size_t prt_builds() const { return prt_builds_; }
+  [[nodiscard]] std::size_t march_builds() const { return march_builds_; }
+
+  /// Cached entry count (both kinds).
+  [[nodiscard]] std::size_t size() const;
+
+  /// Drops every cached entry (outstanding shared_ptrs stay valid).
+  /// Benches use this to measure cold-start construction costs.
+  void clear();
+
+  /// The process-wide instance every engine and suite shares.
+  [[nodiscard]] static OracleCache& global();
+
+ private:
+  template <typename Entry>
+  using Slot = std::shared_future<std::shared_ptr<const Entry>>;
+
+  /// find-or-start-building: the common lock protocol of prt()/march().
+  template <typename Entry, typename Build>
+  std::shared_ptr<const Entry> lookup(
+      std::unordered_map<std::string, Slot<Entry>>& map, std::string key,
+      std::atomic<std::size_t>& builds, Build&& build);
+
+  mutable std::mutex mutex_;
+  std::unordered_map<std::string, Slot<PrtEntry>> prt_;
+  std::unordered_map<std::string, Slot<MarchEntry>> march_;
+  std::atomic<std::size_t> prt_builds_{0};
+  std::atomic<std::size_t> march_builds_{0};
+};
+
+}  // namespace prt::analysis

@@ -22,6 +22,24 @@ PrtOracle make_prt_oracle(const PrtScheme& scheme, mem::Addr n) {
   return oracle;
 }
 
+std::string scheme_fingerprint(const PrtScheme& scheme) {
+  // Serializes exactly the inputs of make_prt_oracle /
+  // make_op_transcript; `name` is display-only and excluded.
+  std::string fp = "p=" + std::to_string(scheme.field_modulus) +
+                   ";misr=" + std::to_string(scheme.misr_poly);
+  for (const SchemeIteration& iter : scheme.iterations) {
+    fp += ";g=";
+    for (const gf::Elem c : iter.g) fp += std::to_string(c) + ",";
+    fp += "d=";
+    for (const gf::Elem d : iter.config.init) fp += std::to_string(d) + ",";
+    fp += "t=" + std::to_string(static_cast<int>(iter.config.trajectory)) +
+          ",s=" + std::to_string(iter.config.seed) +
+          ",v=" + std::to_string(iter.config.verify_pass ? 1 : 0) +
+          ",z=" + std::to_string(iter.config.pause_ticks);
+  }
+  return fp;
+}
+
 PrtVerdict run_prt(mem::Memory& memory, const PrtScheme& scheme) {
   return run_prt(memory, scheme, make_prt_oracle(scheme, memory.size()));
 }

@@ -75,6 +75,16 @@ struct PrtOracle {
 /// Precondition: n > k of every iteration's generator.
 [[nodiscard]] PrtOracle make_prt_oracle(const PrtScheme& scheme, mem::Addr n);
 
+/// Structural fingerprint of a scheme: serializes every field the
+/// oracle and op-transcript compilation depend on (field modulus, MISR
+/// polynomial, per-iteration generator coefficients, seeds, trajectory
+/// kind and seed, verify/pause settings).  Two schemes with equal
+/// fingerprints compile to identical oracles and transcripts for any
+/// n — the (scheme, n) cache-key contract of analysis::OracleCache.
+/// The display name is deliberately excluded: a renamed scheme still
+/// caches as itself.
+[[nodiscard]] std::string scheme_fingerprint(const PrtScheme& scheme);
+
 struct PrtRunOptions {
   /// Stop after the first failing iteration.  The verdict's detected()
   /// is unchanged (a scheme detects iff any iteration fails) but the

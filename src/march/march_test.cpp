@@ -8,6 +8,13 @@ std::size_t MarchTest::ops_per_cell() const {
   return total;
 }
 
+std::string test_fingerprint(const MarchTest& test) {
+  // The notation rendering already encodes every structural field one
+  // per character (order symbol, r/w + data index, Del); the name is
+  // display-only and excluded from the rendering's element part.
+  return to_string(test);
+}
+
 std::string to_string(const MarchTest& test) {
   std::string out = "{";
   for (std::size_t i = 0; i < test.elements.size(); ++i) {

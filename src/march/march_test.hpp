@@ -74,6 +74,13 @@ struct MarchTest {
 /// "{c(w0);^(r0,w1);v(r1,w0)}".
 [[nodiscard]] std::string to_string(const MarchTest& test);
 
+/// Structural fingerprint: the notation rendering, which encodes every
+/// element's order, operation sequence, data indices and delay marker.
+/// Two tests with equal fingerprints compile to identical transcripts
+/// for any (n, background) — the March cache-key contract of
+/// analysis::OracleCache.  The display name is deliberately excluded.
+[[nodiscard]] std::string test_fingerprint(const MarchTest& test);
+
 /// Parses the formal notation.  Accepts "^", "v", "c" and the UTF-8
 /// arrows "⇑", "⇓", "⇕" as order symbols; operations "r0 r1 w0 w1"
 /// separated by optional commas/spaces; the standalone element "Del"

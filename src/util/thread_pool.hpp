@@ -21,6 +21,58 @@
 
 namespace prt::util {
 
+/// First-exception collector for task fan-outs: workers run their
+/// bodies through guard(), the submitting thread rethrows after the
+/// fan-out drains.  An exception escaping a worker thread would
+/// otherwise std::terminate the process.  Shared by
+/// ThreadPool::parallel_for_chunks and the campaign suite's flattened
+/// schedule (analysis/campaign_suite).
+class ErrorCollector {
+ public:
+  /// Runs fn, capturing the first exception (in completion order).
+  template <typename Fn>
+  void guard(Fn&& fn) noexcept {
+    try {
+      fn();
+    } catch (...) {
+      std::lock_guard lock(mutex_);
+      if (!error_) error_ = std::current_exception();
+    }
+  }
+
+  /// Rethrows the captured exception, if any.  Call only after every
+  /// guarded task has finished.
+  void rethrow_if_any() {
+    if (error_) std::rethrow_exception(error_);
+  }
+
+ private:
+  std::mutex mutex_;
+  std::exception_ptr error_;
+};
+
+/// Splits [0, total) into `parts` contiguous ascending chunks — dense
+/// chunk indices, sizes differing by at most one — and calls
+/// fn(chunk, begin, end) for each, synchronously.  This is THE
+/// partition shape every campaign merge relies on (contiguous
+/// ascending ranges folded in chunk order are what make parallel
+/// results bit-identical to serial ones); keep every fan-out on this
+/// one splitter.  parts is clamped to [1, total]; total = 0 calls
+/// nothing.
+template <typename Fn>
+void for_each_chunk(std::size_t total, std::size_t parts, Fn&& fn) {
+  if (total == 0) return;
+  const std::size_t w = std::min(std::max<std::size_t>(parts, 1), total);
+  const std::size_t base = total / w;
+  const std::size_t extra = total % w;
+  std::size_t begin = 0;
+  for (std::size_t i = 0; i < w; ++i) {
+    const std::size_t end = begin + base + (i < extra ? 1 : 0);
+    fn(static_cast<unsigned>(i), begin, end);
+    begin = end;
+  }
+}
+
 /// Default worker count for pools and campaign fan-out: the
 /// PRT_THREADS environment variable when set to a positive integer
 /// (benches and CI pin it for reproducible runs), else the hardware
@@ -93,28 +145,15 @@ class ThreadPool {
   void parallel_for_chunks(
       std::size_t total,
       const std::function<void(unsigned, std::size_t, std::size_t)>& fn) {
-    if (total == 0) return;
-    std::exception_ptr first_error;
-    std::mutex error_mutex;
-    const std::size_t w = std::min<std::size_t>(workers(), total);
-    const std::size_t base = total / w;
-    const std::size_t extra = total % w;
-    std::size_t begin = 0;
-    for (unsigned i = 0; i < w; ++i) {
-      const std::size_t len = base + (i < extra ? 1 : 0);
-      const std::size_t end = begin + len;
-      submit([&fn, &first_error, &error_mutex, i, begin, end] {
-        try {
-          fn(i, begin, end);
-        } catch (...) {
-          std::lock_guard lock(error_mutex);
-          if (!first_error) first_error = std::current_exception();
-        }
-      });
-      begin = end;
-    }
+    ErrorCollector errors;
+    for_each_chunk(total, workers(),
+                   [&](unsigned i, std::size_t begin, std::size_t end) {
+                     submit([&fn, &errors, i, begin, end] {
+                       errors.guard([&] { fn(i, begin, end); });
+                     });
+                   });
     wait_idle();
-    if (first_error) std::rethrow_exception(first_error);
+    errors.rethrow_if_any();
   }
 
  private:
