@@ -12,29 +12,85 @@ report against the baseline generated with the same flags
 (`bench_campaign --quick`, threads pinned via PRT_THREADS).
 
 Usage: check_bench_baseline.py FRESH.json BASELINE.json
-Exit status 0 when everything matches, 1 with a diff report otherwise.
+           [--expect UNIVERSE ...]
+
+--expect pins the universe names the fresh report must contain.  The
+section diff below only sees sections present in at least one file, so
+without it, a bench binary that crashed mid-sweep (or a baseline that
+was regenerated from a truncated run) could drop a whole universe from
+*both* files and pass silently.  The CI invocation lists every
+universe the quick sweep is supposed to produce.
+
+Exit status 0 when everything matches, 1 with a diff report otherwise,
+2 on malformed input.
 """
 
+import argparse
 import json
 import sys
 
 
 def section_key(section):
-    return (section["universe"], section["scheme"], section["n"])
+    return (
+        section.get("universe"),
+        section.get("scheme"),
+        section.get("n"),
+    )
+
+
+def load_report(path):
+    with open(path) as f:
+        report = json.load(f)
+    sections = report.get("sections")
+    if not isinstance(sections, list):
+        raise ValueError(f"{path}: no 'sections' array (malformed report)")
+    return sections
 
 
 def main():
-    if len(sys.argv) != 3:
-        print(__doc__, file=sys.stderr)
+    parser = argparse.ArgumentParser(
+        description=__doc__, formatter_class=argparse.RawDescriptionHelpFormatter
+    )
+    parser.add_argument("fresh", help="freshly generated BENCH_campaign.json")
+    parser.add_argument("baseline", help="committed baseline report")
+    parser.add_argument(
+        "--expect",
+        nargs="+",
+        default=[],
+        metavar="UNIVERSE",
+        help="universe names the fresh report must contain; a missing "
+        "one fails the check even when both files agree",
+    )
+    args = parser.parse_args()
+
+    try:
+        fresh = load_report(args.fresh)
+        baseline = load_report(args.baseline)
+    except (OSError, ValueError, json.JSONDecodeError) as e:
+        print(f"bench baseline check ERROR: {e}", file=sys.stderr)
         return 2
-    with open(sys.argv[1]) as f:
-        fresh = json.load(f)
-    with open(sys.argv[2]) as f:
-        baseline = json.load(f)
 
     errors = []
-    fresh_sections = {section_key(s): s for s in fresh["sections"]}
-    baseline_sections = {section_key(s): s for s in baseline["sections"]}
+
+    # Pinned section list: both reports must cover every expected
+    # universe — catching a sweep that silently lost a section from
+    # both sides of the diff.
+    fresh_universes = {s.get("universe") for s in fresh}
+    baseline_universes = {s.get("universe") for s in baseline}
+    for name in args.expect:
+        if name not in fresh_universes:
+            errors.append(
+                f"expected universe '{name}' missing from fresh report "
+                "(bench sweep incomplete?)"
+            )
+        if name not in baseline_universes:
+            errors.append(
+                f"expected universe '{name}' missing from baseline "
+                "(baseline generated from a truncated run?)"
+            )
+
+    fresh_sections = {section_key(s): s for s in fresh}
+    baseline_sections = {section_key(s): s for s in baseline}
     # Both directions: a section/config present on only one side means
     # either a regression (dropped from the fresh run) or a bench
     # change whose baseline was not regenerated — both must fail so
@@ -48,10 +104,10 @@ def main():
         if got is None:
             errors.append(f"section {key} missing from fresh report")
             continue
-        if got["faults"] != base["faults"]:
+        if got.get("faults") != base.get("faults"):
             errors.append(
-                f"section {key}: faults {got['faults']} != "
-                f"baseline {base['faults']}"
+                f"section {key}: faults {got.get('faults')} != "
+                f"baseline {base.get('faults')}"
             )
             continue
         # Suite sections: the wall-clock ratio itself is machine
@@ -64,8 +120,8 @@ def main():
                     f"section {key}: suite_vs_sequential missing or 0 "
                     "(suite config dropped out of the sweep?)"
                 )
-        base_configs = {c["name"]: c for c in base["configs"]}
-        got_configs = {c["name"]: c for c in got["configs"]}
+        base_configs = {c.get("name"): c for c in base.get("configs", [])}
+        got_configs = {c.get("name"): c for c in got.get("configs", [])}
         for name in got_configs.keys() - base_configs.keys():
             errors.append(
                 f"section {key}: config '{name}' not in baseline "
@@ -77,10 +133,10 @@ def main():
                 errors.append(f"section {key}: config '{name}' missing")
                 continue
             for field in ("ops", "coverage"):
-                if gc[field] != bc[field]:
+                if gc.get(field) != bc.get(field):
                     errors.append(
                         f"section {key} config '{name}': {field} "
-                        f"{gc[field]} != baseline {bc[field]}"
+                        f"{gc.get(field)} != baseline {bc.get(field)}"
                     )
 
     if errors:
@@ -88,9 +144,14 @@ def main():
         for e in errors:
             print(f"  {e}", file=sys.stderr)
         return 1
+    expected = (
+        f", all {len(args.expect)} expected universes present"
+        if args.expect
+        else ""
+    )
     print(
-        f"bench baseline check OK: {len(baseline['sections'])} sections, "
-        "ops and coverage match"
+        f"bench baseline check OK: {len(baseline)} sections, "
+        f"ops and coverage match{expected}"
     )
     return 0
 

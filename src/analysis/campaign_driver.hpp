@@ -244,24 +244,25 @@ class CampaignDriver {
   /// Fills one shard over universe indices [begin, end).  Stateless
   /// across calls (fresh ShardState per shard), so any contiguous
   /// ascending partition merges — in shard order — to the same
-  /// CampaignResult; CampaignSuite calls this directly on its own
-  /// flattened (config x shard) schedule.
-  void run_shard(std::span<const mem::Fault> universe, std::size_t begin,
-                 std::size_t end, CampaignResult& out) const {
+  /// CampaignResult; CampaignSuite and CampaignService call this
+  /// directly on their own schedules.  Polls `stop` per fault; returns
+  /// false (discard `out`, it is partial) once a stop is observed.
+  bool run_shard(std::span<const mem::Fault> universe, std::size_t begin,
+                 std::size_t end, CampaignResult& out,
+                 const util::StopToken& stop = {}) const {
     typename Workload::ShardState state(opt_);
     auto run_scalar = [&](std::size_t i) {
       return workload_.run_fault(state, universe[i], out.ops);
     };
     if (!packed_enabled()) {
-      scalar_shard(universe, begin, end, out, run_scalar);
-      return;
+      return scalar_shard(universe, begin, end, out, run_scalar, stop);
     }
     mem::PackedFaultRam packed(opt_.n);
     auto run_batch = [&](mem::PackedFaultRam& batch) {
       return workload_.run_batch(state, batch);
     };
-    lane_batched_shard(universe, begin, end, packed, out, run_batch,
-                       run_scalar);
+    return lane_batched_shard(universe, begin, end, packed, out, run_batch,
+                              run_scalar, stop);
   }
 
   /// Simulates every fault of the universe; identical CampaignResult
@@ -270,13 +271,26 @@ class CampaignDriver {
   /// independent.
   [[nodiscard]] CampaignResult run(
       std::span<const mem::Fault> universe) const {
+    // A default token never stops, so the outcome is always complete
+    // and its result bit-identical to the pre-cancellation driver.
+    return run_stoppable(universe, util::StopToken()).result;
+  }
+
+  /// Cancellable run: shards poll `stop` per fault, interrupted shards
+  /// are discarded whole, and the outcome carries the merge of the
+  /// completed shards plus why the run ended (fault_sim.hpp
+  /// CampaignOutcome).  Same concurrency contract as run().
+  [[nodiscard]] CampaignOutcome run_stoppable(
+      std::span<const mem::Fault> universe,
+      const util::StopToken& stop) const {
     const unsigned workers =
         drv_.threads != 0 ? drv_.threads : util::default_worker_count();
     return run_sharded(
         universe.size(), workers, drv_.parallel, pool_,
         [&](std::size_t begin, std::size_t end, CampaignResult& out) {
-          run_shard(universe, begin, end, out);
-        });
+          return run_shard(universe, begin, end, out, stop);
+        },
+        stop);
   }
 
   [[nodiscard]] const Workload& workload() const { return workload_; }

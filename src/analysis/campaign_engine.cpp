@@ -26,6 +26,11 @@ CampaignResult CampaignEngine::run(
   return driver_->run(universe);
 }
 
+CampaignOutcome CampaignEngine::run(std::span<const mem::Fault> universe,
+                                    const util::StopToken& stop) const {
+  return driver_->run_stoppable(universe, stop);
+}
+
 CampaignResult run_prt_campaign(std::span<const mem::Fault> universe,
                                 const core::PrtScheme& scheme,
                                 const CampaignOptions& opt,

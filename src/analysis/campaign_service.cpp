@@ -1,0 +1,664 @@
+#include "analysis/campaign_service.hpp"
+
+#include <atomic>
+#include <condition_variable>
+#include <cstdio>
+#include <fstream>
+#include <functional>
+#include <mutex>
+#include <optional>
+#include <span>
+#include <sstream>
+#include <stdexcept>
+#include <utility>
+
+#include "analysis/campaign_driver.hpp"
+#include "march/march_test.hpp"
+#include "util/fail_point.hpp"
+#include "util/stop_token.hpp"
+#include "util/thread_pool.hpp"
+
+namespace prt::analysis {
+
+namespace {
+
+// --- fingerprint ----------------------------------------------------
+// FNV-1a over everything that determines a campaign's result: workload
+// structure (scheme/test fingerprint), geometry, run options and the
+// full universe.  A checkpoint is only ever merged into a request with
+// the same fingerprint — resuming against a renamed-but-identical
+// workload works, resuming against different faults cannot.
+
+struct Fnv1a {
+  std::uint64_t h = 1469598103934665603ULL;
+  void byte(unsigned char b) {
+    h ^= b;
+    h *= 1099511628211ULL;
+  }
+  void mix(std::uint64_t v) {
+    for (int i = 0; i < 8; ++i) byte(static_cast<unsigned char>(v >> (8 * i)));
+  }
+  void mix(const std::string& s) {
+    mix(s.size());
+    for (const char c : s) byte(static_cast<unsigned char>(c));
+  }
+};
+
+std::string request_fingerprint(const CampaignRequest& req) {
+  Fnv1a f;
+  if (req.scheme) {
+    f.mix(std::string("prt"));
+    f.mix(core::scheme_fingerprint(*req.scheme));
+  } else {
+    f.mix(std::string("march"));
+    f.mix(march::test_fingerprint(*req.march_test));
+  }
+  f.mix(req.options.n);
+  f.mix(req.options.m);
+  f.mix(req.options.ports);
+  f.mix(req.packed ? 1 : 0);
+  f.mix(req.early_abort ? 1 : 0);
+  f.mix(req.universe.size());
+  for (const mem::Fault& fault : req.universe) {
+    f.mix(static_cast<std::uint64_t>(fault.kind));
+    f.mix(fault.victim.cell);
+    f.mix(fault.victim.bit);
+    f.mix(fault.aggressor.cell);
+    f.mix(fault.aggressor.bit);
+    f.mix(fault.state);
+    f.mix(fault.alias);
+    f.mix(fault.pattern);
+    f.mix(fault.grid_cols);
+    f.mix(fault.delay);
+  }
+  std::ostringstream hex;
+  hex << std::hex << f.h;
+  return hex.str();
+}
+
+// --- checkpoint file ------------------------------------------------
+// Plain text, one shard per line, integers only — parse(serialize(x))
+// is exact, which the resumed-equals-uninterrupted bit-identity
+// guarantee rests on.  Replaced atomically (tmp file + rename) so a
+// crash mid-write leaves the previous checkpoint intact.
+
+constexpr char kCheckpointHeader[] = "prt-campaign-checkpoint v1";
+
+struct CheckpointShard {
+  std::size_t index = 0;
+  CampaignResult result;
+};
+
+struct Checkpoint {
+  std::string fingerprint;
+  std::size_t shards_total = 0;
+  std::vector<CheckpointShard> shards;
+};
+
+std::string serialize_checkpoint(const Checkpoint& cp) {
+  std::ostringstream out;
+  out << kCheckpointHeader << "\n";
+  out << "fingerprint " << cp.fingerprint << "\n";
+  out << "shards " << cp.shards_total << "\n";
+  for (const CheckpointShard& s : cp.shards) {
+    out << "shard " << s.index << " ops " << s.result.ops << " overall "
+        << s.result.overall.detected << " " << s.result.overall.total
+        << " classes " << s.result.by_class.size();
+    for (const auto& [cls, cov] : s.result.by_class) {
+      out << " " << static_cast<unsigned>(cls) << " " << cov.detected << " "
+          << cov.total;
+    }
+    out << " escapes " << s.result.escapes.size();
+    for (const std::size_t e : s.result.escapes) out << " " << e;
+    out << "\n";
+  }
+  return out.str();
+}
+
+void expect_word(std::istream& in, const char* expected,
+                 const std::string& path) {
+  std::string word;
+  if (!(in >> word) || word != expected) {
+    throw std::runtime_error("malformed checkpoint (expected '" +
+                             std::string(expected) + "'): " + path);
+  }
+}
+
+/// Loads and parses a checkpoint.  Missing file = std::nullopt (fresh
+/// run); anything malformed throws (the request fails rather than
+/// guessing at partial progress).
+std::optional<Checkpoint> load_checkpoint(const std::string& path) {
+  std::ifstream in(path);
+  if (!in) return std::nullopt;
+  std::string header;
+  if (!std::getline(in, header) || header != kCheckpointHeader) {
+    throw std::runtime_error("malformed checkpoint (bad header): " + path);
+  }
+  Checkpoint cp;
+  expect_word(in, "fingerprint", path);
+  if (!(in >> cp.fingerprint)) {
+    throw std::runtime_error("malformed checkpoint (fingerprint): " + path);
+  }
+  expect_word(in, "shards", path);
+  if (!(in >> cp.shards_total)) {
+    throw std::runtime_error("malformed checkpoint (shard count): " + path);
+  }
+  std::string word;
+  while (in >> word) {
+    if (word != "shard") {
+      throw std::runtime_error("malformed checkpoint (expected 'shard'): " +
+                               path);
+    }
+    CheckpointShard s;
+    in >> s.index;
+    expect_word(in, "ops", path);
+    in >> s.result.ops;
+    expect_word(in, "overall", path);
+    in >> s.result.overall.detected >> s.result.overall.total;
+    expect_word(in, "classes", path);
+    std::size_t classes = 0;
+    in >> classes;
+    if (!in || classes > 64) {
+      throw std::runtime_error("malformed checkpoint (class count): " + path);
+    }
+    for (std::size_t c = 0; c < classes; ++c) {
+      unsigned cls = 0;
+      ClassCoverage cov;
+      in >> cls >> cov.detected >> cov.total;
+      s.result.by_class[static_cast<mem::FaultClass>(cls)] = cov;
+    }
+    expect_word(in, "escapes", path);
+    std::size_t escapes = 0;
+    in >> escapes;
+    for (std::size_t e = 0; e < escapes && in; ++e) {
+      std::size_t idx = 0;
+      in >> idx;
+      s.result.escapes.push_back(idx);
+    }
+    if (!in) {
+      throw std::runtime_error("malformed checkpoint (truncated shard): " +
+                               path);
+    }
+    cp.shards.push_back(std::move(s));
+  }
+  return cp;
+}
+
+/// Atomic replace: write to `path + ".tmp"`, fsync-free rename over
+/// `path`.  The "campaign_service.checkpoint" fail point sits in front
+/// so tests can fail writes without touching the filesystem.
+void write_checkpoint_file(const std::string& path, const std::string& text) {
+  util::FailPoint::hit("campaign_service.checkpoint");
+  const std::string tmp = path + ".tmp";
+  {
+    std::ofstream out(tmp, std::ios::trunc);
+    out << text;
+    if (!out) throw std::runtime_error("checkpoint write failed: " + tmp);
+  }
+  if (std::rename(tmp.c_str(), path.c_str()) != 0) {
+    throw std::runtime_error("checkpoint rename failed: " + path);
+  }
+}
+
+}  // namespace
+
+std::string to_string(RequestStatus status) {
+  switch (status) {
+    case RequestStatus::kComplete:
+      return "complete";
+    case RequestStatus::kPartialCancelled:
+      return "partial (cancelled)";
+    case RequestStatus::kPartialDeadline:
+      return "partial (deadline)";
+    case RequestStatus::kFailed:
+      return "failed";
+    case RequestStatus::kRejected:
+      return "rejected";
+  }
+  return "unknown";
+}
+
+// --- request state --------------------------------------------------
+
+namespace detail {
+
+/// Shared state of one request, owned jointly by the caller's Ticket
+/// and every pool task working the request.  `mu` guards all mutable
+/// fields; the setup fields (req, run_shard, fingerprint, ranges) are
+/// written by the orchestrator before any shard task is submitted and
+/// read-only afterwards.
+struct ServiceRequest {
+  CampaignRequest req;
+  util::StopSource stop;
+
+  std::mutex mu;
+  std::condition_variable cv;
+  bool finished = false;
+  RequestOutcome outcome;
+
+  /// Type-erased shard runner over the request's driver (the closure
+  /// keeps the driver alive).
+  std::function<bool(std::span<const mem::Fault>, std::size_t, std::size_t,
+                     CampaignResult&, const util::StopToken&)>
+      run_shard;
+  std::string fingerprint;
+  /// The shard partition: contiguous ascending [begin, end) ranges.
+  /// Fixed at orchestration (or adopted from the checkpoint) — the
+  /// merge over it is what makes resume bit-identical.
+  std::vector<std::pair<std::size_t, std::size_t>> ranges;
+  std::vector<CampaignResult> results;
+  std::vector<unsigned char> done;
+  std::vector<int> attempts;
+  std::size_t outstanding = 0;
+  std::size_t done_count = 0;
+  std::size_t resumed_count = 0;
+  std::size_t since_checkpoint = 0;
+  bool failed = false;
+  std::string error;
+};
+
+}  // namespace detail
+
+// --- ticket ---------------------------------------------------------
+
+CampaignService::Ticket::Ticket(std::shared_ptr<detail::ServiceRequest> request)
+    : request_(std::move(request)) {}
+
+const RequestOutcome& CampaignService::Ticket::wait() const& {
+  if (!request_) throw std::logic_error("wait() on a default Ticket");
+  std::unique_lock lock(request_->mu);
+  request_->cv.wait(lock, [&] { return request_->finished; });
+  return request_->outcome;
+}
+
+RequestOutcome CampaignService::Ticket::wait() && {
+  // The outcome lives inside the request the ticket owns, so a
+  // temporary ticket (`service.submit(...).wait()`) must hand the
+  // outcome out by value — a reference would dangle the moment the
+  // temporary is destroyed at the end of the full expression.
+  return static_cast<const Ticket&>(*this).wait();
+}
+
+bool CampaignService::Ticket::done() const {
+  if (!request_) return true;
+  std::lock_guard lock(request_->mu);
+  return request_->finished;
+}
+
+void CampaignService::Ticket::cancel() const {
+  if (request_) request_->stop.request_stop();
+}
+
+// --- service --------------------------------------------------------
+
+struct CampaignService::Impl {
+  using Request = detail::ServiceRequest;
+
+  ServiceOptions options;
+  util::ThreadPool pool;
+
+  std::mutex mu;
+  std::condition_variable all_done;
+  std::size_t inflight = 0;
+
+  std::atomic<std::uint64_t> accepted{0};
+  std::atomic<std::uint64_t> rejected{0};
+  std::atomic<std::uint64_t> completed{0};
+  std::atomic<std::uint64_t> partial{0};
+  std::atomic<std::uint64_t> failed{0};
+  std::atomic<std::uint64_t> shard_retries{0};
+  std::atomic<std::uint64_t> checkpoint_writes{0};
+  std::atomic<std::uint64_t> checkpoint_failures{0};
+  std::atomic<std::uint64_t> shards_resumed{0};
+
+  explicit Impl(const ServiceOptions& o) : options(o), pool(o.threads) {}
+
+  /// Serializes the current progress into the checkpoint file.
+  /// Caller holds r.mu.  Throws on write failure (callers count it and
+  /// carry on — a failed checkpoint must never fail the campaign).
+  void write_checkpoint_locked(Request& r) {
+    Checkpoint cp;
+    cp.fingerprint = r.fingerprint;
+    cp.shards_total = r.ranges.size();
+    for (std::size_t s = 0; s < r.ranges.size(); ++s) {
+      if (r.done[s] != 0) cp.shards.push_back({s, r.results[s]});
+    }
+    write_checkpoint_file(r.req.checkpoint_path, serialize_checkpoint(cp));
+  }
+
+  /// Resolves the request: merges the completed shards (in shard
+  /// order — ranges ascend, so the partial merge is exact), fixes the
+  /// status, flushes or removes the checkpoint, wakes waiters.  Caller
+  /// holds r.mu.
+  void finalize_locked(Request& r) {
+    RequestOutcome& out = r.outcome;
+    out.shards_total = r.ranges.size();
+    out.shards_done = r.done_count;
+    out.shards_resumed = r.resumed_count;
+    if (r.failed) {
+      out.status = RequestStatus::kFailed;
+      out.error = r.error;
+    } else if (r.done_count == r.ranges.size()) {
+      out.status = RequestStatus::kComplete;
+    } else {
+      switch (r.stop.token().reason()) {
+        case util::StopReason::kCancelled:
+          out.status = RequestStatus::kPartialCancelled;
+          break;
+        case util::StopReason::kDeadline:
+          out.status = RequestStatus::kPartialDeadline;
+          break;
+        case util::StopReason::kNone:
+          out.status = RequestStatus::kFailed;
+          out.error = "internal: shards incomplete without a stop cause";
+          break;
+      }
+    }
+    if (!r.req.checkpoint_path.empty()) {
+      if (out.status == RequestStatus::kComplete) {
+        std::remove(r.req.checkpoint_path.c_str());
+      } else if (r.done_count > 0) {
+        // Final flush so an interrupted request resumes from its last
+        // completed shard, not its last cadence point.  Skipped when
+        // nothing completed (e.g. a fingerprint mismatch) — never
+        // clobber an existing checkpoint with an empty one.  Must run
+        // before the merge below moves the per-shard results out.
+        try {
+          write_checkpoint_locked(r);
+          ++checkpoint_writes;
+        } catch (...) {
+          ++checkpoint_failures;
+        }
+      }
+    }
+    std::vector<CampaignResult> merged;
+    merged.reserve(r.done_count);
+    for (std::size_t s = 0; s < r.ranges.size(); ++s) {
+      if (r.done[s] != 0) merged.push_back(std::move(r.results[s]));
+    }
+    out.result = merge_results(merged);
+    switch (out.status) {
+      case RequestStatus::kComplete:
+        ++completed;
+        break;
+      case RequestStatus::kPartialCancelled:
+      case RequestStatus::kPartialDeadline:
+        ++partial;
+        break;
+      default:
+        ++failed;
+        break;
+    }
+    r.finished = true;
+    r.cv.notify_all();
+  }
+
+  /// Drops one in-flight slot (after a request resolved).
+  void release() {
+    std::lock_guard lock(mu);
+    --inflight;
+    all_done.notify_all();
+  }
+
+  /// One shard's pool task: runs the shard with the request's token,
+  /// records the result, writes the cadence checkpoint, retries on an
+  /// exception (bounded), finalizes when it was the last outstanding
+  /// task.  The "campaign_service.shard" fail point models a worker
+  /// crash.
+  void run_shard_task(const std::shared_ptr<Request>& r, std::size_t s) {
+    const auto [begin, end] = r->ranges[s];
+    CampaignResult result;
+    bool completed_shard = false;
+    bool threw = false;
+    std::string what;
+    try {
+      util::FailPoint::hit("campaign_service.shard");
+      completed_shard =
+          r->run_shard(r->req.universe, begin, end, result, r->stop.token());
+    } catch (const std::exception& e) {
+      threw = true;
+      what = e.what();
+    } catch (...) {
+      threw = true;
+      what = "unknown error";
+    }
+
+    bool resolved = false;
+    {
+      std::unique_lock lock(r->mu);
+      if (threw) {
+        ++r->attempts[s];
+        const bool retry = !r->failed && !r->stop.stop_requested() &&
+                           r->attempts[s] <= options.max_retries;
+        if (retry) {
+          ++shard_retries;
+          lock.unlock();
+          // Resubmit instead of looping in place: the retried shard
+          // goes to the back of the queue, so one flaky shard cannot
+          // starve other requests' tasks.
+          pool.submit([this, r, s] { run_shard_task(r, s); });
+          return;  // outstanding unchanged — the retry owns the slot
+        }
+        if (!r->failed) {
+          r->failed = true;
+          r->error = "shard " + std::to_string(s) + " failed after " +
+                     std::to_string(r->attempts[s]) + " attempt(s): " + what;
+          // Wind down this request's remaining shards promptly; other
+          // requests have their own tokens and are untouched.
+          r->stop.request_stop();
+        }
+      } else if (completed_shard) {
+        r->results[s] = std::move(result);
+        r->done[s] = 1;
+        ++r->done_count;
+        ++r->since_checkpoint;
+        if (!r->req.checkpoint_path.empty() &&
+            r->done_count < r->ranges.size() &&
+            r->since_checkpoint >= r->req.checkpoint_every) {
+          r->since_checkpoint = 0;
+          try {
+            write_checkpoint_locked(*r);
+            ++checkpoint_writes;
+          } catch (...) {
+            // Checkpointing is best-effort durability; the campaign
+            // itself keeps running.
+            ++checkpoint_failures;
+          }
+        }
+      }
+      // else: the shard observed the stop token and abandoned — its
+      // partial tallies are discarded, the slot stays not-done.
+      if (--r->outstanding == 0) {
+        finalize_locked(*r);
+        resolved = true;
+      }
+    }
+    if (resolved) release();
+  }
+
+  /// The per-request setup task: builds the driver (oracle-cache
+  /// builds happen here, not on the submitting thread), fingerprints
+  /// the request, loads/validates the checkpoint, fixes the shard
+  /// partition and fans the pending shards out.  Runs before any shard
+  /// task exists, so it writes the request state without the lock.
+  void orchestrate(const std::shared_ptr<Request>& r) {
+    bool resolved = false;
+    try {
+      CampaignRequest& req = r->req;
+      if (req.scheme) {
+        const EngineOptions engine{.threads = 1,
+                                   .parallel = false,
+                                   .use_oracle = true,
+                                   .early_abort = req.early_abort,
+                                   .packed = req.packed};
+        std::shared_ptr<detail::PrtDriver> driver =
+            detail::make_driver(*req.scheme, req.options, engine);
+        r->run_shard = [driver = std::move(driver)](
+                           std::span<const mem::Fault> universe,
+                           std::size_t begin, std::size_t end,
+                           CampaignResult& out, const util::StopToken& stop) {
+          return driver->run_shard(universe, begin, end, out, stop);
+        };
+      } else {
+        const MarchEngineOptions engine{.threads = 1,
+                                        .parallel = false,
+                                        .packed = req.packed,
+                                        .early_abort = req.early_abort};
+        std::shared_ptr<detail::MarchDriver> driver =
+            detail::make_driver(*req.march_test, req.options, engine);
+        r->run_shard = [driver = std::move(driver)](
+                           std::span<const mem::Fault> universe,
+                           std::size_t begin, std::size_t end,
+                           CampaignResult& out, const util::StopToken& stop) {
+          return driver->run_shard(universe, begin, end, out, stop);
+        };
+      }
+      r->fingerprint = request_fingerprint(req);
+
+      std::size_t shard_count =
+          req.shards != 0 ? req.shards : pool.workers();
+      std::optional<Checkpoint> cp;
+      if (req.resume) {
+        cp = load_checkpoint(req.checkpoint_path);
+        if (cp) {
+          if (cp->fingerprint != r->fingerprint) {
+            throw std::runtime_error(
+                "checkpoint fingerprint mismatch: " + req.checkpoint_path +
+                " records a different campaign (workload, options or "
+                "universe changed)");
+          }
+          if (cp->shards_total < 1 ||
+              cp->shards_total > std::max<std::size_t>(req.universe.size(),
+                                                       1)) {
+            throw std::runtime_error("malformed checkpoint (shard count): " +
+                                     req.checkpoint_path);
+          }
+          // Adopt the recorded partition — merging checkpointed shard
+          // results is only bit-identical over the partition they were
+          // produced under.
+          shard_count = cp->shards_total;
+        }
+      }
+      util::for_each_chunk(req.universe.size(), shard_count,
+                           [&](unsigned, std::size_t begin, std::size_t end) {
+                             r->ranges.emplace_back(begin, end);
+                           });
+      if (cp && cp->shards_total != r->ranges.size()) {
+        throw std::runtime_error("malformed checkpoint (partition): " +
+                                 req.checkpoint_path);
+      }
+      r->results.resize(r->ranges.size());
+      r->done.assign(r->ranges.size(), 0);
+      r->attempts.assign(r->ranges.size(), 0);
+      if (cp) {
+        for (CheckpointShard& s : cp->shards) {
+          if (s.index >= r->ranges.size() || r->done[s.index] != 0) {
+            throw std::runtime_error("malformed checkpoint (shard index): " +
+                                     req.checkpoint_path);
+          }
+          r->results[s.index] = std::move(s.result);
+          r->done[s.index] = 1;
+        }
+        r->done_count = r->resumed_count = cp->shards.size();
+        shards_resumed += cp->shards.size();
+      }
+
+      std::vector<std::size_t> pending;
+      for (std::size_t s = 0; s < r->ranges.size(); ++s) {
+        if (r->done[s] == 0) pending.push_back(s);
+      }
+      if (pending.empty()) {
+        std::lock_guard lock(r->mu);
+        finalize_locked(*r);
+        resolved = true;
+      } else {
+        r->outstanding = pending.size();
+        for (const std::size_t s : pending) {
+          pool.submit([this, r, s] { run_shard_task(r, s); });
+        }
+      }
+    } catch (const std::exception& e) {
+      std::lock_guard lock(r->mu);
+      r->failed = true;
+      r->error = e.what();
+      finalize_locked(*r);
+      resolved = true;
+    }
+    if (resolved) release();
+  }
+};
+
+CampaignService::CampaignService(const ServiceOptions& options)
+    : impl_(std::make_unique<Impl>(options)) {}
+
+CampaignService::~CampaignService() { wait_all(); }
+
+CampaignService::Ticket CampaignService::submit(CampaignRequest request) {
+  auto r = std::make_shared<detail::ServiceRequest>();
+  r->req = std::move(request);
+  if (r->req.checkpoint_every == 0) r->req.checkpoint_every = 1;
+
+  // Fail-fast validation on the submitting thread: a malformed request
+  // resolves immediately instead of occupying an in-flight slot.
+  std::string invalid;
+  if (static_cast<bool>(r->req.scheme) == static_cast<bool>(r->req.march_test)) {
+    invalid = "exactly one of scheme / march_test must be set";
+  } else if (r->req.resume && r->req.checkpoint_path.empty()) {
+    invalid = "resume requires a checkpoint_path";
+  } else {
+    try {
+      validate_campaign_options(r->req.options);
+    } catch (const std::exception& e) {
+      invalid = e.what();
+    }
+  }
+  if (!invalid.empty()) {
+    r->finished = true;
+    r->outcome.status = RequestStatus::kFailed;
+    r->outcome.error = std::move(invalid);
+    ++impl_->failed;
+    return Ticket(std::move(r));
+  }
+
+  {
+    std::lock_guard lock(impl_->mu);
+    if (impl_->inflight >= impl_->options.max_inflight) {
+      r->finished = true;
+      r->outcome.status = RequestStatus::kRejected;
+      r->outcome.error = "in-flight bound reached (" +
+                         std::to_string(impl_->options.max_inflight) + ")";
+      ++impl_->rejected;
+      return Ticket(std::move(r));
+    }
+    ++impl_->inflight;
+  }
+  ++impl_->accepted;
+  // The deadline clock starts at admission: queueing time counts
+  // against the request's budget.
+  if (r->req.deadline.count() > 0) {
+    r->stop.set_deadline_after(r->req.deadline);
+  }
+  impl_->pool.submit([impl = impl_.get(), r] { impl->orchestrate(r); });
+  return Ticket(std::move(r));
+}
+
+void CampaignService::wait_all() {
+  std::unique_lock lock(impl_->mu);
+  impl_->all_done.wait(lock, [&] { return impl_->inflight == 0; });
+}
+
+CampaignService::Stats CampaignService::stats() const {
+  Stats s;
+  s.accepted = impl_->accepted.load();
+  s.rejected = impl_->rejected.load();
+  s.completed = impl_->completed.load();
+  s.partial = impl_->partial.load();
+  s.failed = impl_->failed.load();
+  s.shard_retries = impl_->shard_retries.load();
+  s.checkpoint_writes = impl_->checkpoint_writes.load();
+  s.checkpoint_failures = impl_->checkpoint_failures.load();
+  s.shards_resumed = impl_->shards_resumed.load();
+  return s;
+}
+
+}  // namespace prt::analysis

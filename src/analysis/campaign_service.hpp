@@ -1,0 +1,178 @@
+// Long-lived campaign execution service.
+//
+// CampaignEngine / MarchCampaign / CampaignSuite are synchronous: the
+// caller blocks for the whole campaign and an interrupted process
+// loses everything.  CampaignService is the async, fault-tolerant
+// layer the ROADMAP's campaign-as-a-service milestone calls for:
+//
+//  * requests (a PRT scheme or March test + options + universe) are
+//    admitted onto one shared worker pool with a bounded in-flight
+//    window — submissions past the bound are rejected immediately
+//    with kRejected instead of queueing without bound;
+//  * every request carries a cooperative StopToken: cancel() and the
+//    per-request deadline stop the shard loops at the next fault
+//    boundary, and the request resolves to a *partial* outcome — the
+//    exact merge of the shards that completed (kPartialCancelled /
+//    kPartialDeadline), never a torn result;
+//  * progress is checkpointed at shard granularity: every
+//    `checkpoint_every` completed shards the service atomically
+//    rewrites a checkpoint file (fingerprint + shard partition +
+//    per-shard results).  A resumed request re-validates the
+//    fingerprint — workload structure, geometry, run options and the
+//    universe itself — adopts the recorded partition, and its final
+//    result is bit-identical to an uninterrupted run;
+//  * a shard task that throws is retried up to `max_retries` times;
+//    exhaustion fails that request (kFailed, error preserved) and
+//    winds down its remaining shards without touching other requests
+//    or the pool.  util::FailPoint hooks in the pool, the oracle
+//    cache, the shard tasks and the checkpoint writer let tests drive
+//    each of these paths deterministically.
+//
+// See DESIGN.md §11 and tests/test_campaign_service.cpp.
+#pragma once
+
+#include <chrono>
+#include <cstddef>
+#include <cstdint>
+#include <memory>
+#include <optional>
+#include <string>
+#include <vector>
+
+#include "analysis/fault_sim.hpp"
+#include "core/prt_engine.hpp"
+#include "march/march_runner.hpp"
+
+namespace prt::analysis {
+
+namespace detail {
+struct ServiceRequest;
+}  // namespace detail
+
+struct ServiceOptions {
+  /// Worker count for the one shared pool; 0 defers to the
+  /// PRT_THREADS environment override, then the hardware concurrency.
+  unsigned threads = 0;
+  /// Admission bound: submissions while this many requests are
+  /// in flight (queued or running) are rejected with kRejected.
+  std::size_t max_inflight = 64;
+  /// Retries per shard task before the request fails.
+  int max_retries = 2;
+};
+
+/// How a service request resolved.
+enum class RequestStatus : std::uint8_t {
+  /// Every shard ran; result is bit-identical to a synchronous run.
+  kComplete,
+  /// cancel() stopped the run; result covers the completed shards.
+  kPartialCancelled,
+  /// The deadline stopped the run; result covers the completed shards.
+  kPartialDeadline,
+  /// Setup failed or a shard exhausted its retries; see `error`.
+  kFailed,
+  /// Rejected at admission (in-flight bound); no work was done.
+  kRejected,
+};
+
+[[nodiscard]] std::string to_string(RequestStatus status);
+
+/// One campaign request.  Exactly one of `scheme` / `march_test` must
+/// be set.  The universe is owned by the request (the service runs it
+/// asynchronously after submit() returns).
+struct CampaignRequest {
+  std::optional<core::PrtScheme> scheme;
+  std::optional<march::MarchTest> march_test;
+  CampaignOptions options;
+  /// Engine knobs, same semantics as EngineOptions/MarchEngineOptions.
+  bool packed = true;
+  bool early_abort = false;
+  std::vector<mem::Fault> universe;
+  /// Shard partition size; 0 = one shard per pool worker.  A resumed
+  /// request always adopts the partition recorded in the checkpoint.
+  std::size_t shards = 0;
+  /// Checkpoint file; empty disables checkpointing.
+  std::string checkpoint_path;
+  /// Completed shards between checkpoint rewrites (>= 1).  A final
+  /// checkpoint is always flushed when a checkpointed request ends
+  /// incomplete, so cancel-then-resume loses nothing.
+  std::size_t checkpoint_every = 1;
+  /// Load `checkpoint_path` and skip its completed shards.  A missing
+  /// checkpoint file means a fresh run; a checkpoint whose fingerprint
+  /// does not match this request fails it (kFailed) rather than
+  /// silently merging results from a different campaign.
+  bool resume = false;
+  /// Wall-clock budget measured from submit(); zero = none.
+  std::chrono::nanoseconds deadline{0};
+};
+
+/// Resolved outcome of one request.
+struct RequestOutcome {
+  RequestStatus status = RequestStatus::kFailed;
+  /// Exact merge of the completed shards (all of them on kComplete).
+  CampaignResult result;
+  std::size_t shards_done = 0;
+  std::size_t shards_total = 0;
+  /// Shards whose results were adopted from the checkpoint.
+  std::size_t shards_resumed = 0;
+  /// Human-readable failure cause (kFailed only).
+  std::string error;
+};
+
+class CampaignService {
+ public:
+  explicit CampaignService(const ServiceOptions& options = {});
+  /// Blocks until every in-flight request has resolved.
+  ~CampaignService();
+  CampaignService(const CampaignService&) = delete;
+  CampaignService& operator=(const CampaignService&) = delete;
+
+  class Ticket {
+   public:
+    /// A default ticket holds no request: done() is true, cancel() is
+    /// a no-op and wait() throws std::logic_error.
+    Ticket() = default;
+    /// Blocks until the request resolves; idempotent.  On an lvalue
+    /// ticket the reference is valid for the ticket's lifetime; on a
+    /// temporary ticket (`service.submit(...).wait()`) the outcome is
+    /// returned by value so it outlives the ticket.
+    [[nodiscard]] const RequestOutcome& wait() const&;
+    [[nodiscard]] RequestOutcome wait() &&;
+    /// True once the outcome is available (wait() will not block).
+    [[nodiscard]] bool done() const;
+    /// Requests cooperative cancellation; shard loops stop at the next
+    /// fault boundary.  No-op once the request resolved.
+    void cancel() const;
+
+   private:
+    friend class CampaignService;
+    explicit Ticket(std::shared_ptr<detail::ServiceRequest> request);
+    std::shared_ptr<detail::ServiceRequest> request_;
+  };
+
+  /// Validates and admits a request.  Never blocks on campaign work:
+  /// past the in-flight bound (or on a malformed request) the returned
+  /// ticket is already resolved with kRejected / kFailed.
+  [[nodiscard]] Ticket submit(CampaignRequest request);
+
+  /// Blocks until every request submitted so far has resolved.
+  void wait_all();
+
+  struct Stats {
+    std::uint64_t accepted = 0;
+    std::uint64_t rejected = 0;
+    std::uint64_t completed = 0;
+    std::uint64_t partial = 0;
+    std::uint64_t failed = 0;
+    std::uint64_t shard_retries = 0;
+    std::uint64_t checkpoint_writes = 0;
+    std::uint64_t checkpoint_failures = 0;
+    std::uint64_t shards_resumed = 0;
+  };
+  [[nodiscard]] Stats stats() const;
+
+ private:
+  struct Impl;
+  std::unique_ptr<Impl> impl_;
+};
+
+}  // namespace prt::analysis

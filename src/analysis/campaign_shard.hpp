@@ -19,6 +19,7 @@
 
 #include "analysis/fault_sim.hpp"
 #include "mem/packed_fault_ram.hpp"
+#include "util/stop_token.hpp"
 #include "util/thread_pool.hpp"
 
 namespace prt::analysis::detail {
@@ -40,14 +41,20 @@ inline void tally_fault(CampaignResult& out,
 }
 
 /// All-scalar shard loop: run_scalar(i) -> detected, charging its own
-/// ops to `out`.
+/// ops to `out`.  Polls `stop` per fault; returns false (shard
+/// abandoned — `out` is partial and must be discarded) once a stop is
+/// observed, true when the shard ran to completion.  A
+/// default-constructed token never stops, so the poll is one null
+/// check on the non-cancellable paths.
 template <typename RunScalar>
-void scalar_shard(std::span<const mem::Fault> universe, std::size_t begin,
+bool scalar_shard(std::span<const mem::Fault> universe, std::size_t begin,
                   std::size_t end, CampaignResult& out,
-                  RunScalar&& run_scalar) {
+                  RunScalar&& run_scalar, const util::StopToken& stop = {}) {
   for (std::size_t i = begin; i < end; ++i) {
+    if (stop.stop_requested()) return false;
     tally_fault(out, universe, i, run_scalar(i));
   }
+  return true;
 }
 
 /// Lane-batched shard loop: compatible faults ride the packed ram 64
@@ -56,12 +63,14 @@ void scalar_shard(std::span<const mem::Fault> universe, std::size_t begin,
 /// whole batch}; run_scalar(i) -> detected as above.  Escapes are
 /// gathered out of order and sorted once — counts and op sums are
 /// order-independent, so the shard output is bit-identical to the
-/// all-scalar loop.
+/// all-scalar loop.  Polls `stop` per fault, same contract as
+/// scalar_shard (false = shard abandoned, discard `out`).
 template <typename RunBatch, typename RunScalar>
-void lane_batched_shard(std::span<const mem::Fault> universe,
+bool lane_batched_shard(std::span<const mem::Fault> universe,
                         std::size_t begin, std::size_t end,
                         mem::PackedFaultRam& packed, CampaignResult& out,
-                        RunBatch&& run_batch, RunScalar&& run_scalar) {
+                        RunBatch&& run_batch, RunScalar&& run_scalar,
+                        const util::StopToken& stop = {}) {
   std::array<std::size_t, mem::PackedFaultRam::kLanes> batch_index{};
   auto flush = [&]() {
     const unsigned lanes = packed.lanes_used();
@@ -75,6 +84,7 @@ void lane_batched_shard(std::span<const mem::Fault> universe,
     packed.reset();
   };
   for (std::size_t i = begin; i < end; ++i) {
+    if (stop.stop_requested()) return false;
     if (mem::lane_compatible(universe[i])) {
       batch_index[packed.add_fault(universe[i])] = i;
       if (packed.lanes_used() == mem::PackedFaultRam::kLanes) flush();
@@ -84,32 +94,60 @@ void lane_batched_shard(std::span<const mem::Fault> universe,
   }
   flush();
   std::sort(out.escapes.begin(), out.escapes.end());
+  return true;
 }
 
 /// Pool fan-out with the order-deterministic merge: shards
 /// [0, universe_size) contiguously over `pool` (created lazily,
 /// `workers` wide) and merges per-shard results in shard order.  Falls
 /// back to one inline shard when parallelism is off or pointless.
-/// run_shard(begin, end, out) fills one shard.
+/// run_shard(begin, end, out) -> bool fills one shard (false = the
+/// shard observed `stop` and abandoned; its partial output is
+/// discarded).  Shards that completed before the stop still count:
+/// their ranges ascend even when non-contiguous, so the partial merge
+/// is an exact tally over exactly the covered faults.
 template <typename RunShard>
-CampaignResult run_sharded(std::size_t universe_size, unsigned workers,
-                           bool parallel,
-                           std::unique_ptr<util::ThreadPool>& pool,
-                           RunShard&& run_shard) {
+CampaignOutcome run_sharded(std::size_t universe_size, unsigned workers,
+                            bool parallel,
+                            std::unique_ptr<util::ThreadPool>& pool,
+                            RunShard&& run_shard,
+                            const util::StopToken& stop = {}) {
+  CampaignOutcome out;
   if (!parallel || workers == 1 || universe_size < 2) {
+    out.shards_total = 1;
     CampaignResult result;
-    run_shard(std::size_t{0}, universe_size, result);
-    return result;
+    if (run_shard(std::size_t{0}, universe_size, result)) {
+      out.result = std::move(result);
+      out.shards_done = 1;
+    }
+  } else {
+    if (!pool) pool = std::make_unique<util::ThreadPool>(workers);
+    const auto shard_count =
+        std::min<std::size_t>(pool->workers(), universe_size);
+    out.shards_total = shard_count;
+    std::vector<CampaignResult> shards(shard_count);
+    // Completion flags are unsigned char, not vector<bool>: each chunk
+    // writes only its own slot, which bit-packing would turn into a
+    // data race on the shared byte.
+    std::vector<unsigned char> done(shard_count, 0);
+    pool->parallel_for_chunks(
+        universe_size, [&](unsigned chunk, std::size_t begin, std::size_t end) {
+          done[chunk] = run_shard(begin, end, shards[chunk]) ? 1 : 0;
+        });
+    std::vector<CampaignResult> completed;
+    completed.reserve(shard_count);
+    for (std::size_t s = 0; s < shard_count; ++s) {
+      if (done[s] != 0) {
+        completed.push_back(std::move(shards[s]));
+        ++out.shards_done;
+      }
+    }
+    out.result = merge_results(completed);
   }
-  if (!pool) pool = std::make_unique<util::ThreadPool>(workers);
-  const auto shard_count =
-      std::min<std::size_t>(pool->workers(), universe_size);
-  std::vector<CampaignResult> shards(shard_count);
-  pool->parallel_for_chunks(
-      universe_size, [&](unsigned chunk, std::size_t begin, std::size_t end) {
-        run_shard(begin, end, shards[chunk]);
-      });
-  return merge_results(shards);
+  out.status = out.shards_done == out.shards_total
+                   ? RunStatus::kComplete
+                   : status_from(stop.reason());
+  return out;
 }
 
 }  // namespace prt::analysis::detail

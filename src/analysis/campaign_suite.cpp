@@ -17,8 +17,8 @@ namespace {
 struct Prepared {
   std::vector<mem::Fault> universe;
   std::string name;
-  std::function<void(std::span<const mem::Fault>, std::size_t, std::size_t,
-                     CampaignResult&)>
+  std::function<bool(std::span<const mem::Fault>, std::size_t, std::size_t,
+                     CampaignResult&, const util::StopToken&)>
       run_shard;
 };
 
@@ -30,8 +30,9 @@ Prepared prepared_from(std::shared_ptr<Driver> driver,
   p.name = std::move(name);
   p.run_shard = [driver = std::move(driver)](
                     std::span<const mem::Fault> universe, std::size_t begin,
-                    std::size_t end, CampaignResult& out) {
-    driver->run_shard(universe, begin, end, out);
+                    std::size_t end, CampaignResult& out,
+                    const util::StopToken& stop) {
+    return driver->run_shard(universe, begin, end, out, stop);
   };
   return p;
 }
@@ -101,6 +102,14 @@ CampaignSuite::~CampaignSuite() = default;
 
 SuiteResult CampaignSuite::run(std::span<const CampaignOptions> configs,
                                const UniverseGenerator& universe) const {
+  // A default token never stops, so this is exactly the pre-
+  // cancellation suite run (every status comes back kComplete).
+  return run(configs, universe, util::StopToken());
+}
+
+SuiteResult CampaignSuite::run(std::span<const CampaignOptions> configs,
+                               const UniverseGenerator& universe,
+                               const util::StopToken& stop) const {
   // Every configuration's geometry is validated before any universe is
   // generated or any task scheduled — a malformed grid point fails the
   // whole request up-front instead of mid-flight on a worker.
@@ -113,16 +122,28 @@ SuiteResult CampaignSuite::run(std::span<const CampaignOptions> configs,
   /// each configuration's result is bit-identical to its standalone
   /// run no matter how the flattened schedule interleaved the work.
   std::vector<std::vector<CampaignResult>> shards(count);
+  /// Per-shard completion flags (unsigned char, not vector<bool>: each
+  /// task writes only its own slot, which bit-packing would turn into
+  /// a data race) plus a per-configuration "universe was generated"
+  /// flag — a stop can pre-empt a configuration before prepare().
+  std::vector<std::vector<unsigned char>> done(count);
+  std::vector<unsigned char> generated(count, 0);
 
   const unsigned workers = impl_->threads() != 0
                                ? impl_->threads()
                                : util::default_worker_count();
   if (!impl_->parallel() || workers == 1) {
     for (std::size_t c = 0; c < count; ++c) {
+      if (stop.stop_requested()) break;
       prepared[c] = impl_->prepare(configs[c], c, universe);
+      generated[c] = 1;
       shards[c].resize(1);
-      prepared[c].run_shard(prepared[c].universe, 0,
-                            prepared[c].universe.size(), shards[c][0]);
+      done[c].assign(1, 0);
+      done[c][0] = prepared[c].run_shard(prepared[c].universe, 0,
+                                         prepared[c].universe.size(),
+                                         shards[c][0], stop)
+                       ? 1
+                       : 0;
     }
   } else {
     if (!impl_->pool) impl_->pool = std::make_unique<util::ThreadPool>(workers);
@@ -141,17 +162,24 @@ SuiteResult CampaignSuite::run(std::span<const CampaignOptions> configs,
       // which the bit-identical shard-order merge relies on.
       pool.submit([&, c] {
         errors.guard([&] {
+          if (stop.stop_requested()) return;
           prepared[c] = impl_->prepare(configs[c], c, universe);
+          generated[c] = 1;
           const std::size_t total = prepared[c].universe.size();
           if (total == 0) return;
-          shards[c].resize(std::min<std::size_t>(workers, total));
+          const auto shard_count = std::min<std::size_t>(workers, total);
+          shards[c].resize(shard_count);
+          done[c].assign(shard_count, 0);
           util::for_each_chunk(
               total, workers,
               [&, c](unsigned s, std::size_t begin, std::size_t end) {
                 pool.submit([&, c, s, begin, end] {
                   errors.guard([&] {
-                    prepared[c].run_shard(prepared[c].universe, begin, end,
-                                          shards[c][s]);
+                    done[c][s] =
+                        prepared[c].run_shard(prepared[c].universe, begin,
+                                              end, shards[c][s], stop)
+                            ? 1
+                            : 0;
                   });
                 });
               });
@@ -164,12 +192,25 @@ SuiteResult CampaignSuite::run(std::span<const CampaignOptions> configs,
 
   SuiteResult out;
   out.configs.reserve(count);
+  bool all_complete = true;
   for (std::size_t c = 0; c < count; ++c) {
     SuiteConfigResult entry;
     entry.options = configs[c];
     entry.workload = prepared[c].name;
     entry.faults = prepared[c].universe.size();
-    entry.result = merge_results(shards[c]);
+    entry.shards_total = shards[c].size();
+    std::vector<CampaignResult> completed;
+    completed.reserve(shards[c].size());
+    for (std::size_t s = 0; s < shards[c].size(); ++s) {
+      if (done[c][s] != 0) completed.push_back(std::move(shards[c][s]));
+    }
+    entry.shards_done = completed.size();
+    entry.result = merge_results(completed);
+    const bool complete =
+        generated[c] != 0 && entry.shards_done == entry.shards_total;
+    entry.status =
+        complete ? RunStatus::kComplete : status_from(stop.reason());
+    all_complete = all_complete && complete;
     for (const auto& [cls, cov] : entry.result.by_class) {
       auto& acc = out.by_class[cls];
       acc.detected += cov.detected;
@@ -180,6 +221,8 @@ SuiteResult CampaignSuite::run(std::span<const CampaignOptions> configs,
     out.ops += entry.result.ops;
     out.configs.push_back(std::move(entry));
   }
+  out.status =
+      all_complete ? RunStatus::kComplete : status_from(stop.reason());
   return out;
 }
 

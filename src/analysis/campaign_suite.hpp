@@ -67,13 +67,25 @@ struct SuiteConfigResult {
   /// Universe size the generator produced for this configuration.
   std::size_t faults = 0;
   /// Bit-identical to a standalone engine run over the same universe.
+  /// On a stopped run this is the exact tally over the configuration's
+  /// completed shards only (interrupted shards are discarded whole).
   CampaignResult result;
+  /// kComplete when every shard of this configuration finished; the
+  /// stop cause otherwise.  A configuration the stop pre-empted before
+  /// its universe was even generated reports 0 shards.
+  RunStatus status = RunStatus::kComplete;
+  std::size_t shards_done = 0;
+  std::size_t shards_total = 0;
 };
 
 /// Merged outcome of a suite run: per-configuration results in request
 /// order plus the aggregate coverage/ops rollup.
 struct SuiteResult {
   std::vector<SuiteConfigResult> configs;
+  /// kComplete when every configuration completed; the stop cause
+  /// otherwise (the per-configuration statuses say which results are
+  /// partial).
+  RunStatus status = RunStatus::kComplete;
   /// Coverage summed over every configuration, per fault class and
   /// overall (escape indices stay per-configuration — they index each
   /// configuration's own universe).
@@ -107,6 +119,15 @@ class CampaignSuite {
   /// independent.
   [[nodiscard]] SuiteResult run(std::span<const CampaignOptions> configs,
                                 const UniverseGenerator& universe) const;
+
+  /// Cancellable suite run: every shard task polls `stop`, interrupted
+  /// shards are discarded whole, and each configuration's result is
+  /// the exact merge of its completed shards (statuses on the config
+  /// entries and the SuiteResult say what was cut short).  With a
+  /// never-stopping token the result is bit-identical to run().
+  [[nodiscard]] SuiteResult run(std::span<const CampaignOptions> configs,
+                                const UniverseGenerator& universe,
+                                const util::StopToken& stop) const;
 
  private:
   struct Impl;

@@ -16,6 +16,7 @@
 #include "core/prt_engine.hpp"
 #include "march/march_runner.hpp"
 #include "mem/fault_injector.hpp"
+#include "util/stop_token.hpp"
 
 namespace prt::analysis {
 
@@ -55,6 +56,44 @@ struct CampaignOptions {
   // real power-up state is unknown, but every algorithm under test
   // writes each cell before reading it back, so the fill only pins
   // down the "previous value" seen by first-write transitions).
+};
+
+/// How a stoppable campaign run ended.  kComplete means every shard
+/// ran to completion — even if a stop arrived after the last shard
+/// finished, the result covers the whole universe and is bit-identical
+/// to an uninterrupted run.
+enum class RunStatus : std::uint8_t {
+  kComplete,
+  kCancelled,
+  kDeadlineExpired,
+};
+
+[[nodiscard]] constexpr RunStatus status_from(util::StopReason reason) {
+  switch (reason) {
+    case util::StopReason::kCancelled:
+      return RunStatus::kCancelled;
+    case util::StopReason::kDeadline:
+      return RunStatus::kDeadlineExpired;
+    case util::StopReason::kNone:
+      break;
+  }
+  return RunStatus::kComplete;
+}
+
+/// Outcome of a stoppable campaign run: the merge of every shard that
+/// completed before the stop was observed.  Interrupted shards are
+/// discarded whole — `result` is always an exact tally over the union
+/// of the completed shards' (contiguous, ascending) index ranges, so a
+/// partial result is trustworthy for the faults it covers and
+/// `escapes` stays ascending.
+struct CampaignOutcome {
+  RunStatus status = RunStatus::kComplete;
+  CampaignResult result;
+  std::size_t shards_done = 0;
+  std::size_t shards_total = 0;
+  [[nodiscard]] bool complete() const {
+    return status == RunStatus::kComplete;
+  }
 };
 
 /// Central geometry validation, shared by every campaign entry point

@@ -21,6 +21,11 @@ CampaignResult MarchCampaign::run(
   return driver_->run(universe);
 }
 
+CampaignOutcome MarchCampaign::run(std::span<const mem::Fault> universe,
+                                   const util::StopToken& stop) const {
+  return driver_->run_stoppable(universe, stop);
+}
+
 CampaignResult run_march_campaign(std::span<const mem::Fault> universe,
                                   march::MarchTest test,
                                   const CampaignOptions& opt,

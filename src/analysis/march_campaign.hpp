@@ -82,6 +82,14 @@ class MarchCampaign {
   /// (workers share its pool); distinct campaigns are independent.
   [[nodiscard]] CampaignResult run(std::span<const mem::Fault> universe) const;
 
+  /// Cancellable run: shard loops poll `stop` per fault, interrupted
+  /// shards are discarded whole, and the outcome carries the merge of
+  /// the completed shards plus why the run ended (CampaignOutcome in
+  /// fault_sim.hpp).  With a never-stopping token the result is
+  /// bit-identical to run().
+  [[nodiscard]] CampaignOutcome run(std::span<const mem::Fault> universe,
+                                    const util::StopToken& stop) const;
+
  private:
   std::unique_ptr<detail::CampaignDriver<detail::MarchWorkload>> driver_;
 };

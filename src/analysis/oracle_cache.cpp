@@ -3,6 +3,7 @@
 #include <utility>
 
 #include "core/prt_packed.hpp"
+#include "util/fail_point.hpp"
 
 namespace prt::analysis {
 
@@ -10,34 +11,51 @@ template <typename Entry, typename Build>
 std::shared_ptr<const Entry> OracleCache::lookup(
     std::unordered_map<std::string, Slot<Entry>>& map, std::string key,
     std::atomic<std::size_t>& builds, Build&& build) {
-  std::promise<std::shared_ptr<const Entry>> promise;
-  Slot<Entry> slot;
-  {
-    std::lock_guard lock(mutex_);
-    auto [it, inserted] = map.try_emplace(key);
-    if (!inserted) {
-      slot = it->second;  // someone else built / is building this key
-    } else {
-      it->second = promise.get_future().share();
-    }
-  }
-  if (slot.valid()) return slot.get();  // blocks only while building
-  // First requester: build outside the lock so distinct keys build
-  // concurrently and lookups of cached keys never wait on a build.
-  try {
-    auto entry = std::make_shared<const Entry>(build());
-    ++builds;
-    promise.set_value(entry);
-    return entry;
-  } catch (...) {
-    // Un-publish the failed slot so a later call can retry, and hand
-    // the exception to this caller and to any concurrent waiter.
+  // A failed build must never poison the key: the builder evicts its
+  // slot before publishing the exception, so the next requester
+  // rebuilds from scratch.  A waiter that was already blocked on the
+  // failed slot retries the lookup once itself (becoming the new
+  // builder if nobody beat it there) instead of just relaying a
+  // failure that may have been transient; a second failure propagates.
+  for (int attempt = 0;; ++attempt) {
+    std::promise<std::shared_ptr<const Entry>> promise;
+    Slot<Entry> slot;
     {
       std::lock_guard lock(mutex_);
-      map.erase(key);
+      auto [it, inserted] = map.try_emplace(key);
+      if (!inserted) {
+        slot = it->second;  // someone else built / is building this key
+      } else {
+        it->second = promise.get_future().share();
+      }
     }
-    promise.set_exception(std::current_exception());
-    throw;
+    if (slot.valid()) {
+      try {
+        return slot.get();  // blocks only while building
+      } catch (...) {
+        if (attempt > 0) throw;
+        continue;
+      }
+    }
+    // First requester: build outside the lock so distinct keys build
+    // concurrently and lookups of cached keys never wait on a build.
+    // Tests inject build failures here to pin the eviction protocol.
+    try {
+      util::FailPoint::hit("oracle_cache.build");
+      auto entry = std::make_shared<const Entry>(build());
+      ++builds;
+      promise.set_value(entry);
+      return entry;
+    } catch (...) {
+      // Un-publish the failed slot so a later call can retry, and hand
+      // the exception to this caller and to any concurrent waiter.
+      {
+        std::lock_guard lock(mutex_);
+        map.erase(key);
+      }
+      promise.set_exception(std::current_exception());
+      throw;
+    }
   }
 }
 

@@ -1,0 +1,94 @@
+#include "util/fail_point.hpp"
+
+#include <atomic>
+#include <mutex>
+#include <thread>
+#include <unordered_map>
+
+namespace prt::util {
+
+namespace {
+
+struct Armed {
+  FailPoint::Config config;
+  std::uint64_t hits = 0;
+};
+
+struct Registry {
+  std::mutex mutex;
+  std::unordered_map<std::string, Armed> points;
+};
+
+Registry& registry() {
+  static Registry r;
+  return r;
+}
+
+/// Count of armed points — the disarmed fast path in hit() is one
+/// relaxed load of this, so production runs never touch the registry
+/// lock.
+std::atomic<std::size_t>& armed_count() {
+  static std::atomic<std::size_t> count{0};
+  return count;
+}
+
+}  // namespace
+
+void FailPoint::arm(const std::string& name, const Config& config) {
+  Registry& r = registry();
+  std::lock_guard lock(r.mutex);
+  auto [it, inserted] = r.points.insert_or_assign(name, Armed{config, 0});
+  (void)it;
+  if (inserted) armed_count().fetch_add(1, std::memory_order_release);
+}
+
+void FailPoint::disarm(const std::string& name) {
+  Registry& r = registry();
+  std::lock_guard lock(r.mutex);
+  if (r.points.erase(name) != 0) {
+    armed_count().fetch_sub(1, std::memory_order_release);
+  }
+}
+
+void FailPoint::disarm_all() {
+  Registry& r = registry();
+  std::lock_guard lock(r.mutex);
+  armed_count().fetch_sub(r.points.size(), std::memory_order_release);
+  r.points.clear();
+}
+
+std::uint64_t FailPoint::hits(const std::string& name) {
+  Registry& r = registry();
+  std::lock_guard lock(r.mutex);
+  const auto it = r.points.find(name);
+  return it == r.points.end() ? 0 : it->second.hits;
+}
+
+void FailPoint::hit(const char* name) {
+  if (armed_count().load(std::memory_order_acquire) == 0) return;
+  Config config;
+  bool fire = false;
+  {
+    Registry& r = registry();
+    std::lock_guard lock(r.mutex);
+    const auto it = r.points.find(name);
+    if (it == r.points.end()) return;
+    Armed& armed = it->second;
+    const std::uint64_t hit_index = armed.hits++;
+    const auto skip = static_cast<std::uint64_t>(armed.config.skip);
+    fire = hit_index >= skip &&
+           (armed.config.fires < 0 ||
+            hit_index < skip + static_cast<std::uint64_t>(armed.config.fires));
+    config = armed.config;
+  }
+  if (!fire) return;
+  switch (config.action) {
+    case Action::kThrow:
+      throw FailPointError(std::string("fail point '") + name + "' fired");
+    case Action::kDelay:
+      std::this_thread::sleep_for(config.delay);
+      break;
+  }
+}
+
+}  // namespace prt::util

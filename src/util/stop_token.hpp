@@ -1,0 +1,112 @@
+// Cooperative cancellation with deadlines for long-running campaigns.
+//
+// A StopSource owns the stop state; the StopTokens it hands out are
+// cheap shared views polled from worker loops.  Two stop causes exist
+// and are distinguished so callers can report *why* a run ended early:
+// an explicit request_stop() (user cancellation) and a wall-clock
+// deadline (set_deadline_after).  A stop is sticky: once observed the
+// reason latches, and every later poll is a single atomic load.
+//
+// A default-constructed StopToken has no state and never stops — the
+// shape every pre-existing call site uses, so threading tokens through
+// the campaign shard loops costs non-cancellable runs one null check
+// per fault.
+#pragma once
+
+#include <atomic>
+#include <chrono>
+#include <cstdint>
+#include <memory>
+
+namespace prt::util {
+
+enum class StopReason : std::uint8_t {
+  kNone = 0,
+  kCancelled = 1,
+  kDeadline = 2,
+};
+
+namespace detail {
+struct StopState {
+  std::atomic<std::uint8_t> reason{0};
+  /// steady_clock time_since_epoch in its native rep; 0 = no deadline.
+  std::atomic<std::int64_t> deadline{0};
+};
+}  // namespace detail
+
+class StopToken {
+ public:
+  /// Stateless token: stop_requested() is always false.
+  StopToken() = default;
+
+  /// True once the source requested a stop or the deadline passed.
+  /// Latches: the first deadline observation stores kDeadline so
+  /// subsequent polls skip the clock read.
+  [[nodiscard]] bool stop_requested() const {
+    if (!state_) return false;
+    if (state_->reason.load(std::memory_order_acquire) != 0) return true;
+    const std::int64_t deadline =
+        state_->deadline.load(std::memory_order_relaxed);
+    if (deadline != 0 &&
+        std::chrono::steady_clock::now().time_since_epoch().count() >=
+            deadline) {
+      std::uint8_t expected = 0;
+      state_->reason.compare_exchange_strong(
+          expected, static_cast<std::uint8_t>(StopReason::kDeadline),
+          std::memory_order_acq_rel);
+      return true;
+    }
+    return false;
+  }
+
+  /// Why the stop happened; kNone while still running.  Polls the
+  /// deadline like stop_requested() so the reported reason cannot lag
+  /// an expired deadline.
+  [[nodiscard]] StopReason reason() const {
+    if (!state_ || !stop_requested()) return StopReason::kNone;
+    return static_cast<StopReason>(
+        state_->reason.load(std::memory_order_acquire));
+  }
+
+ private:
+  friend class StopSource;
+  explicit StopToken(std::shared_ptr<detail::StopState> state)
+      : state_(std::move(state)) {}
+  std::shared_ptr<detail::StopState> state_;
+};
+
+class StopSource {
+ public:
+  StopSource() : state_(std::make_shared<detail::StopState>()) {}
+
+  /// Requests cancellation.  First cause wins: a cancel after the
+  /// deadline already latched keeps reporting kDeadline (and vice
+  /// versa).
+  void request_stop() const {
+    std::uint8_t expected = 0;
+    state_->reason.compare_exchange_strong(
+        expected, static_cast<std::uint8_t>(StopReason::kCancelled),
+        std::memory_order_acq_rel);
+  }
+
+  /// Arms a wall-clock deadline `after` from now; tokens trip it
+  /// lazily on their next poll.
+  void set_deadline_after(std::chrono::nanoseconds after) const {
+    const auto when = std::chrono::steady_clock::now() +
+                      std::chrono::duration_cast<
+                          std::chrono::steady_clock::duration>(after);
+    std::int64_t rep = when.time_since_epoch().count();
+    if (rep == 0) rep = 1;  // 0 means "no deadline"
+    state_->deadline.store(rep, std::memory_order_relaxed);
+  }
+
+  [[nodiscard]] StopToken token() const { return StopToken(state_); }
+  [[nodiscard]] bool stop_requested() const {
+    return token().stop_requested();
+  }
+
+ private:
+  std::shared_ptr<detail::StopState> state_;
+};
+
+}  // namespace prt::util

@@ -17,7 +17,10 @@
 #include <mutex>
 #include <queue>
 #include <thread>
+#include <utility>
 #include <vector>
+
+#include "util/fail_point.hpp"
 
 namespace prt::util {
 
@@ -118,6 +121,11 @@ class ThreadPool {
   }
 
   /// Enqueues a task.  Tasks must not themselves block on the pool.
+  /// A task that throws does not kill the worker or wedge wait_idle():
+  /// the first escaped exception is captured (take_unhandled_error())
+  /// and the worker keeps draining — structured fan-outs that need
+  /// their errors rethrown on the submitter wrap tasks in an
+  /// ErrorCollector instead (parallel_for_chunks does).
   void submit(std::function<void()> task) {
     {
       std::lock_guard lock(mutex_);
@@ -130,6 +138,15 @@ class ThreadPool {
   void wait_idle() {
     std::unique_lock lock(mutex_);
     idle_.wait(lock, [this] { return tasks_.empty() && active_ == 0; });
+  }
+
+  /// Returns (and clears) the first exception that escaped a raw
+  /// submit() task, if any.  Call after wait_idle() when the caller
+  /// wants to surface unguarded task failures instead of dropping
+  /// them.
+  [[nodiscard]] std::exception_ptr take_unhandled_error() {
+    std::lock_guard lock(mutex_);
+    return std::exchange(unhandled_, nullptr);
   }
 
   /// Splits [0, total) into one contiguous chunk per worker and runs
@@ -168,7 +185,18 @@ class ThreadPool {
         tasks_.pop();
         ++active_;
       }
-      task();
+      // A throwing task must neither std::terminate the worker nor
+      // skip the active_ decrement (which would deadlock wait_idle()
+      // and the destructor with tasks still queued).  The "fail point"
+      // hook lets tests inject exactly that throw into an otherwise
+      // well-behaved task stream.
+      try {
+        FailPoint::hit("thread_pool.task");
+        task();
+      } catch (...) {
+        std::lock_guard lock(mutex_);
+        if (!unhandled_) unhandled_ = std::current_exception();
+      }
       {
         std::lock_guard lock(mutex_);
         --active_;
@@ -184,6 +212,7 @@ class ThreadPool {
   std::condition_variable idle_;
   std::size_t active_ = 0;
   bool stopping_ = false;
+  std::exception_ptr unhandled_;
 };
 
 }  // namespace prt::util

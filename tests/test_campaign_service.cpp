@@ -1,0 +1,653 @@
+// Tests for the async campaign service (analysis/campaign_service):
+// complete runs bit-identical to the synchronous engines, cooperative
+// cancellation / deadlines with exact partial results, shard-granular
+// checkpoint/resume whose resumed results are bit-identical to
+// uninterrupted runs (interrupting at *every* cadence point, PRT and
+// March, packed and scalar, 1 and 4 threads), admission backpressure,
+// bounded shard retry with request isolation, and the oracle-cache
+// poisoned-entry eviction — all driven deterministically through
+// util::FailPoint.
+#include "analysis/campaign_service.hpp"
+
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <atomic>
+#include <chrono>
+#include <cstdio>
+#include <fstream>
+#include <stdexcept>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include "analysis/campaign_suite.hpp"
+#include "analysis/oracle_cache.hpp"
+#include "core/prt_engine.hpp"
+#include "march/march_library.hpp"
+#include "mem/fault_universe.hpp"
+#include "util/fail_point.hpp"
+#include "util/stop_token.hpp"
+
+namespace prt::analysis {
+namespace {
+
+using util::FailPoint;
+using util::FailPointScope;
+
+void expect_identical(const CampaignResult& a, const CampaignResult& b) {
+  EXPECT_EQ(a.overall, b.overall);
+  EXPECT_EQ(a.by_class, b.by_class);
+  EXPECT_EQ(a.escapes, b.escapes);
+  EXPECT_EQ(a.ops, b.ops);
+}
+
+std::string temp_checkpoint(const std::string& name) {
+  const std::string path = ::testing::TempDir() + name;
+  std::remove(path.c_str());
+  std::remove((path + ".tmp").c_str());
+  return path;
+}
+
+CampaignRequest prt_request(mem::Addr n) {
+  CampaignRequest req;
+  req.scheme = core::extended_scheme_bom(n);
+  req.options = {.n = n};
+  req.universe = mem::classical_universe(n);
+  return req;
+}
+
+CampaignRequest march_request(mem::Addr n) {
+  CampaignRequest req;
+  req.march_test = march::march_c_minus();
+  req.options = {.n = n};
+  req.universe = mem::classical_universe(n);
+  return req;
+}
+
+// --- complete runs --------------------------------------------------
+
+TEST(CampaignService, PrtCompleteBitIdenticalToEngine) {
+  const mem::Addr n = 32;
+  CampaignRequest req = prt_request(n);
+  const CampaignResult reference =
+      run_prt_campaign(req.universe, *req.scheme, req.options);
+  CampaignService service;
+  const RequestOutcome& out = service.submit(std::move(req)).wait();
+  ASSERT_EQ(out.status, RequestStatus::kComplete);
+  EXPECT_EQ(out.shards_done, out.shards_total);
+  expect_identical(out.result, reference);
+  EXPECT_EQ(service.stats().completed, 1u);
+}
+
+TEST(CampaignService, MarchCompleteBitIdenticalToCampaign) {
+  const mem::Addr n = 32;
+  CampaignRequest req = march_request(n);
+  const CampaignResult reference =
+      run_march_campaign(req.universe, *req.march_test, req.options);
+  CampaignService service;
+  const RequestOutcome& out = service.submit(std::move(req)).wait();
+  ASSERT_EQ(out.status, RequestStatus::kComplete);
+  expect_identical(out.result, reference);
+}
+
+TEST(CampaignService, ConcurrentRequestsAllComplete) {
+  CampaignService service;
+  std::vector<CampaignService::Ticket> tickets;
+  std::vector<CampaignResult> references;
+  for (const mem::Addr n : {24, 32, 40}) {
+    CampaignRequest req = prt_request(n);
+    references.push_back(run_prt_campaign(req.universe, *req.scheme,
+                                          req.options));
+    tickets.push_back(service.submit(std::move(req)));
+  }
+  for (std::size_t i = 0; i < tickets.size(); ++i) {
+    const RequestOutcome& out = tickets[i].wait();
+    ASSERT_EQ(out.status, RequestStatus::kComplete);
+    expect_identical(out.result, references[i]);
+  }
+  EXPECT_EQ(service.stats().completed, 3u);
+}
+
+TEST(CampaignService, EmptyUniverseCompletesEmpty) {
+  CampaignRequest req = prt_request(24);
+  req.universe.clear();
+  CampaignService service;
+  const RequestOutcome& out = service.submit(std::move(req)).wait();
+  EXPECT_EQ(out.status, RequestStatus::kComplete);
+  EXPECT_EQ(out.result.overall.total, 0u);
+  EXPECT_EQ(out.shards_total, 0u);
+}
+
+// --- admission / validation -----------------------------------------
+
+TEST(CampaignService, MalformedRequestsFailFast) {
+  CampaignService service;
+  {
+    CampaignRequest req;  // neither workload set
+    const RequestOutcome& out = service.submit(std::move(req)).wait();
+    EXPECT_EQ(out.status, RequestStatus::kFailed);
+  }
+  {
+    CampaignRequest req = prt_request(24);
+    req.march_test = march::march_c_minus();  // both set
+    const RequestOutcome& out = service.submit(std::move(req)).wait();
+    EXPECT_EQ(out.status, RequestStatus::kFailed);
+  }
+  {
+    CampaignRequest req = prt_request(24);
+    req.resume = true;  // no checkpoint_path
+    const RequestOutcome& out = service.submit(std::move(req)).wait();
+    EXPECT_EQ(out.status, RequestStatus::kFailed);
+  }
+  {
+    CampaignRequest req = prt_request(24);
+    req.options.ports = 3;  // invalid geometry
+    const RequestOutcome& out = service.submit(std::move(req)).wait();
+    EXPECT_EQ(out.status, RequestStatus::kFailed);
+    EXPECT_FALSE(out.error.empty());
+  }
+  EXPECT_EQ(service.stats().accepted, 0u);
+}
+
+TEST(CampaignService, DefaultTicketIsInert) {
+  CampaignService::Ticket ticket;
+  EXPECT_TRUE(ticket.done());
+  ticket.cancel();  // no-op
+  EXPECT_THROW((void)ticket.wait(), std::logic_error);
+}
+
+TEST(CampaignService, BackpressureRejectsPastInflightBound) {
+  FailPointScope scope;
+  // Every shard task sleeps, so the first request reliably occupies
+  // the single in-flight slot while the second is submitted.
+  FailPoint::arm("campaign_service.shard",
+                 {.action = FailPoint::Action::kDelay,
+                  .fires = -1,
+                  .delay = std::chrono::milliseconds(20)});
+  CampaignService service({.threads = 1, .max_inflight = 1});
+  CampaignService::Ticket first = service.submit(prt_request(24));
+  CampaignService::Ticket second = service.submit(prt_request(24));
+  const RequestOutcome& rejected = second.wait();
+  EXPECT_EQ(rejected.status, RequestStatus::kRejected);
+  EXPECT_TRUE(second.done());
+  first.cancel();
+  (void)first.wait();
+  EXPECT_EQ(service.stats().rejected, 1u);
+  EXPECT_EQ(service.stats().accepted, 1u);
+}
+
+// --- cancellation / deadlines ---------------------------------------
+
+TEST(CampaignService, CancellationYieldsIsolatedPartialResult) {
+  FailPointScope scope;
+  FailPoint::arm("campaign_service.shard",
+                 {.action = FailPoint::Action::kDelay,
+                  .fires = -1,
+                  .delay = std::chrono::milliseconds(30)});
+  CampaignService service({.threads = 1});
+  CampaignRequest slow = prt_request(32);
+  slow.shards = 8;
+  const std::size_t universe_size = slow.universe.size();
+  CampaignService::Ticket ticket = service.submit(std::move(slow));
+  ticket.cancel();
+  const RequestOutcome& out = ticket.wait();
+  ASSERT_EQ(out.status, RequestStatus::kPartialCancelled);
+  EXPECT_LT(out.shards_done, out.shards_total);
+  // The partial result is an exact tally over the completed shards
+  // only — never a torn count over a half-run shard.
+  EXPECT_LE(out.result.overall.total, universe_size);
+  EXPECT_TRUE(std::is_sorted(out.result.escapes.begin(),
+                             out.result.escapes.end()));
+  // A second request on the same service is unaffected.
+  FailPoint::disarm_all();
+  CampaignRequest healthy = prt_request(24);
+  const CampaignResult reference =
+      run_prt_campaign(healthy.universe, *healthy.scheme, healthy.options);
+  const RequestOutcome& ok = service.submit(std::move(healthy)).wait();
+  ASSERT_EQ(ok.status, RequestStatus::kComplete);
+  expect_identical(ok.result, reference);
+}
+
+TEST(CampaignService, DeadlineYieldsPartialDeadline) {
+  FailPointScope scope;
+  FailPoint::arm("campaign_service.shard",
+                 {.action = FailPoint::Action::kDelay,
+                  .fires = -1,
+                  .delay = std::chrono::milliseconds(30)});
+  CampaignService service({.threads = 1});
+  CampaignRequest req = prt_request(32);
+  req.shards = 8;
+  req.deadline = std::chrono::milliseconds(1);
+  const RequestOutcome& out = service.submit(std::move(req)).wait();
+  ASSERT_EQ(out.status, RequestStatus::kPartialDeadline);
+  EXPECT_LT(out.shards_done, out.shards_total);
+}
+
+// --- worker failure / retry -----------------------------------------
+
+TEST(CampaignService, ShardFailureRetriesToCompletion) {
+  FailPointScope scope;
+  // The first two shard-task attempts crash; retries finish the job.
+  FailPoint::arm("campaign_service.shard", {.fires = 2});
+  CampaignRequest req = prt_request(32);
+  const CampaignResult reference =
+      run_prt_campaign(req.universe, *req.scheme, req.options);
+  CampaignService service({.max_retries = 2});
+  const RequestOutcome& out = service.submit(std::move(req)).wait();
+  ASSERT_EQ(out.status, RequestStatus::kComplete);
+  expect_identical(out.result, reference);
+  EXPECT_EQ(service.stats().shard_retries, 2u);
+}
+
+TEST(CampaignService, RetryExhaustionFailsRequestButNotService) {
+  FailPointScope scope;
+  FailPoint::arm("campaign_service.shard", {.fires = -1});
+  CampaignService service({.threads = 2, .max_retries = 1});
+  const RequestOutcome& failed = service.submit(prt_request(24)).wait();
+  ASSERT_EQ(failed.status, RequestStatus::kFailed);
+  EXPECT_NE(failed.error.find("shard"), std::string::npos);
+  EXPECT_GE(service.stats().shard_retries, 1u);
+  // The worker that "crashed" was isolated: the pool and service keep
+  // serving subsequent requests.
+  FailPoint::disarm_all();
+  CampaignRequest healthy = prt_request(24);
+  const CampaignResult reference =
+      run_prt_campaign(healthy.universe, *healthy.scheme, healthy.options);
+  const RequestOutcome& ok = service.submit(std::move(healthy)).wait();
+  ASSERT_EQ(ok.status, RequestStatus::kComplete);
+  expect_identical(ok.result, reference);
+}
+
+// --- oracle cache poisoning (satellite) -----------------------------
+
+TEST(OracleCachePoison, FailedBuildIsEvictedAndRebuilt) {
+  FailPointScope scope;
+  OracleCache cache;
+  const core::PrtScheme scheme = core::extended_scheme_bom(32);
+  FailPoint::arm("oracle_cache.build", {.fires = 1});
+  EXPECT_THROW((void)cache.prt(scheme, 32), util::FailPointError);
+  // The failed build must not leave a poisoned slot behind: the same
+  // key rebuilds from scratch and succeeds.
+  const auto entry = cache.prt(scheme, 32);
+  ASSERT_NE(entry, nullptr);
+  EXPECT_EQ(cache.prt_builds(), 1u);
+  EXPECT_EQ(cache.size(), 1u);
+}
+
+TEST(OracleCachePoison, ConcurrentWaitersRecoverAfterFailedBuild) {
+  FailPointScope scope;
+  OracleCache cache;
+  const core::PrtScheme scheme = core::extended_scheme_bom(32);
+  // Exactly one build fails; every concurrent requester must end up
+  // with a real entry (waiters retry the lookup once themselves).
+  FailPoint::arm("oracle_cache.build", {.fires = 1});
+  std::vector<std::thread> threads;
+  std::atomic<int> succeeded{0};
+  std::atomic<int> threw{0};
+  for (int t = 0; t < 8; ++t) {
+    threads.emplace_back([&] {
+      try {
+        if (cache.prt(scheme, 32) != nullptr) ++succeeded;
+      } catch (const util::FailPointError&) {
+        ++threw;
+      }
+    });
+  }
+  for (auto& t : threads) t.join();
+  // The injected failure surfaces at most on the thread that ran the
+  // failing build; everyone else recovers via the rebuilt entry.
+  EXPECT_LE(threw.load(), 1);
+  EXPECT_GE(succeeded.load(), 7);
+  EXPECT_EQ(cache.size(), 1u);
+}
+
+TEST(CampaignService, OracleBuildFailureFailsRequestThenRecovers) {
+  FailPointScope scope;
+  OracleCache::global().clear();
+  FailPoint::arm("oracle_cache.build", {.fires = 1});
+  CampaignService service;
+  CampaignRequest req = prt_request(48);
+  CampaignRequest again = prt_request(48);
+  const RequestOutcome& failed = service.submit(std::move(req)).wait();
+  EXPECT_EQ(failed.status, RequestStatus::kFailed);
+  // Eviction means the identical request now rebuilds and completes.
+  const RequestOutcome& ok = service.submit(std::move(again)).wait();
+  EXPECT_EQ(ok.status, RequestStatus::kComplete);
+}
+
+// --- checkpoint / resume --------------------------------------------
+
+struct ResumeCase {
+  bool march = false;
+  bool packed = true;
+  unsigned threads = 1;
+};
+
+/// Interrupt at every cadence point: for a fixed shard partition, run
+/// once with the k-th shard-task attempt (and everything after it)
+/// crashing, then resume from the checkpoint and require the merged
+/// result to be bit-identical to the uninterrupted reference.
+void run_resume_matrix(const ResumeCase& c) {
+  SCOPED_TRACE(std::string(c.march ? "march" : "prt") +
+               (c.packed ? " packed" : " scalar") + " threads=" +
+               std::to_string(c.threads));
+  const mem::Addr n = 24;
+  const std::size_t kShards = 6;
+  auto make_request = [&] {
+    CampaignRequest req = c.march ? march_request(n) : prt_request(n);
+    req.packed = c.packed;
+    req.shards = kShards;
+    return req;
+  };
+  CampaignRequest ref_req = make_request();
+  const CampaignResult reference =
+      c.march
+          ? run_march_campaign(ref_req.universe, *ref_req.march_test,
+                               ref_req.options,
+                               {.packed = c.packed})
+          : run_prt_campaign(ref_req.universe, *ref_req.scheme,
+                             ref_req.options, {.packed = c.packed});
+
+  for (std::size_t k = 0; k < kShards; ++k) {
+    SCOPED_TRACE("interrupt after " + std::to_string(k) + " shards");
+    FailPointScope scope;
+    const std::string path = temp_checkpoint(
+        "svc_resume_" + std::to_string(c.march) + std::to_string(c.packed) +
+        std::to_string(c.threads) + "_" + std::to_string(k) + ".ckpt");
+    CampaignService service({.threads = c.threads, .max_retries = 0});
+    {
+      // Let k shard tasks complete, crash every later attempt.
+      FailPoint::arm("campaign_service.shard",
+                     {.skip = static_cast<int>(k), .fires = -1});
+      CampaignRequest req = make_request();
+      req.checkpoint_path = path;
+      req.checkpoint_every = 1;
+      const RequestOutcome& out = service.submit(std::move(req)).wait();
+      ASSERT_EQ(out.status, RequestStatus::kFailed);
+      ASSERT_LT(out.shards_done, kShards);
+    }
+    FailPoint::disarm_all();
+    {
+      CampaignRequest req = make_request();
+      req.checkpoint_path = path;
+      req.resume = true;
+      const RequestOutcome& out = service.submit(std::move(req)).wait();
+      ASSERT_EQ(out.status, RequestStatus::kComplete);
+      EXPECT_EQ(out.shards_total, kShards);
+      expect_identical(out.result, reference);
+    }
+    std::remove(path.c_str());
+  }
+}
+
+TEST(CampaignServiceResume, PrtPackedOneThread) {
+  run_resume_matrix({.march = false, .packed = true, .threads = 1});
+}
+TEST(CampaignServiceResume, PrtPackedFourThreads) {
+  run_resume_matrix({.march = false, .packed = true, .threads = 4});
+}
+TEST(CampaignServiceResume, PrtScalarOneThread) {
+  run_resume_matrix({.march = false, .packed = false, .threads = 1});
+}
+TEST(CampaignServiceResume, PrtScalarFourThreads) {
+  run_resume_matrix({.march = false, .packed = false, .threads = 4});
+}
+TEST(CampaignServiceResume, MarchPackedOneThread) {
+  run_resume_matrix({.march = true, .packed = true, .threads = 1});
+}
+TEST(CampaignServiceResume, MarchPackedFourThreads) {
+  run_resume_matrix({.march = true, .packed = true, .threads = 4});
+}
+TEST(CampaignServiceResume, MarchScalarOneThread) {
+  run_resume_matrix({.march = true, .packed = false, .threads = 1});
+}
+TEST(CampaignServiceResume, MarchScalarFourThreads) {
+  run_resume_matrix({.march = true, .packed = false, .threads = 4});
+}
+
+TEST(CampaignServiceResume, ResumeAcrossThreadCountsIsBitIdentical) {
+  // Interrupted at 1 thread, resumed at 4: the checkpoint's partition
+  // is adopted, so the merge stays bit-identical.
+  FailPointScope scope;
+  const std::string path = temp_checkpoint("svc_resume_cross_threads.ckpt");
+  CampaignRequest ref_req = prt_request(24);
+  const CampaignResult reference =
+      run_prt_campaign(ref_req.universe, *ref_req.scheme, ref_req.options);
+  {
+    FailPoint::arm("campaign_service.shard", {.skip = 3, .fires = -1});
+    CampaignService one({.threads = 1, .max_retries = 0});
+    CampaignRequest req = prt_request(24);
+    req.shards = 6;
+    req.checkpoint_path = path;
+    const RequestOutcome& out = one.submit(std::move(req)).wait();
+    ASSERT_EQ(out.status, RequestStatus::kFailed);
+    ASSERT_GT(out.shards_done, 0u);
+  }
+  FailPoint::disarm_all();
+  {
+    CampaignService four({.threads = 4});
+    CampaignRequest req = prt_request(24);
+    req.shards = 6;
+    req.checkpoint_path = path;
+    req.resume = true;
+    const RequestOutcome& out = four.submit(std::move(req)).wait();
+    ASSERT_EQ(out.status, RequestStatus::kComplete);
+    EXPECT_GT(out.shards_resumed, 0u);
+    expect_identical(out.result, reference);
+  }
+  std::remove(path.c_str());
+}
+
+TEST(CampaignServiceResume, CancelThenResumeIsBitIdentical) {
+  FailPointScope scope;
+  const std::string path = temp_checkpoint("svc_cancel_resume.ckpt");
+  CampaignRequest ref_req = prt_request(32);
+  const CampaignResult reference =
+      run_prt_campaign(ref_req.universe, *ref_req.scheme, ref_req.options);
+  {
+    FailPoint::arm("campaign_service.shard",
+                   {.action = FailPoint::Action::kDelay,
+                    .fires = -1,
+                    .delay = std::chrono::milliseconds(15)});
+    CampaignService service({.threads = 1});
+    CampaignRequest req = prt_request(32);
+    req.shards = 8;
+    req.checkpoint_path = path;
+    CampaignService::Ticket ticket = service.submit(std::move(req));
+    std::this_thread::sleep_for(std::chrono::milliseconds(40));
+    ticket.cancel();
+    const RequestOutcome& out = ticket.wait();
+    ASSERT_EQ(out.status, RequestStatus::kPartialCancelled);
+  }
+  FailPoint::disarm_all();
+  {
+    CampaignService service({.threads = 4});
+    CampaignRequest req = prt_request(32);
+    req.shards = 8;
+    req.checkpoint_path = path;
+    req.resume = true;
+    const RequestOutcome& out = service.submit(std::move(req)).wait();
+    ASSERT_EQ(out.status, RequestStatus::kComplete);
+    expect_identical(out.result, reference);
+  }
+  std::remove(path.c_str());
+}
+
+TEST(CampaignServiceResume, CompletedRunRemovesCheckpoint) {
+  const std::string path = temp_checkpoint("svc_complete_removes.ckpt");
+  CampaignService service;
+  CampaignRequest req = prt_request(24);
+  req.checkpoint_path = path;
+  const RequestOutcome& out = service.submit(std::move(req)).wait();
+  ASSERT_EQ(out.status, RequestStatus::kComplete);
+  std::ifstream in(path);
+  EXPECT_FALSE(in.good()) << "checkpoint should be removed on completion";
+}
+
+TEST(CampaignServiceResume, FingerprintMismatchFailsInsteadOfMerging) {
+  FailPointScope scope;
+  const std::string path = temp_checkpoint("svc_fp_mismatch.ckpt");
+  {
+    FailPoint::arm("campaign_service.shard", {.skip = 2, .fires = -1});
+    CampaignService service({.threads = 1, .max_retries = 0});
+    CampaignRequest req = prt_request(24);
+    req.shards = 6;
+    req.checkpoint_path = path;
+    const RequestOutcome& out = service.submit(std::move(req)).wait();
+    ASSERT_EQ(out.status, RequestStatus::kFailed);
+    ASSERT_GT(out.shards_done, 0u);
+  }
+  FailPoint::disarm_all();
+  CampaignService service;
+  {
+    // Different universe (one fault dropped) — must be rejected.
+    CampaignRequest req = prt_request(24);
+    req.universe.pop_back();
+    req.shards = 6;
+    req.checkpoint_path = path;
+    req.resume = true;
+    const RequestOutcome& out = service.submit(std::move(req)).wait();
+    ASSERT_EQ(out.status, RequestStatus::kFailed);
+    EXPECT_NE(out.error.find("fingerprint"), std::string::npos);
+  }
+  {
+    // Different run options (early_abort changes op accounting).
+    CampaignRequest req = prt_request(24);
+    req.early_abort = true;
+    req.shards = 6;
+    req.checkpoint_path = path;
+    req.resume = true;
+    const RequestOutcome& out = service.submit(std::move(req)).wait();
+    ASSERT_EQ(out.status, RequestStatus::kFailed);
+    EXPECT_NE(out.error.find("fingerprint"), std::string::npos);
+  }
+  std::remove(path.c_str());
+}
+
+TEST(CampaignServiceResume, MalformedCheckpointFails) {
+  const std::string path = temp_checkpoint("svc_malformed.ckpt");
+  {
+    std::ofstream out(path);
+    out << "not a checkpoint\n";
+  }
+  CampaignService service;
+  CampaignRequest req = prt_request(24);
+  req.checkpoint_path = path;
+  req.resume = true;
+  const RequestOutcome& out = service.submit(std::move(req)).wait();
+  EXPECT_EQ(out.status, RequestStatus::kFailed);
+  std::remove(path.c_str());
+}
+
+TEST(CampaignServiceResume, MissingCheckpointMeansFreshRun) {
+  const std::string path = temp_checkpoint("svc_missing.ckpt");
+  CampaignRequest req = prt_request(24);
+  const CampaignResult reference =
+      run_prt_campaign(req.universe, *req.scheme, req.options);
+  req.checkpoint_path = path;
+  req.resume = true;
+  CampaignService service;
+  const RequestOutcome& out = service.submit(std::move(req)).wait();
+  ASSERT_EQ(out.status, RequestStatus::kComplete);
+  EXPECT_EQ(out.shards_resumed, 0u);
+  expect_identical(out.result, reference);
+}
+
+TEST(CampaignServiceResume, CheckpointWriteFailureIsNonFatal) {
+  FailPointScope scope;
+  const std::string path = temp_checkpoint("svc_ckpt_fail.ckpt");
+  FailPoint::arm("campaign_service.checkpoint", {.fires = -1});
+  CampaignRequest req = prt_request(32);
+  const CampaignResult reference =
+      run_prt_campaign(req.universe, *req.scheme, req.options);
+  req.shards = 6;
+  req.checkpoint_path = path;
+  CampaignService service;
+  const RequestOutcome& out = service.submit(std::move(req)).wait();
+  ASSERT_EQ(out.status, RequestStatus::kComplete);
+  expect_identical(out.result, reference);
+  EXPECT_GE(service.stats().checkpoint_failures, 1u);
+}
+
+// --- engine / suite cancellation (threaded StopToken) ---------------
+
+TEST(StoppableRuns, EngineWithIdleTokenMatchesPlainRun) {
+  const auto universe = mem::classical_universe(32);
+  const CampaignOptions opt{.n = 32};
+  CampaignEngine engine(core::extended_scheme_bom(32), opt);
+  const CampaignResult plain = engine.run(universe);
+  util::StopSource source;
+  const CampaignOutcome outcome = engine.run(universe, source.token());
+  ASSERT_EQ(outcome.status, RunStatus::kComplete);
+  EXPECT_EQ(outcome.shards_done, outcome.shards_total);
+  expect_identical(outcome.result, plain);
+}
+
+TEST(StoppableRuns, EnginePreCancelledTokenRunsNothing) {
+  const auto universe = mem::classical_universe(32);
+  CampaignEngine engine(core::extended_scheme_bom(32), {.n = 32});
+  util::StopSource source;
+  source.request_stop();
+  const CampaignOutcome outcome = engine.run(universe, source.token());
+  EXPECT_EQ(outcome.status, RunStatus::kCancelled);
+  EXPECT_EQ(outcome.shards_done, 0u);
+  EXPECT_EQ(outcome.result.overall.total, 0u);
+}
+
+TEST(StoppableRuns, MarchExpiredDeadlineReportsDeadline) {
+  const auto universe = mem::classical_universe(32);
+  MarchCampaign campaign(march::march_c_minus(), {.n = 32});
+  util::StopSource source;
+  source.set_deadline_after(std::chrono::nanoseconds(1));
+  std::this_thread::sleep_for(std::chrono::milliseconds(2));
+  const CampaignOutcome outcome = campaign.run(universe, source.token());
+  EXPECT_EQ(outcome.status, RunStatus::kDeadlineExpired);
+  EXPECT_EQ(outcome.shards_done, 0u);
+}
+
+TEST(StoppableRuns, SuitePreCancelledTokenReportsPerConfigStatus) {
+  const std::vector<CampaignOptions> configs = {{.n = 24}, {.n = 32}};
+  CampaignSuite suite(
+      [](const CampaignOptions& opt) {
+        return core::extended_scheme_bom(opt.n);
+      });
+  util::StopSource source;
+  source.request_stop();
+  const SuiteResult result = suite.run(
+      configs,
+      [](const CampaignOptions& opt, std::size_t) {
+        return mem::classical_universe(opt.n);
+      },
+      source.token());
+  EXPECT_EQ(result.status, RunStatus::kCancelled);
+  ASSERT_EQ(result.configs.size(), configs.size());
+  for (const SuiteConfigResult& entry : result.configs) {
+    EXPECT_EQ(entry.status, RunStatus::kCancelled);
+  }
+  EXPECT_EQ(result.overall.total, 0u);
+}
+
+TEST(StoppableRuns, SuiteIdleTokenBitIdenticalToPlainRun) {
+  const std::vector<CampaignOptions> configs = {{.n = 24}, {.n = 32}};
+  auto factory = [](const CampaignOptions& opt) {
+    return core::extended_scheme_bom(opt.n);
+  };
+  auto universe = [](const CampaignOptions& opt, std::size_t) {
+    return mem::classical_universe(opt.n);
+  };
+  CampaignSuite suite(factory);
+  const SuiteResult plain = suite.run(configs, universe);
+  util::StopSource source;
+  const SuiteResult stoppable = suite.run(configs, universe, source.token());
+  EXPECT_EQ(stoppable.status, RunStatus::kComplete);
+  ASSERT_EQ(stoppable.configs.size(), plain.configs.size());
+  for (std::size_t c = 0; c < plain.configs.size(); ++c) {
+    EXPECT_EQ(stoppable.configs[c].status, RunStatus::kComplete);
+    expect_identical(stoppable.configs[c].result, plain.configs[c].result);
+  }
+  EXPECT_EQ(stoppable.overall, plain.overall);
+}
+
+}  // namespace
+}  // namespace prt::analysis

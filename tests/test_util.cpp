@@ -1,11 +1,18 @@
 // Tests for utility components (util/*).
 #include <gtest/gtest.h>
 
+#include <atomic>
+#include <chrono>
 #include <set>
+#include <stdexcept>
+#include <thread>
 
 #include "util/bitops.hpp"
+#include "util/fail_point.hpp"
 #include "util/rng.hpp"
+#include "util/stop_token.hpp"
 #include "util/table.hpp"
+#include "util/thread_pool.hpp"
 
 namespace prt {
 namespace {
@@ -158,6 +165,152 @@ TEST(Formatting, FormatPow2Ratio) {
   EXPECT_EQ(format_pow2_ratio(0.25), "2^-2.0");
   EXPECT_EQ(format_pow2_ratio(1.0), "2^0.0");
   EXPECT_EQ(format_pow2_ratio(0.0), "0");
+}
+
+// --- fail points ----------------------------------------------------------
+
+TEST(FailPoint, DisarmedHitIsANoOp) {
+  util::FailPoint::hit("nothing.armed");  // must not throw
+  EXPECT_EQ(util::FailPoint::hits("nothing.armed"), 0u);
+}
+
+TEST(FailPoint, SkipAndFiresSchedule) {
+  util::FailPointScope scope;
+  util::FailPoint::arm("test.point", {.skip = 2, .fires = 1});
+  util::FailPoint::hit("test.point");  // hit 0: skipped
+  util::FailPoint::hit("test.point");  // hit 1: skipped
+  EXPECT_THROW(util::FailPoint::hit("test.point"), util::FailPointError);
+  util::FailPoint::hit("test.point");  // hit 3: past the fire window
+  EXPECT_EQ(util::FailPoint::hits("test.point"), 4u);
+}
+
+TEST(FailPoint, UnboundedFiresAndDisarm) {
+  util::FailPointScope scope;
+  util::FailPoint::arm("test.unbounded", {.fires = -1});
+  EXPECT_THROW(util::FailPoint::hit("test.unbounded"), util::FailPointError);
+  EXPECT_THROW(util::FailPoint::hit("test.unbounded"), util::FailPointError);
+  util::FailPoint::disarm("test.unbounded");
+  util::FailPoint::hit("test.unbounded");  // disarmed: no-op
+}
+
+TEST(FailPoint, DelayActionSleeps) {
+  util::FailPointScope scope;
+  util::FailPoint::arm("test.delay",
+                       {.action = util::FailPoint::Action::kDelay,
+                        .fires = 1,
+                        .delay = std::chrono::milliseconds(10)});
+  const auto start = std::chrono::steady_clock::now();
+  util::FailPoint::hit("test.delay");
+  const auto elapsed = std::chrono::steady_clock::now() - start;
+  EXPECT_GE(elapsed, std::chrono::milliseconds(9));
+}
+
+// --- stop tokens ----------------------------------------------------------
+
+TEST(StopToken, DefaultTokenNeverStops) {
+  const util::StopToken token;
+  EXPECT_FALSE(token.stop_requested());
+  EXPECT_EQ(token.reason(), util::StopReason::kNone);
+}
+
+TEST(StopToken, RequestStopLatchesCancelled) {
+  util::StopSource source;
+  const util::StopToken token = source.token();
+  EXPECT_FALSE(token.stop_requested());
+  source.request_stop();
+  EXPECT_TRUE(token.stop_requested());
+  EXPECT_EQ(token.reason(), util::StopReason::kCancelled);
+}
+
+TEST(StopToken, DeadlineTripsAndLatches) {
+  util::StopSource source;
+  source.set_deadline_after(std::chrono::milliseconds(5));
+  const util::StopToken token = source.token();
+  EXPECT_FALSE(token.stop_requested());
+  std::this_thread::sleep_for(std::chrono::milliseconds(10));
+  EXPECT_TRUE(token.stop_requested());
+  EXPECT_EQ(token.reason(), util::StopReason::kDeadline);
+  // First cause wins: a later cancel does not overwrite the reason.
+  source.request_stop();
+  EXPECT_EQ(token.reason(), util::StopReason::kDeadline);
+}
+
+TEST(StopToken, CancelBeforeDeadlineReportsCancelled) {
+  util::StopSource source;
+  source.set_deadline_after(std::chrono::hours(1));
+  source.request_stop();
+  EXPECT_TRUE(source.stop_requested());
+  EXPECT_EQ(source.token().reason(), util::StopReason::kCancelled);
+}
+
+// --- thread pool exception safety -----------------------------------------
+
+TEST(ThreadPool, ThrowingTaskDoesNotWedgeWaitIdle) {
+  util::ThreadPool pool(2);
+  std::atomic<int> ran{0};
+  for (int i = 0; i < 8; ++i) {
+    pool.submit([&ran, i] {
+      if (i == 3) throw std::runtime_error("task crashed");
+      ++ran;
+    });
+  }
+  pool.wait_idle();  // must not deadlock on the thrown task
+  EXPECT_EQ(ran.load(), 7);
+  const std::exception_ptr error = pool.take_unhandled_error();
+  ASSERT_NE(error, nullptr);
+  EXPECT_THROW(std::rethrow_exception(error), std::runtime_error);
+  // The error was consumed.
+  EXPECT_EQ(pool.take_unhandled_error(), nullptr);
+}
+
+TEST(ThreadPool, ShutdownWithThrowingTasksMidQueueIsClean) {
+  // Destroying the pool with a queue of tasks, some of which throw,
+  // must neither std::terminate (exception escaping a worker) nor
+  // deadlock the destructor (skipped active_ decrement).
+  std::atomic<int> ran{0};
+  {
+    util::ThreadPool pool(2);
+    for (int i = 0; i < 32; ++i) {
+      pool.submit([&ran, i] {
+        if (i % 5 == 0) throw std::runtime_error("mid-queue crash");
+        ++ran;
+      });
+    }
+    // No wait_idle(): the destructor drains the queue itself.
+  }
+  EXPECT_EQ(ran.load(), 25);
+}
+
+TEST(ThreadPool, FailPointInjectedTaskCrashIsCaptured) {
+  util::FailPointScope scope;
+  util::FailPoint::arm("thread_pool.task", {.skip = 1, .fires = 1});
+  util::ThreadPool pool(1);
+  std::atomic<int> ran{0};
+  for (int i = 0; i < 4; ++i) {
+    pool.submit([&ran] { ++ran; });
+  }
+  pool.wait_idle();
+  // Exactly the second task was replaced by the injected crash.
+  EXPECT_EQ(ran.load(), 3);
+  EXPECT_NE(pool.take_unhandled_error(), nullptr);
+}
+
+TEST(ThreadPool, ParallelForChunksStillRethrowsGuardedErrors) {
+  util::ThreadPool pool(4);
+  EXPECT_THROW(
+      pool.parallel_for_chunks(
+          100,
+          [](unsigned, std::size_t begin, std::size_t) {
+            if (begin == 0) throw std::invalid_argument("chunk failed");
+          }),
+      std::invalid_argument);
+  // The pool survives for subsequent work.
+  std::atomic<int> ran{0};
+  pool.parallel_for_chunks(8, [&ran](unsigned, std::size_t begin,
+                                     std::size_t end) {
+    ran += static_cast<int>(end - begin);
+  });
+  EXPECT_EQ(ran.load(), 8);
 }
 
 }  // namespace
