@@ -271,10 +271,11 @@ SectionReport bench_classical(mem::Addr n, std::size_t fault_cap) {
   analysis::CampaignOptions opt;
   opt.n = n;
 
-  SectionReport report{.universe = "classical",
-                       .scheme = scheme.name,
-                       .n = n,
-                       .faults = universe.size()};
+  SectionReport report;
+  report.universe = "classical";
+  report.scheme = scheme.name;
+  report.n = n;
+  report.faults = universe.size();
   SectionRunner run(report, universe, opt);
   auto engine = [&](const std::string& name,
                     const analysis::EngineOptions& eng) {
@@ -305,10 +306,11 @@ SectionReport bench_lane_compatible(mem::Addr n, const core::PrtScheme& scheme,
   analysis::CampaignOptions opt;
   opt.n = n;
 
-  SectionReport report{.universe = "single-cell (lane-compatible)",
-                       .scheme = scheme.name,
-                       .n = n,
-                       .faults = universe.size()};
+  SectionReport report;
+  report.universe = "single-cell (lane-compatible)";
+  report.scheme = scheme.name;
+  report.n = n;
+  report.faults = universe.size();
   SectionRunner run(report, universe, opt);
   auto engine = [&](const std::string& name,
                     const analysis::EngineOptions& eng) {
@@ -333,10 +335,11 @@ SectionReport bench_march(mem::Addr n, std::size_t fault_cap) {
   analysis::CampaignOptions opt;
   opt.n = n;
 
-  SectionReport report{.universe = "classical (March)",
-                       .scheme = test.name,
-                       .n = n,
-                       .faults = universe.size()};
+  SectionReport report;
+  report.universe = "classical (March)";
+  report.scheme = test.name;
+  report.n = n;
+  report.faults = universe.size();
   SectionRunner run(report, universe, opt);
   run.record("serial (run_campaign)", [&] {
     return analysis::run_campaign(universe, analysis::march_algorithm(test),
@@ -373,10 +376,11 @@ SectionReport bench_wom(mem::Addr n, std::size_t fault_cap) {
   opt.n = n;
   opt.m = m;
 
-  SectionReport report{.universe = "single-cell (WOM m=4)",
-                       .scheme = scheme.name,
-                       .n = n,
-                       .faults = universe.size()};
+  SectionReport report;
+  report.universe = "single-cell (WOM m=4)";
+  report.scheme = scheme.name;
+  report.n = n;
+  report.faults = universe.size();
   SectionRunner run(report, universe, opt);
   auto engine = [&](const std::string& name,
                     const analysis::EngineOptions& eng) {
@@ -406,11 +410,11 @@ SectionReport bench_multiport(mem::Addr n, unsigned ports,
   opt.n = n;
   opt.ports = ports;
 
-  SectionReport report{.universe =
-                           "classical (" + std::to_string(ports) + "-port)",
-                       .scheme = scheme.name,
-                       .n = n,
-                       .faults = universe.size()};
+  SectionReport report;
+  report.universe = "classical (" + std::to_string(ports) + "-port)";
+  report.scheme = scheme.name;
+  report.n = n;
+  report.faults = universe.size();
   SectionRunner run(report, universe, opt);
   auto engine = [&](const std::string& name,
                     const analysis::EngineOptions& eng) {
@@ -467,10 +471,10 @@ SectionReport bench_suite(std::size_t fault_cap) {
     return core::extended_scheme_bom(opt.n);
   };
 
-  SectionReport report{.universe = "classical (suite n x ports)",
-                       .scheme = factory(grid[0]).name,
-                       .n = 0,
-                       .faults = total_faults};
+  SectionReport report;
+  report.universe = "classical (suite n x ports)";
+  report.scheme = factory(grid[0]).name;
+  report.faults = total_faults;
   std::printf("%s, %zu grid points, %zu faults, %s\n",
               report.universe.c_str(), grid.size(), total_faults,
               report.scheme.c_str());

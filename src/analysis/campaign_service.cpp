@@ -1,11 +1,9 @@
 #include "analysis/campaign_service.hpp"
 
 #include <atomic>
-#include <condition_variable>
 #include <cstdio>
 #include <fstream>
 #include <functional>
-#include <mutex>
 #include <optional>
 #include <span>
 #include <sstream>
@@ -14,6 +12,7 @@
 
 #include "analysis/campaign_driver.hpp"
 #include "march/march_test.hpp"
+#include "util/annotations.hpp"
 #include "util/fail_point.hpp"
 #include "util/stop_token.hpp"
 #include "util/thread_pool.hpp"
@@ -224,20 +223,18 @@ namespace detail {
 
 /// Shared state of one request, owned jointly by the caller's Ticket
 /// and every pool task working the request.  `mu` guards all mutable
-/// fields; the setup fields (req, run_shard, fingerprint, ranges) are
-/// written by the orchestrator before any shard task is submitted and
-/// read-only afterwards.
+/// fields.
 struct ServiceRequest {
+  // Invariant (publication, invisible to thread-safety analysis): the
+  // setup fields — req, run_shard, fingerprint, ranges — are written
+  // under `mu` by orchestrate() before it submits any shard task and
+  // never again; shard tasks read them without the lock, synchronized
+  // by the pool's queue mutex (submit() happens-after the writes,
+  // task execution happens-after submit()).  Guarding the reads would
+  // put the type-erased run_shard call itself under `mu`, serializing
+  // every shard.  `stop` is its own synchronization (atomics).
   CampaignRequest req;
   util::StopSource stop;
-
-  std::mutex mu;
-  std::condition_variable cv;
-  bool finished = false;
-  RequestOutcome outcome;
-
-  /// Type-erased shard runner over the request's driver (the closure
-  /// keeps the driver alive).
   std::function<bool(std::span<const mem::Fault>, std::size_t, std::size_t,
                      CampaignResult&, const util::StopToken&)>
       run_shard;
@@ -246,15 +243,20 @@ struct ServiceRequest {
   /// Fixed at orchestration (or adopted from the checkpoint) — the
   /// merge over it is what makes resume bit-identical.
   std::vector<std::pair<std::size_t, std::size_t>> ranges;
-  std::vector<CampaignResult> results;
-  std::vector<unsigned char> done;
-  std::vector<int> attempts;
-  std::size_t outstanding = 0;
-  std::size_t done_count = 0;
-  std::size_t resumed_count = 0;
-  std::size_t since_checkpoint = 0;
-  bool failed = false;
-  std::string error;
+
+  util::Mutex mu;
+  util::CondVar cv;
+  bool finished PRT_GUARDED_BY(mu) = false;
+  RequestOutcome outcome PRT_GUARDED_BY(mu);
+  std::vector<CampaignResult> results PRT_GUARDED_BY(mu);
+  std::vector<unsigned char> done PRT_GUARDED_BY(mu);
+  std::vector<int> attempts PRT_GUARDED_BY(mu);
+  std::size_t outstanding PRT_GUARDED_BY(mu) = 0;
+  std::size_t done_count PRT_GUARDED_BY(mu) = 0;
+  std::size_t resumed_count PRT_GUARDED_BY(mu) = 0;
+  std::size_t since_checkpoint PRT_GUARDED_BY(mu) = 0;
+  bool failed PRT_GUARDED_BY(mu) = false;
+  std::string error PRT_GUARDED_BY(mu);
 };
 
 }  // namespace detail
@@ -266,8 +268,10 @@ CampaignService::Ticket::Ticket(std::shared_ptr<detail::ServiceRequest> request)
 
 const RequestOutcome& CampaignService::Ticket::wait() const& {
   if (!request_) throw std::logic_error("wait() on a default Ticket");
-  std::unique_lock lock(request_->mu);
-  request_->cv.wait(lock, [&] { return request_->finished; });
+  util::MutexLock lock(request_->mu);
+  while (!request_->finished) request_->cv.wait(lock);
+  // `outcome` is written once, before `finished` latches; handing the
+  // reference out past the lock is safe because no writer runs again.
   return request_->outcome;
 }
 
@@ -281,7 +285,7 @@ RequestOutcome CampaignService::Ticket::wait() && {
 
 bool CampaignService::Ticket::done() const {
   if (!request_) return true;
-  std::lock_guard lock(request_->mu);
+  util::MutexLock lock(request_->mu);
   return request_->finished;
 }
 
@@ -297,9 +301,9 @@ struct CampaignService::Impl {
   ServiceOptions options;
   util::ThreadPool pool;
 
-  std::mutex mu;
-  std::condition_variable all_done;
-  std::size_t inflight = 0;
+  util::Mutex mu;
+  util::CondVar all_done;
+  std::size_t inflight PRT_GUARDED_BY(mu) = 0;
 
   std::atomic<std::uint64_t> accepted{0};
   std::atomic<std::uint64_t> rejected{0};
@@ -314,9 +318,9 @@ struct CampaignService::Impl {
   explicit Impl(const ServiceOptions& o) : options(o), pool(o.threads) {}
 
   /// Serializes the current progress into the checkpoint file.
-  /// Caller holds r.mu.  Throws on write failure (callers count it and
-  /// carry on — a failed checkpoint must never fail the campaign).
-  void write_checkpoint_locked(Request& r) {
+  /// Throws on write failure (callers count it and carry on — a
+  /// failed checkpoint must never fail the campaign).
+  void write_checkpoint_locked(Request& r) PRT_REQUIRES(r.mu) {
     Checkpoint cp;
     cp.fingerprint = r.fingerprint;
     cp.shards_total = r.ranges.size();
@@ -328,9 +332,8 @@ struct CampaignService::Impl {
 
   /// Resolves the request: merges the completed shards (in shard
   /// order — ranges ascend, so the partial merge is exact), fixes the
-  /// status, flushes or removes the checkpoint, wakes waiters.  Caller
-  /// holds r.mu.
-  void finalize_locked(Request& r) {
+  /// status, flushes or removes the checkpoint, wakes waiters.
+  void finalize_locked(Request& r) PRT_REQUIRES(r.mu) {
     RequestOutcome& out = r.outcome;
     out.shards_total = r.ranges.size();
     out.shards_done = r.done_count;
@@ -394,8 +397,8 @@ struct CampaignService::Impl {
   }
 
   /// Drops one in-flight slot (after a request resolved).
-  void release() {
-    std::lock_guard lock(mu);
+  void release() PRT_EXCLUDES(mu) {
+    util::MutexLock lock(mu);
     --inflight;
     all_done.notify_all();
   }
@@ -425,14 +428,14 @@ struct CampaignService::Impl {
 
     bool resolved = false;
     {
-      std::unique_lock lock(r->mu);
+      util::MutexLock lock(r->mu);
       if (threw) {
         ++r->attempts[s];
         const bool retry = !r->failed && !r->stop.stop_requested() &&
                            r->attempts[s] <= options.max_retries;
         if (retry) {
           ++shard_retries;
-          lock.unlock();
+          lock.Unlock();
           // Resubmit instead of looping in place: the retried shard
           // goes to the back of the queue, so one flaky shard cannot
           // starve other requests' tasks.
@@ -479,10 +482,15 @@ struct CampaignService::Impl {
   /// The per-request setup task: builds the driver (oracle-cache
   /// builds happen here, not on the submitting thread), fingerprints
   /// the request, loads/validates the checkpoint, fixes the shard
-  /// partition and fans the pending shards out.  Runs before any shard
-  /// task exists, so it writes the request state without the lock.
+  /// partition and fans the pending shards out.  Holds r->mu for the
+  /// whole setup: no shard task exists yet, so the lock is
+  /// uncontended except for tickets polling done(), and holding it
+  /// lets the analysis prove every write to the guarded state.  Shard
+  /// tasks submitted at the end block on r->mu at most until this
+  /// scope exits.
   void orchestrate(const std::shared_ptr<Request>& r) {
     bool resolved = false;
+    util::MutexLock lock(r->mu);
     try {
       CampaignRequest& req = r->req;
       if (req.scheme) {
@@ -568,7 +576,6 @@ struct CampaignService::Impl {
         if (r->done[s] == 0) pending.push_back(s);
       }
       if (pending.empty()) {
-        std::lock_guard lock(r->mu);
         finalize_locked(*r);
         resolved = true;
       } else {
@@ -578,12 +585,12 @@ struct CampaignService::Impl {
         }
       }
     } catch (const std::exception& e) {
-      std::lock_guard lock(r->mu);
       r->failed = true;
       r->error = e.what();
       finalize_locked(*r);
       resolved = true;
     }
+    lock.Unlock();
     if (resolved) release();
   }
 };
@@ -613,6 +620,8 @@ CampaignService::Ticket CampaignService::submit(CampaignRequest request) {
     }
   }
   if (!invalid.empty()) {
+    // Still private to this thread; locked for the analysis' sake.
+    util::MutexLock lock(r->mu);
     r->finished = true;
     r->outcome.status = RequestStatus::kFailed;
     r->outcome.error = std::move(invalid);
@@ -621,8 +630,12 @@ CampaignService::Ticket CampaignService::submit(CampaignRequest request) {
   }
 
   {
-    std::lock_guard lock(impl_->mu);
+    util::MutexLock lock(impl_->mu);
     if (impl_->inflight >= impl_->options.max_inflight) {
+      lock.Unlock();
+      // The request is still private to this thread (never admitted),
+      // so resolving it needs its lock only to satisfy the analysis.
+      util::MutexLock request_lock(r->mu);
       r->finished = true;
       r->outcome.status = RequestStatus::kRejected;
       r->outcome.error = "in-flight bound reached (" +
@@ -643,8 +656,8 @@ CampaignService::Ticket CampaignService::submit(CampaignRequest request) {
 }
 
 void CampaignService::wait_all() {
-  std::unique_lock lock(impl_->mu);
-  impl_->all_done.wait(lock, [&] { return impl_->inflight == 0; });
+  util::MutexLock lock(impl_->mu);
+  while (impl_->inflight != 0) impl_->all_done.wait(lock);
 }
 
 CampaignService::Stats CampaignService::stats() const {

@@ -29,10 +29,10 @@ Prepared prepared_from(std::shared_ptr<Driver> driver,
   p.universe = std::move(universe);
   p.name = std::move(name);
   p.run_shard = [driver = std::move(driver)](
-                    std::span<const mem::Fault> universe, std::size_t begin,
+                    std::span<const mem::Fault> faults, std::size_t begin,
                     std::size_t end, CampaignResult& out,
                     const util::StopToken& stop) {
-    return driver->run_shard(universe, begin, end, out, stop);
+    return driver->run_shard(faults, begin, end, out, stop);
   };
   return p;
 }

@@ -9,7 +9,7 @@ namespace prt::analysis {
 
 template <typename Entry, typename Build>
 std::shared_ptr<const Entry> OracleCache::lookup(
-    std::unordered_map<std::string, Slot<Entry>>& map, std::string key,
+    SlotMap<Entry> OracleCache::*map, std::string key,
     std::atomic<std::size_t>& builds, Build&& build) {
   // A failed build must never poison the key: the builder evicts its
   // slot before publishing the exception, so the next requester
@@ -21,8 +21,8 @@ std::shared_ptr<const Entry> OracleCache::lookup(
     std::promise<std::shared_ptr<const Entry>> promise;
     Slot<Entry> slot;
     {
-      std::lock_guard lock(mutex_);
-      auto [it, inserted] = map.try_emplace(key);
+      util::MutexLock lock(mutex_);
+      auto [it, inserted] = (this->*map).try_emplace(key);
       if (!inserted) {
         slot = it->second;  // someone else built / is building this key
       } else {
@@ -50,8 +50,8 @@ std::shared_ptr<const Entry> OracleCache::lookup(
       // Un-publish the failed slot so a later call can retry, and hand
       // the exception to this caller and to any concurrent waiter.
       {
-        std::lock_guard lock(mutex_);
-        map.erase(key);
+        util::MutexLock lock(mutex_);
+        (this->*map).erase(key);
       }
       promise.set_exception(std::current_exception());
       throw;
@@ -63,7 +63,7 @@ std::shared_ptr<const OracleCache::PrtEntry> OracleCache::prt(
     const core::PrtScheme& scheme, mem::Addr n) {
   std::string key =
       core::scheme_fingerprint(scheme) + "|n=" + std::to_string(n);
-  return lookup(prt_, std::move(key), prt_builds_, [&] {
+  return lookup(&OracleCache::prt_, std::move(key), prt_builds_, [&] {
     PrtEntry entry;
     entry.oracle = core::make_prt_oracle(scheme, n);
     entry.packable = core::prt_scheme_packable(scheme);
@@ -80,19 +80,19 @@ std::shared_ptr<const OracleCache::MarchEntry> OracleCache::march(
   std::string key = march::test_fingerprint(test) + "|n=" + std::to_string(n) +
                     "|bg=" + (background ? "1" : "0") +
                     "|del=" + std::to_string(delay_ticks);
-  return lookup(march_, std::move(key), march_builds_, [&] {
+  return lookup(&OracleCache::march_, std::move(key), march_builds_, [&] {
     return MarchEntry{
         march::make_march_transcript(test, n, background, delay_ticks)};
   });
 }
 
 std::size_t OracleCache::size() const {
-  std::lock_guard lock(mutex_);
+  util::MutexLock lock(mutex_);
   return prt_.size() + march_.size();
 }
 
 void OracleCache::clear() {
-  std::lock_guard lock(mutex_);
+  util::MutexLock lock(mutex_);
   prt_.clear();
   march_.clear();
 }

@@ -32,13 +32,13 @@
 #include <cstddef>
 #include <future>
 #include <memory>
-#include <mutex>
 #include <string>
 #include <unordered_map>
 
 #include "core/op_transcript.hpp"
 #include "core/prt_engine.hpp"
 #include "march/march_runner.hpp"
+#include "util/annotations.hpp"
 
 namespace prt::analysis {
 
@@ -98,16 +98,23 @@ class OracleCache {
  private:
   template <typename Entry>
   using Slot = std::shared_future<std::shared_ptr<const Entry>>;
+  template <typename Entry>
+  using SlotMap = std::unordered_map<std::string, Slot<Entry>>;
 
   /// find-or-start-building: the common lock protocol of prt()/march().
+  /// Takes the map as a pointer-to-member (not a reference) so the
+  /// guarded field is only ever dereferenced under mutex_ inside —
+  /// passing `prt_` by reference unlocked would itself be a
+  /// -Wthread-safety-reference violation.
   template <typename Entry, typename Build>
-  std::shared_ptr<const Entry> lookup(
-      std::unordered_map<std::string, Slot<Entry>>& map, std::string key,
-      std::atomic<std::size_t>& builds, Build&& build);
+  std::shared_ptr<const Entry> lookup(SlotMap<Entry> OracleCache::*map,
+                                      std::string key,
+                                      std::atomic<std::size_t>& builds,
+                                      Build&& build) PRT_EXCLUDES(mutex_);
 
-  mutable std::mutex mutex_;
-  std::unordered_map<std::string, Slot<PrtEntry>> prt_;
-  std::unordered_map<std::string, Slot<MarchEntry>> march_;
+  mutable util::Mutex mutex_;
+  SlotMap<PrtEntry> prt_ PRT_GUARDED_BY(mutex_);
+  SlotMap<MarchEntry> march_ PRT_GUARDED_BY(mutex_);
   std::atomic<std::size_t> prt_builds_{0};
   std::atomic<std::size_t> march_builds_{0};
 };

@@ -1,9 +1,11 @@
 #include "util/fail_point.hpp"
 
 #include <atomic>
-#include <mutex>
+#include <cstddef>
 #include <thread>
 #include <unordered_map>
+
+#include "util/annotations.hpp"
 
 namespace prt::util {
 
@@ -15,8 +17,8 @@ struct Armed {
 };
 
 struct Registry {
-  std::mutex mutex;
-  std::unordered_map<std::string, Armed> points;
+  Mutex mutex;
+  std::unordered_map<std::string, Armed> points PRT_GUARDED_BY(mutex);
 };
 
 Registry& registry() {
@@ -27,24 +29,111 @@ Registry& registry() {
 /// Count of armed points — the disarmed fast path in hit() is one
 /// relaxed load of this, so production runs never touch the registry
 /// lock.
+//
+// Invariant (atomic fast path over mutex-guarded state, invisible to
+// thread-safety analysis): armed_count() is only ever written while
+// registry().mutex is held, and equals points.size() whenever that
+// mutex is released.  hit() may read a stale zero and skip a point
+// armed concurrently — benign, because arming happens-before the
+// traffic a test injects into — but can never miss a point armed
+// before the traffic started.
 std::atomic<std::size_t>& armed_count() {
   static std::atomic<std::size_t> count{0};
   return count;
+}
+
+/// Parses a base-10 integer spanning exactly [begin, end) of `spec`;
+/// anything else (empty, trailing junk, out of int range) is a
+/// malformed count.
+int parse_count(const std::string& spec, std::size_t begin, std::size_t end,
+                const char* what) {
+  const std::string digits = spec.substr(begin, end - begin);
+  std::size_t consumed = 0;
+  int value = 0;
+  try {
+    value = std::stoi(digits, &consumed);
+  } catch (const std::exception&) {
+    consumed = std::string::npos;  // flag as malformed below
+  }
+  if (digits.empty() || consumed != digits.size()) {
+    throw std::invalid_argument(std::string("fail point spec: malformed ") +
+                                what + " count '" + digits + "' in '" + spec +
+                                "'");
+  }
+  return value;
 }
 
 }  // namespace
 
 void FailPoint::arm(const std::string& name, const Config& config) {
   Registry& r = registry();
-  std::lock_guard lock(r.mutex);
+  MutexLock lock(r.mutex);
   auto [it, inserted] = r.points.insert_or_assign(name, Armed{config, 0});
   (void)it;
   if (inserted) armed_count().fetch_add(1, std::memory_order_release);
 }
 
+void FailPoint::arm_spec(const std::string& spec) {
+  const std::size_t eq = spec.find('=');
+  if (eq == std::string::npos) {
+    throw std::invalid_argument("fail point spec: missing '=' in '" + spec +
+                                "'");
+  }
+  const std::string name = spec.substr(0, eq);
+  if (name.empty()) {
+    throw std::invalid_argument("fail point spec: empty name in '" + spec +
+                                "'");
+  }
+
+  // Action token: everything up to the first ':' modifier.
+  std::size_t pos = eq + 1;
+  std::size_t colon = spec.find(':', pos);
+  const std::string action =
+      spec.substr(pos, (colon == std::string::npos ? spec.size() : colon) -
+                           pos);
+  Config config;
+  if (action == "throw") {
+    config.action = Action::kThrow;
+  } else if (action.rfind("delay(", 0) == 0 && action.back() == ')') {
+    config.action = Action::kDelay;
+    const std::size_t open = pos + 6;  // past "delay("
+    const std::size_t close = pos + action.size() - 1;
+    config.delay =
+        std::chrono::milliseconds(parse_count(spec, open, close, "delay"));
+  } else {
+    throw std::invalid_argument("fail point spec: unknown action '" + action +
+                                "' in '" + spec + "' (throw | delay(<ms>))");
+  }
+
+  bool saw_skip = false;
+  bool saw_fires = false;
+  while (colon != std::string::npos) {
+    pos = colon + 1;
+    colon = spec.find(':', pos);
+    const std::size_t end = colon == std::string::npos ? spec.size() : colon;
+    const std::string modifier = spec.substr(pos, end - pos);
+    if (modifier.rfind("skip=", 0) == 0 && !saw_skip) {
+      saw_skip = true;
+      config.skip = parse_count(spec, pos + 5, end, "skip");
+      if (config.skip < 0) {
+        throw std::invalid_argument("fail point spec: malformed skip count '" +
+                                    modifier + "' in '" + spec + "'");
+      }
+    } else if (modifier.rfind("fires=", 0) == 0 && !saw_fires) {
+      saw_fires = true;
+      config.fires = parse_count(spec, pos + 6, end, "fires");
+    } else {
+      throw std::invalid_argument("fail point spec: unknown modifier '" +
+                                  modifier + "' in '" + spec +
+                                  "' (skip=<n> | fires=<m>, once each)");
+    }
+  }
+  arm(name, config);
+}
+
 void FailPoint::disarm(const std::string& name) {
   Registry& r = registry();
-  std::lock_guard lock(r.mutex);
+  MutexLock lock(r.mutex);
   if (r.points.erase(name) != 0) {
     armed_count().fetch_sub(1, std::memory_order_release);
   }
@@ -52,14 +141,14 @@ void FailPoint::disarm(const std::string& name) {
 
 void FailPoint::disarm_all() {
   Registry& r = registry();
-  std::lock_guard lock(r.mutex);
+  MutexLock lock(r.mutex);
   armed_count().fetch_sub(r.points.size(), std::memory_order_release);
   r.points.clear();
 }
 
 std::uint64_t FailPoint::hits(const std::string& name) {
   Registry& r = registry();
-  std::lock_guard lock(r.mutex);
+  MutexLock lock(r.mutex);
   const auto it = r.points.find(name);
   return it == r.points.end() ? 0 : it->second.hits;
 }
@@ -70,7 +159,7 @@ void FailPoint::hit(const char* name) {
   bool fire = false;
   {
     Registry& r = registry();
-    std::lock_guard lock(r.mutex);
+    MutexLock lock(r.mutex);
     const auto it = r.points.find(name);
     if (it == r.points.end()) return;
     Armed& armed = it->second;

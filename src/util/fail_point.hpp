@@ -54,6 +54,20 @@ class FailPoint {
 
   /// Arms (or re-arms, resetting the hit count of) the named point.
   static void arm(const std::string& name, const Config& config);
+
+  /// Arms a point from a compact spec string — the form scripts and
+  /// env-driven harnesses use (`PRT_FAILPOINTS`-style wiring):
+  ///
+  ///   <name>=<action>[:skip=<n>][:fires=<m>]
+  ///
+  /// where <action> is `throw` or `delay(<ms>)`; `fires=-1` (any
+  /// negative) fires on every hit past the skips.  Modifiers may
+  /// appear in either order, at most once each.  Throws
+  /// std::invalid_argument on an empty name, a missing '=', an
+  /// unknown action or modifier, or a malformed count — the spec is
+  /// test configuration, so a typo must fail loudly, not arm nothing.
+  static void arm_spec(const std::string& spec);
+
   static void disarm(const std::string& name);
   static void disarm_all();
 

@@ -27,6 +27,17 @@ enum class StopReason : std::uint8_t {
 };
 
 namespace detail {
+// Invariant (lock-free latch, invisible to thread-safety analysis —
+// see util/annotations.hpp): `reason` transitions 0 -> nonzero exactly
+// once, via compare_exchange with expected = 0, and is never written
+// again; every writer (request_stop, the deadline poll in
+// stop_requested) races through that one CAS, so concurrent cancel
+// and deadline expiry latch a single winner and all observers agree
+// on it forever after (pinned by StopToken.
+// ConcurrentObserversAgreeOnOneReason).  `deadline` is
+// monotonic-clock plumbing only: readers re-check `reason` before
+// trusting it, so a racy deadline store can at worst delay — never
+// un-latch — a stop.
 struct StopState {
   std::atomic<std::uint8_t> reason{0};
   /// steady_clock time_since_epoch in its native rep; 0 = no deadline.

@@ -7,19 +7,22 @@
 // fixed worker count, a mutex-guarded task queue, and a blocking
 // `parallel_for_chunks` helper that fans N items out as W contiguous
 // chunks — no futures, no work stealing.
+//
+// Lock discipline is machine-checked: every shared field is
+// GUARDED_BY the pool mutex and CI's clang lane compiles this header
+// with -Wthread-safety -Werror (see util/annotations.hpp).
 #pragma once
 
-#include <condition_variable>
 #include <cstddef>
 #include <cstdlib>
 #include <exception>
 #include <functional>
-#include <mutex>
 #include <queue>
 #include <thread>
 #include <utility>
 #include <vector>
 
+#include "util/annotations.hpp"
 #include "util/fail_point.hpp"
 
 namespace prt::util {
@@ -38,20 +41,27 @@ class ErrorCollector {
     try {
       fn();
     } catch (...) {
-      std::lock_guard lock(mutex_);
+      MutexLock lock(mutex_);
       if (!error_) error_ = std::current_exception();
     }
   }
 
-  /// Rethrows the captured exception, if any.  Call only after every
-  /// guarded task has finished.
+  /// Rethrows the captured exception, if any.  Safe to call while
+  /// guarded tasks may still be running, but only a call that
+  /// happens-after every guard() (e.g. after wait_idle()) is
+  /// guaranteed to observe their exceptions.
   void rethrow_if_any() {
-    if (error_) std::rethrow_exception(error_);
+    std::exception_ptr error;
+    {
+      MutexLock lock(mutex_);
+      error = error_;
+    }
+    if (error) std::rethrow_exception(error);
   }
 
  private:
-  std::mutex mutex_;
-  std::exception_ptr error_;
+  Mutex mutex_;
+  std::exception_ptr error_ PRT_GUARDED_BY(mutex_);
 };
 
 /// Splits [0, total) into `parts` contiguous ascending chunks — dense
@@ -109,7 +119,7 @@ class ThreadPool {
 
   ~ThreadPool() {
     {
-      std::lock_guard lock(mutex_);
+      MutexLock lock(mutex_);
       stopping_ = true;
     }
     wake_.notify_all();
@@ -126,26 +136,35 @@ class ThreadPool {
   /// and the worker keeps draining — structured fan-outs that need
   /// their errors rethrown on the submitter wrap tasks in an
   /// ErrorCollector instead (parallel_for_chunks does).
-  void submit(std::function<void()> task) {
+  void submit(std::function<void()> task) PRT_EXCLUDES(mutex_) {
     {
-      std::lock_guard lock(mutex_);
+      MutexLock lock(mutex_);
       tasks_.push(std::move(task));
     }
     wake_.notify_one();
   }
 
   /// Blocks until every submitted task has finished.
-  void wait_idle() {
-    std::unique_lock lock(mutex_);
-    idle_.wait(lock, [this] { return tasks_.empty() && active_ == 0; });
+  void wait_idle() PRT_EXCLUDES(mutex_) {
+    MutexLock lock(mutex_);
+    while (!tasks_.empty() || active_ != 0) idle_.wait(lock);
   }
 
   /// Returns (and clears) the first exception that escaped a raw
   /// submit() task, if any.  Call after wait_idle() when the caller
   /// wants to surface unguarded task failures instead of dropping
   /// them.
-  [[nodiscard]] std::exception_ptr take_unhandled_error() {
-    std::lock_guard lock(mutex_);
+  //
+  // Invariant (exchange-under-lock, beyond what GUARDED_BY states):
+  // `unhandled_` is first-write-wins (workers only store into a null
+  // slot) and exactly-once on the way out — concurrent takers race
+  // through this one exchange, so one of them receives the exception
+  // and the rest see nullptr; the error is never duplicated or
+  // dropped (pinned by ThreadPool.
+  // ConcurrentTakeUnhandledErrorHandsOutExactlyOnce).
+  [[nodiscard]] std::exception_ptr take_unhandled_error()
+      PRT_EXCLUDES(mutex_) {
+    MutexLock lock(mutex_);
     return std::exchange(unhandled_, nullptr);
   }
 
@@ -174,12 +193,12 @@ class ThreadPool {
   }
 
  private:
-  void worker_loop() {
+  void worker_loop() PRT_EXCLUDES(mutex_) {
     for (;;) {
       std::function<void()> task;
       {
-        std::unique_lock lock(mutex_);
-        wake_.wait(lock, [this] { return stopping_ || !tasks_.empty(); });
+        MutexLock lock(mutex_);
+        while (!stopping_ && tasks_.empty()) wake_.wait(lock);
         if (stopping_ && tasks_.empty()) return;
         task = std::move(tasks_.front());
         tasks_.pop();
@@ -194,11 +213,11 @@ class ThreadPool {
         FailPoint::hit("thread_pool.task");
         task();
       } catch (...) {
-        std::lock_guard lock(mutex_);
+        MutexLock lock(mutex_);
         if (!unhandled_) unhandled_ = std::current_exception();
       }
       {
-        std::lock_guard lock(mutex_);
+        MutexLock lock(mutex_);
         --active_;
       }
       idle_.notify_all();
@@ -206,13 +225,13 @@ class ThreadPool {
   }
 
   std::vector<std::thread> threads_;
-  std::queue<std::function<void()>> tasks_;
-  std::mutex mutex_;
-  std::condition_variable wake_;
-  std::condition_variable idle_;
-  std::size_t active_ = 0;
-  bool stopping_ = false;
-  std::exception_ptr unhandled_;
+  Mutex mutex_;
+  CondVar wake_;
+  CondVar idle_;
+  std::queue<std::function<void()>> tasks_ PRT_GUARDED_BY(mutex_);
+  std::size_t active_ PRT_GUARDED_BY(mutex_) = 0;
+  bool stopping_ PRT_GUARDED_BY(mutex_) = false;
+  std::exception_ptr unhandled_ PRT_GUARDED_BY(mutex_);
 };
 
 }  // namespace prt::util

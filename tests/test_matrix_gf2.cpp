@@ -66,7 +66,7 @@ TEST(MatrixGF2, MulVecWideVector) {
   for (std::size_t r = 0; r < 5; ++r) {
     unsigned expected = 0;
     for (std::size_t c = 0; c < 100; ++c) {
-      if (m.get(r, c)) expected ^= (v[c / 64] >> (c % 64)) & 1U;
+      if (m.get(r, c)) expected ^= static_cast<unsigned>((v[c / 64] >> (c % 64)) & 1U);
     }
     EXPECT_EQ((y[0] >> r) & 1U, expected) << "row " << r;
   }

@@ -124,9 +124,12 @@ INSTANTIATE_TEST_SUITE_P(
     ::testing::Values(Geometry{16, 1}, Geometry{17, 1}, Geometry{64, 1},
                       Geometry{255, 1}, Geometry{16, 4}, Geometry{63, 4},
                       Geometry{32, 8}, Geometry{24, 16}),
-    [](const ::testing::TestParamInfo<Geometry>& info) {
-      return "n" + std::to_string(info.param.n) + "m" +
-             std::to_string(info.param.m);
+    [](const ::testing::TestParamInfo<Geometry>& geometry) {
+      std::string name = "n";
+      name += std::to_string(geometry.param.n);
+      name += 'm';
+      name += std::to_string(geometry.param.m);
+      return name;
     });
 
 // --- property 2: linear error propagation ----------------------------

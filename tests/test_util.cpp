@@ -205,6 +205,81 @@ TEST(FailPoint, DelayActionSleeps) {
   EXPECT_GE(elapsed, std::chrono::milliseconds(9));
 }
 
+// --- fail point spec strings ----------------------------------------------
+
+TEST(FailPointSpec, PlainThrowFiresOnce) {
+  util::FailPointScope scope;
+  util::FailPoint::arm_spec("spec.throw=throw");
+  EXPECT_THROW(util::FailPoint::hit("spec.throw"), util::FailPointError);
+  util::FailPoint::hit("spec.throw");  // fires defaults to 1
+}
+
+TEST(FailPointSpec, SkipAndFiresModifiers) {
+  util::FailPointScope scope;
+  util::FailPoint::arm_spec("spec.sched=throw:skip=2:fires=1");
+  util::FailPoint::hit("spec.sched");
+  util::FailPoint::hit("spec.sched");
+  EXPECT_THROW(util::FailPoint::hit("spec.sched"), util::FailPointError);
+  util::FailPoint::hit("spec.sched");
+  EXPECT_EQ(util::FailPoint::hits("spec.sched"), 4u);
+}
+
+TEST(FailPointSpec, ModifierOrderIsFree) {
+  util::FailPointScope scope;
+  util::FailPoint::arm_spec("spec.order=throw:fires=-1:skip=1");
+  util::FailPoint::hit("spec.order");
+  EXPECT_THROW(util::FailPoint::hit("spec.order"), util::FailPointError);
+  EXPECT_THROW(util::FailPoint::hit("spec.order"), util::FailPointError);
+}
+
+TEST(FailPointSpec, DelayActionParsesMilliseconds) {
+  util::FailPointScope scope;
+  util::FailPoint::arm_spec("spec.delay=delay(10):fires=1");
+  const auto start = std::chrono::steady_clock::now();
+  util::FailPoint::hit("spec.delay");
+  EXPECT_GE(std::chrono::steady_clock::now() - start,
+            std::chrono::milliseconds(9));
+}
+
+TEST(FailPointSpec, MalformedSpecsThrowInvalidArgument) {
+  util::FailPointScope scope;
+  // Missing '=' separator.
+  EXPECT_THROW(util::FailPoint::arm_spec("no-separator"),
+               std::invalid_argument);
+  // Empty name.
+  EXPECT_THROW(util::FailPoint::arm_spec("=throw"), std::invalid_argument);
+  // Unknown action.
+  EXPECT_THROW(util::FailPoint::arm_spec("p=explode"), std::invalid_argument);
+  EXPECT_THROW(util::FailPoint::arm_spec("p="), std::invalid_argument);
+  // Malformed skip counts: non-numeric, empty, trailing junk, negative.
+  EXPECT_THROW(util::FailPoint::arm_spec("p=throw:skip=x"),
+               std::invalid_argument);
+  EXPECT_THROW(util::FailPoint::arm_spec("p=throw:skip="),
+               std::invalid_argument);
+  EXPECT_THROW(util::FailPoint::arm_spec("p=throw:skip=1junk"),
+               std::invalid_argument);
+  EXPECT_THROW(util::FailPoint::arm_spec("p=throw:skip=-1"),
+               std::invalid_argument);
+  // Malformed fires counts.
+  EXPECT_THROW(util::FailPoint::arm_spec("p=throw:fires=many"),
+               std::invalid_argument);
+  EXPECT_THROW(util::FailPoint::arm_spec("p=throw:fires="),
+               std::invalid_argument);
+  // Malformed delay payloads.
+  EXPECT_THROW(util::FailPoint::arm_spec("p=delay()"), std::invalid_argument);
+  EXPECT_THROW(util::FailPoint::arm_spec("p=delay(abc)"),
+               std::invalid_argument);
+  EXPECT_THROW(util::FailPoint::arm_spec("p=delay(5"), std::invalid_argument);
+  // Unknown / duplicate modifiers.
+  EXPECT_THROW(util::FailPoint::arm_spec("p=throw:bogus=1"),
+               std::invalid_argument);
+  EXPECT_THROW(util::FailPoint::arm_spec("p=throw:skip=1:skip=2"),
+               std::invalid_argument);
+  // A rejected spec must arm nothing.
+  util::FailPoint::hit("p");
+  EXPECT_EQ(util::FailPoint::hits("p"), 0u);
+}
+
 // --- stop tokens ----------------------------------------------------------
 
 TEST(StopToken, DefaultTokenNeverStops) {
@@ -293,6 +368,95 @@ TEST(ThreadPool, FailPointInjectedTaskCrashIsCaptured) {
   // Exactly the second task was replaced by the injected crash.
   EXPECT_EQ(ran.load(), 3);
   EXPECT_NE(pool.take_unhandled_error(), nullptr);
+}
+
+// The next three tests pin the invariants that live in atomics (or in
+// exchange-under-lock protocols) the thread-safety annotations cannot
+// express — the "patterns the analysis can't see" audit (DESIGN.md
+// §12): each has a `//` invariant comment at the declaration site and
+// a regression test here.
+
+TEST(StopToken, ConcurrentObserversAgreeOnOneReason) {
+  // StopState.reason is a CAS latch: when a deadline expiry and an
+  // explicit cancel race, exactly one cause wins and every observer —
+  // on any thread, at any later time — reports that same cause.
+  for (int round = 0; round < 20; ++round) {
+    util::StopSource source;
+    // A deadline already in the past: the first poll will try to latch
+    // kDeadline while the cancel thread tries to latch kCancelled.
+    source.set_deadline_after(std::chrono::nanoseconds(1));
+    std::atomic<int> observed_cancelled{0};
+    std::atomic<int> observed_deadline{0};
+    {
+      util::ThreadPool pool(4);
+      pool.submit([&] { source.request_stop(); });
+      for (int i = 0; i < 3; ++i) {
+        pool.submit([&] {
+          const util::StopToken token = source.token();
+          while (!token.stop_requested()) {
+          }
+          if (token.reason() == util::StopReason::kCancelled) {
+            ++observed_cancelled;
+          } else if (token.reason() == util::StopReason::kDeadline) {
+            ++observed_deadline;
+          }
+        });
+      }
+      pool.wait_idle();
+    }
+    // Every observer saw *some* latched reason, and they all agree.
+    EXPECT_EQ(observed_cancelled.load() + observed_deadline.load(), 3);
+    EXPECT_TRUE(observed_cancelled.load() == 0 ||
+                observed_deadline.load() == 0)
+        << "observers disagreed on the stop cause";
+    // The source itself reports the same winner afterwards.
+    const util::StopReason final_reason = source.token().reason();
+    EXPECT_EQ(final_reason == util::StopReason::kCancelled,
+              observed_cancelled.load() == 3);
+  }
+}
+
+TEST(ThreadPool, ConcurrentTakeUnhandledErrorHandsOutExactlyOnce) {
+  // take_unhandled_error() is exchange-under-lock: with several
+  // threads racing to collect after a crash, exactly one receives the
+  // exception and the rest see nullptr — the error is neither
+  // duplicated nor dropped.
+  util::ThreadPool pool(2);
+  pool.submit([] { throw std::runtime_error("lone crash"); });
+  pool.wait_idle();
+  std::atomic<int> got_error{0};
+  {
+    util::ThreadPool takers(4);
+    for (int i = 0; i < 4; ++i) {
+      takers.submit([&] {
+        if (pool.take_unhandled_error() != nullptr) ++got_error;
+      });
+    }
+    takers.wait_idle();
+  }
+  EXPECT_EQ(got_error.load(), 1);
+}
+
+TEST(ErrorCollector, FirstErrorWinsUnderConcurrentGuards) {
+  // ErrorCollector::guard is noexcept and captures the *first*
+  // exception in completion order; later failures are dropped, never
+  // torn.  rethrow_if_any takes the lock, so a collector polled while
+  // guards still run is safe (it just may not see stragglers).
+  util::ErrorCollector errors;
+  {
+    util::ThreadPool pool(4);
+    for (int i = 0; i < 16; ++i) {
+      pool.submit([&errors, i] {
+        errors.guard([i] {
+          throw std::runtime_error("crash " + std::to_string(i));
+        });
+      });
+    }
+    pool.wait_idle();
+  }
+  EXPECT_THROW(errors.rethrow_if_any(), std::runtime_error);
+  // Idempotent: the captured error is kept, not consumed.
+  EXPECT_THROW(errors.rethrow_if_any(), std::runtime_error);
 }
 
 TEST(ThreadPool, ParallelForChunksStillRethrowsGuardedErrors) {
