@@ -13,6 +13,7 @@
 #include "analysis/campaign_driver.hpp"
 #include "march/march_test.hpp"
 #include "util/annotations.hpp"
+#include "util/durable_write.hpp"
 #include "util/fail_point.hpp"
 #include "util/stop_token.hpp"
 #include "util/thread_pool.hpp"
@@ -183,20 +184,15 @@ std::optional<Checkpoint> load_checkpoint(const std::string& path) {
   return cp;
 }
 
-/// Atomic replace: write to `path + ".tmp"`, fsync-free rename over
-/// `path`.  The "campaign_service.checkpoint" fail point sits in front
-/// so tests can fail writes without touching the filesystem.
+/// Durable atomic replace: write `path + ".tmp"`, fsync it, rename it
+/// over `path`, fsync the directory (util::durable_replace_file) — a
+/// crash at any point leaves either the previous checkpoint or the new
+/// one, fully persisted, never a torn or lost file.  The
+/// "campaign_service.checkpoint" fail point sits in front so tests can
+/// fail writes without touching the filesystem.
 void write_checkpoint_file(const std::string& path, const std::string& text) {
   util::FailPoint::hit("campaign_service.checkpoint");
-  const std::string tmp = path + ".tmp";
-  {
-    std::ofstream out(tmp, std::ios::trunc);
-    out << text;
-    if (!out) throw std::runtime_error("checkpoint write failed: " + tmp);
-  }
-  if (std::rename(tmp.c_str(), path.c_str()) != 0) {
-    throw std::runtime_error("checkpoint rename failed: " + path);
-  }
+  util::durable_replace_file(path, text);
 }
 
 }  // namespace

@@ -1,0 +1,96 @@
+#include "util/durable_write.hpp"
+
+#include <cstdio>
+#include <stdexcept>
+
+#if defined(_WIN32)
+#include <fstream>
+#else
+#include <fcntl.h>
+#include <unistd.h>
+
+#include <cerrno>
+#include <cstring>
+#endif
+
+namespace prt::util {
+
+#if defined(_WIN32)
+
+// Portability fallback: plain buffered write + rename.  No directory
+// fsync exists on this platform; the linux CI lanes run the durable
+// path below.
+void durable_replace_file(const std::string& path,
+                          const std::string& contents) {
+  const std::string tmp = path + ".tmp";
+  {
+    std::ofstream out(tmp, std::ios::trunc | std::ios::binary);
+    out << contents;
+    out.flush();
+    if (!out) throw std::runtime_error("durable write failed: " + tmp);
+  }
+  std::remove(path.c_str());
+  if (std::rename(tmp.c_str(), path.c_str()) != 0) {
+    throw std::runtime_error("durable rename failed: " + path);
+  }
+}
+
+#else
+
+namespace {
+
+[[noreturn]] void throw_errno(const char* step, const std::string& path) {
+  throw std::runtime_error(std::string("durable write: ") + step +
+                           " failed for " + path + ": " +
+                           std::strerror(errno));
+}
+
+}  // namespace
+
+void durable_replace_file(const std::string& path,
+                          const std::string& contents) {
+  const std::string tmp = path + ".tmp";
+  const int fd =
+      ::open(tmp.c_str(), O_WRONLY | O_CREAT | O_TRUNC | O_CLOEXEC, 0644);
+  if (fd < 0) throw_errno("open", tmp);
+  std::size_t off = 0;
+  while (off < contents.size()) {
+    const ::ssize_t w =
+        ::write(fd, contents.data() + off, contents.size() - off);
+    if (w < 0) {
+      if (errno == EINTR) continue;
+      ::close(fd);
+      throw_errno("write", tmp);
+    }
+    off += static_cast<std::size_t>(w);
+  }
+  // fsync BEFORE rename: once the new name is visible it must point at
+  // fully-persisted data, or a crash after the rename loses both the
+  // old and the new checkpoint.
+  if (::fsync(fd) != 0) {
+    ::close(fd);
+    throw_errno("fsync", tmp);
+  }
+  if (::close(fd) != 0) throw_errno("close", tmp);
+  if (std::rename(tmp.c_str(), path.c_str()) != 0) {
+    throw_errno("rename", path);
+  }
+  // fsync the directory so the rename (the namespace change) is itself
+  // durable — without it a crash can resurrect the old file name.
+  const std::size_t slash = path.find_last_of('/');
+  const std::string dir = slash == std::string::npos
+                              ? std::string(".")
+                              : (slash == 0 ? std::string("/")
+                                            : path.substr(0, slash));
+  const int dfd = ::open(dir.c_str(), O_RDONLY | O_DIRECTORY | O_CLOEXEC);
+  if (dfd < 0) throw_errno("open directory", dir);
+  if (::fsync(dfd) != 0) {
+    ::close(dfd);
+    throw_errno("fsync directory", dir);
+  }
+  if (::close(dfd) != 0) throw_errno("close directory", dir);
+}
+
+#endif
+
+}  // namespace prt::util

@@ -1,0 +1,31 @@
+// Durable atomic file replacement.
+//
+// The checkpoint story (analysis/campaign_service) rests on "a crash
+// never loses an already-written checkpoint".  tmp + rename alone does
+// not deliver that: POSIX makes the rename atomic in the namespace but
+// says nothing about when the tmp file's *data* reaches the platter —
+// a crash shortly after the rename can leave the new name pointing at
+// a zero-length or partially-written inode, destroying the previous
+// checkpoint in the process.  durable_replace_file closes that hole
+// with the canonical sequence: write tmp, fsync(tmp), rename, then
+// fsync the containing directory so the rename itself is durable.
+//
+// This is the ONE sanctioned rename path in src/ — the project lint
+// (scripts/run_lint.py) rejects bare rename()/std::filesystem::rename
+// anywhere else, so every future at-rest artifact inherits the same
+// durability by construction.
+#pragma once
+
+#include <string>
+
+namespace prt::util {
+
+/// Atomically and durably replaces `path` with `contents`: writes
+/// `path + ".tmp"`, fsyncs it, renames it over `path`, and fsyncs the
+/// containing directory.  Throws std::runtime_error naming the failing
+/// step and path on any error; on failure `path` still holds its
+/// previous contents (the tmp file may be left behind).
+void durable_replace_file(const std::string& path,
+                          const std::string& contents);
+
+}  // namespace prt::util
