@@ -64,14 +64,28 @@ int main(int argc, char** argv) {
     return 2;
   }
 
-  analysis::CampaignService service({.max_inflight = 8});
+  // A small running window with a stall watchdog: requests past the
+  // window wait in their class queue; a shard attempt wedged for more
+  // than a second is cancelled and retried.
+  analysis::CampaignService service(
+      {.max_running = 8, .stall_budget = std::chrono::seconds(1)});
 
   // 1. A batch of concurrent requests — PRT and March interleaved on
-  //    the one pool; each ticket resolves independently.
+  //    the one pool; each ticket resolves independently.  The March
+  //    request is admitted high-priority: were the window full, it
+  //    would dispatch ahead of every queued normal/batch request.
   std::vector<analysis::CampaignService::Ticket> batch;
   batch.push_back(service.submit(prt_request(n)));
-  batch.push_back(service.submit(march_request(n)));
-  batch.push_back(service.submit(prt_request(n / 2)));
+  {
+    analysis::CampaignRequest req = march_request(n);
+    req.priority = analysis::RequestPriority::kHigh;
+    batch.push_back(service.submit(std::move(req)));
+  }
+  {
+    analysis::CampaignRequest req = prt_request(n / 2);
+    req.priority = analysis::RequestPriority::kBatch;
+    batch.push_back(service.submit(std::move(req)));
+  }
   for (std::size_t i = 0; i < batch.size(); ++i) {
     char label[32];
     std::snprintf(label, sizeof label, "batch[%zu]", i);
@@ -121,14 +135,24 @@ int main(int argc, char** argv) {
   const analysis::CampaignService::Stats stats = service.stats();
   std::printf(
       "\nservice stats: accepted %llu, completed %llu, partial %llu, "
-      "failed %llu, rejected %llu, checkpoint writes %llu, shards resumed "
-      "%llu\n",
+      "failed %llu, rejected %llu, shedded %llu, checkpoint writes %llu, "
+      "shards resumed %llu, shard stalls %llu\n",
       static_cast<unsigned long long>(stats.accepted),
       static_cast<unsigned long long>(stats.completed),
       static_cast<unsigned long long>(stats.partial),
       static_cast<unsigned long long>(stats.failed),
       static_cast<unsigned long long>(stats.rejected),
+      static_cast<unsigned long long>(stats.shedded),
       static_cast<unsigned long long>(stats.checkpoint_writes),
-      static_cast<unsigned long long>(stats.shards_resumed));
+      static_cast<unsigned long long>(stats.shards_resumed),
+      static_cast<unsigned long long>(stats.shard_stalls));
+  std::printf(
+      "oracle cache: hits %llu, misses %llu, evictions %llu, resident "
+      "%llu entries / %llu bytes\n",
+      static_cast<unsigned long long>(stats.cache_hits),
+      static_cast<unsigned long long>(stats.cache_misses),
+      static_cast<unsigned long long>(stats.cache_evictions),
+      static_cast<unsigned long long>(stats.cache_entries),
+      static_cast<unsigned long long>(stats.cache_bytes));
   return 0;
 }

@@ -19,7 +19,12 @@ Two layers (DESIGN.md §12):
        * rand() / srand() / time() / std::random_device in src/ —
          util::rng (seeded xoshiro256**) is the only sanctioned
          randomness source; wall-clock and libc randomness break run
-         reproducibility.
+         reproducibility;
+       * bare rename(...) / std::filesystem::rename in src/ outside
+         src/util/durable_write.cpp — a plain rename has no fsync of
+         the file or its directory, so a crash can lose or tear the
+         replacement; file replacement must go through
+         util::durable_replace_file.
 
 Exit status is non-zero when any layer reports a finding.
 
@@ -55,6 +60,9 @@ MUTEX_ALLOWLIST = {os.path.join("src", "util", "annotations.hpp")}
 # Result-merge layer: everything that folds per-shard/per-fault
 # results must iterate in deterministic order.
 MERGE_PATH_PREFIXES = (os.path.join("src", "analysis") + os.sep,)
+# The one sanctioned rename path: write tmp, fsync, rename, fsync the
+# directory (util::durable_replace_file).
+RENAME_ALLOWLIST = {os.path.join("src", "util", "durable_write.cpp")}
 
 RAW_MUTEX_RE = re.compile(
     r"\bstd::(mutex|recursive_mutex|timed_mutex|shared_mutex|"
@@ -66,6 +74,10 @@ UNORDERED_ALIAS_RE = re.compile(
 RANGE_FOR_RE = re.compile(r"\bfor\s*\(.*:\s*(.*)\)\s*[{]?")
 NONDETERMINISM_RE = re.compile(
     r"\b(?:std::)?(?:rand|srand)\s*\(|\bstd::random_device\b|\btime\s*\(")
+# \b keeps identifiers like durable_rename-style names ('_' is a word
+# character) out while catching rename(, ::rename( and
+# std::filesystem::rename.
+BARE_RENAME_RE = re.compile(r"\bstd::filesystem::rename\b|\brename\s*\(")
 
 
 def strip_comments(text: str) -> str:
@@ -183,7 +195,24 @@ def lint_nondeterminism(rel_path: str, clean: str) -> list[str]:
     return findings
 
 
-CUSTOM_LINTS = (lint_raw_mutex, lint_unordered_iteration, lint_nondeterminism)
+def lint_bare_rename(rel_path: str, clean: str) -> list[str]:
+    if rel_path in RENAME_ALLOWLIST or not rel_path.startswith("src" + os.sep):
+        return []
+    findings = []
+    for lineno, line in enumerate(clean.splitlines(), 1):
+        m = BARE_RENAME_RE.search(line)
+        if m:
+            findings.append(
+                f"{rel_path}:{lineno}: bare '{m.group(0).strip()}' — a plain "
+                f"rename is not crash-durable (no fsync of the file or its "
+                f"directory); replace files through "
+                f"util::durable_replace_file (src/util/durable_write.cpp), "
+                f"the one sanctioned rename path")
+    return findings
+
+
+CUSTOM_LINTS = (lint_raw_mutex, lint_unordered_iteration, lint_nondeterminism,
+                lint_bare_rename)
 
 
 def iter_source_files(changed: set[str] | None) -> list[str]:
@@ -318,6 +347,18 @@ SELFTEST_CASES = [
      "  memory.advance_time(delay_ticks);\n", False),
     (lint_nondeterminism, "tests/test_util.cpp",
      "  int x = rand();\n", False),
+    (lint_bare_rename, "src/analysis/campaign_service.cpp",
+     "  std::rename(tmp.c_str(), path.c_str());\n", True),
+    (lint_bare_rename, "src/analysis/campaign_service.cpp",
+     "  std::filesystem::rename(tmp, path);\n", True),
+    (lint_bare_rename, "src/mem/sram.cpp",
+     "  ::rename(tmp, path);\n", True),
+    (lint_bare_rename, "src/util/durable_write.cpp",
+     "  std::rename(tmp.c_str(), path.c_str());\n", False),
+    (lint_bare_rename, "src/analysis/campaign_service.cpp",
+     "  util::durable_replace_file(path, text);\n", False),
+    (lint_bare_rename, "tests/test_checkpoint_recovery.cpp",
+     "  std::rename(a, b);\n", False),
 ]
 
 

@@ -6,21 +6,38 @@
 // layer the ROADMAP's campaign-as-a-service milestone calls for:
 //
 //  * requests (a PRT scheme or March test + options + universe) are
-//    admitted onto one shared worker pool with a bounded in-flight
-//    window — submissions past the bound are rejected immediately
-//    with kRejected instead of queueing without bound;
+//    admitted into per-class (high / normal / batch) bounded queues —
+//    a submission past its class bound is rejected immediately with
+//    kRejected instead of queueing without bound.  Dispatch drains
+//    strictly by class, FIFO within a class, onto one shared worker
+//    pool with a bounded running window (max_running).  A deadline-
+//    aware load-shedder resolves queued requests whose remaining
+//    deadline can no longer cover their estimated cost (a per-
+//    (workload-kind, n) EWMA of observed shard latencies) with
+//    kShedded at dispatch time, before any oracle work is spent on
+//    guaranteed-partial results;
 //  * every request carries a cooperative StopToken: cancel() and the
 //    per-request deadline stop the shard loops at the next fault
 //    boundary, and the request resolves to a *partial* outcome — the
 //    exact merge of the shards that completed (kPartialCancelled /
 //    kPartialDeadline), never a torn result;
+//  * a shard watchdog (util/watchdog.hpp) cancels any shard attempt
+//    exceeding `stall_budget` via a per-attempt child StopToken
+//    (StopReason::kStalled) and folds the stall into the bounded-retry
+//    path: a wedged shard becomes a retried shard, not a wedged
+//    request;
 //  * progress is checkpointed at shard granularity: every
-//    `checkpoint_every` completed shards the service atomically
-//    rewrites a checkpoint file (fingerprint + shard partition +
-//    per-shard results).  A resumed request re-validates the
-//    fingerprint — workload structure, geometry, run options and the
-//    universe itself — adopts the recorded partition, and its final
-//    result is bit-identical to an uninterrupted run;
+//    `checkpoint_every` completed shards the service durably rewrites
+//    a version-headered, per-record CRC32-guarded checkpoint file
+//    (fingerprint + shard partition + per-shard results; format v2,
+//    DESIGN.md §13).  A resumed request re-validates the fingerprint —
+//    workload structure, geometry, run options and the universe
+//    itself — adopts the recorded partition, and its final result is
+//    bit-identical to an uninterrupted run.  A torn or corrupted
+//    checkpoint is *salvaged*: the longest CRC-valid record prefix is
+//    adopted and the rest recomputed (counted in
+//    stats().checkpoint_salvaged); only a genuine fingerprint mismatch
+//    hard-fails the request;
 //  * a shard task that throws is retried up to `max_retries` times;
 //    exhaustion fails that request (kFailed, error preserved) and
 //    winds down its remaining shards without touching other requests
@@ -28,7 +45,8 @@
 //    cache, the shard tasks and the checkpoint writer let tests drive
 //    each of these paths deterministically.
 //
-// See DESIGN.md §11 and tests/test_campaign_service.cpp.
+// See DESIGN.md §11/§13 and tests/test_campaign_service.cpp,
+// tests/test_checkpoint_recovery.cpp.
 #pragma once
 
 #include <chrono>
@@ -49,15 +67,41 @@ namespace detail {
 struct ServiceRequest;
 }  // namespace detail
 
+/// Admission class of a request.  Dispatch drains high before normal
+/// before batch, FIFO within a class; each class has its own queue
+/// bound in ServiceOptions.
+enum class RequestPriority : std::uint8_t {
+  kHigh = 0,
+  kNormal = 1,
+  kBatch = 2,
+};
+
+[[nodiscard]] std::string to_string(RequestPriority priority);
+
 struct ServiceOptions {
   /// Worker count for the one shared pool; 0 defers to the
   /// PRT_THREADS environment override, then the hardware concurrency.
   unsigned threads = 0;
-  /// Admission bound: submissions while this many requests are
-  /// in flight (queued or running) are rejected with kRejected.
-  std::size_t max_inflight = 64;
+  /// Dispatch window: requests orchestrating/running concurrently.
+  /// Further admitted requests wait in their class queue.
+  std::size_t max_running = 8;
+  /// Per-class admission bounds: a submission while its class queue
+  /// already holds this many waiting requests is rejected with
+  /// kRejected.  0 means "no queueing" — reject whenever the running
+  /// window is full.
+  std::size_t queue_bound_high = 16;
+  std::size_t queue_bound_normal = 32;
+  std::size_t queue_bound_batch = 64;
   /// Retries per shard task before the request fails.
   int max_retries = 2;
+  /// Watchdog budget per shard *attempt*; an attempt exceeding it is
+  /// cancelled (kStalled) and retried like a thrown shard.  0
+  /// disables the watchdog.
+  std::chrono::nanoseconds stall_budget{0};
+  /// If nonzero, applied to OracleCache::global()'s byte budget at
+  /// service construction (the cache is process-wide, so the last
+  /// constructed service wins).  0 leaves the budget untouched.
+  std::size_t cache_budget_bytes = 0;
 };
 
 /// How a service request resolved.
@@ -70,8 +114,13 @@ enum class RequestStatus : std::uint8_t {
   kPartialDeadline,
   /// Setup failed or a shard exhausted its retries; see `error`.
   kFailed,
-  /// Rejected at admission (in-flight bound); no work was done.
+  /// Rejected at admission (class queue bound); no work was done.
   kRejected,
+  /// Shed at dispatch: the remaining deadline could not cover the
+  /// estimated cost, so no work was started; see `error` for the
+  /// estimate.  Distinct from kPartialDeadline — a shed request
+  /// burned no pool time.
+  kShedded,
 };
 
 [[nodiscard]] std::string to_string(RequestStatus status);
@@ -87,6 +136,8 @@ struct CampaignRequest {
   bool packed = true;
   bool early_abort = false;
   std::vector<mem::Fault> universe;
+  /// Admission class; see RequestPriority.
+  RequestPriority priority = RequestPriority::kNormal;
   /// Shard partition size; 0 = one shard per pool worker.  A resumed
   /// request always adopts the partition recorded in the checkpoint.
   std::size_t shards = 0;
@@ -97,11 +148,16 @@ struct CampaignRequest {
   /// incomplete, so cancel-then-resume loses nothing.
   std::size_t checkpoint_every = 1;
   /// Load `checkpoint_path` and skip its completed shards.  A missing
-  /// checkpoint file means a fresh run; a checkpoint whose fingerprint
-  /// does not match this request fails it (kFailed) rather than
-  /// silently merging results from a different campaign.
+  /// checkpoint file means a fresh run; a torn or corrupted one is
+  /// salvaged (longest valid record prefix, rest recomputed); a
+  /// checkpoint whose fingerprint does not match this request fails it
+  /// (kFailed) rather than silently merging results from a different
+  /// campaign.
   bool resume = false;
-  /// Wall-clock budget measured from submit(); zero = none.
+  /// Wall-clock budget measured from submit(); zero = none.  Queued
+  /// time counts against it, and the load-shedder may resolve the
+  /// request kShedded at dispatch if the remainder cannot cover the
+  /// estimated run cost.
   std::chrono::nanoseconds deadline{0};
 };
 
@@ -114,14 +170,14 @@ struct RequestOutcome {
   std::size_t shards_total = 0;
   /// Shards whose results were adopted from the checkpoint.
   std::size_t shards_resumed = 0;
-  /// Human-readable failure cause (kFailed only).
+  /// Human-readable failure cause (kFailed / kRejected / kShedded).
   std::string error;
 };
 
 class CampaignService {
  public:
   explicit CampaignService(const ServiceOptions& options = {});
-  /// Blocks until every in-flight request has resolved.
+  /// Blocks until every admitted request has resolved.
   ~CampaignService();
   CampaignService(const CampaignService&) = delete;
   CampaignService& operator=(const CampaignService&) = delete;
@@ -140,7 +196,8 @@ class CampaignService {
     /// True once the outcome is available (wait() will not block).
     [[nodiscard]] bool done() const;
     /// Requests cooperative cancellation; shard loops stop at the next
-    /// fault boundary.  No-op once the request resolved.
+    /// fault boundary (a still-queued request resolves partial with no
+    /// shards run).  No-op once the request resolved.
     void cancel() const;
 
    private:
@@ -150,23 +207,40 @@ class CampaignService {
   };
 
   /// Validates and admits a request.  Never blocks on campaign work:
-  /// past the in-flight bound (or on a malformed request) the returned
-  /// ticket is already resolved with kRejected / kFailed.
+  /// past the class queue bound (or on a malformed request) the
+  /// returned ticket is already resolved with kRejected / kFailed.
   [[nodiscard]] Ticket submit(CampaignRequest request);
 
-  /// Blocks until every request submitted so far has resolved.
+  /// Blocks until every request admitted so far has resolved.
   void wait_all();
 
   struct Stats {
     std::uint64_t accepted = 0;
     std::uint64_t rejected = 0;
+    std::uint64_t shedded = 0;
     std::uint64_t completed = 0;
     std::uint64_t partial = 0;
     std::uint64_t failed = 0;
     std::uint64_t shard_retries = 0;
+    /// Shard attempts cancelled by the stall watchdog.
+    std::uint64_t shard_stalls = 0;
     std::uint64_t checkpoint_writes = 0;
     std::uint64_t checkpoint_failures = 0;
+    /// Resume loads that had to salvage a torn/corrupt checkpoint.
+    std::uint64_t checkpoint_salvaged = 0;
     std::uint64_t shards_resumed = 0;
+    /// Current queue depths / running window occupancy.
+    std::uint64_t queued_high = 0;
+    std::uint64_t queued_normal = 0;
+    std::uint64_t queued_batch = 0;
+    std::uint64_t running = 0;
+    /// OracleCache::global() counters (process-wide — every service
+    /// and engine in the process shares the cache).
+    std::uint64_t cache_hits = 0;
+    std::uint64_t cache_misses = 0;
+    std::uint64_t cache_evictions = 0;
+    std::uint64_t cache_entries = 0;
+    std::uint64_t cache_bytes = 0;
   };
   [[nodiscard]] Stats stats() const;
 

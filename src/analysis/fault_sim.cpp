@@ -8,17 +8,20 @@
 namespace prt::analysis {
 
 void validate_campaign_options(const CampaignOptions& opt) {
+  // Every message names the offending value — a service log line must
+  // identify the bad request without a debugger.
   if (opt.n < 1) {
-    throw std::invalid_argument("CampaignOptions: n must be >= 1");
+    throw std::invalid_argument("CampaignOptions: n must be >= 1 (got " +
+                                std::to_string(opt.n) + ")");
   }
   if (opt.m < 1 || opt.m > 32) {
-    throw std::invalid_argument("CampaignOptions: m must be in [1, 32], got " +
-                                std::to_string(opt.m));
+    throw std::invalid_argument("CampaignOptions: m must be in [1, 32] (got " +
+                                std::to_string(opt.m) + ")");
   }
   if (opt.ports != 1 && opt.ports != 2 && opt.ports != 4) {
     throw std::invalid_argument(
-        "CampaignOptions: ports must be 1, 2 or 4, got " +
-        std::to_string(opt.ports));
+        "CampaignOptions: ports must be 1, 2 or 4 (got " +
+        std::to_string(opt.ports) + ")");
   }
 }
 

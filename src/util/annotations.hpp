@@ -37,6 +37,7 @@
 //    the publication point (see campaign_service.cpp ServiceRequest).
 #pragma once
 
+#include <chrono>
 #include <condition_variable>
 #include <mutex>
 
@@ -140,6 +141,17 @@ class CondVar {
   /// the surrounding while-loop relies on.
   void wait(MutexLock& lock) PRT_REQUIRES(lock.mutex_) {
     cv_.wait(lock.lock_);
+  }
+
+  /// Timed wait (same capability contract as wait()).  Returns
+  /// std::cv_status::timeout when `rel_time` elapsed; spurious wakeups
+  /// are possible either way, so callers re-check their predicate in
+  /// the surrounding while-loop exactly as with wait().
+  template <typename Rep, typename Period>
+  std::cv_status wait_for(MutexLock& lock,
+                          const std::chrono::duration<Rep, Period>& rel_time)
+      PRT_REQUIRES(lock.mutex_) {
+    return cv_.wait_for(lock.lock_, rel_time);
   }
 
   void notify_one() noexcept { cv_.notify_one(); }

@@ -100,9 +100,21 @@ void FailPoint::arm_spec(const std::string& spec) {
     const std::size_t close = pos + action.size() - 1;
     config.delay =
         std::chrono::milliseconds(parse_count(spec, open, close, "delay"));
+  } else if (action.rfind("partial_write(", 0) == 0 && action.back() == ')') {
+    config.action = Action::kPartialWrite;
+    const std::size_t open = pos + 14;  // past "partial_write("
+    const std::size_t close = pos + action.size() - 1;
+    const int bytes = parse_count(spec, open, close, "partial_write");
+    if (bytes < 0) {
+      throw std::invalid_argument(
+          "fail point spec: malformed partial_write count '" + action +
+          "' in '" + spec + "'");
+    }
+    config.bytes = static_cast<std::size_t>(bytes);
   } else {
-    throw std::invalid_argument("fail point spec: unknown action '" + action +
-                                "' in '" + spec + "' (throw | delay(<ms>))");
+    throw std::invalid_argument(
+        "fail point spec: unknown action '" + action + "' in '" + spec +
+        "' (throw | delay(<ms>) | partial_write(<bytes>))");
   }
 
   bool saw_skip = false;
@@ -153,15 +165,15 @@ std::uint64_t FailPoint::hits(const std::string& name) {
   return it == r.points.end() ? 0 : it->second.hits;
 }
 
-void FailPoint::hit(const char* name) {
-  if (armed_count().load(std::memory_order_acquire) == 0) return;
+std::optional<FailPoint::Config> FailPoint::poll(const char* name) {
+  if (armed_count().load(std::memory_order_acquire) == 0) return std::nullopt;
   Config config;
   bool fire = false;
   {
     Registry& r = registry();
     MutexLock lock(r.mutex);
     const auto it = r.points.find(name);
-    if (it == r.points.end()) return;
+    if (it == r.points.end()) return std::nullopt;
     Armed& armed = it->second;
     const std::uint64_t hit_index = armed.hits++;
     const auto skip = static_cast<std::uint64_t>(armed.config.skip);
@@ -170,12 +182,19 @@ void FailPoint::hit(const char* name) {
             hit_index < skip + static_cast<std::uint64_t>(armed.config.fires));
     config = armed.config;
   }
-  if (!fire) return;
-  switch (config.action) {
+  if (!fire) return std::nullopt;
+  return config;
+}
+
+void FailPoint::hit(const char* name) {
+  const std::optional<Config> fired = poll(name);
+  if (!fired) return;
+  switch (fired->action) {
     case Action::kThrow:
+    case Action::kPartialWrite:  // plain sites cannot truncate; fail hard
       throw FailPointError(std::string("fail point '") + name + "' fired");
     case Action::kDelay:
-      std::this_thread::sleep_for(config.delay);
+      std::this_thread::sleep_for(fired->delay);
       break;
   }
 }

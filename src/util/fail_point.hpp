@@ -17,15 +17,20 @@
 //   util::FailPoint::arm("oracle_cache.build", {.skip = 2});
 //   // third hit of that site throws util::FailPointError
 //
-// Actions: kThrow (throw FailPointError at the site) and kDelay
-// (sleep — for widening cancellation races deterministically).  A
-// config fires `fires` times after skipping `skip` hits (fires < 0 =
+// Actions: kThrow (throw FailPointError at the site), kDelay (sleep —
+// for widening cancellation races deterministically, and for driving
+// the campaign service's stall watchdog), and kPartialWrite (truncate
+// a write at N bytes, then fail — for torn-checkpoint tests; only
+// meaningful at sites that call poll() and implement the truncation).
+// A config fires `fires` times after skipping `skip` hits (fires < 0 =
 // every hit after the skips).  Arming is process-global and
 // thread-safe; tests disarm in teardown (FailPointScope).
 #pragma once
 
 #include <chrono>
+#include <cstddef>
 #include <cstdint>
+#include <optional>
 #include <stdexcept>
 #include <string>
 
@@ -40,7 +45,7 @@ struct FailPointError : std::runtime_error {
 
 class FailPoint {
  public:
-  enum class Action { kThrow, kDelay };
+  enum class Action { kThrow, kDelay, kPartialWrite };
 
   struct Config {
     Action action = Action::kThrow;
@@ -50,6 +55,8 @@ class FailPoint {
     int fires = 1;
     /// Sleep length for kDelay.
     std::chrono::milliseconds delay{0};
+    /// Truncation point (bytes kept) for kPartialWrite.
+    std::size_t bytes = 0;
   };
 
   /// Arms (or re-arms, resetting the hit count of) the named point.
@@ -60,7 +67,8 @@ class FailPoint {
   ///
   ///   <name>=<action>[:skip=<n>][:fires=<m>]
   ///
-  /// where <action> is `throw` or `delay(<ms>)`; `fires=-1` (any
+  /// where <action> is `throw`, `delay(<ms>)` or `partial_write(<n>)`
+  /// (truncate the write to n bytes then fail); `fires=-1` (any
   /// negative) fires on every hit past the skips.  Modifiers may
   /// appear in either order, at most once each.  Throws
   /// std::invalid_argument on an empty name, a missing '=', an
@@ -76,8 +84,19 @@ class FailPoint {
 
   /// The instrumentation call.  No-op (one relaxed atomic load) unless
   /// some point is armed; throws FailPointError when the named point's
-  /// schedule says this hit fires a kThrow.
+  /// schedule says this hit fires a kThrow.  A kPartialWrite config at
+  /// a plain hit() site degrades to kThrow — only poll() sites can
+  /// honour the truncation.
   static void hit(const char* name);
+
+  /// Rich-action variant of hit(): advances the named point's schedule
+  /// exactly like hit() but returns the firing Config to the caller
+  /// instead of acting on it (nullopt when disarmed or not scheduled
+  /// to fire).  Sites with site-specific failure modes — the
+  /// checkpoint writer's torn-write simulation — use this to implement
+  /// actions hit() cannot, and remain responsible for throwing
+  /// FailPointError themselves.
+  [[nodiscard]] static std::optional<Config> poll(const char* name);
 };
 
 /// Test scaffolding: disarms every fail point on scope exit so one

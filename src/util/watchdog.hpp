@@ -1,0 +1,142 @@
+// Stall supervisor: fires a callback when watched work overruns its
+// budget.
+//
+// The campaign service's failure model before this existed was "a
+// shard either finishes, throws, or observes its stop token" — a shard
+// that simply *hangs* (wedged I/O, a pathological input, an armed
+// kDelay fail point standing in for both) stalled its request forever
+// and pinned a pool worker.  The Watchdog closes that hole: callers
+// register a deadline per unit of work (`watch`), deregister on
+// completion (`unwatch`), and a single supervisor thread invokes the
+// expiry callback for anything still registered past its deadline.
+// The campaign service's callback trips a per-attempt StopToken with
+// StopReason::kStalled, converting "wedged shard" into "cancelled
+// attempt" and letting the existing bounded-retry path take over (see
+// DESIGN.md §13).
+//
+// Semantics chosen for that use:
+//  * Callbacks run on the supervisor thread, outside the Watchdog
+//    lock — they may call watch()/unwatch() but must be cheap and must
+//    not block (tripping a StopSource is one CAS).
+//  * An expired entry is removed before its callback runs; expiry and
+//    unwatch() race benignly — at most one of them wins, and a
+//    callback firing for work that *just* completed is harmless for
+//    idempotent callbacks like a stop-token trip.
+//  * The destructor joins the supervisor; callbacks registered and not
+//    yet expired never fire after destruction.  Callers must therefore
+//    destroy the Watchdog before anything a callback captures (in
+//    practice callbacks capture shared_ptr-backed StopSources by
+//    value, which makes them self-contained).
+#pragma once
+
+#include <algorithm>
+#include <chrono>
+#include <cstdint>
+#include <functional>
+#include <map>
+#include <thread>
+#include <utility>
+#include <vector>
+
+#include "util/annotations.hpp"
+
+namespace prt::util {
+
+class Watchdog {
+ public:
+  using Id = std::uint64_t;
+
+  Watchdog() { supervisor_ = std::thread([this] { loop(); }); }
+  Watchdog(const Watchdog&) = delete;
+  Watchdog& operator=(const Watchdog&) = delete;
+
+  ~Watchdog() {
+    {
+      MutexLock lock(mutex_);
+      stopping_ = true;
+    }
+    wake_.notify_all();
+    supervisor_.join();
+  }
+
+  /// Registers work with `budget` from now; if not unwatch()ed before
+  /// the budget elapses, `on_expire` runs once on the supervisor
+  /// thread.  Returns the handle to pass to unwatch().
+  Id watch(std::chrono::nanoseconds budget, std::function<void()> on_expire)
+      PRT_EXCLUDES(mutex_) {
+    const auto deadline = std::chrono::steady_clock::now() + budget;
+    Id id = 0;
+    {
+      MutexLock lock(mutex_);
+      id = next_id_++;
+      entries_.emplace(id, Entry{deadline, std::move(on_expire)});
+    }
+    wake_.notify_all();
+    return id;
+  }
+
+  /// Deregisters; a no-op if the entry already expired (its callback
+  /// ran or is about to run).
+  void unwatch(Id id) PRT_EXCLUDES(mutex_) {
+    MutexLock lock(mutex_);
+    entries_.erase(id);
+  }
+
+  /// Total callbacks fired over the watchdog's lifetime.
+  [[nodiscard]] std::uint64_t expirations() const PRT_EXCLUDES(mutex_) {
+    MutexLock lock(mutex_);
+    return expired_count_;
+  }
+
+ private:
+  struct Entry {
+    std::chrono::steady_clock::time_point deadline;
+    std::function<void()> on_expire;
+  };
+
+  void loop() PRT_EXCLUDES(mutex_) {
+    MutexLock lock(mutex_);
+    for (;;) {
+      if (stopping_) return;
+      const auto now = std::chrono::steady_clock::now();
+      // Sweep: collect everything expired (removing it so expiry is
+      // once-only), remember the earliest remaining deadline.  The
+      // entry map is keyed by registration id, not deadline — watch
+      // counts are small (one per in-flight shard attempt) so a linear
+      // sweep beats maintaining a second index.
+      std::vector<std::function<void()>> expired;
+      auto next_deadline = std::chrono::steady_clock::time_point::max();
+      for (auto it = entries_.begin(); it != entries_.end();) {
+        if (it->second.deadline <= now) {
+          expired.push_back(std::move(it->second.on_expire));
+          it = entries_.erase(it);
+        } else {
+          next_deadline = std::min(next_deadline, it->second.deadline);
+          ++it;
+        }
+      }
+      if (!expired.empty()) {
+        expired_count_ += expired.size();
+        lock.Unlock();
+        for (const auto& fire : expired) fire();
+        lock.Lock();
+        continue;  // re-evaluate stopping_/deadlines after the gap
+      }
+      if (entries_.empty()) {
+        wake_.wait(lock);
+      } else {
+        wake_.wait_for(lock, next_deadline - now);
+      }
+    }
+  }
+
+  std::thread supervisor_;
+  mutable Mutex mutex_;
+  CondVar wake_;
+  std::map<Id, Entry> entries_ PRT_GUARDED_BY(mutex_);
+  Id next_id_ PRT_GUARDED_BY(mutex_) = 1;
+  bool stopping_ PRT_GUARDED_BY(mutex_) = false;
+  std::uint64_t expired_count_ PRT_GUARDED_BY(mutex_) = 0;
+};
+
+}  // namespace prt::util

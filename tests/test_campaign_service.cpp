@@ -3,10 +3,13 @@
 // cancellation / deadlines with exact partial results, shard-granular
 // checkpoint/resume whose resumed results are bit-identical to
 // uninterrupted runs (interrupting at *every* cadence point, PRT and
-// March, packed and scalar, 1 and 4 threads), admission backpressure,
-// bounded shard retry with request isolation, and the oracle-cache
-// poisoned-entry eviction — all driven deterministically through
-// util::FailPoint.
+// March, packed and scalar, 1 and 4 threads), per-class priority
+// admission with bounded queues and deadline-aware load shedding, the
+// shard stall watchdog, bounded shard retry with request isolation,
+// and the oracle cache's poisoned-entry eviction plus budgeted LRU —
+// all driven deterministically through util::FailPoint.  (The
+// checkpoint corruption/salvage matrix lives in
+// tests/test_checkpoint_recovery.cpp.)
 #include "analysis/campaign_service.hpp"
 
 #include <gtest/gtest.h>
@@ -157,24 +160,264 @@ TEST(CampaignService, DefaultTicketIsInert) {
   EXPECT_THROW((void)ticket.wait(), std::logic_error);
 }
 
-TEST(CampaignService, BackpressureRejectsPastInflightBound) {
+TEST(CampaignService, BackpressureRejectsPastClassQueueBound) {
   FailPointScope scope;
   // Every shard task sleeps, so the first request reliably occupies
-  // the single in-flight slot while the second is submitted.
+  // the single running slot while the second is submitted.  A zero
+  // queue bound means "no queueing": the second submission is revoked
+  // the moment dispatch leaves it waiting.
   FailPoint::arm("campaign_service.shard",
                  {.action = FailPoint::Action::kDelay,
                   .fires = -1,
                   .delay = std::chrono::milliseconds(20)});
-  CampaignService service({.threads = 1, .max_inflight = 1});
+  CampaignService service(
+      {.threads = 1, .max_running = 1, .queue_bound_normal = 0});
   CampaignService::Ticket first = service.submit(prt_request(24));
   CampaignService::Ticket second = service.submit(prt_request(24));
   const RequestOutcome& rejected = second.wait();
   EXPECT_EQ(rejected.status, RequestStatus::kRejected);
+  EXPECT_NE(rejected.error.find("normal"), std::string::npos);
   EXPECT_TRUE(second.done());
   first.cancel();
   (void)first.wait();
   EXPECT_EQ(service.stats().rejected, 1u);
   EXPECT_EQ(service.stats().accepted, 1u);
+}
+
+TEST(CampaignService, ZeroQueueBoundStillAdmitsIntoFreeSlot) {
+  // The bound limits *waiting*, not admission: with the running window
+  // free, a zero-bound class must still dispatch immediately.
+  CampaignService service(
+      {.threads = 1, .max_running = 1, .queue_bound_normal = 0});
+  const RequestOutcome& out = service.submit(prt_request(24)).wait();
+  EXPECT_EQ(out.status, RequestStatus::kComplete);
+  EXPECT_EQ(service.stats().rejected, 0u);
+}
+
+TEST(CampaignService, QueueBoundsArePerClass) {
+  FailPointScope scope;
+  FailPoint::arm("campaign_service.shard",
+                 {.action = FailPoint::Action::kDelay,
+                  .fires = -1,
+                  .delay = std::chrono::milliseconds(60)});
+  CampaignService service({.threads = 1,
+                           .max_running = 1,
+                           .queue_bound_high = 1,
+                           .queue_bound_normal = 0,
+                           .queue_bound_batch = 1});
+  CampaignRequest blocker = prt_request(24);
+  blocker.shards = 4;  // occupies the slot for >= 4 injected delays
+  CampaignService::Ticket slot = service.submit(std::move(blocker));
+  CampaignRequest b1 = prt_request(24);
+  b1.priority = RequestPriority::kBatch;
+  CampaignRequest b2 = prt_request(24);
+  b2.priority = RequestPriority::kBatch;
+  CampaignService::Ticket queued = service.submit(std::move(b1));
+  const RequestOutcome& rejected = service.submit(std::move(b2)).wait();
+  EXPECT_EQ(rejected.status, RequestStatus::kRejected);
+  EXPECT_NE(rejected.error.find("batch"), std::string::npos);
+  // The batch queue being full leaves the other classes untouched.
+  CampaignRequest h = prt_request(24);
+  h.priority = RequestPriority::kHigh;
+  CampaignService::Ticket high = service.submit(std::move(h));
+  EXPECT_EQ(service.stats().queued_high, 1u);
+  EXPECT_EQ(service.stats().queued_batch, 1u);
+  slot.cancel();
+  high.cancel();
+  queued.cancel();
+  service.wait_all();
+  EXPECT_EQ(service.stats().rejected, 1u);
+  EXPECT_EQ(service.stats().accepted, 3u);
+}
+
+TEST(CampaignService, DispatchDrainsHighBeforeBatch) {
+  FailPointScope scope;
+  FailPoint::arm("campaign_service.shard",
+                 {.action = FailPoint::Action::kDelay,
+                  .fires = -1,
+                  .delay = std::chrono::milliseconds(60)});
+  CampaignService service({.threads = 1, .max_running = 1});
+  CampaignRequest blocker = prt_request(24);
+  blocker.shards = 2;
+  CampaignService::Ticket slot = service.submit(std::move(blocker));
+  // Batch is queued *first*; high must still dispatch first.
+  CampaignRequest batch = prt_request(24);
+  batch.priority = RequestPriority::kBatch;
+  batch.shards = 4;
+  CampaignRequest high = prt_request(24);
+  high.priority = RequestPriority::kHigh;
+  high.shards = 1;
+  CampaignService::Ticket batch_ticket = service.submit(std::move(batch));
+  CampaignService::Ticket high_ticket = service.submit(std::move(high));
+  EXPECT_EQ(service.stats().queued_high, 1u);
+  EXPECT_EQ(service.stats().queued_batch, 1u);
+  slot.cancel();
+  (void)slot.wait();
+  // max_running = 1: the batch request cannot even dispatch until the
+  // high request fully resolves, so high completing while batch is
+  // still pending proves the drain order (batch's first shard alone
+  // sleeps 60 ms once it does start).
+  const RequestOutcome& high_out = high_ticket.wait();
+  EXPECT_EQ(high_out.status, RequestStatus::kComplete);
+  EXPECT_FALSE(batch_ticket.done());
+  batch_ticket.cancel();
+  (void)batch_ticket.wait();
+}
+
+TEST(CampaignService, DispatchIsFifoWithinClass) {
+  FailPointScope scope;
+  FailPoint::arm("campaign_service.shard",
+                 {.action = FailPoint::Action::kDelay,
+                  .fires = -1,
+                  .delay = std::chrono::milliseconds(60)});
+  CampaignService service({.threads = 1, .max_running = 1});
+  CampaignRequest blocker = prt_request(24);
+  blocker.shards = 2;
+  CampaignService::Ticket slot = service.submit(std::move(blocker));
+  CampaignRequest a = prt_request(24);
+  a.shards = 1;
+  CampaignRequest b = prt_request(24);
+  b.shards = 4;
+  CampaignService::Ticket first = service.submit(std::move(a));
+  CampaignService::Ticket second = service.submit(std::move(b));
+  slot.cancel();
+  (void)slot.wait();
+  const RequestOutcome& out = first.wait();
+  EXPECT_EQ(out.status, RequestStatus::kComplete);
+  EXPECT_FALSE(second.done());
+  second.cancel();
+  (void)second.wait();
+}
+
+// --- load shedding ---------------------------------------------------
+
+TEST(CampaignService, QueuedRequestPastDeadlineIsShedded) {
+  FailPointScope scope;
+  FailPoint::arm("campaign_service.shard",
+                 {.action = FailPoint::Action::kDelay,
+                  .fires = -1,
+                  .delay = std::chrono::milliseconds(60)});
+  CampaignService service({.threads = 1, .max_running = 1});
+  CampaignRequest blocker = prt_request(24);
+  blocker.shards = 2;  // runs out naturally, holding the slot >= 120 ms
+  CampaignService::Ticket slot = service.submit(std::move(blocker));
+  CampaignRequest victim = prt_request(24);
+  victim.deadline = std::chrono::milliseconds(30);
+  CampaignService::Ticket ticket = service.submit(std::move(victim));
+  (void)slot.wait();
+  const RequestOutcome& out = ticket.wait();
+  ASSERT_EQ(out.status, RequestStatus::kShedded);
+  EXPECT_NE(out.error.find("expired"), std::string::npos);
+  // Shed at dispatch: no partition was built, no shard ran.
+  EXPECT_EQ(out.shards_total, 0u);
+  EXPECT_EQ(out.result.overall.total, 0u);
+  EXPECT_EQ(service.stats().shedded, 1u);
+}
+
+TEST(CampaignService, ShedderUsesLatencyEstimateAgainstDeadline) {
+  FailPointScope scope;
+  FailPoint::arm("campaign_service.shard",
+                 {.action = FailPoint::Action::kDelay,
+                  .fires = -1,
+                  .delay = std::chrono::milliseconds(60)});
+  CampaignService service({.threads = 1, .max_running = 1});
+  // Warm the (prt, n=24) latency EWMA: two shards, >= 60 ms each.
+  {
+    CampaignRequest warm = prt_request(24);
+    warm.shards = 2;
+    const RequestOutcome& out = service.submit(std::move(warm)).wait();
+    ASSERT_EQ(out.status, RequestStatus::kComplete);
+  }
+  // Blocker occupies the slot so the victim's shed decision happens at
+  // dispatch, with ~60 ms of its 400 ms budget already spent.
+  CampaignRequest blocker = prt_request(24);
+  blocker.shards = 1;
+  CampaignService::Ticket slot = service.submit(std::move(blocker));
+  // 8 shards on 1 worker = 8 waves x ~60 ms EWMA >= 480 ms estimated,
+  // against < 400 ms remaining: shed, before any oracle work.
+  CampaignRequest victim = prt_request(24);
+  victim.shards = 8;
+  victim.deadline = std::chrono::milliseconds(400);
+  CampaignService::Ticket ticket = service.submit(std::move(victim));
+  (void)slot.wait();
+  const RequestOutcome& out = ticket.wait();
+  ASSERT_EQ(out.status, RequestStatus::kShedded);
+  EXPECT_NE(out.error.find("estimated cost"), std::string::npos);
+  EXPECT_EQ(service.stats().shedded, 1u);
+}
+
+TEST(CampaignService, ShedderAdmitsWhenDeadlineCoversEstimate) {
+  // Same shape without the injected latency: the estimate comfortably
+  // fits the deadline, so the request is admitted and completes.
+  CampaignService service({.threads = 1, .max_running = 1});
+  {
+    CampaignRequest warm = prt_request(24);
+    warm.shards = 2;
+    ASSERT_EQ(service.submit(std::move(warm)).wait().status,
+              RequestStatus::kComplete);
+  }
+  CampaignRequest req = prt_request(24);
+  req.shards = 2;
+  req.deadline = std::chrono::seconds(60);
+  const RequestOutcome& out = service.submit(std::move(req)).wait();
+  EXPECT_EQ(out.status, RequestStatus::kComplete);
+  EXPECT_EQ(service.stats().shedded, 0u);
+}
+
+// --- shard stall watchdog --------------------------------------------
+
+TEST(CampaignService, WatchdogCancelsStalledShardAndRetries) {
+  FailPointScope scope;
+  // One shard attempt wedges for 600 ms; the watchdog trips its
+  // per-attempt token at 150 ms (kStalled) and the bounded retry
+  // completes the campaign bit-identically.  A concurrent healthy
+  // request on the same pool is unaffected.  (Budgets are generous:
+  // a *healthy* shard here computes for a few ms, so only the wedged
+  // attempt can plausibly cross 150 ms even on a loaded 1-core box.)
+  FailPoint::arm("campaign_service.shard",
+                 {.action = FailPoint::Action::kDelay,
+                  .fires = 1,
+                  .delay = std::chrono::milliseconds(600)});
+  CampaignRequest req = prt_request(32);
+  CampaignRequest other = march_request(24);
+  const CampaignResult reference =
+      run_prt_campaign(req.universe, *req.scheme, req.options);
+  const CampaignResult other_reference =
+      run_march_campaign(other.universe, *other.march_test, other.options);
+  CampaignService service({.threads = 2,
+                           .max_retries = 1,
+                           .stall_budget = std::chrono::milliseconds(150)});
+  CampaignService::Ticket first = service.submit(std::move(req));
+  CampaignService::Ticket second = service.submit(std::move(other));
+  const RequestOutcome& out = first.wait();
+  const RequestOutcome& other_out = second.wait();
+  ASSERT_EQ(out.status, RequestStatus::kComplete);
+  ASSERT_EQ(other_out.status, RequestStatus::kComplete);
+  expect_identical(out.result, reference);
+  expect_identical(other_out.result, other_reference);
+  EXPECT_GE(service.stats().shard_stalls, 1u);
+  EXPECT_GE(service.stats().shard_retries, 1u);
+}
+
+TEST(CampaignService, StallRetryExhaustionFailsRequest) {
+  FailPointScope scope;
+  // Every attempt wedges: retries exhaust and the request fails with
+  // the stall named in the error, rather than hanging forever.
+  FailPoint::arm("campaign_service.shard",
+                 {.action = FailPoint::Action::kDelay,
+                  .fires = -1,
+                  .delay = std::chrono::milliseconds(400)});
+  CampaignService service({.threads = 1,
+                           .max_retries = 0,
+                           .stall_budget = std::chrono::milliseconds(100)});
+  const RequestOutcome& out = service.submit(prt_request(24)).wait();
+  ASSERT_EQ(out.status, RequestStatus::kFailed);
+  EXPECT_NE(out.error.find("stalled"), std::string::npos);
+  EXPECT_GE(service.stats().shard_stalls, 1u);
+  // The service itself is healthy afterwards.
+  FailPoint::disarm_all();
+  EXPECT_EQ(service.submit(prt_request(24)).wait().status,
+            RequestStatus::kComplete);
 }
 
 // --- cancellation / deadlines ---------------------------------------
@@ -300,6 +543,94 @@ TEST(OracleCachePoison, ConcurrentWaitersRecoverAfterFailedBuild) {
   EXPECT_LE(threw.load(), 1);
   EXPECT_GE(succeeded.load(), 7);
   EXPECT_EQ(cache.size(), 1u);
+}
+
+// --- oracle cache budget / LRU (tentpole) ---------------------------
+
+TEST(OracleCacheEviction, HitMissCountersTrack) {
+  OracleCache cache;
+  const core::PrtScheme scheme = core::extended_scheme_bom(24);
+  (void)cache.prt(scheme, 24);
+  (void)cache.prt(scheme, 24);
+  const OracleCache::Stats s = cache.stats();
+  EXPECT_EQ(s.misses, 1u);
+  EXPECT_EQ(s.hits, 1u);
+  EXPECT_EQ(s.evictions, 0u);
+  EXPECT_EQ(s.entries, 1u);
+  EXPECT_GT(s.bytes, 0u);
+}
+
+TEST(OracleCacheEviction, BudgetEvictsLeastRecentlyUsed) {
+  // Entry costs are deterministic per (scheme, n), so measure the
+  // budget we need — two specific entries — in a throwaway cache.
+  const core::PrtScheme s24 = core::extended_scheme_bom(24);
+  const core::PrtScheme s32 = core::extended_scheme_bom(32);
+  const core::PrtScheme s40 = core::extended_scheme_bom(40);
+  std::size_t budget = 0;
+  {
+    OracleCache probe;
+    (void)probe.prt(s24, 24);
+    (void)probe.prt(s40, 40);
+    budget = probe.stats().bytes;
+  }
+  OracleCache cache;
+  cache.set_budget_bytes(budget);
+  (void)cache.prt(s24, 24);
+  (void)cache.prt(s32, 32);
+  (void)cache.prt(s24, 24);  // touch 24: 32 is now least recent
+  (void)cache.prt(s40, 40);  // over budget -> evicts exactly 32
+  const OracleCache::Stats s = cache.stats();
+  EXPECT_EQ(s.evictions, 1u);
+  EXPECT_EQ(s.entries, 2u);
+  EXPECT_LE(s.bytes, budget);
+  // The touched entry survived; the evicted one rebuilds on demand.
+  const std::size_t builds = cache.prt_builds();
+  (void)cache.prt(s24, 24);
+  EXPECT_EQ(cache.prt_builds(), builds);
+  (void)cache.prt(s32, 32);
+  EXPECT_EQ(cache.prt_builds(), builds + 1);
+}
+
+TEST(OracleCacheEviction, TinyBudgetStillServesLookups) {
+  // A budget below any single entry degenerates to "build, hand out,
+  // evict immediately" — every lookup still succeeds, March included.
+  OracleCache cache;
+  cache.set_budget_bytes(1);
+  const core::PrtScheme scheme = core::extended_scheme_bom(24);
+  ASSERT_NE(cache.prt(scheme, 24), nullptr);
+  EXPECT_EQ(cache.stats().entries, 0u);
+  ASSERT_NE(cache.prt(scheme, 24), nullptr);  // rebuilt, not poisoned
+  EXPECT_EQ(cache.prt_builds(), 2u);
+  ASSERT_NE(cache.march(march::march_c_minus(), 24, true, 0), nullptr);
+  const OracleCache::Stats s = cache.stats();
+  EXPECT_EQ(s.entries, 0u);
+  EXPECT_GE(s.evictions, 3u);
+  EXPECT_EQ(s.bytes, 0u);
+}
+
+TEST(OracleCacheEviction, ShrinkingBudgetEvictsImmediately) {
+  OracleCache cache;
+  const core::PrtScheme scheme = core::extended_scheme_bom(24);
+  (void)cache.prt(scheme, 24);
+  ASSERT_EQ(cache.stats().entries, 1u);
+  cache.set_budget_bytes(1);
+  EXPECT_EQ(cache.stats().entries, 0u);
+  EXPECT_EQ(cache.stats().evictions, 1u);
+  // Back to unbounded: entries stick again.
+  cache.set_budget_bytes(0);
+  (void)cache.prt(scheme, 24);
+  EXPECT_EQ(cache.stats().entries, 1u);
+}
+
+TEST(CampaignService, StatsSurfaceOracleCacheCounters) {
+  OracleCache::global().clear();
+  CampaignService service;
+  const RequestOutcome& out = service.submit(prt_request(24)).wait();
+  ASSERT_EQ(out.status, RequestStatus::kComplete);
+  const CampaignService::Stats s = service.stats();
+  EXPECT_GE(s.cache_misses, 1u);
+  EXPECT_GE(s.cache_entries, 1u);
+  EXPECT_GT(s.cache_bytes, 0u);
 }
 
 TEST(CampaignService, OracleBuildFailureFailsRequestThenRecovers) {
@@ -525,18 +856,29 @@ TEST(CampaignServiceResume, FingerprintMismatchFailsInsteadOfMerging) {
   std::remove(path.c_str());
 }
 
-TEST(CampaignServiceResume, MalformedCheckpointFails) {
+TEST(CampaignServiceResume, MalformedCheckpointSalvagesToFreshRun) {
+  // A file that is not a checkpoint at all carries nothing salvageable
+  // before the records: the run starts fresh (salvage counted) instead
+  // of failing — crash-safety means corruption costs recomputation,
+  // never the campaign.  The full corruption matrix (torn tails,
+  // flipped bytes, partial final writes) lives in
+  // tests/test_checkpoint_recovery.cpp.
   const std::string path = temp_checkpoint("svc_malformed.ckpt");
   {
-    std::ofstream out(path);
-    out << "not a checkpoint\n";
+    std::ofstream file(path);
+    file << "not a checkpoint\n";
   }
-  CampaignService service;
   CampaignRequest req = prt_request(24);
+  const CampaignResult reference =
+      run_prt_campaign(req.universe, *req.scheme, req.options);
+  CampaignService service;
   req.checkpoint_path = path;
   req.resume = true;
   const RequestOutcome& out = service.submit(std::move(req)).wait();
-  EXPECT_EQ(out.status, RequestStatus::kFailed);
+  ASSERT_EQ(out.status, RequestStatus::kComplete);
+  EXPECT_EQ(out.shards_resumed, 0u);
+  expect_identical(out.result, reference);
+  EXPECT_EQ(service.stats().checkpoint_salvaged, 1u);
   std::remove(path.c_str());
 }
 

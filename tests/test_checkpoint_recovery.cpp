@@ -1,0 +1,265 @@
+// Crash-safety matrix for the v2 campaign checkpoint format
+// (analysis/campaign_service): every corruption a torn write or bit
+// rot can produce — truncated tail, flipped byte mid-record, foreign
+// or old version header, empty file, and a fail-point-injected
+// partial final flush — must either salvage the longest CRC-valid
+// record prefix or start fresh, for PRT and March workloads alike,
+// with the resumed result bit-identical to an uninterrupted run.
+// Only a fingerprint mismatch (a *different* campaign, not a damaged
+// one) may fail the request; no corruption may ever merge torn
+// results.
+#include <gtest/gtest.h>
+
+#include <chrono>
+#include <cstdio>
+#include <fstream>
+#include <sstream>
+#include <string>
+#include <vector>
+
+#include "analysis/campaign_engine.hpp"
+#include "analysis/campaign_service.hpp"
+#include "analysis/march_campaign.hpp"
+#include "core/prt_engine.hpp"
+#include "march/march_library.hpp"
+#include "mem/fault_universe.hpp"
+#include "util/fail_point.hpp"
+
+namespace prt::analysis {
+namespace {
+
+using util::FailPoint;
+using util::FailPointScope;
+
+constexpr mem::Addr kN = 24;
+constexpr std::size_t kShards = 6;
+/// Shard tasks allowed to complete before the injected crash — the
+/// interrupted checkpoint holds exactly this many records (threads=1
+/// runs shards in order; the final flush persists all of them).
+constexpr std::size_t kDoneShards = 4;
+
+void expect_identical(const CampaignResult& a, const CampaignResult& b) {
+  EXPECT_EQ(a.overall, b.overall);
+  EXPECT_EQ(a.by_class, b.by_class);
+  EXPECT_EQ(a.escapes, b.escapes);
+  EXPECT_EQ(a.ops, b.ops);
+}
+
+std::string temp_checkpoint(const std::string& name) {
+  const std::string path = ::testing::TempDir() + name;
+  std::remove(path.c_str());
+  std::remove((path + ".tmp").c_str());
+  return path;
+}
+
+CampaignRequest make_request(bool march) {
+  CampaignRequest req;
+  if (march) {
+    req.march_test = march::march_c_minus();
+  } else {
+    req.scheme = core::extended_scheme_bom(kN);
+  }
+  req.options = {.n = kN};
+  req.universe = mem::classical_universe(kN);
+  req.shards = kShards;
+  req.checkpoint_every = 1;
+  return req;
+}
+
+CampaignResult reference_result(bool march) {
+  const CampaignRequest req = make_request(march);
+  return march ? run_march_campaign(req.universe, *req.march_test, req.options)
+               : run_prt_campaign(req.universe, *req.scheme, req.options);
+}
+
+/// Runs a checkpointed campaign that crashes after kDoneShards shard
+/// tasks, leaving a well-formed checkpoint with kDoneShards records.
+void write_interrupted_checkpoint(bool march, const std::string& path) {
+  FailPointScope scope;
+  FailPoint::arm("campaign_service.shard",
+                 {.skip = static_cast<int>(kDoneShards), .fires = -1});
+  CampaignService service({.threads = 1, .max_retries = 0});
+  CampaignRequest req = make_request(march);
+  req.checkpoint_path = path;
+  const RequestOutcome& out = service.submit(std::move(req)).wait();
+  ASSERT_EQ(out.status, RequestStatus::kFailed);
+  ASSERT_EQ(out.shards_done, kDoneShards);
+}
+
+std::string read_file(const std::string& path) {
+  std::ifstream in(path, std::ios::binary);
+  std::ostringstream out;
+  out << in.rdbuf();
+  return out.str();
+}
+
+void write_file(const std::string& path, const std::string& text) {
+  std::ofstream out(path, std::ios::binary | std::ios::trunc);
+  out << text;
+}
+
+/// Resumes against `path` and requires: completion, exactly
+/// `expect_resumed` shards adopted, a salvage counted, and a final
+/// result bit-identical to the uninterrupted reference.
+void expect_salvaged_resume(bool march, const std::string& path,
+                            std::size_t expect_resumed) {
+  CampaignService service({.threads = 1});
+  CampaignRequest req = make_request(march);
+  req.checkpoint_path = path;
+  req.resume = true;
+  const RequestOutcome& out = service.submit(std::move(req)).wait();
+  ASSERT_EQ(out.status, RequestStatus::kComplete);
+  EXPECT_EQ(out.shards_total, kShards);
+  EXPECT_EQ(out.shards_resumed, expect_resumed);
+  expect_identical(out.result, reference_result(march));
+  EXPECT_EQ(service.stats().checkpoint_salvaged, 1u);
+  EXPECT_EQ(service.stats().shards_resumed, expect_resumed);
+}
+
+void run_corruption_matrix(bool march) {
+  const char* tag = march ? "march" : "prt";
+
+  {
+    SCOPED_TRACE("truncated tail");
+    const std::string path =
+        temp_checkpoint(std::string("ckpt_trunc_") + tag + ".ckpt");
+    write_interrupted_checkpoint(march, path);
+    std::string text = read_file(path);
+    ASSERT_GT(text.size(), 10u);
+    text.resize(text.size() - 10);  // tear the last record mid-line
+    write_file(path, text);
+    expect_salvaged_resume(march, path, kDoneShards - 1);
+    std::remove(path.c_str());
+  }
+
+  {
+    SCOPED_TRACE("flipped byte in a middle record");
+    const std::string path =
+        temp_checkpoint(std::string("ckpt_flip_") + tag + ".ckpt");
+    write_interrupted_checkpoint(march, path);
+    std::string text = read_file(path);
+    // Lines: header, meta, then kDoneShards records.  Flip one byte in
+    // the middle of the *second* record: its CRC fails, so the valid
+    // prefix is exactly one record — the records after the flip are
+    // intact but unreachable (prefix salvage never skips over damage).
+    std::vector<std::size_t> starts;
+    for (std::size_t pos = 0; pos != std::string::npos && pos < text.size();
+         pos = text.find('\n', pos) + 1) {
+      starts.push_back(pos);
+      if (text.find('\n', pos) == std::string::npos) break;
+    }
+    ASSERT_GE(starts.size(), 4u);
+    const std::size_t rec2 = starts[3];
+    const std::size_t rec2_len = text.find('\n', rec2) - rec2;
+    text[rec2 + rec2_len / 2] ^= 0x01;
+    write_file(path, text);
+    expect_salvaged_resume(march, path, 1);
+    std::remove(path.c_str());
+  }
+
+  {
+    SCOPED_TRACE("old version header");
+    const std::string path =
+        temp_checkpoint(std::string("ckpt_header_") + tag + ".ckpt");
+    write_interrupted_checkpoint(march, path);
+    std::string text = read_file(path);
+    const std::size_t eol = text.find('\n');
+    ASSERT_NE(eol, std::string::npos);
+    text.replace(0, eol, "prt-campaign-checkpoint v1");
+    write_file(path, text);
+    // An unknown format carries nothing trustworthy: fresh run.
+    expect_salvaged_resume(march, path, 0);
+    std::remove(path.c_str());
+  }
+
+  {
+    SCOPED_TRACE("empty file");
+    const std::string path =
+        temp_checkpoint(std::string("ckpt_empty_") + tag + ".ckpt");
+    write_interrupted_checkpoint(march, path);
+    write_file(path, "");
+    expect_salvaged_resume(march, path, 0);
+    std::remove(path.c_str());
+  }
+
+  {
+    SCOPED_TRACE("fingerprint mismatch is a hard failure");
+    const std::string path =
+        temp_checkpoint(std::string("ckpt_fp_") + tag + ".ckpt");
+    write_interrupted_checkpoint(march, path);
+    CampaignService service({.threads = 1});
+    CampaignRequest req = make_request(march);
+    req.universe.pop_back();  // a *different* campaign, not a damaged one
+    req.checkpoint_path = path;
+    req.resume = true;
+    const RequestOutcome& out = service.submit(std::move(req)).wait();
+    ASSERT_EQ(out.status, RequestStatus::kFailed);
+    EXPECT_NE(out.error.find("fingerprint"), std::string::npos);
+    EXPECT_EQ(out.shards_done, 0u);
+    EXPECT_EQ(service.stats().checkpoint_salvaged, 0u);
+    std::remove(path.c_str());
+  }
+}
+
+TEST(CheckpointRecovery, PrtCorruptionMatrix) { run_corruption_matrix(false); }
+TEST(CheckpointRecovery, MarchCorruptionMatrix) {
+  run_corruption_matrix(true);
+}
+
+// --- injected partial final write -----------------------------------
+
+void run_partial_write_case(bool march, std::size_t torn_bytes,
+                            std::size_t max_resumed) {
+  SCOPED_TRACE("torn at " + std::to_string(torn_bytes) + " bytes");
+  const std::string path = temp_checkpoint(
+      std::string("ckpt_partial_") + (march ? "march" : "prt") + "_" +
+      std::to_string(torn_bytes) + ".ckpt");
+  {
+    FailPointScope scope;
+    FailPoint::arm("campaign_service.shard",
+                   {.skip = static_cast<int>(kDoneShards), .fires = -1});
+    // The cadence checkpoints (after shards 1..4) succeed; the final
+    // flush — the write a real crash is most likely to tear, arriving
+    // with the failure itself — is truncated at torn_bytes and fails.
+    FailPoint::arm("campaign_service.checkpoint",
+                   {.action = FailPoint::Action::kPartialWrite,
+                    .skip = static_cast<int>(kDoneShards),
+                    .fires = 1,
+                    .bytes = torn_bytes});
+    CampaignService service({.threads = 1, .max_retries = 0});
+    CampaignRequest req = make_request(march);
+    req.checkpoint_path = path;
+    const RequestOutcome& out = service.submit(std::move(req)).wait();
+    ASSERT_EQ(out.status, RequestStatus::kFailed);
+    EXPECT_GE(service.stats().checkpoint_failures, 1u);
+  }
+  {
+    // Whatever prefix survived the tear is salvaged; nothing torn is
+    // ever merged (bit-identity is the proof).
+    CampaignService service({.threads = 1});
+    CampaignRequest req = make_request(march);
+    req.checkpoint_path = path;
+    req.resume = true;
+    const RequestOutcome& out = service.submit(std::move(req)).wait();
+    ASSERT_EQ(out.status, RequestStatus::kComplete);
+    EXPECT_LE(out.shards_resumed, max_resumed);
+    expect_identical(out.result, reference_result(march));
+  }
+  std::remove(path.c_str());
+}
+
+TEST(CheckpointRecovery, PartialFinalWriteTornMidMeta) {
+  // 40 bytes: the header survives, the meta line is cut mid-CRC — the
+  // salvage is a fresh run.
+  run_partial_write_case(false, 40, 0);
+}
+
+TEST(CheckpointRecovery, PartialFinalWriteTornMidRecords) {
+  // 200 bytes lands somewhere inside the record block: a strict
+  // prefix of the four completed shards survives.
+  run_partial_write_case(false, 200, kDoneShards - 1);
+  run_partial_write_case(true, 200, kDoneShards - 1);
+}
+
+}  // namespace
+}  // namespace prt::analysis

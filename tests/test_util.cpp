@@ -8,11 +8,13 @@
 #include <thread>
 
 #include "util/bitops.hpp"
+#include "util/crc32.hpp"
 #include "util/fail_point.hpp"
 #include "util/rng.hpp"
 #include "util/stop_token.hpp"
 #include "util/table.hpp"
 #include "util/thread_pool.hpp"
+#include "util/watchdog.hpp"
 
 namespace prt {
 namespace {
@@ -278,6 +280,62 @@ TEST(FailPointSpec, MalformedSpecsThrowInvalidArgument) {
   // A rejected spec must arm nothing.
   util::FailPoint::hit("p");
   EXPECT_EQ(util::FailPoint::hits("p"), 0u);
+  // Malformed partial_write payloads.
+  EXPECT_THROW(util::FailPoint::arm_spec("p=partial_write()"),
+               std::invalid_argument);
+  EXPECT_THROW(util::FailPoint::arm_spec("p=partial_write(abc)"),
+               std::invalid_argument);
+  EXPECT_THROW(util::FailPoint::arm_spec("p=partial_write(-1)"),
+               std::invalid_argument);
+  EXPECT_THROW(util::FailPoint::arm_spec("p=partial_write(5"),
+               std::invalid_argument);
+}
+
+TEST(FailPointSpec, PartialWriteParsesByteCount) {
+  util::FailPointScope scope;
+  util::FailPoint::arm_spec("spec.partial=partial_write(120):skip=1:fires=1");
+  EXPECT_FALSE(util::FailPoint::poll("spec.partial").has_value());  // skipped
+  const std::optional<util::FailPoint::Config> fired =
+      util::FailPoint::poll("spec.partial");
+  ASSERT_TRUE(fired.has_value());
+  EXPECT_EQ(fired->action, util::FailPoint::Action::kPartialWrite);
+  EXPECT_EQ(fired->bytes, 120u);
+  EXPECT_FALSE(util::FailPoint::poll("spec.partial").has_value());  // spent
+  EXPECT_EQ(util::FailPoint::hits("spec.partial"), 3u);
+}
+
+TEST(FailPoint, PollSharesScheduleWithHit) {
+  util::FailPointScope scope;
+  util::FailPoint::arm("test.poll", {.skip = 1, .fires = 1});
+  EXPECT_FALSE(util::FailPoint::poll("test.never.armed").has_value());
+  util::FailPoint::hit("test.poll");  // hit 0: skipped
+  const std::optional<util::FailPoint::Config> fired =
+      util::FailPoint::poll("test.poll");  // hit 1: fires
+  ASSERT_TRUE(fired.has_value());
+  EXPECT_EQ(fired->action, util::FailPoint::Action::kThrow);
+  util::FailPoint::hit("test.poll");  // hit 2: past the window
+}
+
+TEST(FailPoint, PartialWriteAtPlainHitDegradesToThrow) {
+  // A site without a byte stream cannot honor kPartialWrite; failing
+  // hard beats silently ignoring the injection.
+  util::FailPointScope scope;
+  util::FailPoint::arm("test.pw",
+                       {.action = util::FailPoint::Action::kPartialWrite,
+                        .fires = 1,
+                        .bytes = 10});
+  EXPECT_THROW(util::FailPoint::hit("test.pw"), util::FailPointError);
+}
+
+// --- crc32 ----------------------------------------------------------------
+
+TEST(Crc32, MatchesKnownVectorsAndDetectsFlips) {
+  EXPECT_EQ(util::crc32("123456789"), 0xCBF43926u);
+  EXPECT_EQ(util::crc32(""), 0x00000000u);
+  const std::string payload = "shard 3 ops 120 overall 9 10";
+  std::string flipped = payload;
+  flipped[10] ^= 0x01;
+  EXPECT_NE(util::crc32(payload), util::crc32(flipped));
 }
 
 // --- stop tokens ----------------------------------------------------------
@@ -316,6 +374,116 @@ TEST(StopToken, CancelBeforeDeadlineReportsCancelled) {
   source.request_stop();
   EXPECT_TRUE(source.stop_requested());
   EXPECT_EQ(source.token().reason(), util::StopReason::kCancelled);
+}
+
+TEST(StopToken, RequestStopCarriesExplicitReason) {
+  util::StopSource source;
+  source.request_stop(util::StopReason::kStalled);
+  EXPECT_TRUE(source.stop_requested());
+  EXPECT_EQ(source.token().reason(), util::StopReason::kStalled);
+  // First cause wins.
+  source.request_stop(util::StopReason::kCancelled);
+  EXPECT_EQ(source.token().reason(), util::StopReason::kStalled);
+}
+
+TEST(StopToken, ChildObservesParentStop) {
+  util::StopSource parent;
+  util::StopSource child(parent.token());
+  EXPECT_FALSE(child.token().stop_requested());
+  parent.request_stop();
+  EXPECT_TRUE(child.token().stop_requested());
+  EXPECT_EQ(child.token().reason(), util::StopReason::kCancelled);
+  // The parent's reason latches into the child: a later local stop
+  // with a different reason does not overwrite it.
+  child.request_stop(util::StopReason::kStalled);
+  EXPECT_EQ(child.token().reason(), util::StopReason::kCancelled);
+}
+
+TEST(StopToken, ChildStopDoesNotPropagateToParent) {
+  util::StopSource parent;
+  util::StopSource child(parent.token());
+  child.request_stop(util::StopReason::kStalled);
+  EXPECT_TRUE(child.token().stop_requested());
+  EXPECT_EQ(child.token().reason(), util::StopReason::kStalled);
+  EXPECT_FALSE(parent.token().stop_requested());
+  EXPECT_EQ(parent.token().reason(), util::StopReason::kNone);
+}
+
+TEST(StopToken, ParentDeadlinePropagatesToChild) {
+  util::StopSource parent;
+  parent.set_deadline_after(std::chrono::milliseconds(5));
+  util::StopSource child(parent.token());
+  std::this_thread::sleep_for(std::chrono::milliseconds(10));
+  EXPECT_TRUE(child.token().stop_requested());
+  EXPECT_EQ(child.token().reason(), util::StopReason::kDeadline);
+}
+
+// --- watchdog -------------------------------------------------------------
+
+TEST(Watchdog, ExpiresOverdueWatchExactlyOnce) {
+  util::Watchdog dog;
+  std::atomic<int> fired{0};
+  (void)dog.watch(std::chrono::milliseconds(5), [&] { ++fired; });
+  const auto deadline =
+      std::chrono::steady_clock::now() + std::chrono::seconds(5);
+  while (fired.load() == 0 && std::chrono::steady_clock::now() < deadline) {
+    std::this_thread::sleep_for(std::chrono::milliseconds(1));
+  }
+  EXPECT_EQ(fired.load(), 1);
+  EXPECT_EQ(dog.expirations(), 1u);
+  // An expired entry is gone; it never fires again.
+  std::this_thread::sleep_for(std::chrono::milliseconds(15));
+  EXPECT_EQ(fired.load(), 1);
+}
+
+TEST(Watchdog, UnwatchBeforeBudgetSuppressesCallback) {
+  util::Watchdog dog;
+  std::atomic<int> fired{0};
+  const util::Watchdog::Id id =
+      dog.watch(std::chrono::seconds(60), [&] { ++fired; });
+  dog.unwatch(id);
+  std::this_thread::sleep_for(std::chrono::milliseconds(10));
+  EXPECT_EQ(fired.load(), 0);
+  EXPECT_EQ(dog.expirations(), 0u);
+}
+
+TEST(Watchdog, TracksManyWatchesIndependently) {
+  util::Watchdog dog;
+  std::atomic<int> fast_fired{0};
+  std::atomic<int> slow_fired{0};
+  (void)dog.watch(std::chrono::milliseconds(5), [&] { ++fast_fired; });
+  const util::Watchdog::Id slow =
+      dog.watch(std::chrono::seconds(60), [&] { ++slow_fired; });
+  const auto deadline =
+      std::chrono::steady_clock::now() + std::chrono::seconds(5);
+  while (fast_fired.load() == 0 &&
+         std::chrono::steady_clock::now() < deadline) {
+    std::this_thread::sleep_for(std::chrono::milliseconds(1));
+  }
+  EXPECT_EQ(fast_fired.load(), 1);
+  EXPECT_EQ(slow_fired.load(), 0);
+  dog.unwatch(slow);
+  EXPECT_EQ(dog.expirations(), 1u);
+}
+
+TEST(Watchdog, CancelsAStalledStopTokenAttempt) {
+  // The service-layer composition in miniature: a watchdog trips a
+  // per-attempt child token with kStalled while the parent stays live.
+  util::Watchdog dog;
+  util::StopSource request;
+  util::StopSource attempt(request.token());
+  (void)dog.watch(std::chrono::milliseconds(5), [attempt] {
+    attempt.request_stop(util::StopReason::kStalled);
+  });
+  const auto deadline =
+      std::chrono::steady_clock::now() + std::chrono::seconds(5);
+  while (!attempt.token().stop_requested() &&
+         std::chrono::steady_clock::now() < deadline) {
+    std::this_thread::sleep_for(std::chrono::milliseconds(1));
+  }
+  EXPECT_TRUE(attempt.token().stop_requested());
+  EXPECT_EQ(attempt.token().reason(), util::StopReason::kStalled);
+  EXPECT_FALSE(request.token().stop_requested());
 }
 
 // --- thread pool exception safety -----------------------------------------
