@@ -23,8 +23,15 @@
 //    reference and the composed parallel+packed+abort config, whose
 //    per-lane analytic op accounting must agree;
 //  * a word-oriented (WOM, m = 4) single-cell universe with the
-//    extended GF(16) scheme — the all-scalar oracle path (word
-//    schemes need real field multiplies and stay unpacked);
+//    extended GF(16) scheme — the packed path now carries one bit
+//    plane per field bit and feeds back through the transcript's
+//    compiled tap matrices, so the 64-lane configs apply here too;
+//  * a static-NPSF grid universe, where every lane evaluates its
+//    4-cell neighbourhood trigger bit-parallel over the neighbour
+//    lane words;
+//  * a retention universe under a pause-tick scheme, where the packed
+//    lanes decay analytically from pause-boundary checkpoints instead
+//    of per-access scans;
 //  * a dual-port classical universe (ports = 2): the PRT engines
 //    drive port 0 only, so the packed lanes apply unchanged while the
 //    scalar reference models the second port's sense amp.
@@ -32,7 +39,11 @@
 // Every configuration of a section runs the same universe slice and is
 // parity-checked against the section's first configuration (abort
 // configs additionally against each other's op counts), so the ratios
-// stay apples-to-apples and a model divergence aborts the bench.
+// stay apples-to-apples and a model divergence aborts the bench.  Each
+// section also reports packed_fraction — the share of faults the
+// fastest dispatch routed onto the 64-lane path; with universal
+// packing this is 1.0 for every universe family the bench runs, and
+// scripts/check_bench_baseline.py --packed-full enforces exactly that.
 //
 // Flags: --quick caps every universe for smoke runs; --threads N pins
 // the worker count (equivalent to PRT_THREADS=N in the environment).
@@ -160,6 +171,10 @@ struct SectionReport {
   /// engines (each compiling its own golden artifacts, the pre-suite
   /// sweep cost) over the one CampaignSuite call; 0 elsewhere.
   double suite_vs_sequential = 0;
+  /// Share of this section's faults that rode a 64-lane packed batch
+  /// in the most-packed configuration (max over configs of
+  /// packed_faults / total).  1.0 means zero scalar fallbacks.
+  double packed_fraction = 0;
   [[nodiscard]] double speedup_vs_baseline(std::size_t idx) const {
     return configs[idx].seconds > 0
                ? configs[0].seconds / configs[idx].seconds
@@ -206,6 +221,13 @@ class SectionRunner {
       std::fprintf(stderr, "PARITY VIOLATION in config %s at n=%u\n",
                    name.c_str(), report_.n);
       std::exit(1);
+    }
+    if (r.overall.total > 0) {
+      const double fraction = static_cast<double>(r.packed_faults) /
+                              static_cast<double>(r.overall.total);
+      if (fraction > report_.packed_fraction) {
+        report_.packed_fraction = fraction;
+      }
     }
     report_.configs.push_back({name, secs, r.ops, r.overall.percent()});
     std::printf("  %-30s %8.3f s   %12llu ops   %6.2f %% coverage\n",
@@ -364,9 +386,11 @@ SectionReport bench_march(mem::Addr n, std::size_t fault_cap) {
 }
 
 /// Word-oriented universe: every fault lives on one of m = 4 bit
-/// planes, the scheme runs over GF(16) — packing does not apply, so
-/// this tracks the scalar oracle trajectory (open ROADMAP item: grow
-/// the campaign bench to WOM schemes).
+/// planes, the scheme runs over GF(16).  The packed lanes carry one
+/// bit plane per field bit and feed back through the transcript's
+/// compiled tap matrices, so the full packed ladder applies — the
+/// scalar abort config stays ahead of packed+abort so the ops_exempt
+/// cross-check pins the per-lane analytic accounting against it.
 SectionReport bench_wom(mem::Addr n, std::size_t fault_cap) {
   const unsigned m = 4;
   const auto universe = cap_universe(
@@ -394,6 +418,90 @@ SectionReport bench_wom(mem::Addr n, std::size_t fault_cap) {
   engine("oracle", engine_opts(false, false));
   engine("oracle+parallel", engine_opts(true, false));
   engine("oracle+parallel+abort", engine_opts(true, false, true));
+  engine("oracle+parallel+packed", engine_opts(true, true));
+  engine("oracle+parallel+packed+abort", engine_opts(true, true, true));
+  run.finish();
+  return report;
+}
+
+/// Static-NPSF grid universe: two representative neighbourhood
+/// patterns per interior cell of a cols-wide grid.  Each packed lane
+/// evaluates its 4-cell trigger bit-parallel over the neighbour lane
+/// words, so the whole family rides the lanes.
+SectionReport bench_npsf(mem::Addr n, mem::Addr grid_cols,
+                         std::size_t fault_cap) {
+  mem::UniverseOptions uopt;
+  uopt.single_cell = false;
+  uopt.coupling = false;
+  uopt.bridges = false;
+  uopt.address_decoder = false;
+  uopt.npsf = true;
+  uopt.npsf_grid_cols = grid_cols;
+  const auto universe = cap_universe(mem::make_universe(n, 1, uopt), fault_cap);
+  const auto scheme = core::extended_scheme_bom(n);
+  analysis::CampaignOptions opt;
+  opt.n = n;
+
+  SectionReport report;
+  report.universe = "npsf (grid)";
+  report.scheme = scheme.name;
+  report.n = n;
+  report.faults = universe.size();
+  SectionRunner run(report, universe, opt);
+  auto engine = [&](const std::string& name,
+                    const analysis::EngineOptions& eng) {
+    run.record(
+        name,
+        [&] { return analysis::run_prt_campaign(universe, scheme, opt, eng); },
+        /*ops_exempt=*/eng.early_abort);
+  };
+  engine("oracle", engine_opts(false, false));
+  engine("oracle+parallel", engine_opts(true, false));
+  engine("oracle+parallel+abort", engine_opts(true, false, true));
+  engine("oracle+parallel+packed", engine_opts(true, true));
+  engine("oracle+parallel+packed+abort", engine_opts(true, true, true));
+  run.finish();
+  return report;
+}
+
+/// Retention universe under a pause-tick scheme: delays straddle the
+/// pause length, so some lanes decay at the first pause, some later,
+/// some never.  The packed lanes decay analytically from pause-
+/// boundary checkpoints instead of per-access scans.
+SectionReport bench_retention(mem::Addr n, std::size_t fault_cap) {
+  constexpr std::uint64_t kPauseTicks = 1000;
+  constexpr std::uint64_t kDelays[] = {200, 900, 1500, 5000, 1'000'000'000};
+  std::vector<mem::Fault> universe;
+  universe.reserve(static_cast<std::size_t>(n) * 2);
+  for (mem::Addr c = 0; c < n; ++c) {
+    universe.push_back(mem::Fault::retention(
+        {c, 0}, static_cast<unsigned>(c & 1), kDelays[c % 5]));
+    universe.push_back(mem::Fault::retention(
+        {c, 0}, static_cast<unsigned>(1 - (c & 1)), kDelays[(c + 2) % 5]));
+  }
+  universe = cap_universe(std::move(universe), fault_cap);
+  const auto scheme = core::retention_scheme(n, 1, kPauseTicks);
+  analysis::CampaignOptions opt;
+  opt.n = n;
+
+  SectionReport report;
+  report.universe = "retention (pause)";
+  report.scheme = scheme.name;
+  report.n = n;
+  report.faults = universe.size();
+  SectionRunner run(report, universe, opt);
+  auto engine = [&](const std::string& name,
+                    const analysis::EngineOptions& eng) {
+    run.record(
+        name,
+        [&] { return analysis::run_prt_campaign(universe, scheme, opt, eng); },
+        /*ops_exempt=*/eng.early_abort);
+  };
+  engine("oracle", engine_opts(false, false));
+  engine("oracle+parallel", engine_opts(true, false));
+  engine("oracle+parallel+abort", engine_opts(true, false, true));
+  engine("oracle+parallel+packed", engine_opts(true, true));
+  engine("oracle+parallel+packed+abort", engine_opts(true, true, true));
   run.finish();
   return report;
 }
@@ -484,6 +592,7 @@ SectionReport bench_suite(std::size_t fault_cap) {
                     const std::vector<analysis::CampaignResult>& reference) {
     analysis::ClassCoverage overall;
     std::uint64_t ops = 0;
+    std::uint64_t packed_faults = 0;
     for (std::size_t i = 0; i < results.size(); ++i) {
       if (!reference.empty() && !(results[i] == reference[i])) {
         std::fprintf(stderr,
@@ -494,6 +603,14 @@ SectionReport bench_suite(std::size_t fault_cap) {
       overall.detected += results[i].overall.detected;
       overall.total += results[i].overall.total;
       ops += results[i].ops;
+      packed_faults += results[i].packed_faults;
+    }
+    if (overall.total > 0) {
+      const double fraction = static_cast<double>(packed_faults) /
+                              static_cast<double>(overall.total);
+      if (fraction > report.packed_fraction) {
+        report.packed_fraction = fraction;
+      }
     }
     report.configs.push_back({name, secs, ops, overall.percent()});
     std::printf("  %-30s %8.3f s   %12llu ops   %6.2f %% coverage\n",
@@ -571,7 +688,8 @@ void write_report(std::ostream& out, const std::vector<SectionReport>& reports,
         << nl << indent(3) << "\"packed_vs_parallel_full_run\": "
         << r.packed_vs_parallel_full_run << "," << sp << nl << indent(3)
         << "\"suite_vs_sequential\": " << r.suite_vs_sequential << "," << sp
-        << nl << indent(3) << "\"configs\": [" << nl;
+        << nl << indent(3) << "\"packed_fraction\": " << r.packed_fraction
+        << "," << sp << nl << indent(3) << "\"configs\": [" << nl;
     for (std::size_t c = 0; c < r.configs.size(); ++c) {
       const ConfigTiming& t = r.configs[c];
       out << indent(4) << "{\"name\": \"" << t.name
@@ -640,6 +758,8 @@ int main(int argc, char** argv) {
   reports.push_back(bench_march(1024, cap_small));
   reports.push_back(bench_march(4096, cap_large));
   reports.push_back(bench_wom(256, cap_small));
+  reports.push_back(bench_npsf(1024, /*grid_cols=*/32, cap_small));
+  reports.push_back(bench_retention(1024, cap_small));
   reports.push_back(bench_multiport(1024, /*ports=*/2, cap_small));
   // Last: the suite sweep clears the process-wide oracle cache for its
   // cold-vs-shared comparison, so it must not warm (or drain) any

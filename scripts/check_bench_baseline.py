@@ -12,7 +12,7 @@ report against the baseline generated with the same flags
 (`bench_campaign --quick`, threads pinned via PRT_THREADS).
 
 Usage: check_bench_baseline.py FRESH.json BASELINE.json
-           [--expect UNIVERSE ...]
+           [--expect UNIVERSE ...] [--packed-full UNIVERSE ...]
 
 --expect pins the universe names the fresh report must contain.  The
 section diff below only sees sections present in at least one file, so
@@ -20,6 +20,14 @@ without it, a bench binary that crashed mid-sweep (or a baseline that
 was regenerated from a truncated run) could drop a whole universe from
 *both* files and pass silently.  The CI invocation lists every
 universe the quick sweep is supposed to produce.
+
+--packed-full pins universal packing: the named sections of the fresh
+report must have packed_fraction == 1.0, i.e. every fault of that
+universe rode a 64-lane batch and zero fell back to the scalar
+per-fault path.  A lane-compatibility regression (a fault family
+silently dropping off the packed path) changes no op count and no
+coverage number, so only this fraction catches it.  packed_fraction is
+also diffed fresh-vs-baseline for every section, like ops/coverage.
 
 Exit status 0 when everything matches, 1 with a diff report otherwise,
 2 on malformed input.
@@ -61,6 +69,15 @@ def main():
         help="universe names the fresh report must contain; a missing "
         "one fails the check even when both files agree",
     )
+    parser.add_argument(
+        "--packed-full",
+        nargs="+",
+        default=[],
+        metavar="UNIVERSE",
+        help="universe names whose fresh sections must report "
+        "packed_fraction == 1.0 (every fault on the 64-lane path, "
+        "zero scalar fallbacks)",
+    )
     args = parser.parse_args()
 
     try:
@@ -88,6 +105,23 @@ def main():
                 f"expected universe '{name}' missing from baseline "
                 "(baseline generated from a truncated run?)"
             )
+
+    # Universal-packing pin: every fresh section of a --packed-full
+    # universe must have routed its whole universe onto the lanes.
+    packed_full = set(args.packed_full)
+    for name in packed_full - fresh_universes:
+        errors.append(
+            f"--packed-full universe '{name}' missing from fresh report"
+        )
+    for s in fresh:
+        if s.get("universe") in packed_full:
+            fraction = s.get("packed_fraction")
+            if fraction != 1.0:
+                errors.append(
+                    f"section {section_key(s)}: packed_fraction "
+                    f"{fraction} != 1.0 (scalar fallbacks on a "
+                    "universe that must pack fully)"
+                )
 
     fresh_sections = {section_key(s): s for s in fresh}
     baseline_sections = {section_key(s): s for s in baseline}
@@ -120,6 +154,15 @@ def main():
                     f"section {key}: suite_vs_sequential missing or 0 "
                     "(suite config dropped out of the sweep?)"
                 )
+        # The dispatch split is deterministic (it depends only on the
+        # universe and the engine options), so the packed share must
+        # reproduce exactly run over run.
+        if got.get("packed_fraction") != base.get("packed_fraction"):
+            errors.append(
+                f"section {key}: packed_fraction "
+                f"{got.get('packed_fraction')} != baseline "
+                f"{base.get('packed_fraction')}"
+            )
         base_configs = {c.get("name"): c for c in base.get("configs", [])}
         got_configs = {c.get("name"): c for c in got.get("configs", [])}
         for name in got_configs.keys() - base_configs.keys():

@@ -78,7 +78,10 @@ class PrtWorkload {
         use_oracle_(use_oracle) {
     validate_campaign_options(opt);
     entry_ = cache.prt(scheme_, opt.n);
-    packable_ = opt.m == 1 && entry_->packable;
+    // Lane batching needs the campaign word width to equal the
+    // scheme's field degree: the packed ram then carries one bit plane
+    // per field bit and the transcript's tap matrices line up.
+    packable_ = entry_->packable && entry_->transcript.width == opt.m;
   }
 
   /// Per-shard mutable state: one rewindable FaultyRam and the packed
@@ -90,7 +93,8 @@ class PrtWorkload {
     core::PackedScratch scratch;
   };
 
-  /// Lane batching permitted: oracle-backed GF(2)/m = 1 runs only.
+  /// Lane batching permitted: oracle-backed runs whose word width
+  /// matches the scheme's field degree (GF(2) and GF(2^m) alike).
   [[nodiscard]] bool packable() const { return use_oracle_ && packable_; }
 
   /// Runs one fault scalar; returns detected, charges its ops.
@@ -99,7 +103,7 @@ class PrtWorkload {
     s.ram.reset(fault);
     const core::PrtRunOptions run{.early_abort = early_abort_,
                                   .record_iterations = false};
-    // Oracle-backed GF(2) runs replay the compiled transcript (no
+    // Oracle-backed packable runs replay the compiled transcript (no
     // oracle indirection, FaultyRam devirtualized); other
     // configurations keep the live paths.
     const bool detected =
@@ -257,7 +261,7 @@ class CampaignDriver {
     if (!packed_enabled()) {
       return scalar_shard(universe, begin, end, out, run_scalar, stop);
     }
-    mem::PackedFaultRam packed(opt_.n);
+    mem::PackedFaultRam packed(opt_.n, opt_.m);
     auto run_batch = [&](mem::PackedFaultRam& batch) {
       return workload_.run_batch(state, batch);
     };

@@ -64,13 +64,17 @@ struct EngineOptions {
   /// the campaign's read/write counts must reflect complete runs.
   bool early_abort = false;
   /// Evaluate lane-compatible faults (single-bit SAF/TF/WDF, the
-  /// read-logic kinds, the two-cell CFin/CFid/CFst/bridge kinds on
-  /// bit plane 0, and the decoder kinds) 64 per sweep on a bit-packed
-  /// mem::PackedFaultRam (core/prt_packed) when the scheme is a
-  /// GF(2)/m = 1 scheme.  NPSF and retention faults fall back to the
-  /// scalar per-fault path, and results stay bit-identical to the
-  /// all-scalar reference.  Ignored (everything scalar) when the
-  /// scheme is not packable or use_oracle is off.
+  /// read-logic kinds, the two-cell CFin/CFid/CFst/bridge kinds, the
+  /// decoder kinds, static NPSF neighbourhoods and retention faults)
+  /// 64 per sweep on a bit-packed mem::PackedFaultRam
+  /// (core/prt_packed).  Applies whenever the campaign word width
+  /// equals the scheme's field degree — GF(2) bit-oriented and
+  /// GF(2^m) word-oriented schemes alike (the word path rides m bit
+  /// planes per cell).  Results stay bit-identical to the all-scalar
+  /// reference; the rare residue (e.g. degenerate CFst trigger
+  /// states, victim bits beyond the word width) falls back per fault.
+  /// Ignored (everything scalar) when the scheme is not packable or
+  /// use_oracle is off.
   bool packed = true;
 };
 

@@ -135,6 +135,8 @@ std::string shard_record_payload(const CheckpointShard& s) {
   }
   out << " escapes " << s.result.escapes.size();
   for (const std::size_t e : s.result.escapes) out << " " << e;
+  out << " dispatch " << s.result.packed_faults << " "
+      << s.result.scalar_faults;
   return out.str();
 }
 
@@ -211,7 +213,15 @@ bool parse_shard_record(const std::string& payload, CheckpointShard& s) {
     if (!(in >> idx)) return false;
     s.result.escapes.push_back(idx);
   }
-  if (in >> word) return false;  // trailing junk
+  // Dispatch tallies; absent in records written before the tallies
+  // existed, which resume as 0/0 (telemetry only, never verdicts).
+  if (in >> word) {
+    if (word != "dispatch") return false;
+    if (!(in >> s.result.packed_faults >> s.result.scalar_faults)) {
+      return false;
+    }
+    if (in >> word) return false;  // trailing junk
+  }
   return true;
 }
 
@@ -474,6 +484,10 @@ struct CampaignService::Impl {
   std::atomic<std::uint64_t> completed{0};
   std::atomic<std::uint64_t> partial{0};
   std::atomic<std::uint64_t> failed{0};
+  /// Dispatch tallies summed over every resolved request's merged
+  /// result (CampaignResult::packed_faults / scalar_faults).
+  std::atomic<std::uint64_t> packed_faults{0};
+  std::atomic<std::uint64_t> scalar_faults{0};
   std::atomic<std::uint64_t> shard_retries{0};
   std::atomic<std::uint64_t> shard_stalls{0};
   std::atomic<std::uint64_t> checkpoint_writes{0};
@@ -649,6 +663,8 @@ struct CampaignService::Impl {
       if (r.done[s] != 0) merged.push_back(std::move(r.results[s]));
     }
     out.result = merge_results(merged);
+    packed_faults += out.result.packed_faults;
+    scalar_faults += out.result.scalar_faults;
     switch (out.status) {
       case RequestStatus::kComplete:
         ++completed;
@@ -1031,6 +1047,8 @@ CampaignService::Stats CampaignService::stats() const {
   s.failed = impl_->failed.load();
   s.shard_retries = impl_->shard_retries.load();
   s.shard_stalls = impl_->shard_stalls.load();
+  s.packed_faults = impl_->packed_faults.load();
+  s.scalar_faults = impl_->scalar_faults.load();
   s.checkpoint_writes = impl_->checkpoint_writes.load();
   s.checkpoint_failures = impl_->checkpoint_failures.load();
   s.checkpoint_salvaged = impl_->checkpoint_salvaged.load();

@@ -224,6 +224,11 @@ class CampaignService {
     std::uint64_t shard_retries = 0;
     /// Shard attempts cancelled by the stall watchdog.
     std::uint64_t shard_stalls = 0;
+    /// Dispatch tallies rolled up over every resolved request: faults
+    /// that rode a 64-lane packed batch vs the scalar per-fault path
+    /// (CampaignResult::packed_faults / scalar_faults).
+    std::uint64_t packed_faults = 0;
+    std::uint64_t scalar_faults = 0;
     std::uint64_t checkpoint_writes = 0;
     std::uint64_t checkpoint_failures = 0;
     /// Resume loads that had to salvage a torn/corrupt checkpoint.

@@ -53,6 +53,7 @@ bool scalar_shard(std::span<const mem::Fault> universe, std::size_t begin,
   for (std::size_t i = begin; i < end; ++i) {
     if (stop.stop_requested()) return false;
     tally_fault(out, universe, i, run_scalar(i));
+    ++out.scalar_faults;
   }
   return true;
 }
@@ -77,6 +78,7 @@ bool lane_batched_shard(std::span<const mem::Fault> universe,
     if (lanes == 0) return;
     const auto [detected, ops] = run_batch(packed);
     out.ops += ops;
+    out.packed_faults += lanes;
     for (unsigned lane = 0; lane < lanes; ++lane) {
       tally_fault(out, universe, batch_index[lane],
                   ((detected >> lane) & 1U) != 0);
@@ -85,11 +87,12 @@ bool lane_batched_shard(std::span<const mem::Fault> universe,
   };
   for (std::size_t i = begin; i < end; ++i) {
     if (stop.stop_requested()) return false;
-    if (mem::lane_compatible(universe[i])) {
+    if (mem::lane_compatible(universe[i], packed.width())) {
       batch_index[packed.add_fault(universe[i])] = i;
       if (packed.lanes_used() == mem::PackedFaultRam::kLanes) flush();
     } else {
       tally_fault(out, universe, i, run_scalar(i));
+      ++out.scalar_faults;
     }
   }
   flush();

@@ -44,6 +44,15 @@ struct CampaignResult {
   /// every fault's run — the campaign-level cost figure early-abort
   /// shrinks (analysis/campaign_engine).
   std::uint64_t ops = 0;
+  /// Dispatch tallies: faults that rode a 64-lane packed batch vs the
+  /// scalar per-fault path.  packed_faults + scalar_faults ==
+  /// overall.total; a fully lane-compatible universe on a packed
+  /// engine has scalar_faults == 0 (the bench asserts exactly that via
+  /// its packed_fraction field).  Verdict-neutral telemetry — the
+  /// parity suites compare verdict fields only, since the whole point
+  /// of packing is that the split never changes the result.
+  std::uint64_t packed_faults = 0;
+  std::uint64_t scalar_faults = 0;
 
   bool operator==(const CampaignResult&) const = default;
 };

@@ -61,8 +61,11 @@ class OracleCache {
   struct PrtEntry {
     core::PrtOracle oracle;
     /// core::prt_scheme_packable(scheme): the scheme runs bit-parallel
-    /// (GF(2), XOR feedback).  Campaign packing additionally requires
-    /// m == 1 — a per-campaign fact that stays outside the cache.
+    /// (GF(2) on the single-plane hot loop, GF(2^m) over m bit planes
+    /// with compiled tap matrices).  Campaign packing additionally
+    /// requires the campaign word width to equal the scheme's field
+    /// degree (transcript.width) — a per-campaign fact that stays
+    /// outside the cache.
     bool packable = false;
     /// Compiled golden op stream; empty unless `packable`.
     core::OpTranscript transcript;

@@ -5,6 +5,7 @@
 #include <string>
 
 #include "core/prt_packed.hpp"
+#include "gf/const_mult.hpp"
 #include "lfsr/lfsr.hpp"
 
 namespace prt::core {
@@ -19,6 +20,7 @@ OpTranscript make_op_transcript(const PrtScheme& scheme,
   OpTranscript t;
   t.n = n;
   t.misr_poly = scheme.misr_poly;
+  t.width = field.m();
   std::size_t rec_count = 0;
   for (const SchemeIteration& it : scheme.iterations) {
     rec_count += n + (it.config.verify_pass ? n : 0);
@@ -77,6 +79,25 @@ OpTranscript make_op_transcript(const PrtScheme& scheme,
     // trajectory position q + j, which the generator taps as g[k - j].
     for (unsigned j = 0; j < kk; ++j) {
       if (it.g[kk - j] != 0) span.fb_mask |= std::uint64_t{1} << j;
+    }
+    // Over GF(2^m) each tap multiplies by the constant g[k - j] — a
+    // GF(2)-linear map, compiled to its m x m bit matrix so both
+    // replays evaluate it with XORs only (the paper's own argument for
+    // constant multipliers in the BIST hardware).
+    if (t.width > 1) {
+      span.tap_rows.assign(static_cast<std::size_t>(kk) * t.width, 0);
+      for (unsigned j = 0; j < kk; ++j) {
+        const gf::Elem c = it.g[kk - j];
+        if (c == 0) continue;
+        const gf::MatrixGF2 mtx = gf::multiplier_matrix(field, c);
+        for (unsigned r = 0; r < t.width; ++r) {
+          std::uint32_t row = 0;
+          for (unsigned p = 0; p < t.width; ++p) {
+            if (mtx.get(r, p)) row |= std::uint32_t{1} << p;
+          }
+          span.tap_rows[static_cast<std::size_t>(j) * t.width + r] = row;
+        }
+      }
     }
     span.misr_expected = orc.misr_expected;
     span.pause_ticks = it.config.pause_ticks;

@@ -17,8 +17,10 @@
 //  * run_prt_transcript (below, a template so the memory type
 //    devirtualizes) replays the scheme against any mem::Memory with a
 //    detection verdict and op accounting identical to
-//    run_prt(memory, scheme, oracle, options) — the campaign engines'
-//    scalar fallback (decoder/retention/NPSF faults) runs on it;
+//    run_prt(memory, scheme, oracle, options) — every fault family
+//    rides the packed lanes now, so this scalar replay serves as the
+//    campaigns' differential reference and the rare-escape fallback
+//    (e.g. degenerate CFst trigger states);
 //  * core::run_prt_packed (prt_packed.hpp) replays it against a
 //    64-lane mem::PackedFaultRam;
 //  * march::run_march_packed (march/march_runner.hpp) replays a March
@@ -32,6 +34,7 @@
 // parity tests).  See DESIGN.md §9.
 #pragma once
 
+#include <bit>
 #include <cstdint>
 #include <vector>
 
@@ -66,10 +69,18 @@ struct PrtIterSpan {
   /// Register length k of this iteration's generator.
   unsigned k = 0;
   /// Feedback selection: bit j set means window position j (the read
-  /// of trajectory position q + j) is XORed into the feedback write —
-  /// bit j corresponds to a non-zero generator coefficient g[k - j].
-  /// GF(2) only: the compiler rejects non-packable schemes.
+  /// of trajectory position q + j) feeds the feedback write — bit j
+  /// corresponds to a non-zero generator coefficient g[k - j].  Over
+  /// GF(2) the tap is a plain XOR of the read; wider fields also need
+  /// tap_rows below.
   std::uint64_t fb_mask = 0;
+  /// GF(2^m) tap matrices, empty for GF(2) schemes.  Multiplying by
+  /// the constant g[k - j] is GF(2)-linear, so tap j is an m x m bit
+  /// matrix: tap_rows[j * m + r] is the mask of input bit planes XORed
+  /// into output plane r (row r of gf::multiplier_matrix(field,
+  /// g[k - j])).  The packed word replay applies it lane-parallel
+  /// (plane XORs), the scalar replay via per-row parity.
+  std::vector<std::uint32_t> tap_rows;
   /// Golden MISR signature over this iteration's read stream (sweep
   /// windows, Fin read-back, Init re-read); 0 when MISR is disabled.
   std::uint64_t misr_expected = 0;
@@ -106,6 +117,11 @@ struct OpTranscript {
   // --- PRT side ---
   std::vector<PrtIterSpan> iterations;
   gf::Poly2 misr_poly = 0;  // 0 = MISR disabled
+  /// Field degree m of the scheme: every golden value and memory word
+  /// is an m-bit quantity.  1 for GF(2) (and for all March
+  /// transcripts); word-oriented schemes carry their real width so the
+  /// replays pick the word path.
+  unsigned width = 1;
   // --- March side ---
   std::vector<MarchSegment> march;
   std::uint64_t delay_ticks = 0;
@@ -120,9 +136,9 @@ struct OpTranscript {
 
 /// Compiles `scheme` against `oracle` (built by make_prt_oracle(scheme,
 /// n)) into a flat transcript.  Preconditions: prt_scheme_packable
-/// (GF(2), every coefficient a bit — the only schemes whose feedback
-/// degenerates to the XOR mask the replay uses) and every iteration's
-/// k <= 64 (the fb_mask width).
+/// (structurally sane over GF(2^m), m <= 16 — GF(2) taps degenerate to
+/// the XOR mask, wider fields get per-tap bit matrices) and every
+/// iteration's k <= 64 (the fb_mask width).
 [[nodiscard]] OpTranscript make_op_transcript(const PrtScheme& scheme,
                                               const PrtOracle& oracle);
 
@@ -152,12 +168,30 @@ template <typename MemoryT>
       memory.write(traj[j].addr, traj[j].golden, 0);
     }
     // Sweep: k-wide read windows, feedback write selected by fb_mask.
+    // GF(2) taps XOR the read straight in; GF(2^m) taps apply the
+    // constant-multiplier bit matrix row by row (parity per output
+    // plane) — exactly WordLfsr::feedback's sum of g[k - j] * read.
     for (mem::Addr q = 0; q + kk < n; ++q) {
       mem::Word fb = 0;
       for (unsigned j = 0; j < kk; ++j) {
         const mem::Word raw = memory.read(traj[q + j].addr, 0);
         if (use_misr) misr.shift(raw);
-        if ((it.fb_mask >> j) & 1U) fb ^= raw;
+        if ((it.fb_mask >> j) & 1U) {
+          if (it.tap_rows.empty()) {
+            fb ^= raw;
+          } else {
+            const std::uint32_t* rows =
+                it.tap_rows.data() + static_cast<std::size_t>(j) * t.width;
+            mem::Word prod = 0;
+            for (unsigned r = 0; r < t.width; ++r) {
+              prod |= static_cast<mem::Word>(
+                          static_cast<unsigned>(std::popcount(rows[r] & raw)) &
+                          1U)
+                      << r;
+            }
+            fb ^= prod;
+          }
+        }
       }
       memory.write(traj[q + kk].addr, fb, 0);
     }

@@ -9,23 +9,177 @@
 namespace prt::core {
 
 bool prt_scheme_packable(const PrtScheme& scheme) {
-  if (scheme.field_modulus != 0b11) return false;  // GF(2) only
+  // Any field the scheme factories produce packs: GF(2) on the
+  // single-plane hot loop, GF(2^m) up to m = 16 on m bit planes with
+  // compiled tap matrices.  The checks left are structural sanity —
+  // the same malformed-scheme shapes make_op_transcript would trip on.
+  const int degree = poly_degree(scheme.field_modulus);
+  if (degree < 1 || degree > 16) return false;
+  const gf::Elem field_size = gf::Elem{1} << degree;
   if (scheme.iterations.empty()) return false;
   for (const SchemeIteration& it : scheme.iterations) {
     if (it.g.size() < 2) return false;
     // The transcript's feedback-selection mask covers windows up to 64
-    // positions wide (every real scheme uses k = 2).
+    // positions wide (every real scheme uses k = 2 or 3).
     if (it.g.size() > 65) return false;
     for (const gf::Elem c : it.g) {
-      if (c > 1) return false;
+      if (c >= field_size) return false;
     }
     if (it.config.init.size() != it.g.size() - 1) return false;
     for (const gf::Elem d : it.config.init) {
-      if (d > 1) return false;
+      if (d >= field_size) return false;
     }
   }
   return true;
 }
+
+namespace {
+
+/// Word path (m > 1): every cell is m bit planes, goldens broadcast
+/// per plane, the feedback evaluated through the transcript's compiled
+/// tap matrices, and the MISR fed the whole read word bit-sliced —
+/// exactly lfsr::Misr::shift, which folds input bit b into state bit b.
+/// Structure and abort accounting mirror the single-plane loop below.
+PackedVerdict run_prt_packed_word(mem::PackedFaultRam& ram,
+                                  const OpTranscript& t,
+                                  const PackedRunOptions& options,
+                                  PackedScratch& scratch) {
+  const mem::Addr n = t.n;
+  const unsigned m = t.width;
+  const bool use_misr = t.misr_poly != 0;
+  const unsigned misr_width =
+      use_misr ? static_cast<unsigned>(poly_degree(t.misr_poly)) : 0;
+  if (scratch.misr.size() < misr_width) scratch.misr.resize(misr_width);
+  if (scratch.planes.size() < 2 * static_cast<std::size_t>(m)) {
+    scratch.planes.resize(2 * static_cast<std::size_t>(m));
+  }
+  mem::LaneWord* misr = scratch.misr.data();
+  mem::LaneWord* w = scratch.planes.data();       // read word, one per plane
+  mem::LaneWord* fb = scratch.planes.data() + m;  // feedback accumulator
+
+  const mem::LaneWord active = ram.active_mask();
+  PackedVerdict verdict;
+  mem::LaneWord mismatch = 0;
+  mem::LaneWord pending = active;
+
+  auto broadcast_write = [&](mem::Addr addr, gf::Elem golden) {
+    for (unsigned b = 0; b < m; ++b) {
+      w[b] = mem::lane_broadcast(static_cast<unsigned>((golden >> b) & 1U));
+    }
+    ram.write_word(addr, w);
+  };
+  auto compare = [&](mem::Addr addr, gf::Elem golden) {
+    ram.read_word(addr, w);
+    for (unsigned b = 0; b < m; ++b) {
+      mismatch |= w[b] ^ mem::lane_broadcast(
+                             static_cast<unsigned>((golden >> b) & 1U));
+    }
+  };
+
+  for (const PrtIterSpan& it : t.iterations) {
+    const OpRec* traj = t.recs.data() + it.traj_begin;
+    const unsigned kk = it.k;
+    if (use_misr) std::fill_n(misr, misr_width, mem::LaneWord{0});
+    // Bit-sliced MISR shift of an m-bit input word: register shift
+    // first, then fold input plane b into state plane b (Misr::shift
+    // XORs the whole masked input word into the state).
+    auto misr_shift = [&](const mem::LaneWord* input) {
+      const mem::LaneWord msb = misr[misr_width - 1];
+      for (unsigned b = misr_width; b-- > 1;) {
+        misr[b] = misr[b - 1] ^ (((t.misr_poly >> b) & 1U) ? msb : 0);
+      }
+      misr[0] = ((t.misr_poly & 1U) != 0) ? msb : 0;
+      const unsigned fold = std::min(m, misr_width);
+      for (unsigned b = 0; b < fold; ++b) misr[b] ^= input[b];
+    };
+
+    // Initialization: broadcast the seed words to every lane.
+    for (unsigned j = 0; j < kk; ++j) {
+      broadcast_write(traj[j].addr, traj[j].golden);
+    }
+
+    // Sweep: per tap, feedback plane r accumulates the XOR of the read
+    // planes selected by tap matrix row r (constant multiply over
+    // GF(2^m) as plane-wide XORs); the field addition across taps is
+    // plane-wise XOR too.
+    for (mem::Addr q = 0; q + kk < n; ++q) {
+      std::fill_n(fb, m, mem::LaneWord{0});
+      for (unsigned j = 0; j < kk; ++j) {
+        ram.read_word(traj[q + j].addr, w);
+        if (use_misr) misr_shift(w);
+        if ((it.fb_mask >> j) & 1U) {
+          const std::uint32_t* rows =
+              it.tap_rows.data() + static_cast<std::size_t>(j) * m;
+          for (unsigned r = 0; r < m; ++r) {
+            std::uint32_t rm = rows[r];
+            mem::LaneWord acc = 0;
+            while (rm != 0) {
+              const unsigned p = static_cast<unsigned>(std::countr_zero(rm));
+              rm &= rm - 1;
+              acc ^= w[p];
+            }
+            fb[r] ^= acc;
+          }
+        }
+      }
+      ram.write_word(traj[q + kk].addr, fb);
+    }
+
+    // Verdict: Fin read-back against Fin*, Init re-read against the
+    // seed — any lane deviating in any plane is detected.
+    for (unsigned j = 0; j < kk; ++j) {
+      ram.read_word(traj[n - kk + j].addr, w);
+      for (unsigned b = 0; b < m; ++b) {
+        mismatch |= w[b] ^ mem::lane_broadcast(static_cast<unsigned>(
+                               (traj[n - kk + j].golden >> b) & 1U));
+      }
+      if (use_misr) misr_shift(w);
+    }
+    for (unsigned j = 0; j < kk; ++j) {
+      ram.read_word(traj[j].addr, w);
+      for (unsigned b = 0; b < m; ++b) {
+        mismatch |= w[b] ^ mem::lane_broadcast(
+                               static_cast<unsigned>((traj[j].golden >> b) & 1U));
+      }
+      if (use_misr) misr_shift(w);
+    }
+
+    if (it.has_verify) {
+      // The pause advances the packed clock so retention lanes decay
+      // analytically at the first verify read past the boundary.
+      if (it.pause_ticks != 0) ram.advance_time(it.pause_ticks);
+      const OpRec* img = t.recs.data() + it.verify_begin;
+      for (mem::Addr a = 0; a < n; ++a) {
+        compare(img[a].addr, img[a].golden);
+        if (options.early_abort && (pending & ~mismatch) == 0) break;
+      }
+    }
+    if (use_misr) {
+      for (unsigned b = 0; b < misr_width; ++b) {
+        mismatch |= misr[b] ^ mem::lane_broadcast(static_cast<unsigned>(
+                                  (it.misr_expected >> b) & 1U));
+      }
+    }
+
+    if (options.early_abort) {
+      const mem::LaneWord newly = pending & mismatch;
+      verdict.scalar_ops +=
+          static_cast<std::uint64_t>(std::popcount(newly)) * it.ops_end();
+      pending &= ~mismatch;
+      if (pending == 0) {
+        verdict.detected = mismatch;
+        return verdict;
+      }
+    }
+  }
+  const mem::LaneWord full = options.early_abort ? pending : active;
+  verdict.scalar_ops +=
+      static_cast<std::uint64_t>(std::popcount(full)) * t.total_ops();
+  verdict.detected = mismatch;
+  return verdict;
+}
+
+}  // namespace
 
 PackedVerdict run_prt_packed(mem::PackedFaultRam& ram,
                              const OpTranscript& t,
@@ -33,6 +187,8 @@ PackedVerdict run_prt_packed(mem::PackedFaultRam& ram,
                              PackedScratch& scratch) {
   assert(!t.iterations.empty());
   assert(t.n == ram.size());
+  assert(t.width == ram.width());
+  if (t.width > 1) return run_prt_packed_word(ram, t, options, scratch);
   const mem::Addr n = t.n;
   const bool use_misr = t.misr_poly != 0;
   const unsigned misr_width =
@@ -96,8 +252,8 @@ PackedVerdict run_prt_packed(mem::PackedFaultRam& ram,
     }
 
     if (it.has_verify) {
-      // No lane-compatible fault is clock-dependent, so the pause only
-      // mirrors the scalar control flow.
+      // The pause advances the packed clock: retention lanes decay
+      // analytically at the first verify read past the boundary.
       if (it.pause_ticks != 0) ram.advance_time(it.pause_ticks);
       const OpRec* img = t.recs.data() + it.verify_begin;
       for (mem::Addr a = 0; a < n; ++a) {

@@ -4,14 +4,19 @@
 // sum_j g_j * window[k-j] degenerates to an XOR of the selected window
 // entries — which is *lane-wise*: one 64-bit XOR computes all 64
 // packed memories' feedback at once, each from its own (possibly
-// fault-corrupted) reads.  run_prt_packed replays the compiled op
-// transcript of the scheme (core/op_transcript.hpp) against a
-// mem::PackedFaultRam: a tight stream over flat {addr, golden}
-// records with no Trajectory::at(), no oracle indirection and no
-// per-op dispatch, comparing each lane's observed Fin, Init read-back,
-// verify-pass image and (bit-sliced) MISR signature against the golden
-// values baked into the transcript, returning the 64-bit detected
-// mask.
+// fault-corrupted) reads.  Word-oriented schemes (GF(2^m), m > 1) pack
+// just as well: a cell is m bit planes, each constant-coefficient
+// multiply is a GF(2)-linear map compiled into the transcript as an
+// m x m tap matrix (PrtIterSpan::tap_rows), and the feedback becomes a
+// handful of plane-wide XORs — the same XOR-only realization the paper
+// proposes for the BIST hardware itself.  run_prt_packed replays the
+// compiled op transcript of the scheme (core/op_transcript.hpp)
+// against a mem::PackedFaultRam: a tight stream over flat
+// {addr, golden} records with no Trajectory::at(), no oracle
+// indirection and no per-op dispatch, comparing each lane's observed
+// Fin, Init read-back, verify-pass image and (bit-sliced) MISR
+// signature against the golden values baked into the transcript,
+// returning the 64-bit detected mask.
 //
 // Detection semantics per lane are identical to
 // run_prt(FaultyRam, scheme, oracle).detected() for the same single
@@ -38,10 +43,13 @@
 
 namespace prt::core {
 
-/// True when `scheme` can run bit-parallel: a GF(2) scheme (field
-/// modulus z + 1), where every generator coefficient and seed value is
-/// a single bit.  Word-oriented schemes (m > 1) need real GF(2^m)
-/// multiplies per lane and stay scalar.
+/// True when `scheme` can run bit-parallel: a structurally sane scheme
+/// over GF(2^m) with m in [1, 16] — non-empty iterations, window width
+/// k in [1, 64], seeds sized k, every coefficient and seed value a
+/// field element.  GF(2) schemes replay on the single-plane hot loop;
+/// word-oriented schemes (m > 1) ride m bit planes per cell, with each
+/// constant-coefficient multiply compiled to its GF(2) tap matrix in
+/// the transcript (tap_rows) so the feedback is still XOR-only.
 [[nodiscard]] bool prt_scheme_packable(const PrtScheme& scheme);
 
 struct PackedRunOptions {
@@ -52,13 +60,15 @@ struct PackedRunOptions {
   bool early_abort = false;
 };
 
-/// Reusable replay scratch: the bit-sliced MISR state, the only
-/// per-run buffer the replay needs (the feedback accumulates inline,
-/// so there is no window buffer at all).  Campaign shard loops own one
-/// and pass it to every batch instead of reallocating per 64-fault
+/// Reusable replay scratch: the bit-sliced MISR state plus the word
+/// path's plane buffers (read word, feedback accumulator, broadcast
+/// staging — 3 * width lane words; unused and unallocated on the GF(2)
+/// path, whose feedback accumulates inline).  Campaign shard loops own
+/// one and pass it to every batch instead of reallocating per 64-fault
 /// batch.
 struct PackedScratch {
   std::vector<mem::LaneWord> misr;
+  std::vector<mem::LaneWord> planes;
 };
 
 /// Verdict of a packed run.
@@ -78,7 +88,8 @@ struct PackedVerdict {
 
 /// Replays a compiled PRT transcript against the packed ram — the
 /// campaign hot loop.  Preconditions: transcript built by
-/// make_op_transcript for this scheme with transcript.n == ram.size().
+/// make_op_transcript for this scheme with transcript.n == ram.size()
+/// and transcript.width == ram.width().
 [[nodiscard]] PackedVerdict run_prt_packed(mem::PackedFaultRam& ram,
                                            const OpTranscript& transcript,
                                            const PackedRunOptions& options,

@@ -1,6 +1,8 @@
 #include "mem/fault_universe.hpp"
 
 #include <cassert>
+#include <stdexcept>
+#include <string>
 
 namespace prt::mem {
 
@@ -178,6 +180,24 @@ std::vector<Fault> make_universe(Addr n, unsigned m,
     if (cols == 0) {
       cols = 1;
       while (cols * cols < n) ++cols;
+    } else {
+      // An explicit grid width must describe a real grid: a 1-cell-wide
+      // strip has no interior cells (every victim sits on the west AND
+      // east border, so the whole NPSF universe silently vanishes), and
+      // a width that does not divide the cell count leaves a ragged
+      // last row whose "south" neighbours do not exist.  Both are
+      // configuration bugs, not universes — fail loudly with the value.
+      if (cols == 1) {
+        throw std::invalid_argument(
+            "make_universe: npsf_grid_cols = 1 gives a 1-cell-wide grid "
+            "with no interior victims");
+      }
+      if (n % cols != 0) {
+        throw std::invalid_argument(
+            "make_universe: npsf_grid_cols = " + std::to_string(cols) +
+            " does not divide n = " + std::to_string(n) +
+            " into whole grid rows");
+      }
     }
     for (Addr c = 0; c < n; ++c) {
       const Addr row = c / cols;

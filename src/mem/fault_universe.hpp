@@ -29,13 +29,19 @@ struct UniverseOptions {
   /// For word-oriented memories, also generate *intra-word* coupling
   /// faults (aggressor and victim bits inside the same cell).
   bool intra_word = true;
-  /// Grid width for NPSF neighbourhoods (0 = square-ish default).
+  /// Grid width for NPSF neighbourhoods (0 = square-ish default).  An
+  /// explicit width must be >= 2 and divide n into whole rows;
+  /// make_universe throws std::invalid_argument (naming the value)
+  /// otherwise — a 1-cell-wide grid has no interior victims and a
+  /// ragged last row has no south neighbours.
   Addr npsf_grid_cols = 0;
   /// Seed for any sampling.
   std::uint64_t seed = 0x5eedf00dULL;
 };
 
-/// Enumerates the fault universe for an n x m memory.
+/// Enumerates the fault universe for an n x m memory.  Throws
+/// std::invalid_argument on a malformed explicit NPSF grid width (see
+/// UniverseOptions::npsf_grid_cols).
 [[nodiscard]] std::vector<Fault> make_universe(Addr n, unsigned m,
                                                const UniverseOptions& opt);
 

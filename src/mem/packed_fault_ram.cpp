@@ -7,8 +7,8 @@
 
 namespace prt::mem {
 
-bool lane_compatible(const Fault& fault) {
-  if (fault.victim.bit != 0) return false;
+bool lane_compatible(const Fault& fault, unsigned width) {
+  if (fault.victim.bit >= width) return false;
   switch (fault.kind) {
     case FaultKind::kSaf0:
     case FaultKind::kSaf1:
@@ -35,55 +35,81 @@ bool lane_compatible(const Fault& fault) {
     case FaultKind::kCfIdDown1:
     case FaultKind::kBridgeAnd:
     case FaultKind::kBridgeOr:
-      // Both halves of the pair live on bit plane 0 of the same lane.
-      return fault.aggressor.bit == 0;
+      // Both halves of the pair live on bit planes of the same lane.
+      return fault.aggressor.bit < width;
     case FaultKind::kAfNoAccess:
     case FaultKind::kAfWrongAccess:
     case FaultKind::kAfMultiAccess:
       // One fault per lane: the remap touches exactly one address and
       // at most one alias cell — a per-lane scatter, like coupling.
       return true;
+    case FaultKind::kNpsfStatic:
+      // The 5-cell neighbourhood is per-lane metadata just like an
+      // aggressor/victim pair; incomplete neighbourhoods (border
+      // victim, no grid) are inert in FaultyRam and consume a lane
+      // that simply never fires.
+      return true;
+    case FaultKind::kDrf:
+      // Decay advances analytically on the packed clock; delay == 0 is
+      // rejected at add_fault, mirroring FaultyRam::inject.
+      return true;
     default:
       return false;
   }
 }
 
-PackedFaultRam::PackedFaultRam(Addr cells)
-    : size_(cells), data_(cells, 0), slot_of_cell_(cells, -1) {
+PackedFaultRam::PackedFaultRam(Addr cells, unsigned width)
+    : size_(cells),
+      width_(width),
+      data_(static_cast<std::size_t>(cells) * width, 0),
+      slot_of_site_(static_cast<std::size_t>(cells) * width, -1) {
   if (cells < 1) {
     throw std::invalid_argument("PackedFaultRam: cells must be >= 1");
   }
-  slots_.reserve(2 * kLanes);
-  dirty_cells_.reserve(2 * kLanes);
+  if (width < 1 || width > kMaxWidth) {
+    throw std::invalid_argument("PackedFaultRam: width must be in [1, 32]");
+  }
+  slots_.reserve(6 * kLanes);
+  dirty_sites_.reserve(6 * kLanes);
 }
 
 void PackedFaultRam::reset() {
   std::fill(data_.begin(), data_.end(), LaneWord{0});
-  for (const Addr cell : dirty_cells_) slot_of_cell_[cell] = -1;
+  for (const std::size_t site : dirty_sites_) slot_of_site_[site] = -1;
   slots_.clear();
-  dirty_cells_.clear();
+  dirty_sites_.clear();
   forced1_ = 0;
   cfst_state1_ = 0;
   bridge_or_ = 0;
+  npsf_lanes_ = 0;
+  npat_.fill(0);
+  nval_.fill(0);
+  npsf_forced1_ = 0;
+  drf_decay1_ = 0;
+  drf_refreshed_.fill(0);
+  drf_delay_.fill(0);
   lanes_used_ = 0;
   has_two_cell_ = false;
   has_af_ = false;
-  last_read_ = 0;
+  has_npsf_ = false;
+  has_drf_ = false;
+  last_read_.fill(0);
   reads_ = 0;
   writes_ = 0;
+  idle_ticks_ = 0;
 }
 
-PackedFaultRam::CellFaults& PackedFaultRam::slot_for(Addr cell) {
-  if (slot_of_cell_[cell] < 0) {
-    slot_of_cell_[cell] = static_cast<std::int16_t>(slots_.size());
+PackedFaultRam::CellFaults& PackedFaultRam::slot_for(std::size_t site) {
+  if (slot_of_site_[site] < 0) {
+    slot_of_site_[site] = static_cast<std::int16_t>(slots_.size());
     slots_.emplace_back();
-    dirty_cells_.push_back(cell);
+    dirty_sites_.push_back(site);
   }
-  return slots_[static_cast<std::size_t>(slot_of_cell_[cell])];
+  return slots_[static_cast<std::size_t>(slot_of_site_[site])];
 }
 
 unsigned PackedFaultRam::add_fault(const Fault& fault) {
-  if (!lane_compatible(fault)) {
+  if (!lane_compatible(fault, width_)) {
     throw std::invalid_argument(
         "PackedFaultRam::add_fault: fault is not lane-compatible: " +
         fault.describe());
@@ -111,18 +137,23 @@ unsigned PackedFaultRam::add_fault(const Fault& fault) {
     throw std::invalid_argument(
         "PackedFaultRam::add_fault: alias out of range: " + fault.describe());
   }
+  if (fault.kind == FaultKind::kDrf && fault.delay == 0) {
+    throw std::invalid_argument(
+        "PackedFaultRam::add_fault: retention fault needs delay > 0: " +
+        fault.describe());
+  }
   if (lanes_used_ >= kLanes) {
     throw std::length_error("PackedFaultRam::add_fault: all 64 lanes taken");
   }
   const unsigned lane = lanes_used_++;
   has_two_cell_ = has_two_cell_ || is_coupling(fault.kind);
   const LaneWord mask = LaneWord{1} << lane;
-  const Addr vic = fault.victim.cell;
-  const Addr agg = fault.aggressor.cell;
-  // Forces the victim cell's lane bit to `value`, the packed equivalent
-  // of FaultyRam's injection-time condition enforcement.
-  auto force_bit = [&](Addr cell, unsigned value) {
-    data_[cell] = value ? (data_[cell] | mask) : (data_[cell] & ~mask);
+  const std::size_t vic = site_of(fault.victim.cell, fault.victim.bit);
+  const std::size_t agg = site_of(fault.aggressor.cell, fault.aggressor.bit);
+  // Forces a site's lane bit to `value`, the packed equivalent of
+  // FaultyRam's injection-time condition enforcement.
+  auto force_bit = [&](std::size_t site, unsigned value) {
+    data_[site] = value ? (data_[site] | mask) : (data_[site] & ~mask);
   };
   switch (fault.kind) {
     case FaultKind::kSaf0:
@@ -189,19 +220,26 @@ unsigned PackedFaultRam::add_fault(const Fault& fault) {
       break;
     }
     case FaultKind::kAfNoAccess:
-      slot_for(vic).af_no |= mask;
-      has_af_ = true;
-      break;
     case FaultKind::kAfWrongAccess:
-      slot_for(vic).af_wrong |= mask;
-      lane_victim_[lane] = fault.alias;
+    case FaultKind::kAfMultiAccess: {
+      // Decoder faults remap the whole word access, so the masks go on
+      // every site of the faulty address.
+      for (unsigned p = 0; p < width_; ++p) {
+        CellFaults& s = slot_for(site_of(fault.victim.cell, p));
+        if (fault.kind == FaultKind::kAfNoAccess) {
+          s.af_no |= mask;
+        } else if (fault.kind == FaultKind::kAfWrongAccess) {
+          s.af_wrong |= mask;
+        } else {
+          s.af_multi |= mask;
+        }
+      }
+      if (fault.kind != FaultKind::kAfNoAccess) {
+        lane_victim_[lane] = fault.alias;  // alias *cell*, plane per access
+      }
       has_af_ = true;
       break;
-    case FaultKind::kAfMultiAccess:
-      slot_for(vic).af_multi |= mask;
-      lane_victim_[lane] = fault.alias;
-      has_af_ = true;
-      break;
+    }
     case FaultKind::kBridgeAnd:
     case FaultKind::kBridgeOr: {
       slot_for(vic).bridge |= mask;
@@ -218,48 +256,262 @@ unsigned PackedFaultRam::add_fault(const Fault& fault) {
       force_bit(agg, tied);
       break;
     }
+    case FaultKind::kNpsfStatic: {
+      // Type-1 five-cell static NPSF.  An incomplete neighbourhood is
+      // inert in FaultyRam (enforce_conditions breaks before the
+      // pattern test), so the lane is consumed but registers nothing
+      // and never mismatches.
+      const Addr cols = fault.grid_cols;
+      const Addr v = fault.victim.cell;
+      bool inert = cols == 0 || fault.pattern > 15;
+      if (!inert) {
+        const Addr row = v / cols;
+        const Addr col = v % cols;
+        inert = row == 0 || col == 0 || col + 1 >= cols || v + cols >= size_;
+      }
+      if (inert) break;
+      const unsigned plane = fault.victim.bit;
+      const std::size_t north = site_of(v - cols, plane);
+      const std::size_t east = site_of(v + 1, plane);
+      const std::size_t south = site_of(v + cols, plane);
+      const std::size_t west = site_of(v - 1, plane);
+      slot_for(north).npsf_n |= mask;
+      slot_for(east).npsf_e |= mask;
+      slot_for(south).npsf_s |= mask;
+      slot_for(west).npsf_w |= mask;
+      slot_for(vic).npsf_vic |= mask;
+      lane_victim_[lane] = vic;
+      npsf_lanes_ |= mask;
+      has_npsf_ = true;
+      if (fault.state & 1U) npsf_forced1_ |= mask;
+      // Pattern bits are (N << 3) | (E << 2) | (S << 1) | W, matching
+      // FaultyRam::enforce_conditions.
+      if (fault.pattern & 8U) npat_[0] |= mask;
+      if (fault.pattern & 4U) npat_[1] |= mask;
+      if (fault.pattern & 2U) npat_[2] |= mask;
+      if (fault.pattern & 1U) npat_[3] |= mask;
+      // Seed the neighbour-value caches from the current contents (the
+      // lane is fresh, so its cache bits start clear) and enforce the
+      // freshly injected condition immediately.
+      if ((data_[north] >> lane) & 1U) nval_[0] |= mask;
+      if ((data_[east] >> lane) & 1U) nval_[1] |= mask;
+      if ((data_[south] >> lane) & 1U) nval_[2] |= mask;
+      if ((data_[west] >> lane) & 1U) nval_[3] |= mask;
+      const LaneWord mismatched = ((nval_[0] ^ npat_[0]) | (nval_[1] ^ npat_[1]) |
+                                   (nval_[2] ^ npat_[2]) | (nval_[3] ^ npat_[3])) &
+                                  mask;
+      if (mismatched == 0) {
+        force_bit(vic, static_cast<unsigned>(fault.state & 1U));
+      }
+      break;
+    }
+    case FaultKind::kDrf: {
+      slot_for(vic).drf |= mask;
+      lane_victim_[lane] = vic;
+      // The charge is stamped with the current clock, like FaultyRam's
+      // refreshed_at_.push_back(clock_) at inject.
+      drf_refreshed_[lane] = clock();
+      drf_delay_[lane] = fault.delay;
+      if (fault.state & 1U) drf_decay1_ |= mask;
+      has_drf_ = true;
+      break;
+    }
     default:
       break;  // unreachable: lane_compatible() filtered
   }
   return lane;
 }
 
-LaneWord PackedFaultRam::apply_af_read(LaneWord value, const CellFaults& f) {
+void PackedFaultRam::read_word(Addr cell, LaneWord* out) {
+  assert(cell < size_);
+  ++reads_;
+  const std::size_t base = static_cast<std::size_t>(cell) * width_;
+  for (unsigned p = 0; p < width_; ++p) {
+    const std::size_t site = base + p;
+    const std::int16_t slot = slot_of_site_[site];
+    LaneWord value;
+    if (slot >= 0) {
+      const CellFaults& f = slots_[static_cast<std::size_t>(slot)];
+      if (has_drf_ && f.drf != 0) apply_retention(site, f.drf);
+      value = data_[site];
+      value ^= f.rdf;
+      data_[site] = value ^ f.drdf;
+      value ^= f.irf;
+      value = (value & ~f.sof) | (last_read_[p] & f.sof);
+      if (has_af_) {
+        value &= ~f.af_no;
+        if ((f.af_wrong | f.af_multi) != 0) value = apply_af_read(value, f, p);
+      }
+    } else {
+      value = data_[site];
+    }
+    out[p] = value;
+  }
+  // The sense-amp history updates with the whole returned word, after
+  // every plane's patches (FaultyRam stores last_read_ once per read).
+  for (unsigned p = 0; p < width_; ++p) last_read_[p] = out[p];
+}
+
+void PackedFaultRam::write_word(Addr cell, const LaneWord* planes) {
+  assert(cell < size_);
+  ++writes_;
+  const std::size_t base = static_cast<std::size_t>(cell) * width_;
+  std::array<LaneWord, kMaxWidth> old{};
+  std::array<LaneWord, kMaxWidth> landed{};
+  bool any_slot = false;
+  // Phase 1: land every plane (WDF/TF/SAF per site, decoder
+  // suppression) without firing coupling, so intra-word aggressor
+  // transitions see their victims' *new* values — all bits of a word
+  // write switch together (FaultyRam::physical_write does the same).
+  for (unsigned p = 0; p < width_; ++p) {
+    const std::size_t site = base + p;
+    const LaneWord o = data_[site];
+    old[p] = o;
+    LaneWord nb = planes[p];
+    const std::int16_t slot = slot_of_site_[site];
+    if (slot < 0) {
+      data_[site] = nb;
+      landed[p] = nb;
+      continue;
+    }
+    any_slot = true;
+    const CellFaults& f = slots_[static_cast<std::size_t>(slot)];
+    nb ^= f.wdf & ~(o ^ nb);
+    nb &= ~(f.tf_up & ~o);
+    nb |= f.tf_down & o;
+    nb = (nb & ~f.saf0) | f.saf1;
+    if (has_af_) {
+      const LaneWord suppressed = f.af_no | f.af_wrong;
+      nb = (nb & ~suppressed) | (o & suppressed);
+      data_[site] = nb;
+      if ((f.af_wrong | f.af_multi) != 0) apply_af_write(planes[p], f, p);
+    } else {
+      data_[site] = nb;
+    }
+    landed[p] = nb;
+    if (has_drf_ && f.drf != 0) refresh_retention(f.drf);
+  }
+  if (!any_slot || !(has_two_cell_ || has_npsf_)) return;
+  // Phase 2: coupling fires per plane in ascending order against the
+  // landed values (not the post-coupling state — FaultyRam computes
+  // its transition set from `old` vs `landed` too), then the NPSF
+  // neighbourhood re-check runs for every touched site.
+  for (unsigned p = 0; p < width_; ++p) {
+    const std::size_t site = base + p;
+    const std::int16_t slot = slot_of_site_[site];
+    if (slot < 0) continue;
+    const CellFaults& f = slots_[static_cast<std::size_t>(slot)];
+    if (has_two_cell_ && f.coupling_any() != 0) {
+      apply_coupling(site, old[p], landed[p], f);
+    }
+  }
+  if (has_npsf_) {
+    for (unsigned p = 0; p < width_; ++p) {
+      const std::size_t site = base + p;
+      const std::int16_t slot = slot_of_site_[site];
+      if (slot < 0) continue;
+      const CellFaults& f = slots_[static_cast<std::size_t>(slot)];
+      if (f.npsf_any() != 0) apply_npsf(site, f);
+    }
+  }
+}
+
+LaneWord PackedFaultRam::apply_af_read(LaneWord value, const CellFaults& f,
+                                       unsigned plane) {
   // Per-lane scatter over the few decoder lanes remapping this cell.
   LaneWord m = f.af_wrong;
   while (m != 0) {
     const unsigned lane = static_cast<unsigned>(std::countr_zero(m));
     m &= m - 1;
     const LaneWord bit = LaneWord{1} << lane;
+    const std::size_t alias =
+        site_of(static_cast<Addr>(lane_victim_[lane]), plane);
     // Wrong access: the sense amp sees the alias cell.
-    value = (value & ~bit) | (data_[lane_victim_[lane]] & bit);
+    value = (value & ~bit) | (data_[alias] & bit);
   }
   m = f.af_multi;
   while (m != 0) {
     const unsigned lane = static_cast<unsigned>(std::countr_zero(m));
     m &= m - 1;
     const LaneWord bit = LaneWord{1} << lane;
+    const std::size_t alias =
+        site_of(static_cast<Addr>(lane_victim_[lane]), plane);
     // Multi access: wired-AND of the addressed cell (already in
     // `value` — AF lanes carry no read-logic fault) and the alias.
-    value &= ~bit | data_[lane_victim_[lane]];
+    value &= ~bit | data_[alias];
   }
   return value;
 }
 
-void PackedFaultRam::apply_af_write(LaneWord value, const CellFaults& f) {
+void PackedFaultRam::apply_af_write(LaneWord value, const CellFaults& f,
+                                    unsigned plane) {
   LaneWord m = f.af_wrong | f.af_multi;
   while (m != 0) {
     const unsigned lane = static_cast<unsigned>(std::countr_zero(m));
     m &= m - 1;
     const LaneWord bit = LaneWord{1} << lane;
-    const Addr alias = lane_victim_[lane];
+    const std::size_t alias =
+        site_of(static_cast<Addr>(lane_victim_[lane]), plane);
     data_[alias] = (data_[alias] & ~bit) | (value & bit);
   }
 }
 
-void PackedFaultRam::apply_coupling(Addr addr, LaneWord old, LaneWord now,
-                                    const CellFaults& f) {
-  // Per-lane scatter over the few lanes coupled to this cell.  Lanes
+void PackedFaultRam::apply_retention(std::size_t site, LaneWord m) {
+  const std::uint64_t now = clock();
+  while (m != 0) {
+    const unsigned lane = static_cast<unsigned>(std::countr_zero(m));
+    m &= m - 1;
+    // Overflow-safe subtraction, same comparison FaultyRam uses; the
+    // charge stamp is *not* refreshed, so the re-force is idempotent
+    // until the next write.
+    if (now - drf_refreshed_[lane] < drf_delay_[lane]) continue;
+    const LaneWord bit = LaneWord{1} << lane;
+    data_[site] = ((drf_decay1_ >> lane) & 1U) != 0 ? (data_[site] | bit)
+                                                    : (data_[site] & ~bit);
+  }
+}
+
+void PackedFaultRam::refresh_retention(LaneWord m) {
+  const std::uint64_t now = clock();
+  while (m != 0) {
+    const unsigned lane = static_cast<unsigned>(std::countr_zero(m));
+    m &= m - 1;
+    drf_refreshed_[lane] = now;
+  }
+}
+
+void PackedFaultRam::apply_npsf(std::size_t site, const CellFaults& f) {
+  // Refresh the direction caches for every lane whose neighbour is
+  // this site, then match all 64 lanes' patterns at once: a lane
+  // matches when each cached neighbour value equals its pattern bit,
+  // i.e. when it contributes no bit to any direction's XOR.
+  const LaneWord v = data_[site];
+  nval_[0] = (nval_[0] & ~f.npsf_n) | (v & f.npsf_n);
+  nval_[1] = (nval_[1] & ~f.npsf_e) | (v & f.npsf_e);
+  nval_[2] = (nval_[2] & ~f.npsf_s) | (v & f.npsf_s);
+  nval_[3] = (nval_[3] & ~f.npsf_w) | (v & f.npsf_w);
+  const LaneWord match =
+      npsf_lanes_ & ~((nval_[0] ^ npat_[0]) | (nval_[1] ^ npat_[1]) |
+                      (nval_[2] ^ npat_[2]) | (nval_[3] ^ npat_[3]));
+  // Only lanes whose neighbourhood this write touched fire (FaultyRam's
+  // `touched` test).  That is exact, not an optimisation: a lane whose
+  // pattern already matched before this write had its victim forced
+  // when the pattern last became true — nothing else can move an NPSF
+  // lane's bits, because the lane holds no other fault.
+  LaneWord fire = match & f.npsf_any();
+  while (fire != 0) {
+    const unsigned lane = static_cast<unsigned>(std::countr_zero(fire));
+    fire &= fire - 1;
+    const LaneWord bit = LaneWord{1} << lane;
+    const std::size_t vic = lane_victim_[lane];
+    data_[vic] = ((npsf_forced1_ >> lane) & 1U) != 0 ? (data_[vic] | bit)
+                                                     : (data_[vic] & ~bit);
+  }
+}
+
+void PackedFaultRam::apply_coupling(std::size_t site, LaneWord old,
+                                    LaneWord now, const CellFaults& f) {
+  // Per-lane scatter over the few lanes coupled to this site.  Lanes
   // are disjoint across the masks (one fault per lane), so the order
   // of the blocks is irrelevant.
   auto for_each_lane = [](LaneWord m, auto&& fn) {
@@ -269,14 +521,14 @@ void PackedFaultRam::apply_coupling(Addr addr, LaneWord old, LaneWord now,
       fn(lane, LaneWord{1} << lane);
     }
   };
-  auto force = [&](Addr cell, unsigned lane, LaneWord bit) {
-    data_[cell] = (forced1_ >> lane) & 1U ? (data_[cell] | bit)
-                                          : (data_[cell] & ~bit);
+  auto force = [&](std::size_t s, unsigned lane, LaneWord bit) {
+    data_[s] = (forced1_ >> lane) & 1U ? (data_[s] | bit)
+                                       : (data_[s] & ~bit);
   };
   const LaneWord up = now & ~old;
   const LaneWord down = old & ~now;
 
-  // CFin: any transition of this (aggressor) cell inverts the victim.
+  // CFin: any transition of this (aggressor) site inverts the victim.
   for_each_lane(f.cfin & (up | down), [&](unsigned lane, LaneWord bit) {
     data_[lane_victim_[lane]] ^= bit;
   });
@@ -287,7 +539,7 @@ void PackedFaultRam::apply_coupling(Addr addr, LaneWord old, LaneWord now,
                   force(lane_victim_[lane], lane, bit);
                 });
 
-  // CFst, this cell as aggressor: the condition is state-based, so it
+  // CFst, this site as aggressor: the condition is state-based, so it
   // is re-evaluated against the landed value on every write (matching
   // FaultyRam's enforce_conditions after each physical_write).
   for_each_lane(f.cfst_agg & ~(now ^ cfst_state1_),
@@ -295,21 +547,21 @@ void PackedFaultRam::apply_coupling(Addr addr, LaneWord old, LaneWord now,
                   force(lane_victim_[lane], lane, bit);
                 });
 
-  // CFst, this cell as victim: a write under a holding condition is
+  // CFst, this site as victim: a write under a holding condition is
   // forced straight back.
   for_each_lane(f.cfst_vic, [&](unsigned lane, LaneWord bit) {
     const LaneWord agg_bit = (data_[lane_aggressor_[lane]] >> lane) & 1U;
-    if (agg_bit == ((cfst_state1_ >> lane) & 1U)) force(addr, lane, bit);
+    if (agg_bit == ((cfst_state1_ >> lane) & 1U)) force(site, lane, bit);
   });
 
   // Bridge: tie both endpoints to the wired-AND/OR of their bits.
   for_each_lane(f.bridge, [&](unsigned lane, LaneWord bit) {
-    const Addr other =
-        addr == lane_victim_[lane] ? lane_aggressor_[lane] : lane_victim_[lane];
-    const LaneWord a = (data_[addr] >> lane) & 1U;
+    const std::size_t other =
+        site == lane_victim_[lane] ? lane_aggressor_[lane] : lane_victim_[lane];
+    const LaneWord a = (data_[site] >> lane) & 1U;
     const LaneWord b = (data_[other] >> lane) & 1U;
     const LaneWord tied = (bridge_or_ >> lane) & 1U ? (a | b) : (a & b);
-    data_[addr] = tied ? (data_[addr] | bit) : (data_[addr] & ~bit);
+    data_[site] = tied ? (data_[site] | bit) : (data_[site] & ~bit);
     data_[other] = tied ? (data_[other] | bit) : (data_[other] & ~bit);
   });
 }

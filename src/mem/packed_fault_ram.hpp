@@ -1,34 +1,49 @@
 // Word-packed SIMD fault lanes.
 //
 // PackedFaultRam simulates up to 64 *independent* single-fault faulty
-// memories in one pass: each cell stores a 64-bit word whose bit lane L
-// is the cell's value in lane L's memory, and each lane carries exactly
+// memories in one pass: each site stores a 64-bit word whose bit lane L
+// is the site's value in lane L's memory, and each lane carries exactly
 // one injected fault.  One sweep over the array therefore evaluates up
 // to 64 faults simultaneously — the SIMD unit is the ordinary 64-bit
 // ALU, and every fault effect below is a handful of bitwise ops.
 //
-// Lane-compatible faults (lane_compatible()) are those whose behaviour
-// is a pure function of bit-plane-0 state reachable from inside one
-// lane: the single-cell kinds (stuck-at, transition, write-disturb, the
-// read-logic kinds), the two-cell coupling kinds (CFin, CFid, CFst)
-// and bridges — a lane is a whole memory, so an aggressor/victim
-// *pair* fits in one lane — and the decoder faults: because each lane
-// holds exactly one fault, a decoder fault's remap touches exactly one
-// address (no-access drops it, wrong-access redirects it to the alias
-// cell, multi-access opens both and wires reads AND), which is a
-// per-lane scatter on that one cell, just like the coupling kinds.
-// NPSF needs a 4-cell neighbourhood pattern and retention faults need
-// the global clock — those stay on the scalar FaultyRam path
-// (analysis/campaign_engine does the partitioning).
+// A "site" is one bit of one cell: a memory of `cells` words of
+// `width` bits is stored as cells*width lane words, site = cell*width
+// + bit plane.  width == 1 (the classical bit-oriented campaigns) is
+// the hot path and keeps the original one-site-per-cell layout; the
+// word-oriented (WOM, m > 1) campaigns drive read_word()/write_word(),
+// which count one operation per word access exactly like the scalar
+// FaultyRam.
 //
-// Semantics are bit-exact per lane with a FaultyRam holding the same
+// Every fault family rides a lane now:
+//  * the single-cell kinds (stuck-at, transition, write-disturb, the
+//    read-logic kinds) — one victim site per lane;
+//  * the two-cell coupling kinds (CFin, CFid, CFst) and bridges — a
+//    lane is a whole memory, so an aggressor/victim *pair* fits in one
+//    lane;
+//  * the decoder faults — one fault per lane means the remap touches
+//    exactly one address, a per-lane scatter on that one cell;
+//  * static NPSF — each lane carries a 4-cell (N,E,S,W) neighbourhood
+//    pattern in the same aggressor/victim metadata shape the coupling
+//    lanes use: per-direction masks registered on the neighbour sites
+//    plus cached neighbour-value lane words, so one write to any
+//    neighbour re-checks the trigger of all 64 lanes with four
+//    AND/XOR ops (see apply_npsf);
+//  * retention (DRF) — decay is advanced *analytically* from a packed
+//    operation clock (reads + writes + advance_time ticks, bit-exact
+//    with FaultyRam's clock_): instead of per-access decay scans the
+//    lane latches the decayed value into the victim's lane word at the
+//    first read after the pause boundary crosses the fault's delay.
+//
+// With that, the scalar FaultyRam is a *differential reference only*:
+// semantics are bit-exact per lane with a FaultyRam holding the same
 // single fault (tests/test_packed_campaign.cpp runs the differential
 // check), including the injection-time stuck-at clamp, the
-// injection-time enforcement of state conditions (CFst, bridge) and the
-// per-port sense-amp history of SOF (the PRT engines drive port 0
-// only).  Because every lane holds exactly one fault, the scalar
-// model's cascade machinery (a victim flip re-triggering other faults)
-// degenerates to a single direct effect per lane.
+// injection-time enforcement of state conditions (CFst, bridge, NPSF)
+// and the per-port sense-amp history of SOF (the PRT engines drive
+// port 0 only).  Because every lane holds exactly one fault, the
+// scalar model's cascade machinery (a victim flip re-triggering other
+// faults) degenerates to a single direct effect per lane.
 #pragma once
 
 #include <array>
@@ -50,22 +65,28 @@ using LaneWord = std::uint64_t;
   return bit != 0 ? ~LaneWord{0} : LaneWord{0};
 }
 
-/// True when `fault` can ride a bit lane: a fault on bit plane 0 (the
-/// packed array models a 1-bit-wide memory) whose effect never
-/// references a neighbourhood pattern or the clock.  Single-cell
-/// kinds, the two-cell coupling/bridge kinds and the decoder (AF)
-/// kinds qualify.
-[[nodiscard]] bool lane_compatible(const Fault& fault);
+/// True when `fault` can ride a bit lane of a `width`-bit packed
+/// memory: every referenced bit plane must exist (victim.bit < width,
+/// and aggressor.bit < width for the coupling kinds).  All fault
+/// families qualify now — single-cell, coupling/bridge, decoder (AF),
+/// static NPSF and retention (DRF) — except the degenerate CFst whose
+/// trigger state is outside {0, 1} (inert in FaultyRam; it stays on
+/// the scalar reference path instead of teaching the lanes a
+/// degenerate encoding).
+[[nodiscard]] bool lane_compatible(const Fault& fault, unsigned width = 1);
 
 class PackedFaultRam {
  public:
   static constexpr unsigned kLanes = 64;
+  static constexpr unsigned kMaxWidth = 32;
 
-  /// A packed array of `cells` one-bit cells, all lanes zero-filled,
-  /// no faults.  Throws std::invalid_argument when cells < 1.
-  explicit PackedFaultRam(Addr cells);
+  /// A packed array of `cells` `width`-bit cells, all lanes
+  /// zero-filled, no faults.  Throws std::invalid_argument when cells
+  /// < 1 or width is outside [1, 32].
+  explicit PackedFaultRam(Addr cells, unsigned width = 1);
 
   [[nodiscard]] Addr size() const { return size_; }
+  [[nodiscard]] unsigned width() const { return width_; }
   [[nodiscard]] unsigned lanes_used() const { return lanes_used_; }
   /// Mask with one bit set per occupied lane (low lanes_used() bits).
   [[nodiscard]] LaneWord active_mask() const {
@@ -74,35 +95,66 @@ class PackedFaultRam {
   }
 
   /// Returns to the just-constructed state (all lanes zero, no faults,
-  /// counters zero) without releasing storage.  Only the cells dirtied
-  /// by faults pay a per-cell cost; the data array is one memset.
+  /// counters zero) without releasing storage.  Only the sites dirtied
+  /// by faults pay a per-site cost; the data array is one memset.
   void reset();
 
   /// Assigns `fault` to the next free lane and returns its index.
-  /// State conditions (CFst, bridge) are enforced against the lane's
-  /// current contents immediately, matching FaultyRam::inject.  Throws
-  /// std::invalid_argument when the fault is not lane_compatible(), a
-  /// referenced cell is out of range, or a two-cell fault has aggressor
-  /// == victim; std::length_error when all 64 lanes are taken.
+  /// State conditions (CFst, bridge, NPSF) are enforced against the
+  /// lane's current contents immediately and a retention victim's
+  /// charge is stamped with the current clock, matching
+  /// FaultyRam::inject.  An NPSF fault whose neighbourhood is
+  /// incomplete (no grid, border victim, pattern > 15) still consumes
+  /// a lane but registers no effect — it is inert in FaultyRam too, so
+  /// the lane simply never mismatches.  Throws std::invalid_argument
+  /// when the fault is not lane_compatible() for this width, a
+  /// referenced cell is out of range, a two-cell fault has aggressor
+  /// == victim, or a retention fault has delay == 0;
+  /// std::length_error when all 64 lanes are taken.
   unsigned add_fault(const Fault& fault);
 
-  /// Reads every lane's bit of `addr` at once, applying each lane's
-  /// read-logic fault.  Precondition: addr < size().  Defined inline
-  /// below: the campaign replay loops issue millions of these per
-  /// batch, so the fault-free-cell fast path must inline into them.
+  /// Reads every lane's bit of cell `addr` at once, applying each
+  /// lane's retention decay and read-logic fault.  Preconditions:
+  /// addr < size(), width() == 1 (word-oriented memories use
+  /// read_word()).  Defined inline below: the campaign replay loops
+  /// issue millions of these per batch, so the fault-free-cell fast
+  /// path must inline into them.
   LaneWord read(Addr addr);
 
   /// Writes bit lane L of `value` to cell `addr` in lane L's memory,
   /// applying each lane's write fault and firing each lane's coupling
-  /// effects (this cell as aggressor, victim or bridge endpoint).
-  /// Precondition: addr < size().  Defined inline below; batches with
-  /// only single-cell faults skip the two-cell fire step entirely
-  /// (has_two_cell_).
+  /// and NPSF effects (this cell as aggressor, victim, bridge endpoint
+  /// or neighbourhood member).  Preconditions: addr < size(), width()
+  /// == 1.  Defined inline below; batches with only single-cell faults
+  /// skip the two-cell/NPSF fire steps entirely (has_two_cell_,
+  /// has_npsf_).
   void write(Addr addr, LaneWord value);
 
-  /// Idle time: no lane-compatible fault is clock-dependent, so this
-  /// only keeps the operation counters honest (no-op otherwise).
-  void advance_time(std::uint64_t ticks) { (void)ticks; }
+  /// Reads all width() planes of `cell` into out[0..width()), counting
+  /// one operation (one clock tick) for the whole word — the packed
+  /// equivalent of one FaultyRam::read of a word-oriented memory.
+  void read_word(Addr cell, LaneWord* out);
+
+  /// Writes planes[0..width()) to `cell`, counting one operation.
+  /// Mirrors FaultyRam::physical_write's two phases: every plane lands
+  /// first (TF/WDF/SAF per site), then coupling fires per plane in
+  /// ascending order and static conditions (CFst, bridge, NPSF) are
+  /// re-enforced — so intra-word aggressor transitions see their
+  /// victims' new values.
+  void write_word(Addr cell, const LaneWord* planes);
+
+  /// Idle time (March delay elements, PRT pause checkpoints): advances
+  /// the packed operation clock so retention lanes decay analytically
+  /// at the next access, exactly like FaultyRam::advance_time.
+  void advance_time(std::uint64_t ticks) { idle_ticks_ += ticks; }
+
+  /// Operation clock shared by all lanes: one tick per packed
+  /// read/write (word or bit) plus the advance_time() idle ticks —
+  /// bit-exact with FaultyRam's clock_, which also ticks once per
+  /// access regardless of width.
+  [[nodiscard]] std::uint64_t clock() const {
+    return reads_ + writes_ + idle_ticks_;
+  }
 
   /// Packed operations issued since the last reset().  Each packed
   /// read/write counts once; a scalar campaign issues the same count
@@ -112,92 +164,158 @@ class PackedFaultRam {
   [[nodiscard]] std::uint64_t ops() const { return reads_ + writes_; }
 
   /// Direct state access for tests (bypasses faults and counters).
-  [[nodiscard]] LaneWord peek(Addr addr) const { return data_[addr]; }
+  /// `site` = cell * width() + bit plane.
+  [[nodiscard]] LaneWord peek(Addr site) const { return data_[site]; }
 
  private:
-  /// Per-kind lane masks for one faulty cell; a lane's bit is set in
-  /// the masks of at most the two cells its single fault references.
+  /// Per-kind lane masks for one faulty site; a lane's bit is set in
+  /// the masks of at most the few sites its single fault references
+  /// (two for coupling, five for NPSF).
   struct CellFaults {
-    // Single-cell kinds (this cell is the victim).
+    // Single-cell kinds (this site is the victim).
     LaneWord saf0 = 0, saf1 = 0;
     LaneWord tf_up = 0, tf_down = 0, wdf = 0;
     LaneWord rdf = 0, drdf = 0, irf = 0, sof = 0;
     // Two-cell kinds.  cfin/cfid_*/cfst_agg are registered on the
-    // *aggressor* cell, cfst_vic on the *victim* cell (its writes must
+    // *aggressor* site, cfst_vic on the *victim* site (its writes must
     // re-enforce the condition), bridge on *both* endpoints.
     LaneWord cfin = 0;
     LaneWord cfid_up = 0, cfid_down = 0;
     LaneWord cfst_agg = 0, cfst_vic = 0;
     LaneWord bridge = 0;
-    // Decoder kinds, registered on the *faulty address* (accesses to
-    // any other address behave normally — one fault per lane).  The
-    // wrong/multi alias cell lives in lane_victim_.
+    // Decoder kinds, registered on every site of the *faulty address*
+    // (accesses to any other address behave normally — one fault per
+    // lane).  The wrong/multi alias cell lives in lane_victim_.
     LaneWord af_no = 0;      // address opens no cell: reads 0, writes lost
     LaneWord af_wrong = 0;   // address opens the alias cell instead
     LaneWord af_multi = 0;   // address opens its own cell and the alias
+    // Retention, registered on the victim site: a read latches the
+    // decayed value when the clock has run past the lane's delay, a
+    // write refreshes the charge.
+    LaneWord drf = 0;
+    // NPSF neighbourhood membership: npsf_n marks lanes for which this
+    // site is the *north* neighbour (and so on for e/s/w), npsf_vic
+    // lanes for which it is the base (victim) site.  Together they are
+    // the packed analogue of FaultyRam's `touched` test — a write to
+    // any site in the 5-cell neighbourhood re-checks the trigger.
+    LaneWord npsf_n = 0, npsf_e = 0, npsf_s = 0, npsf_w = 0;
+    LaneWord npsf_vic = 0;
 
     [[nodiscard]] LaneWord coupling_any() const {
       return cfin | cfid_up | cfid_down | cfst_agg | cfst_vic | bridge;
     }
+    [[nodiscard]] LaneWord npsf_any() const {
+      return npsf_n | npsf_e | npsf_s | npsf_w | npsf_vic;
+    }
   };
 
-  CellFaults& slot_for(Addr cell);
+  [[nodiscard]] std::size_t site_of(Addr cell, unsigned plane) const {
+    return static_cast<std::size_t>(cell) * width_ + plane;
+  }
 
-  /// Fires the two-cell effects of a write to `addr` that landed
+  CellFaults& slot_for(std::size_t site);
+
+  /// Fires the two-cell effects of a write to site `site` that landed
   /// `now` over `old` (per-lane scatter over the few coupled lanes).
-  void apply_coupling(Addr addr, LaneWord old, LaneWord now,
+  void apply_coupling(std::size_t site, LaneWord old, LaneWord now,
                       const CellFaults& f);
 
-  /// Patches a read of `addr` for the decoder lanes registered on it:
-  /// wrong-access lanes read their alias cell, multi-access lanes read
-  /// the wired-AND of both opened cells.
-  [[nodiscard]] LaneWord apply_af_read(LaneWord value, const CellFaults& f);
+  /// Re-checks the NPSF trigger after a write touched site `site`:
+  /// refreshes the cached neighbour-value lane words from the site's
+  /// new contents, matches all lanes' patterns bit-parallel (four
+  /// XOR/OR ops across the direction caches) and forces the victims of
+  /// the matching lanes registered on this site.
+  void apply_npsf(std::size_t site, const CellFaults& f);
 
-  /// Lands a write of `value` to `addr` in the alias cells of the
-  /// wrong/multi decoder lanes registered on `addr` (the write to the
-  /// addressed cell itself was already suppressed for wrong-access
-  /// lanes by the caller).
-  void apply_af_write(LaneWord value, const CellFaults& f);
+  /// Latches the decayed value into the victim site's lane word for
+  /// every retention lane in `m` whose charge has expired on the
+  /// packed clock (read path; the charge stamp itself is untouched,
+  /// matching FaultyRam::apply_retention's idempotent re-force).
+  void apply_retention(std::size_t site, LaneWord m);
+
+  /// A write to a retention victim's cell refreshes its charge.
+  void refresh_retention(LaneWord m);
+
+  /// Patches a read of plane `plane` for the decoder lanes registered
+  /// on it: wrong-access lanes read their alias cell, multi-access
+  /// lanes read the wired-AND of both opened cells.
+  [[nodiscard]] LaneWord apply_af_read(LaneWord value, const CellFaults& f,
+                                       unsigned plane);
+
+  /// Lands a write of `value` in plane `plane` of the alias cells of
+  /// the wrong/multi decoder lanes registered on the addressed site
+  /// (the write to the addressed site itself was already suppressed
+  /// for wrong-access lanes by the caller).
+  void apply_af_write(LaneWord value, const CellFaults& f, unsigned plane);
 
   Addr size_;
+  unsigned width_;
   std::vector<LaneWord> data_;
-  /// Cell -> index into slots_, -1 for fault-free cells — the hot path
-  /// pays one branch per access and only faulty cells (<= 128 of them,
-  /// two per two-cell lane) touch a CellFaults record.
-  std::vector<std::int16_t> slot_of_cell_;
+  /// Site -> index into slots_, -1 for fault-free sites — the hot path
+  /// pays one branch per access and only faulty sites (a handful per
+  /// lane) touch a CellFaults record.
+  std::vector<std::int16_t> slot_of_site_;
   std::vector<CellFaults> slots_;
-  std::vector<Addr> dirty_cells_;
-  /// Per-lane second-cell metadata, only read for lanes registered in
-  /// a coupling/bridge/decoder mask (the AF kinds keep their alias
-  /// cell in lane_victim_).
-  std::array<Addr, kLanes> lane_victim_{};
-  std::array<Addr, kLanes> lane_aggressor_{};
+  std::vector<std::size_t> dirty_sites_;
+  /// Per-lane second-site metadata, only read for lanes registered in
+  /// a coupling/bridge/decoder/NPSF mask.  Coupling, bridge and NPSF
+  /// lanes store the victim *site*; the AF kinds store the alias
+  /// *cell* (the plane comes from the access).
+  std::array<std::size_t, kLanes> lane_victim_{};
+  std::array<std::size_t, kLanes> lane_aggressor_{};
   /// Lanes whose CFid/CFst forces the victim to 1 (clear = forces 0).
   LaneWord forced1_ = 0;
   /// CFst lanes triggered while the aggressor holds 1 (clear = 0).
   LaneWord cfst_state1_ = 0;
   /// Bridge lanes with wired-OR semantics (clear = wired-AND).
   LaneWord bridge_or_ = 0;
+  /// Non-inert NPSF lanes and their trigger machinery: npat_[d] bit L
+  /// is the pattern value lane L requires of its direction-d
+  /// neighbour, nval_[d] bit L is that neighbour's *current* value
+  /// (kept coherent by apply_npsf — only packed writes can change an
+  /// NPSF lane's neighbour bits, because the lane holds no other
+  /// fault).  Directions are indexed N=0, E=1, S=2, W=3.
+  LaneWord npsf_lanes_ = 0;
+  std::array<LaneWord, 4> npat_{};
+  std::array<LaneWord, 4> nval_{};
+  /// NPSF lanes forcing their victim to 1 (clear = forces 0).
+  LaneWord npsf_forced1_ = 0;
+  /// Retention lanes decaying to 1 (clear = decays to 0), plus the
+  /// per-lane charge stamp and decay delay in clock ticks.
+  LaneWord drf_decay1_ = 0;
+  std::array<std::uint64_t, kLanes> drf_refreshed_{};
+  std::array<std::uint64_t, kLanes> drf_delay_{};
   unsigned lanes_used_ = 0;
   /// True once any lane holds a two-cell (coupling/bridge) fault —
   /// single-cell-only batches skip the coupling fire step on every
-  /// write without even loading the per-cell coupling masks.
+  /// write without even loading the per-site coupling masks.
   bool has_two_cell_ = false;
   /// True once any lane holds a decoder fault — batches without one
   /// skip the remap patches on every access.
   bool has_af_ = false;
-  LaneWord last_read_ = 0;  // packed sense-amp history (port 0)
+  /// Same gates for the NPSF re-check and the retention clock math.
+  bool has_npsf_ = false;
+  bool has_drf_ = false;
+  /// Packed sense-amp history (port 0), one word per bit plane — the
+  /// lane analogue of FaultyRam's per-port last_read_ word.
+  std::array<LaneWord, kMaxWidth> last_read_{};
   std::uint64_t reads_ = 0;
   std::uint64_t writes_ = 0;
+  std::uint64_t idle_ticks_ = 0;
 };
 
 inline LaneWord PackedFaultRam::read(Addr addr) {
   assert(addr < size_);
+  assert(width_ == 1);
   ++reads_;
-  LaneWord value = data_[addr];
-  const std::int16_t slot = slot_of_cell_[addr];
+  LaneWord value;
+  const std::int16_t slot = slot_of_site_[addr];
   if (slot >= 0) {
     const CellFaults& f = slots_[static_cast<std::size_t>(slot)];
+    // DRF: expired charges latch their decayed value before the sense
+    // amp looks (FaultyRam::physical_read applies retention first).
+    if (has_drf_ && f.drf != 0) apply_retention(addr, f.drf);
+    value = data_[addr];
     // RDF: the cell flips and the sense amp sees the flipped value.
     value ^= f.rdf;
     // DRDF: the correct value is returned, the cell flips behind the
@@ -206,28 +324,31 @@ inline LaneWord PackedFaultRam::read(Addr addr) {
     // IRF: inverted data on the bus, cell untouched.
     value ^= f.irf;
     // SOF: the open cell echoes the sense amp's previous read.
-    value = (value & ~f.sof) | (last_read_ & f.sof);
+    value = (value & ~f.sof) | (last_read_[0] & f.sof);
     // Decoder lanes: a no-access read floats the bus (reads zeros), a
     // wrong/multi access reads the alias cell (wired-AND for multi).
     // Pure bus-level patches — the addressed cell keeps its state.
     if (has_af_) {
       value &= ~f.af_no;
-      if ((f.af_wrong | f.af_multi) != 0) value = apply_af_read(value, f);
+      if ((f.af_wrong | f.af_multi) != 0) value = apply_af_read(value, f, 0);
     }
-    // Coupling lanes are untouched by reads: their lane has no
+    // Coupling/NPSF lanes are untouched by reads: their lane has no
     // read-logic fault, and a read never changes the bits a condition
     // watches (FaultyRam likewise only enforces conditions on writes).
+  } else {
+    value = data_[addr];
   }
-  last_read_ = value;
+  last_read_[0] = value;
   return value;
 }
 
 inline void PackedFaultRam::write(Addr addr, LaneWord value) {
   assert(addr < size_);
+  assert(width_ == 1);
   ++writes_;
   const LaneWord old = data_[addr];
   LaneWord nb = value;
-  const std::int16_t slot = slot_of_cell_[addr];
+  const std::int16_t slot = slot_of_site_[addr];
   if (slot < 0) {
     data_[addr] = nb;
     return;
@@ -247,11 +368,18 @@ inline void PackedFaultRam::write(Addr addr, LaneWord value) {
     const LaneWord suppressed = f.af_no | f.af_wrong;
     nb = (nb & ~suppressed) | (old & suppressed);
     data_[addr] = nb;
-    if ((f.af_wrong | f.af_multi) != 0) apply_af_write(value, f);
+    if ((f.af_wrong | f.af_multi) != 0) apply_af_write(value, f, 0);
   } else {
     data_[addr] = nb;
   }
+  // A write refreshes the charge of every retention victim in the cell
+  // (FaultyRam stamps refreshed_at_ right after the word lands).
+  if (has_drf_ && f.drf != 0) refresh_retention(f.drf);
   if (has_two_cell_ && f.coupling_any() != 0) apply_coupling(addr, old, nb, f);
+  // NPSF is re-checked on every write to a neighbourhood site, even a
+  // non-transition one (FaultyRam enforces conditions after every
+  // physical_write).
+  if (has_npsf_ && f.npsf_any() != 0) apply_npsf(addr, f);
 }
 
 }  // namespace prt::mem

@@ -122,6 +122,40 @@ TEST(CampaignService, EmptyUniverseCompletesEmpty) {
   EXPECT_EQ(out.shards_total, 0u);
 }
 
+// Dispatch tallies roll up across resolved requests: a packed run of a
+// fully lane-compatible universe tallies every fault as packed, a
+// scalar run tallies every fault as scalar, and the service stats sum
+// both.
+TEST(CampaignService, StatsRollUpDispatchTallies) {
+  const mem::Addr n = 32;
+  CampaignService service;
+  CampaignRequest packed_req = prt_request(n);
+  const std::uint64_t total = packed_req.universe.size();
+  packed_req.packed = true;
+  const RequestOutcome& packed_out =
+      service.submit(std::move(packed_req)).wait();
+  ASSERT_EQ(packed_out.status, RequestStatus::kComplete);
+  EXPECT_EQ(packed_out.result.packed_faults, total);
+  EXPECT_EQ(packed_out.result.scalar_faults, 0u);
+  {
+    const auto stats = service.stats();
+    EXPECT_EQ(stats.packed_faults, total);
+    EXPECT_EQ(stats.scalar_faults, 0u);
+  }
+  CampaignRequest scalar_req = prt_request(n);
+  scalar_req.packed = false;
+  const RequestOutcome& scalar_out =
+      service.submit(std::move(scalar_req)).wait();
+  ASSERT_EQ(scalar_out.status, RequestStatus::kComplete);
+  EXPECT_EQ(scalar_out.result.packed_faults, 0u);
+  EXPECT_EQ(scalar_out.result.scalar_faults, total);
+  {
+    const auto stats = service.stats();
+    EXPECT_EQ(stats.packed_faults, total);
+    EXPECT_EQ(stats.scalar_faults, total);
+  }
+}
+
 // --- admission / validation -----------------------------------------
 
 TEST(CampaignService, MalformedRequestsFailFast) {

@@ -4,6 +4,8 @@
 #include <gtest/gtest.h>
 
 #include <set>
+#include <stdexcept>
+#include <string>
 
 namespace prt::mem {
 namespace {
@@ -135,6 +137,29 @@ TEST(MakeUniverse, NpsfOnlyInteriorCells) {
     EXPECT_LT(col, 3u);
     EXPECT_LT(f.victim.cell + 4, 16u);
   }
+}
+
+TEST(MakeUniverse, RejectsMalformedExplicitNpsfGrid) {
+  UniverseOptions opt;
+  opt.npsf = true;
+  // A 1-cell-wide grid has no interior victims.
+  opt.npsf_grid_cols = 1;
+  EXPECT_THROW(make_universe(16, 1, opt), std::invalid_argument);
+  // A width that does not divide n leaves a ragged last row; the
+  // message must name the offending value.
+  opt.npsf_grid_cols = 5;
+  try {
+    (void)make_universe(16, 1, opt);
+    FAIL() << "expected std::invalid_argument";
+  } catch (const std::invalid_argument& e) {
+    const std::string what = e.what();
+    EXPECT_NE(what.find("npsf_grid_cols = 5"), std::string::npos) << what;
+    EXPECT_NE(what.find("16"), std::string::npos) << what;
+  }
+  // The square-ish default (cols = 0) never throws, even when no
+  // divisor exists: it picks the smallest cols with cols*cols >= n.
+  opt.npsf_grid_cols = 0;
+  EXPECT_NO_THROW((void)make_universe(17, 1, opt));
 }
 
 }  // namespace

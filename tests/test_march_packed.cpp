@@ -11,6 +11,8 @@
 
 #include <gtest/gtest.h>
 
+#include <algorithm>
+#include <cstddef>
 #include <cstdint>
 #include <memory>
 #include <span>
@@ -67,8 +69,8 @@ std::vector<mem::Fault> mixed_lane_universe(mem::Addr n) {
 /// Each lane's detected bit must equal run_march's fail verdict on a
 /// scalar FaultyRam with the same fault, for both background bits, and
 /// the packed op count must equal the scalar per-fault op count.
-void check_march_lane_parity(const march::MarchTest& test, mem::Addr n) {
-  const auto faults = mixed_lane_universe(n);
+void check_march_lane_parity(std::span<const mem::Fault> faults,
+                             const march::MarchTest& test, mem::Addr n) {
   for (const bool background : {false, true}) {
     mem::PackedFaultRam packed(n);
     for (const mem::Fault& f : faults) packed.add_fault(f);
@@ -94,19 +96,113 @@ TEST(RunMarchPacked, LaneVerdictsMatchScalarAcrossStandardTests) {
        {march::mats_plus(), march::march_x(), march::march_y(),
         march::march_c_minus(), march::march_a(), march::march_b(),
         march::march_ss(), march::march_g()}) {
-    check_march_lane_parity(test, n);
+    check_march_lane_parity(mixed_lane_universe(n), test, n);
   }
 }
 
-// The delay elements of March G are a no-op for lane-compatible faults
-// on both paths (retention faults never ride a lane), so parity above
-// already covers them; this pins the op accounting across a Del.
+/// A 64-lane mix of the pattern and clock-dependent kinds: static NPSF
+/// neighbourhoods (interior, border-inert and no-grid-inert victims)
+/// and retention lanes whose delays straddle the default Del tick.
+std::vector<mem::Fault> npsf_retention_lane_universe(mem::Addr n) {
+  const mem::Addr cols = 4;
+  // Delays around march_runner's kDefaultDelayTicks = 100'000: decayed
+  // by plain access clocking, by the first Del, only by the second Del,
+  // and never.
+  constexpr std::uint64_t kDelays[] = {200, 30'000, 99'999, 150'000,
+                                       1'000'000'000};
+  std::vector<mem::Fault> faults;
+  for (unsigned i = 0; faults.size() < mem::PackedFaultRam::kLanes; ++i) {
+    const mem::BitRef v{i % n, 0};
+    if (i % 2 == 0) {
+      const mem::Addr grid = (i % 8 == 6) ? 0 : cols;  // some no-grid inert
+      faults.push_back(
+          mem::Fault::npsf_static(v, (i / 2) % 16, (i / 32) & 1, grid));
+    } else {
+      faults.push_back(
+          mem::Fault::retention(v, (i / 2) & 1, kDelays[(i / 2) % 5]));
+    }
+  }
+  return faults;
+}
+
+// The tentpole acceptance at the March layer: NPSF neighbourhood lanes
+// and analytic retention lanes reproduce the scalar FaultyRam verdict
+// per lane across the standard tests, including March G's Del elements
+// (which advance the packed retention clock exactly like
+// advance_time on the scalar ram).
+TEST(RunMarchPacked, NpsfRetentionLanesMatchScalarAcrossStandardTests) {
+  const mem::Addr n = 16;
+  for (const march::MarchTest& test :
+       {march::mats_plus(), march::march_c_minus(), march::march_ss(),
+        march::march_g()}) {
+    check_march_lane_parity(npsf_retention_lane_universe(n), test, n);
+  }
+}
+
+// March G's delay elements issue no reads or writes — they only
+// advance the virtual clock (which is what decays retention lanes);
+// this pins the op accounting across a Del.
 TEST(RunMarchPacked, DelayElementsIssueNoOps) {
   mem::PackedFaultRam packed(8);
   packed.add_fault(mem::Fault::saf({3, 0}, 1));
   const auto test = march::march_g();
   (void)march::run_march_packed(test, packed);
   EXPECT_EQ(packed.ops(), test.total_ops(8));
+}
+
+// Early abort over NPSF + retention lanes: identical verdicts to the
+// full run, per-lane verdict parity with the scalar abort reference,
+// and analytic per-lane op accounting equal to the scalar abort ops —
+// for both backgrounds across memory sizes.
+TEST(RunMarchPacked, NpsfRetentionAbortOpsMatchScalar) {
+  const auto test = march::march_g();
+  for (const mem::Addr n : {mem::Addr{17}, mem::Addr{64}, mem::Addr{256}}) {
+    std::vector<mem::Fault> universe;
+    constexpr std::uint64_t kDelays[] = {200, 30'000, 99'999, 150'000,
+                                         1'000'000'000};
+    for (mem::Addr c = 0; c < n; ++c) {
+      universe.push_back(mem::Fault::npsf_static(
+          {c, 0}, static_cast<unsigned>(c % 16),
+          static_cast<unsigned>(c & 1), 4));
+      universe.push_back(mem::Fault::retention(
+          {c, 0}, static_cast<unsigned>(c & 1), kDelays[c % 5]));
+    }
+    for (const bool background : {false, true}) {
+      const auto transcript = march::make_march_transcript(test, n, background);
+      mem::FaultyRam scalar(n, 1);
+      for (std::size_t base = 0; base < universe.size();
+           base += mem::PackedFaultRam::kLanes) {
+        const std::size_t lanes =
+            std::min<std::size_t>(mem::PackedFaultRam::kLanes,
+                                  universe.size() - base);
+        mem::PackedFaultRam full_ram(n);
+        mem::PackedFaultRam abort_ram(n);
+        for (std::size_t j = 0; j < lanes; ++j) {
+          full_ram.add_fault(universe[base + j]);
+          abort_ram.add_fault(universe[base + j]);
+        }
+        const auto full = march::run_march_packed(full_ram, transcript, {});
+        const auto abort =
+            march::run_march_packed(abort_ram, transcript,
+                                    {.early_abort = true});
+        const std::uint64_t mask = full_ram.active_mask();
+        EXPECT_EQ(full.detected & mask, abort.detected & mask)
+            << "n=" << n << " bg=" << background << " batch at " << base;
+        std::uint64_t scalar_abort_ops = 0;
+        for (std::size_t j = 0; j < lanes; ++j) {
+          scalar.reset(universe[base + j]);
+          const auto r = march::run_march_transcript(scalar, transcript,
+                                                     {.early_abort = true});
+          scalar_abort_ops += r.ops;
+          EXPECT_EQ(((abort.detected >> j) & 1U) != 0, r.fail)
+              << "n=" << n << " bg=" << background << " lane " << j << " ("
+              << universe[base + j].describe() << ")";
+        }
+        EXPECT_EQ(abort.scalar_ops, scalar_abort_ops)
+            << "n=" << n << " bg=" << background << " batch at " << base;
+      }
+    }
+  }
 }
 
 // --- campaign-level parity ----------------------------------------------
@@ -158,6 +254,26 @@ TEST(MarchCampaign, BitIdenticalToSerialScalarOnVanDeGoor) {
   opt.n = n;
   check_march_campaign_parity(mem::van_de_goor_universe(n), march::march_ss(),
                               opt);
+}
+
+// NPSF + retention universes ride the March lanes end to end: packed
+// and scalar campaigns, serial and threaded, all bit-identical on a
+// grid memory under March G's Del schedule.
+TEST(MarchCampaign, NpsfRetentionBitIdenticalToSerialScalar) {
+  const mem::Addr n = 48;
+  std::vector<mem::Fault> universe;
+  constexpr std::uint64_t kDelays[] = {200, 30'000, 99'999, 150'000,
+                                       1'000'000'000};
+  for (mem::Addr c = 0; c < n; ++c) {
+    universe.push_back(mem::Fault::npsf_static(
+        {c, 0}, static_cast<unsigned>(c % 16), static_cast<unsigned>(c & 1),
+        4));
+    universe.push_back(mem::Fault::retention(
+        {c, 0}, static_cast<unsigned>(c & 1), kDelays[c % 5]));
+  }
+  analysis::CampaignOptions opt;
+  opt.n = n;
+  check_march_campaign_parity(universe, march::march_g(), opt);
 }
 
 // Word-oriented campaigns must transparently fall back to scalar (the

@@ -66,9 +66,12 @@ TEST(LaneCompatible, SingleBitKindsRideLanesOthersDoNot) {
   EXPECT_TRUE(mem::lane_compatible(mem::Fault::af_no_access(1)));
   EXPECT_TRUE(mem::lane_compatible(mem::Fault::af_wrong_access(1, 2)));
   EXPECT_TRUE(mem::lane_compatible(mem::Fault::af_multi_access(1, 2)));
-  // Pattern and clock-dependent faults stay scalar.
-  EXPECT_FALSE(mem::lane_compatible(mem::Fault::npsf_static({5, 0}, 0xF, 0, 4)));
-  EXPECT_FALSE(mem::lane_compatible(mem::Fault::retention({1, 0}, 1, 8)));
+  // Pattern faults ride: the 4-cell neighbourhood is per-lane
+  // metadata like an aggressor/victim pair.  Clock-dependent
+  // retention faults ride too: decay advances analytically on the
+  // packed clock.
+  EXPECT_TRUE(mem::lane_compatible(mem::Fault::npsf_static({5, 0}, 0xF, 0, 4)));
+  EXPECT_TRUE(mem::lane_compatible(mem::Fault::retention({1, 0}, 1, 8)));
   // The packed array models a 1-bit-wide memory: bit planes > 0 do not
   // ride, on either end of the pair.
   EXPECT_FALSE(mem::lane_compatible(mem::Fault::saf({3, 1}, 0)));
@@ -81,7 +84,9 @@ TEST(LaneCompatible, SingleBitKindsRideLanesOthersDoNot) {
 
 TEST(PackedFaultRam, RejectsIncompatibleAndOverflowingFaults) {
   mem::PackedFaultRam ram(8);
-  EXPECT_THROW(ram.add_fault(mem::Fault::retention({1, 0}, 1, 8)),
+  // Retention with delay == 0 would decay instantly and forever —
+  // FaultyRam::inject rejects it, and so does the lane path.
+  EXPECT_THROW(ram.add_fault(mem::Fault::retention({1, 0}, 1, 0)),
                std::invalid_argument);
   EXPECT_THROW(ram.add_fault(mem::Fault::saf({8, 0}, 1)),
                std::invalid_argument);
@@ -263,6 +268,115 @@ TEST(PackedFaultRam, EveryDecoderLaneMatchesScalarFaultyRam) {
   }
 }
 
+// Neighbourhood lanes: static NPSF faults across interior victims,
+// every pattern/forced-value combination, plus border and degenerate
+// neighbourhoods (inert on both paths — they consume a lane that never
+// fires) must match a scalar FaultyRam holding that one fault, op for
+// op, under random traffic.
+TEST(PackedFaultRam, EveryNpsfLaneMatchesScalarFaultyRam) {
+  const mem::Addr n = 36;  // 6 x 6 grid
+  const mem::Addr cols = 6;
+  std::vector<mem::Fault> faults;
+  for (unsigned i = 0; faults.size() < mem::PackedFaultRam::kLanes; ++i) {
+    if (i % 8 == 7) {
+      // Border victims (row 0 / west edge) and a no-grid fault: inert.
+      const mem::Addr victim = (i % 16 == 7) ? i % cols : (i / 8) * cols % n;
+      faults.push_back(
+          mem::Fault::npsf_static({victim, 0}, i % 16, i & 1,
+                                  (i % 16 == 15) ? 0 : cols));
+    } else {
+      const mem::Addr row = 1 + (i / 4) % (n / cols - 2);
+      const mem::Addr col = 1 + i % (cols - 2);
+      faults.push_back(mem::Fault::npsf_static({row * cols + col, 0}, i % 16,
+                                               (i / 16) & 1, cols));
+    }
+  }
+  mem::PackedFaultRam packed(n);
+  std::vector<std::unique_ptr<mem::FaultyRam>> scalars;
+  for (const mem::Fault& f : faults) {
+    packed.add_fault(f);
+    scalars.push_back(std::make_unique<mem::FaultyRam>(n, 1));
+    scalars.back()->inject(f);
+  }
+  // Pattern 0b0000 matches the all-zero power-up neighbourhood, so
+  // injection-time enforcement must already agree before any traffic.
+  for (mem::Addr addr = 0; addr < n; ++addr) {
+    const mem::LaneWord got = packed.peek(addr);
+    for (unsigned lane = 0; lane < scalars.size(); ++lane) {
+      ASSERT_EQ((got >> lane) & 1U, scalars[lane]->peek(addr))
+          << "post-inject cell " << addr << " lane " << lane << " ("
+          << faults[lane].describe() << ")";
+    }
+  }
+  std::uint64_t x = 0x9F5F1234;
+  for (int step = 0; step < 6000; ++step) {
+    const mem::Addr addr = static_cast<mem::Addr>(next_rand(x) % n);
+    if (next_rand(x) & 1) {
+      const mem::LaneWord value = next_rand(x);
+      packed.write(addr, value);
+      for (unsigned lane = 0; lane < scalars.size(); ++lane) {
+        scalars[lane]->write(addr,
+                             static_cast<mem::Word>((value >> lane) & 1U), 0);
+      }
+    } else {
+      const mem::LaneWord got = packed.read(addr);
+      for (unsigned lane = 0; lane < scalars.size(); ++lane) {
+        ASSERT_EQ((got >> lane) & 1U, scalars[lane]->read(addr, 0))
+            << "step " << step << " lane " << lane << " ("
+            << faults[lane].describe() << ")";
+      }
+    }
+  }
+}
+
+// Retention lanes: decay advances analytically from the packed clock
+// (one tick per access plus advance_time idle windows) and latches at
+// the first read after the pause boundary — bit-exact against
+// FaultyRam's per-access decay under random traffic with random pause
+// schedules.
+TEST(PackedFaultRam, RetentionLanesMatchScalarUnderRandomPauses) {
+  const mem::Addr n = 24;
+  std::vector<mem::Fault> faults;
+  for (unsigned i = 0; faults.size() < mem::PackedFaultRam::kLanes; ++i) {
+    faults.push_back(mem::Fault::retention({i % n, 0}, /*decays_to=*/i & 1,
+                                           /*delay_ticks=*/1 + (i % 7) * 13));
+  }
+  mem::PackedFaultRam packed(n);
+  std::vector<std::unique_ptr<mem::FaultyRam>> scalars;
+  for (const mem::Fault& f : faults) {
+    packed.add_fault(f);
+    scalars.push_back(std::make_unique<mem::FaultyRam>(n, 1));
+    scalars.back()->inject(f);
+  }
+  std::uint64_t x = 0xDECAF;
+  for (int step = 0; step < 4000; ++step) {
+    if (next_rand(x) % 5 == 0) {
+      // A pause: both clocks advance by the same idle window, which
+      // straddles every lane's decay delay sooner or later.
+      const std::uint64_t ticks = 1 + next_rand(x) % 40;
+      packed.advance_time(ticks);
+      for (auto& scalar : scalars) scalar->advance_time(ticks);
+      continue;
+    }
+    const mem::Addr addr = static_cast<mem::Addr>(next_rand(x) % n);
+    if (next_rand(x) & 1) {
+      const mem::LaneWord value = next_rand(x);
+      packed.write(addr, value);
+      for (unsigned lane = 0; lane < scalars.size(); ++lane) {
+        scalars[lane]->write(addr,
+                             static_cast<mem::Word>((value >> lane) & 1U), 0);
+      }
+    } else {
+      const mem::LaneWord got = packed.read(addr);
+      for (unsigned lane = 0; lane < scalars.size(); ++lane) {
+        ASSERT_EQ((got >> lane) & 1U, scalars[lane]->read(addr, 0))
+            << "step " << step << " lane " << lane << " ("
+            << faults[lane].describe() << ")";
+      }
+    }
+  }
+}
+
 // --- packed PRT evaluation ---------------------------------------------
 
 TEST(RunPrtPacked, SchemePackability) {
@@ -270,8 +384,9 @@ TEST(RunPrtPacked, SchemePackability) {
   EXPECT_TRUE(core::prt_scheme_packable(core::extended_scheme_bom(16)));
   EXPECT_TRUE(
       core::prt_scheme_packable(core::retention_scheme(16, 1, 100)));
-  // Word-oriented schemes need GF(2^m) multiplies per lane.
-  EXPECT_FALSE(core::prt_scheme_packable(core::standard_scheme_wom(16, 4)));
+  // Word-oriented schemes pack too: each GF(2^m) constant multiply
+  // compiles to an m x m tap matrix and the feedback stays XOR-only.
+  EXPECT_TRUE(core::prt_scheme_packable(core::standard_scheme_wom(16, 4)));
 }
 
 // One full batch of lane-compatible faults on a tiny array: each
@@ -378,6 +493,75 @@ TEST(RunPrtPacked, EarlyAbortKeepsVerdictsAndMatchesScalarAbortOps) {
       }
       EXPECT_EQ(abort.scalar_ops, scalar_abort_ops)
           << "batch at " << base << " misr=" << misr;
+    }
+  }
+}
+
+/// NPSF interior victims (4-wide grid, varied pattern/forced values)
+/// interleaved with retention faults of both polarities and varied
+/// delays on every cell.
+std::vector<mem::Fault> npsf_retention_universe(mem::Addr n) {
+  const mem::Addr cols = 4;
+  std::vector<mem::Fault> u;
+  for (mem::Addr c = 0; c < n; ++c) {
+    const mem::Addr row = c / cols;
+    const mem::Addr col = c % cols;
+    if (row >= 1 && col >= 1 && col + 1 < cols && c + cols < n) {
+      u.push_back(mem::Fault::npsf_static({c, 0}, static_cast<unsigned>(c) % 16,
+                                          c & 1, cols));
+    }
+    u.push_back(
+        mem::Fault::retention({c, 0}, c & 1, 50 + (c % 5) * 100));
+  }
+  return u;
+}
+
+// Abort-op parity for the NPSF and retention lanes: across sizes and
+// schemes (including the pause-bearing retention scheme, whose idle
+// windows trip the analytic decay), the packed early-abort run must
+// keep every verdict and reproduce the scalar early-abort op count
+// fault for fault.
+TEST(RunPrtPacked, NpsfRetentionAbortOpsMatchScalar) {
+  for (const mem::Addr n : {mem::Addr{17}, mem::Addr{64}, mem::Addr{256}}) {
+    const auto universe = npsf_retention_universe(n);
+    for (const bool retention_pauses : {false, true}) {
+      const core::PrtScheme scheme = retention_pauses
+                                         ? core::retention_scheme(n, 1, 1000)
+                                         : core::extended_scheme_bom(n);
+      const auto oracle = core::make_prt_oracle(scheme, n);
+      mem::FaultyRam scalar(n, 1);
+      for (std::size_t base = 0; base < universe.size();
+           base += mem::PackedFaultRam::kLanes) {
+        const std::size_t count = std::min<std::size_t>(
+            mem::PackedFaultRam::kLanes, universe.size() - base);
+        mem::PackedFaultRam packed(n);
+        mem::PackedFaultRam packed_abort(n);
+        for (std::size_t j = 0; j < count; ++j) {
+          packed.add_fault(universe[base + j]);
+          packed_abort.add_fault(universe[base + j]);
+        }
+        const auto full = core::run_prt_packed(packed, scheme, oracle,
+                                               {.early_abort = false});
+        const auto abort = core::run_prt_packed(packed_abort, scheme, oracle,
+                                                {.early_abort = true});
+        EXPECT_EQ(full.detected & packed.active_mask(),
+                  abort.detected & packed_abort.active_mask());
+        std::uint64_t scalar_abort_ops = 0;
+        for (std::size_t j = 0; j < count; ++j) {
+          scalar.reset(universe[base + j]);
+          const core::PrtRunOptions opts{.early_abort = true,
+                                         .record_iterations = false};
+          const bool expected =
+              core::run_prt(scalar, scheme, oracle, opts).detected();
+          scalar_abort_ops += scalar.total_stats().total();
+          EXPECT_EQ(((full.detected >> j) & 1U) != 0, expected)
+              << "n=" << n << " lane " << j << " ("
+              << universe[base + j].describe() << ")";
+        }
+        EXPECT_EQ(abort.scalar_ops, scalar_abort_ops)
+            << "n=" << n << " batch at " << base
+            << " retention_pauses=" << retention_pauses;
+      }
     }
   }
 }
@@ -523,20 +707,103 @@ TEST(PackedCampaign, MisrEnabledCampaignStaysBitIdentical) {
                    analysis::run_prt_campaign(universe, scheme, opt, eng));
 }
 
-// Word-oriented campaigns must transparently fall back to scalar.
-TEST(PackedCampaign, WomCampaignFallsBackToScalar) {
+// Word-oriented campaigns ride the lanes too: m = 4 bit planes per
+// cell, GF(16) feedback through the transcript's compiled tap
+// matrices.  The packed engine must reproduce the serial scalar
+// reference bit for bit on the full mixed universe (single-cell, read
+// logic, inter- and intra-word coupling, bridges, decoder faults).
+TEST(PackedCampaign, WomCampaignBitIdenticalToSerialScalar) {
   const mem::Addr n = 24;
   const unsigned m = 4;
-  const auto universe = mem::single_cell_universe(n, m, /*read_logic=*/false);
+  const auto universe = mem::make_universe(n, m, {.npsf = false});
   const auto scheme = core::standard_scheme_wom(n, m);
   analysis::CampaignOptions opt;
   opt.n = n;
   opt.m = m;
   const auto reference = serial_scalar_reference(universe, scheme, opt);
-  analysis::EngineOptions eng;
-  eng.packed = true;  // ignored: the scheme is not packable
-  expect_identical(reference,
-                   analysis::run_prt_campaign(universe, scheme, opt, eng));
+  for (const unsigned threads : {1u, 3u}) {
+    analysis::EngineOptions eng;
+    eng.threads = threads;
+    eng.packed = true;
+    const auto got = analysis::run_prt_campaign(universe, scheme, opt, eng);
+    expect_identical(reference, got);
+    // Every fault of this universe rides a lane at width 4.
+    EXPECT_EQ(got.packed_faults, got.overall.total);
+    EXPECT_EQ(got.scalar_faults, 0u);
+  }
+}
+
+// Early abort composes with word-oriented packing: per-lane analytic
+// op accounting must equal the scalar abort reference over GF(16).
+TEST(PackedCampaign, WomPerLaneAbortBitIdentical) {
+  const mem::Addr n = 24;
+  const unsigned m = 4;
+  const auto universe = mem::single_cell_universe(n, m, /*read_logic=*/true);
+  const auto scheme = core::standard_scheme_wom(n, m);
+  analysis::CampaignOptions opt;
+  opt.n = n;
+  opt.m = m;
+  check_abort_composition(universe, scheme, opt,
+                          serial_scalar_reference(universe, scheme, opt));
+}
+
+// NPSF + retention universes ride the lanes end to end: the packed
+// campaign (with and without early abort) must reproduce the serial
+// scalar reference bit for bit, with zero scalar fallbacks.
+TEST(PackedCampaign, NpsfRetentionBitIdenticalToSerialScalar) {
+  const mem::Addr n = 64;
+  const auto universe = npsf_retention_universe(n);
+  const auto scheme = core::retention_scheme(n, 1, 1000);
+  analysis::CampaignOptions opt;
+  opt.n = n;
+  const auto reference = serial_scalar_reference(universe, scheme, opt);
+  for (const unsigned threads : {1u, 3u}) {
+    analysis::EngineOptions eng;
+    eng.threads = threads;
+    eng.packed = true;
+    const auto got = analysis::run_prt_campaign(universe, scheme, opt, eng);
+    expect_identical(reference, got);
+    EXPECT_EQ(got.packed_faults, got.overall.total);
+    EXPECT_EQ(got.scalar_faults, 0u);
+  }
+  check_abort_composition(universe, scheme, opt, reference);
+}
+
+// --- dispatch tallies ----------------------------------------------------
+
+// packed_faults / scalar_faults partition the universe: a packed
+// engine routes every lane-compatible fault through a batch (only the
+// degenerate CFst trigger state falls back), a scalar engine routes
+// everything per fault, and the serial reference tallies scalar.
+TEST(PackedCampaign, DispatchTalliesPartitionTheUniverse) {
+  const mem::Addr n = 48;
+  auto universe = mem::van_de_goor_universe(n);
+  // One degenerate CFst trigger state (> 1): inert in FaultyRam, kept
+  // on the scalar reference path by lane_compatible.
+  universe.push_back(mem::Fault::cf_st({1, 0}, {2, 0}, /*when=*/2, 1));
+  const auto scheme = core::extended_scheme_bom(n);
+  analysis::CampaignOptions opt;
+  opt.n = n;
+
+  const auto serial = serial_scalar_reference(universe, scheme, opt);
+  EXPECT_EQ(serial.scalar_faults, universe.size());
+  EXPECT_EQ(serial.packed_faults, 0u);
+
+  analysis::EngineOptions packed_eng;
+  packed_eng.packed = true;
+  const auto packed =
+      analysis::run_prt_campaign(universe, scheme, opt, packed_eng);
+  EXPECT_EQ(packed.packed_faults, universe.size() - 1);
+  EXPECT_EQ(packed.scalar_faults, 1u);
+  EXPECT_EQ(packed.packed_faults + packed.scalar_faults,
+            packed.overall.total);
+
+  analysis::EngineOptions scalar_eng;
+  scalar_eng.packed = false;
+  const auto scalar =
+      analysis::run_prt_campaign(universe, scheme, opt, scalar_eng);
+  EXPECT_EQ(scalar.scalar_faults, universe.size());
+  EXPECT_EQ(scalar.packed_faults, 0u);
 }
 
 }  // namespace
