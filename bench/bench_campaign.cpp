@@ -17,6 +17,12 @@
 //  * the lane-compatible single-cell universe (SAF/TF/WDF + read
 //    logic, 9n faults, every one packable), where the packed path's
 //    64-faults-per-sweep gain is undiluted;
+//  * a measured-scaling grid: the same lane-compatible universe over
+//    thread counts {1, 2, 4, 8} x packed lane widths {64, 256} on the
+//    work-stealing batch scheduler, every cell parity-checked — the
+//    curves CI records per run (with per-config steal counts and the
+//    widest lane word used) to show the multicore and wide-lane gains
+//    on real cores;
 //  * a March campaign over the classical universe (March C-), where
 //    the same lanes drive march::run_march_packed via
 //    analysis::MarchCampaign — now with the abort-aware scalar
@@ -47,7 +53,9 @@
 //
 // Flags: --quick caps every universe for smoke runs; --threads N pins
 // the worker count (equivalent to PRT_THREADS=N in the environment).
+#include <algorithm>
 #include <chrono>
+#include <cstdint>
 #include <cstdio>
 #include <cstdlib>
 #include <ctime>
@@ -66,6 +74,7 @@
 #include "march/march_library.hpp"
 #include "mem/fault_injector.hpp"
 #include "mem/fault_universe.hpp"
+#include "mem/lane_word.hpp"
 #include "util/thread_pool.hpp"
 
 namespace {
@@ -151,6 +160,12 @@ struct ConfigTiming {
   double seconds = 0;
   std::uint64_t ops = 0;
   double coverage = 0;
+  /// Scheduler telemetry of the run (CampaignResult::sched): batches
+  /// executed by a worker other than their home worker, faults that
+  /// rode a wider-than-64 lane word, and the widest lane word used.
+  std::uint64_t steals = 0;
+  std::uint64_t wide_faults = 0;
+  unsigned max_lanes = 0;
 };
 
 struct SectionReport {
@@ -229,7 +244,9 @@ class SectionRunner {
         report_.packed_fraction = fraction;
       }
     }
-    report_.configs.push_back({name, secs, r.ops, r.overall.percent()});
+    report_.configs.push_back({name, secs, r.ops, r.overall.percent(),
+                               r.sched.steals, r.sched.wide_faults,
+                               r.sched.max_lanes});
     std::printf("  %-30s %8.3f s   %12llu ops   %6.2f %% coverage\n",
                 name.c_str(), secs,
                 static_cast<unsigned long long>(r.ops), r.overall.percent());
@@ -542,6 +559,70 @@ SectionReport bench_multiport(mem::Addr n, unsigned ports,
   return report;
 }
 
+/// Measured multicore scaling: the same lane-compatible universe swept
+/// over thread counts {1, 2, 4, 8} x packed lane widths {64, 256} on
+/// the work-stealing batch scheduler.  Every cell is parity-checked
+/// against the first (w64/t1), so the whole grid demonstrates the
+/// tentpole determinism claim — bit-identical output at any (threads,
+/// width) — while the timings show how much of it the hardware turns
+/// into throughput (the speedup curves are only meaningful on a
+/// multi-core runner; CI's bench smoke records them per run).
+SectionReport bench_scaling(mem::Addr n, std::size_t fault_cap) {
+  const auto universe = cap_universe(
+      mem::single_cell_universe(n, 1, /*read_logic=*/true), fault_cap);
+  const auto scheme = core::standard_scheme_bom(n);
+  analysis::CampaignOptions opt;
+  opt.n = n;
+
+  SectionReport report;
+  report.universe = "scaling (threads x lane width)";
+  report.scheme = scheme.name;
+  report.n = n;
+  report.faults = universe.size();
+  SectionRunner run(report, universe, opt);
+  for (const unsigned lane_width : {64u, 256u}) {
+    for (const unsigned threads : {1u, 2u, 4u, 8u}) {
+      analysis::EngineOptions eng;
+      eng.threads = threads;
+      eng.parallel = true;
+      eng.packed = true;
+      eng.lane_width = lane_width;
+      char name[32];
+      std::snprintf(name, sizeof name, "w%u/t%u", lane_width, threads);
+      run.record(name, [&] {
+        return analysis::run_prt_campaign(universe, scheme, opt, eng);
+      });
+    }
+  }
+  run.finish();
+  // The two headline curves: thread scaling at each width, and the
+  // wide-lane gain at each thread count.
+  auto seconds_of = [&](unsigned width, unsigned threads) {
+    char name[32];
+    std::snprintf(name, sizeof name, "w%u/t%u", width, threads);
+    for (const ConfigTiming& c : report.configs) {
+      if (c.name == name) return c.seconds;
+    }
+    return 0.0;
+  };
+  for (const unsigned width : {64u, 256u}) {
+    const double t1 = seconds_of(width, 1);
+    if (t1 <= 0) continue;
+    std::printf("  scaling w%-3u:", width);
+    for (const unsigned threads : {2u, 4u, 8u}) {
+      const double tn = seconds_of(width, threads);
+      std::printf("  %ut %.2fx", threads, tn > 0 ? t1 / tn : 0.0);
+    }
+    std::printf("\n");
+  }
+  const double w64t1 = seconds_of(64, 1);
+  const double w256t1 = seconds_of(256, 1);
+  if (w64t1 > 0 && w256t1 > 0) {
+    std::printf("  wide lanes (w256 vs w64, 1t): %.2fx\n\n", w64t1 / w256t1);
+  }
+  return report;
+}
+
 /// Multi-configuration suite over the paper's sweep shape (classical
 /// universes, n {256, 1024, 4096} x ports {1, 2, 4}; the oracle and
 /// transcript depend on (scheme, n) only, so the three port points of
@@ -593,6 +674,9 @@ SectionReport bench_suite(std::size_t fault_cap) {
     analysis::ClassCoverage overall;
     std::uint64_t ops = 0;
     std::uint64_t packed_faults = 0;
+    std::uint64_t steals = 0;
+    std::uint64_t wide_faults = 0;
+    unsigned max_lanes = 0;
     for (std::size_t i = 0; i < results.size(); ++i) {
       if (!reference.empty() && !(results[i] == reference[i])) {
         std::fprintf(stderr,
@@ -604,6 +688,9 @@ SectionReport bench_suite(std::size_t fault_cap) {
       overall.total += results[i].overall.total;
       ops += results[i].ops;
       packed_faults += results[i].packed_faults;
+      steals += results[i].sched.steals;
+      wide_faults += results[i].sched.wide_faults;
+      max_lanes = std::max(max_lanes, results[i].sched.max_lanes);
     }
     if (overall.total > 0) {
       const double fraction = static_cast<double>(packed_faults) /
@@ -612,7 +699,8 @@ SectionReport bench_suite(std::size_t fault_cap) {
         report.packed_fraction = fraction;
       }
     }
-    report.configs.push_back({name, secs, ops, overall.percent()});
+    report.configs.push_back({name, secs, ops, overall.percent(), steals,
+                              wide_faults, max_lanes});
     std::printf("  %-30s %8.3f s   %12llu ops   %6.2f %% coverage\n",
                 name.c_str(), secs, static_cast<unsigned long long>(ops),
                 overall.percent());
@@ -676,7 +764,8 @@ void write_report(std::ostream& out, const std::vector<SectionReport>& reports,
       << "\"utc\": \"" << utc << "\"," << sp << nl << indent(1)
       << "\"hardware_concurrency\": " << hardware_threads << "," << sp << nl
       << indent(1) << "\"threads\": " << workers << "," << sp << nl
-      << indent(1) << "\"sections\": [" << nl;
+      << indent(1) << "\"lane_width\": " << mem::default_lane_width() << ","
+      << sp << nl << indent(1) << "\"sections\": [" << nl;
   for (std::size_t s = 0; s < reports.size(); ++s) {
     const SectionReport& r = reports[s];
     out << indent(2) << "{" << nl << indent(3) << "\"universe\": \""
@@ -695,7 +784,10 @@ void write_report(std::ostream& out, const std::vector<SectionReport>& reports,
       out << indent(4) << "{\"name\": \"" << t.name
           << "\", \"seconds\": " << t.seconds << ", \"ops\": " << t.ops
           << ", \"coverage\": " << t.coverage
-          << ", \"speedup_vs_baseline\": " << r.speedup_vs_baseline(c) << "}"
+          << ", \"speedup_vs_baseline\": " << r.speedup_vs_baseline(c)
+          << ", \"steals\": " << t.steals
+          << ", \"wide_faults\": " << t.wide_faults
+          << ", \"max_lanes\": " << t.max_lanes << "}"
           << (c + 1 < r.configs.size() ? "," : "") << nl;
     }
     out << indent(3) << "]" << nl << indent(2) << "}"
@@ -755,6 +847,7 @@ int main(int argc, char** argv) {
       bench_lane_compatible(1024, core::extended_scheme_bom(1024), cap_small));
   reports.push_back(
       bench_lane_compatible(4096, core::standard_scheme_bom(4096), cap_lane));
+  reports.push_back(bench_scaling(1024, cap_small));
   reports.push_back(bench_march(1024, cap_small));
   reports.push_back(bench_march(4096, cap_large));
   reports.push_back(bench_wom(256, cap_small));

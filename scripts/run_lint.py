@@ -24,7 +24,13 @@ Two layers (DESIGN.md §12):
          src/util/durable_write.cpp — a plain rename has no fsync of
          the file or its directory, so a crash can lose or tear the
          replacement; file replacement must go through
-         util::durable_replace_file.
+         util::durable_replace_file;
+       * raw uint64 lane arithmetic (1ULL <<, std::popcount,
+         std::countr_zero, ~0ULL, ...) in the packed fault-path files
+         (packed_fault_ram.*, prt_packed.*, march_runner.*) outside
+         src/mem/lane_word.hpp — those files are generic over the lane
+         word (64/256/512 lanes) and must use the width-generic
+         helpers, or the WideWord instantiations silently break.
 
 Exit status is non-zero when any layer reports a finding.
 
@@ -63,6 +69,13 @@ MERGE_PATH_PREFIXES = (os.path.join("src", "analysis") + os.sep,)
 # The one sanctioned rename path: write tmp, fsync, rename, fsync the
 # directory (util::durable_replace_file).
 RENAME_ALLOWLIST = {os.path.join("src", "util", "durable_write.cpp")}
+# The packed fault-path files, generic over the lane word W
+# (mem/lane_word.hpp): raw uint64 lane arithmetic in them silently
+# pins the code to 64 lanes and breaks the WideWord instantiations.
+LANE_WORD_FILE_RE = re.compile(
+    r"(?:^|[\\/])(?:packed_fault_ram|prt_packed|march_runner)\.(?:hpp|cpp)$")
+# The one file allowed raw lane bit twiddling: it defines the helpers.
+LANE_WORD_ALLOWLIST = {os.path.join("src", "mem", "lane_word.hpp")}
 
 RAW_MUTEX_RE = re.compile(
     r"\bstd::(mutex|recursive_mutex|timed_mutex|shared_mutex|"
@@ -78,6 +91,14 @@ NONDETERMINISM_RE = re.compile(
 # character) out while catching rename(, ::rename( and
 # std::filesystem::rename.
 BARE_RENAME_RE = re.compile(r"\bstd::filesystem::rename\b|\brename\s*\(")
+# Raw uint64 lane-word idioms: single-lane shifts, popcounts,
+# trailing-zero scans and all-ones masks.  Inside the packed files
+# these must go through the width-generic lane helpers
+# (mem::lane_bit/lane_test/lane_popcount/for_each_set_lane/...).
+RAW_LANE_ARITH_RE = re.compile(
+    r"\b1ULL\s*<<|\b(?:std::)?uint64_t\{\s*1\s*\}\s*<<|"
+    r"\bstd::popcount\s*\(|\bstd::countr_zero\s*\(|\bstd::countl_zero\s*\(|"
+    r"~0ULL\b|~(?:std::)?uint64_t\{\s*0\s*\}")
 
 
 def strip_comments(text: str) -> str:
@@ -211,8 +232,27 @@ def lint_bare_rename(rel_path: str, clean: str) -> list[str]:
     return findings
 
 
+def lint_raw_lane_arith(rel_path: str, clean: str) -> list[str]:
+    if rel_path in LANE_WORD_ALLOWLIST or \
+            not rel_path.startswith("src" + os.sep) or \
+            not LANE_WORD_FILE_RE.search(rel_path):
+        return []
+    findings = []
+    for lineno, line in enumerate(clean.splitlines(), 1):
+        m = RAW_LANE_ARITH_RE.search(line)
+        if m:
+            findings.append(
+                f"{rel_path}:{lineno}: raw uint64 lane arithmetic "
+                f"'{m.group(0).strip()}' in a packed fault-path file — this "
+                f"code is generic over the lane word (64/256/512 lanes); use "
+                f"the width-generic helpers in mem/lane_word.hpp "
+                f"(lane_bit/lane_test/lane_broadcast/lane_popcount/"
+                f"for_each_set_lane) instead")
+    return findings
+
+
 CUSTOM_LINTS = (lint_raw_mutex, lint_unordered_iteration, lint_nondeterminism,
-                lint_bare_rename)
+                lint_bare_rename, lint_raw_lane_arith)
 
 
 def iter_source_files(changed: set[str] | None) -> list[str]:
@@ -359,6 +399,25 @@ SELFTEST_CASES = [
      "  util::durable_replace_file(path, text);\n", False),
     (lint_bare_rename, "tests/test_checkpoint_recovery.cpp",
      "  std::rename(a, b);\n", False),
+    (lint_raw_lane_arith, "src/mem/packed_fault_ram.cpp",
+     "  const auto mask = 1ULL << lane;\n", True),
+    (lint_raw_lane_arith, "src/core/prt_packed.cpp",
+     "  n += std::popcount(detected);\n", True),
+    (lint_raw_lane_arith, "src/march/march_runner.cpp",
+     "  const unsigned lane = std::countr_zero(pending);\n", True),
+    (lint_raw_lane_arith, "src/mem/packed_fault_ram.hpp",
+     "  const auto fill = ~std::uint64_t{0};\n", True),
+    (lint_raw_lane_arith, "src/core/prt_packed.cpp",
+     "  const W bit = mem::lane_bit<W>(lane);\n"
+     "  if (mem::lane_test(detected, lane)) n += 1;\n", False),
+    (lint_raw_lane_arith, "src/mem/lane_word.hpp",
+     "  return std::uint64_t{1} << lane;\n", False),
+    # Non-packed files keep their raw bit twiddling (MISR slicing,
+    # decoder masks) — the lint is scoped to the lane-generic files.
+    (lint_raw_lane_arith, "src/core/misr.cpp",
+     "  const auto m = 1ULL << tap;\n", False),
+    (lint_raw_lane_arith, "tests/test_packed_campaign.cpp",
+     "  const auto m = 1ULL << lane;\n", False),
 ]
 
 

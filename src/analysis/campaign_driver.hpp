@@ -29,6 +29,9 @@
 #include <cstdint>
 #include <memory>
 #include <span>
+#include <stdexcept>
+#include <string>
+#include <type_traits>
 #include <utility>
 
 #include "analysis/campaign_engine.hpp"
@@ -52,15 +55,24 @@ struct DriverOptions {
   /// Fan the universe out over the pool.  Off = one shard, inline on
   /// the calling thread.
   bool parallel = true;
-  /// Batch lane-compatible faults 64 per sweep on a bit-packed
-  /// mem::PackedFaultRam when the workload permits (Workload::
-  /// packable()).  Results stay bit-identical to the all-scalar path.
+  /// Batch lane-compatible faults one lane-word sweep at a time on a
+  /// bit-packed mem::PackedFaultRamT when the workload permits
+  /// (Workload::packable()).  Results stay bit-identical to the
+  /// all-scalar path.
   bool packed = true;
   /// Stop each fault's run at its first failure.  Verdicts, coverage
   /// and escapes are unchanged; CampaignResult::ops shrinks to the
   /// abort-aware scalar reference cost (packed lanes retire with
   /// analytic per-lane op accounting).
   bool early_abort = false;
+  /// Packed lane width: 64, 256, 512, or 0 for
+  /// mem::default_lane_width().  Per shard the driver dispatches the
+  /// widest word the shard's fault range can fill at least half of,
+  /// falling back to 64 otherwise; every width produces bit-identical
+  /// results (the instantiations share one templated replay), so this
+  /// knob moves only throughput and sched telemetry.  Validated by the
+  /// driver constructor.
+  unsigned lane_width = 0;
 };
 
 /// PRT-scheme workload: golden artifacts from OracleCache::prt, scalar
@@ -85,12 +97,26 @@ class PrtWorkload {
   }
 
   /// Per-shard mutable state: one rewindable FaultyRam and the packed
-  /// replay scratch, owned by exactly one worker at a time.
+  /// replay scratches (one per lane width the dispatch may pick; the
+  /// unused ones never allocate — PackedScratchT vectors grow on first
+  /// use), owned by exactly one worker at a time.
   struct ShardState {
     explicit ShardState(const CampaignOptions& opt)
         : ram(opt.n, opt.m, opt.ports) {}
     mem::FaultyRam ram;
-    core::PackedScratch scratch;
+    core::PackedScratchT<mem::LaneWord> scratch64;
+    core::PackedScratchT<mem::WideWord<4>> scratch256;
+    core::PackedScratchT<mem::WideWord<8>> scratch512;
+    template <typename W>
+    core::PackedScratchT<W>& scratch() {
+      if constexpr (std::is_same_v<W, mem::WideWord<8>>) {
+        return scratch512;
+      } else if constexpr (std::is_same_v<W, mem::WideWord<4>>) {
+        return scratch256;
+      } else {
+        return scratch64;
+      }
+    }
   };
 
   /// Lane batching permitted: oracle-backed runs whose word width
@@ -117,14 +143,16 @@ class PrtWorkload {
     return detected;
   }
 
-  /// Runs one flushed 64-lane batch; returns {detected mask, ops to
-  /// charge for the whole batch} — scalar_ops reproduces, per lane,
-  /// exactly what the scalar path would have issued for that fault.
-  std::pair<std::uint64_t, std::uint64_t> run_batch(
-      ShardState& s, mem::PackedFaultRam& batch) const {
+  /// Runs one flushed lane batch at the batch's width; returns
+  /// {detected lane word, ops to charge for the whole batch} —
+  /// scalar_ops reproduces, per lane, exactly what the scalar path
+  /// would have issued for that fault.
+  template <typename W>
+  std::pair<W, std::uint64_t> run_batch(
+      ShardState& s, mem::PackedFaultRamT<W>& batch) const {
     const core::PackedRunOptions run{.early_abort = early_abort_};
-    const core::PackedVerdict v =
-        core::run_prt_packed(batch, entry_->transcript, run, s.scratch);
+    const core::PackedVerdictT<W> v = core::run_prt_packed(
+        batch, entry_->transcript, run, s.template scratch<W>());
     return {v.detected & batch.active_mask(), v.scalar_ops};
   }
 
@@ -206,10 +234,11 @@ class MarchWorkload {
     return detected;
   }
 
-  std::pair<std::uint64_t, std::uint64_t> run_batch(
-      ShardState&, mem::PackedFaultRam& batch) const {
+  template <typename W>
+  std::pair<W, std::uint64_t> run_batch(ShardState&,
+                                        mem::PackedFaultRamT<W>& batch) const {
     const march::MarchRunOptions run{.early_abort = early_abort_};
-    const march::MarchPackedVerdict v =
+    const march::MarchPackedVerdictT<W> v =
         march::run_march_packed(batch, entry_->transcript, run);
     return {v.detected & batch.active_mask(), v.scalar_ops};
   }
@@ -232,9 +261,19 @@ class MarchWorkload {
 template <typename Workload>
 class CampaignDriver {
  public:
+  /// Throws std::invalid_argument when drv.lane_width is not one of
+  /// {0, 64, 256, 512} — before any worker or memory is constructed,
+  /// like validate_campaign_options.
   CampaignDriver(Workload workload, const CampaignOptions& opt,
                  const DriverOptions& drv)
-      : workload_(std::move(workload)), opt_(opt), drv_(drv) {}
+      : workload_(std::move(workload)), opt_(opt), drv_(drv) {
+    if (drv.lane_width != 0 && drv.lane_width != 64 &&
+        drv.lane_width != 256 && drv.lane_width != 512) {
+      throw std::invalid_argument(
+          "CampaignDriver: lane_width must be 0, 64, 256 or 512, got " +
+          std::to_string(drv.lane_width));
+    }
+  }
 
   CampaignDriver(const CampaignDriver&) = delete;
   CampaignDriver& operator=(const CampaignDriver&) = delete;
@@ -245,28 +284,44 @@ class CampaignDriver {
     return drv_.packed && workload_.packable();
   }
 
+  /// The lane width runs request: the explicit option, else
+  /// mem::default_lane_width().  Shards still fall back to 64 when
+  /// their fault range cannot fill half the wide lanes (run_shard).
+  [[nodiscard]] unsigned effective_lane_width() const {
+    return drv_.lane_width != 0 ? drv_.lane_width
+                                : mem::default_lane_width();
+  }
+
   /// Fills one shard over universe indices [begin, end).  Stateless
   /// across calls (fresh ShardState per shard), so any contiguous
   /// ascending partition merges — in shard order — to the same
   /// CampaignResult; CampaignSuite and CampaignService call this
   /// directly on their own schedules.  Polls `stop` per fault; returns
   /// false (discard `out`, it is partial) once a stop is observed.
+  ///
+  /// Width dispatch: the widest requested lane word the range can fill
+  /// at least half of — a 512-lane sweep needs >= 256 faults in the
+  /// range, a 256-lane sweep >= 128 — else the 64-lane word (wide
+  /// words on a thin batch would burn whole-word XORs on mostly-empty
+  /// lanes).  The choice is per shard and verdict-neutral: all
+  /// instantiations share one templated replay, so `out` is
+  /// bit-identical whichever word runs.
   bool run_shard(std::span<const mem::Fault> universe, std::size_t begin,
                  std::size_t end, CampaignResult& out,
                  const util::StopToken& stop = {}) const {
-    typename Workload::ShardState state(opt_);
-    auto run_scalar = [&](std::size_t i) {
-      return workload_.run_fault(state, universe[i], out.ops);
-    };
-    if (!packed_enabled()) {
-      return scalar_shard(universe, begin, end, out, run_scalar, stop);
+    if (packed_enabled()) {
+      const std::size_t range = end - begin;
+      const unsigned width = effective_lane_width();
+      if (width >= 512 && range >= 256) {
+        return run_shard_impl<mem::WideWord<8>>(universe, begin, end, out,
+                                                stop);
+      }
+      if (width >= 256 && range >= 128) {
+        return run_shard_impl<mem::WideWord<4>>(universe, begin, end, out,
+                                                stop);
+      }
     }
-    mem::PackedFaultRam packed(opt_.n, opt_.m);
-    auto run_batch = [&](mem::PackedFaultRam& batch) {
-      return workload_.run_batch(state, batch);
-    };
-    return lane_batched_shard(universe, begin, end, packed, out, run_batch,
-                              run_scalar, stop);
+    return run_shard_impl<mem::LaneWord>(universe, begin, end, out, stop);
   }
 
   /// Simulates every fault of the universe; identical CampaignResult
@@ -289,8 +344,17 @@ class CampaignDriver {
       const util::StopToken& stop) const {
     const unsigned workers =
         drv_.threads != 0 ? drv_.threads : util::default_worker_count();
+    // Steal-queue batch = 4 lane sweeps at the requested width: big
+    // enough that per-batch ShardState construction amortizes, small
+    // enough (vs universe/workers chunks) that idle workers find
+    // batches to steal — and every batch above the fallback threshold
+    // fills its wide lanes.  Boundaries depend only on universe size
+    // and this constant, so results stay bit-identical at any thread
+    // count.
+    const std::size_t batch =
+        static_cast<std::size_t>(effective_lane_width()) * 4;
     return run_sharded(
-        universe.size(), workers, drv_.parallel, pool_,
+        universe.size(), workers, drv_.parallel, batch, pool_,
         [&](std::size_t begin, std::size_t end, CampaignResult& out) {
           return run_shard(universe, begin, end, out, stop);
         },
@@ -302,6 +366,26 @@ class CampaignDriver {
   [[nodiscard]] const DriverOptions& driver_options() const { return drv_; }
 
  private:
+  /// The width-concrete shard loop behind run_shard's dispatch.
+  template <typename W>
+  bool run_shard_impl(std::span<const mem::Fault> universe, std::size_t begin,
+                      std::size_t end, CampaignResult& out,
+                      const util::StopToken& stop) const {
+    typename Workload::ShardState state(opt_);
+    auto run_scalar = [&](std::size_t i) {
+      return workload_.run_fault(state, universe[i], out.ops);
+    };
+    if (!packed_enabled()) {
+      return scalar_shard(universe, begin, end, out, run_scalar, stop);
+    }
+    mem::PackedFaultRamT<W> packed(opt_.n, opt_.m);
+    auto run_batch = [&](mem::PackedFaultRamT<W>& batch) {
+      return workload_.run_batch(state, batch);
+    };
+    return lane_batched_shard(universe, begin, end, packed, out, run_batch,
+                              run_scalar, stop);
+  }
+
   Workload workload_;
   CampaignOptions opt_;
   DriverOptions drv_;
@@ -322,7 +406,8 @@ using MarchDriver = CampaignDriver<MarchWorkload>;
   return {.threads = engine.threads,
           .parallel = engine.parallel,
           .packed = engine.packed,
-          .early_abort = engine.early_abort};
+          .early_abort = engine.early_abort,
+          .lane_width = engine.lane_width};
 }
 
 [[nodiscard]] inline DriverOptions to_driver_options(
@@ -330,7 +415,8 @@ using MarchDriver = CampaignDriver<MarchWorkload>;
   return {.threads = engine.threads,
           .parallel = engine.parallel,
           .packed = engine.packed,
-          .early_abort = engine.early_abort};
+          .early_abort = engine.early_abort,
+          .lane_width = engine.lane_width};
 }
 
 [[nodiscard]] inline std::unique_ptr<PrtDriver> make_driver(

@@ -76,6 +76,16 @@ struct EngineOptions {
   /// Ignored (everything scalar) when the scheme is not packable or
   /// use_oracle is off.
   bool packed = true;
+  /// Lane width of the packed sweeps: 64 (one std::uint64_t lane
+  /// word), 256 or 512 (SIMD-wide mem::WideWord lanes — profitable
+  /// when the build vectorizes them, see the PRT_SIMD CMake option),
+  /// or 0 to defer to mem::default_lane_width() (the PRT_LANES
+  /// environment override, else 256 on PRT_SIMD builds, else 64).
+  /// Per-batch the driver falls back to 64 whenever a batch cannot
+  /// fill at least half the wide lanes.  Verdicts, coverage, escapes
+  /// and op accounting are bit-identical at every width — only
+  /// throughput and the CampaignResult::sched telemetry change.
+  unsigned lane_width = 0;
 };
 
 class CampaignEngine {

@@ -58,30 +58,36 @@ bool scalar_shard(std::span<const mem::Fault> universe, std::size_t begin,
   return true;
 }
 
-/// Lane-batched shard loop: compatible faults ride the packed ram 64
-/// at a time, the rest run scalar in place.  run_batch(packed) runs
-/// one flushed batch and returns {detected mask, ops to charge for the
-/// whole batch}; run_scalar(i) -> detected as above.  Escapes are
-/// gathered out of order and sorted once — counts and op sums are
-/// order-independent, so the shard output is bit-identical to the
-/// all-scalar loop.  Polls `stop` per fault, same contract as
+/// Lane-batched shard loop: compatible faults ride the packed ram
+/// kLanes at a time (64 for the LaneWord instantiation, 256/512 for
+/// the wide words), the rest run scalar in place.  run_batch(packed)
+/// runs one flushed batch and returns {detected lane word, ops to
+/// charge for the whole batch}; run_scalar(i) -> detected as above.
+/// Escapes are gathered out of order and sorted once — counts and op
+/// sums are order-independent, so the shard output is bit-identical to
+/// the all-scalar loop *and* to itself at any other lane width (the
+/// per-lane verdicts are width-invariant; only the sched telemetry
+/// records which width ran).  Polls `stop` per fault, same contract as
 /// scalar_shard (false = shard abandoned, discard `out`).
-template <typename RunBatch, typename RunScalar>
+template <typename W, typename RunBatch, typename RunScalar>
 bool lane_batched_shard(std::span<const mem::Fault> universe,
                         std::size_t begin, std::size_t end,
-                        mem::PackedFaultRam& packed, CampaignResult& out,
+                        mem::PackedFaultRamT<W>& packed, CampaignResult& out,
                         RunBatch&& run_batch, RunScalar&& run_scalar,
                         const util::StopToken& stop = {}) {
-  std::array<std::size_t, mem::PackedFaultRam::kLanes> batch_index{};
+  constexpr unsigned kLanes = mem::PackedFaultRamT<W>::kLanes;
+  std::array<std::size_t, kLanes> batch_index{};
   auto flush = [&]() {
     const unsigned lanes = packed.lanes_used();
     if (lanes == 0) return;
     const auto [detected, ops] = run_batch(packed);
     out.ops += ops;
     out.packed_faults += lanes;
+    if constexpr (mem::is_wide_lane_word_v<W>) out.sched.wide_faults += lanes;
+    out.sched.max_lanes = std::max(out.sched.max_lanes, kLanes);
     for (unsigned lane = 0; lane < lanes; ++lane) {
       tally_fault(out, universe, batch_index[lane],
-                  ((detected >> lane) & 1U) != 0);
+                  mem::lane_test(detected, lane));
     }
     packed.reset();
   };
@@ -89,7 +95,7 @@ bool lane_batched_shard(std::span<const mem::Fault> universe,
     if (stop.stop_requested()) return false;
     if (mem::lane_compatible(universe[i], packed.width())) {
       batch_index[packed.add_fault(universe[i])] = i;
-      if (packed.lanes_used() == mem::PackedFaultRam::kLanes) flush();
+      if (packed.lanes_used() == kLanes) flush();
     } else {
       tally_fault(out, universe, i, run_scalar(i));
       ++out.scalar_faults;
@@ -100,18 +106,27 @@ bool lane_batched_shard(std::span<const mem::Fault> universe,
   return true;
 }
 
-/// Pool fan-out with the order-deterministic merge: shards
-/// [0, universe_size) contiguously over `pool` (created lazily,
-/// `workers` wide) and merges per-shard results in shard order.  Falls
-/// back to one inline shard when parallelism is off or pointless.
+/// Pool fan-out with the order-deterministic merge: splits
+/// [0, universe_size) into fixed-size batches of `batch_size` faults,
+/// fans them out over `pool` (created lazily, `workers` wide) with the
+/// work-stealing scheduler (util::ThreadPool::parallel_for_batches),
+/// and merges per-batch results in batch-index order.  Falls back to
+/// one inline shard when parallelism is off or pointless.
 /// run_shard(begin, end, out) -> bool fills one shard (false = the
 /// shard observed `stop` and abandoned; its partial output is
 /// discarded).  Shards that completed before the stop still count:
 /// their ranges ascend even when non-contiguous, so the partial merge
 /// is an exact tally over exactly the covered faults.
+///
+/// Determinism: batch boundaries depend only on (universe_size,
+/// batch_size) — never on the worker count or who stole what — and
+/// the merge folds them in index order, so the merged CampaignResult
+/// is bit-identical at any thread count.  The scheduler's stolen-batch
+/// telemetry lands in result.sched (batches = completed batches,
+/// steals from the pool's counters), which equality ignores.
 template <typename RunShard>
 CampaignOutcome run_sharded(std::size_t universe_size, unsigned workers,
-                            bool parallel,
+                            bool parallel, std::size_t batch_size,
                             std::unique_ptr<util::ThreadPool>& pool,
                             RunShard&& run_shard,
                             const util::StopToken& stop = {}) {
@@ -120,32 +135,39 @@ CampaignOutcome run_sharded(std::size_t universe_size, unsigned workers,
     out.shards_total = 1;
     CampaignResult result;
     if (run_shard(std::size_t{0}, universe_size, result)) {
+      result.sched.batches = 1;
       out.result = std::move(result);
       out.shards_done = 1;
     }
   } else {
     if (!pool) pool = std::make_unique<util::ThreadPool>(workers);
-    const auto shard_count =
-        std::min<std::size_t>(pool->workers(), universe_size);
-    out.shards_total = shard_count;
-    std::vector<CampaignResult> shards(shard_count);
-    // Completion flags are unsigned char, not vector<bool>: each chunk
+    if (batch_size == 0) batch_size = 1;
+    const std::size_t nbatches =
+        (universe_size + batch_size - 1) / batch_size;
+    out.shards_total = nbatches;
+    std::vector<CampaignResult> shards(nbatches);
+    // Completion flags are unsigned char, not vector<bool>: each batch
     // writes only its own slot, which bit-packing would turn into a
     // data race on the shared byte.
-    std::vector<unsigned char> done(shard_count, 0);
-    pool->parallel_for_chunks(
-        universe_size, [&](unsigned chunk, std::size_t begin, std::size_t end) {
-          done[chunk] = run_shard(begin, end, shards[chunk]) ? 1 : 0;
+    std::vector<unsigned char> done(nbatches, 0);
+    const util::StealCounters counters = pool->parallel_for_batches(
+        universe_size, batch_size,
+        [&](std::size_t batch, std::size_t begin, std::size_t end) {
+          done[batch] = run_shard(begin, end, shards[batch]) ? 1 : 0;
         });
     std::vector<CampaignResult> completed;
-    completed.reserve(shard_count);
-    for (std::size_t s = 0; s < shard_count; ++s) {
+    completed.reserve(nbatches);
+    for (std::size_t s = 0; s < nbatches; ++s) {
       if (done[s] != 0) {
         completed.push_back(std::move(shards[s]));
         ++out.shards_done;
       }
     }
     out.result = merge_results(completed);
+    // Batch count is deterministic (completed batches); the steal
+    // count is genuine timing telemetry and varies run to run.
+    out.result.sched.batches = out.shards_done;
+    out.result.sched.steals = counters.steals;
   }
   out.status = out.shards_done == out.shards_total
                    ? RunStatus::kComplete

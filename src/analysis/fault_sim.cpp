@@ -1,5 +1,6 @@
 #include "analysis/fault_sim.hpp"
 
+#include <algorithm>
 #include <map>
 #include <stdexcept>
 #include <string>
@@ -38,6 +39,11 @@ CampaignResult merge_results(std::span<const CampaignResult> shards) {
     merged.ops += shard.ops;
     merged.packed_faults += shard.packed_faults;
     merged.scalar_faults += shard.scalar_faults;
+    merged.sched.batches += shard.sched.batches;
+    merged.sched.steals += shard.sched.steals;
+    merged.sched.wide_faults += shard.sched.wide_faults;
+    merged.sched.max_lanes = std::max(merged.sched.max_lanes,
+                                      shard.sched.max_lanes);
     merged.escapes.insert(merged.escapes.end(), shard.escapes.begin(),
                           shard.escapes.end());
   }

@@ -60,6 +60,12 @@ struct MarchEngineOptions {
   /// retire as their mismatch latches, with per-lane op accounting
   /// bit-identical to the scalar abort path (march/march_runner).
   bool early_abort = false;
+  /// Lane width of the packed sweeps: 64, 256, 512, or 0 to defer to
+  /// mem::default_lane_width().  Same contract as
+  /// EngineOptions::lane_width — per-batch 64-lane fallback when a
+  /// batch cannot fill half the wide lanes, bit-identical results at
+  /// every width.
+  unsigned lane_width = 0;
 };
 
 class MarchCampaign {

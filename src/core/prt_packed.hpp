@@ -2,7 +2,7 @@
 //
 // Over GF(2) every scheme value is a single bit, so the LFSR feedback
 // sum_j g_j * window[k-j] degenerates to an XOR of the selected window
-// entries — which is *lane-wise*: one 64-bit XOR computes all 64
+// entries — which is *lane-wise*: one lane-word XOR computes all
 // packed memories' feedback at once, each from its own (possibly
 // fault-corrupted) reads.  Word-oriented schemes (GF(2^m), m > 1) pack
 // just as well: a cell is m bit planes, each constant-coefficient
@@ -11,12 +11,19 @@
 // handful of plane-wide XORs — the same XOR-only realization the paper
 // proposes for the BIST hardware itself.  run_prt_packed replays the
 // compiled op transcript of the scheme (core/op_transcript.hpp)
-// against a mem::PackedFaultRam: a tight stream over flat
+// against a mem::PackedFaultRamT: a tight stream over flat
 // {addr, golden} records with no Trajectory::at(), no oracle
 // indirection and no per-op dispatch, comparing each lane's observed
 // Fin, Init read-back, verify-pass image and (bit-sliced) MISR
 // signature against the golden values baked into the transcript,
-// returning the 64-bit detected mask.
+// returning the per-lane detected mask.
+//
+// The whole replay is generic over the lane word W
+// (mem/lane_word.hpp): the 64-lane std::uint64_t and the SIMD-width
+// WideWord<4>/WideWord<8> share one definition, and a lane's verdict
+// is identical at every width — the hot loop is pure lane-wise
+// AND/OR/XOR, so widening the word only changes how many faults ride
+// one sweep.
 //
 // Detection semantics per lane are identical to
 // run_prt(FaultyRam, scheme, oracle).detected() for the same single
@@ -50,6 +57,7 @@ namespace prt::core {
 /// word-oriented schemes (m > 1) ride m bit planes per cell, with each
 /// constant-coefficient multiply compiled to its GF(2) tap matrix in
 /// the transcript (tap_rows) so the feedback is still XOR-only.
+/// Width-independent: packable means packable at any lane width.
 [[nodiscard]] bool prt_scheme_packable(const PrtScheme& scheme);
 
 struct PackedRunOptions {
@@ -61,22 +69,28 @@ struct PackedRunOptions {
 };
 
 /// Reusable replay scratch: the bit-sliced MISR state plus the word
-/// path's plane buffers (read word, feedback accumulator, broadcast
-/// staging — 3 * width lane words; unused and unallocated on the GF(2)
-/// path, whose feedback accumulates inline).  Campaign shard loops own
-/// one and pass it to every batch instead of reallocating per 64-fault
+/// path's plane buffers (read word, feedback accumulator — 2 * width
+/// lane words; unused and unallocated on the GF(2) path, whose
+/// feedback accumulates inline).  Campaign shard loops own one per
+/// lane width and pass it to every batch instead of reallocating per
 /// batch.
-struct PackedScratch {
-  std::vector<mem::LaneWord> misr;
-  std::vector<mem::LaneWord> planes;
+template <typename W>
+struct PackedScratchT {
+  std::vector<W> misr;
+  std::vector<W> planes;
 };
 
-/// Verdict of a packed run.
-struct PackedVerdict {
-  /// Bit L set means lane L's fault is detected.  Lanes beyond
+using PackedScratch = PackedScratchT<mem::LaneWord>;
+
+/// Verdict of a packed run at lane width LaneTraits<W>::kLanes.
+template <typename W>
+struct PackedVerdictT {
+  /// Lane L set means lane L's fault is detected.  Lanes beyond
   /// ram.lanes_used() simulate fault-free memories and never deviate,
-  /// but callers should still AND with ram.active_mask().
-  std::uint64_t detected = 0;
+  /// but callers should still AND with ram.active_mask().  Inspect
+  /// single lanes through lane_detected() / mem::lane_test rather than
+  /// shifting the raw word — the mask is width-generic.
+  W detected{};
   /// Sum over the ram's *active* lanes of the ops a scalar
   /// run_prt(FaultyRam, scheme, oracle, {.early_abort}) would have
   /// issued for that lane's fault: complete iterations up to and
@@ -84,19 +98,43 @@ struct PackedVerdict {
   /// scheme otherwise.  Campaigns charge this to CampaignResult::ops
   /// so packed accounting stays bit-identical to the scalar path.
   std::uint64_t scalar_ops = 0;
+
+  /// Width-generic per-lane accessor: lane `lane`'s verdict.
+  [[nodiscard]] bool lane_detected(unsigned lane) const {
+    return mem::lane_test(detected, lane);
+  }
+  /// Number of detected lanes (callers AND with active_mask first when
+  /// the ram is partially filled).
+  [[nodiscard]] unsigned detected_count() const {
+    return mem::lane_popcount(detected);
+  }
 };
 
+using PackedVerdict = PackedVerdictT<mem::LaneWord>;
+
 /// Replays a compiled PRT transcript against the packed ram — the
-/// campaign hot loop.  Preconditions: transcript built by
-/// make_op_transcript for this scheme with transcript.n == ram.size()
-/// and transcript.width == ram.width().
-[[nodiscard]] PackedVerdict run_prt_packed(mem::PackedFaultRam& ram,
-                                           const OpTranscript& transcript,
-                                           const PackedRunOptions& options,
-                                           PackedScratch& scratch);
+/// campaign hot loop, one instantiation per lane width.
+/// Preconditions: transcript built by make_op_transcript for this
+/// scheme with transcript.n == ram.size() and
+/// transcript.width == ram.width().
+template <typename W>
+[[nodiscard]] PackedVerdictT<W> run_prt_packed(mem::PackedFaultRamT<W>& ram,
+                                               const OpTranscript& transcript,
+                                               const PackedRunOptions& options,
+                                               PackedScratchT<W>& scratch);
+
+extern template PackedVerdictT<mem::LaneWord> run_prt_packed(
+    mem::PackedFaultRamT<mem::LaneWord>&, const OpTranscript&,
+    const PackedRunOptions&, PackedScratchT<mem::LaneWord>&);
+extern template PackedVerdictT<mem::WideWord<4>> run_prt_packed(
+    mem::PackedFaultRamT<mem::WideWord<4>>&, const OpTranscript&,
+    const PackedRunOptions&, PackedScratchT<mem::WideWord<4>>&);
+extern template PackedVerdictT<mem::WideWord<8>> run_prt_packed(
+    mem::PackedFaultRamT<mem::WideWord<8>>&, const OpTranscript&,
+    const PackedRunOptions&, PackedScratchT<mem::WideWord<8>>&);
 
 /// Oracle-based convenience overload: compiles the transcript on the
-/// fly (one-shot callers, tests).  Preconditions:
+/// fly (one-shot callers, tests; 64-lane).  Preconditions:
 /// prt_scheme_packable(scheme), oracle built by
 /// make_prt_oracle(scheme, ram.size()).
 [[nodiscard]] PackedVerdict run_prt_packed(mem::PackedFaultRam& ram,

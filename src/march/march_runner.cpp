@@ -1,6 +1,5 @@
 #include "march/march_runner.hpp"
 
-#include <bit>
 #include <cassert>
 #include <stdexcept>
 
@@ -127,16 +126,17 @@ core::OpTranscript make_march_transcript(const MarchTest& test, mem::Addr n,
   return t;
 }
 
-MarchPackedVerdict run_march_packed(mem::PackedFaultRam& ram,
-                                    const core::OpTranscript& t,
-                                    const MarchRunOptions& options) {
+template <typename W>
+MarchPackedVerdictT<W> run_march_packed(mem::PackedFaultRamT<W>& ram,
+                                        const core::OpTranscript& t,
+                                        const MarchRunOptions& options) {
   assert(t.n == ram.size());
-  const mem::LaneWord active = ram.active_mask();
-  MarchPackedVerdict verdict;
-  mem::LaneWord mismatch = 0;
+  const W active = ram.active_mask();
+  MarchPackedVerdictT<W> verdict;
+  W mismatch{};
   // Active lanes whose mismatch has not latched yet (early abort
   // retires lanes the moment they latch: a March verdict is monotone).
-  mem::LaneWord pending = active;
+  W pending = active;
   std::uint64_t op_idx = 0;
   for (const core::MarchSegment& seg : t.march) {
     if (seg.is_delay) {
@@ -151,35 +151,46 @@ MarchPackedVerdict run_march_packed(mem::PackedFaultRam& ram,
       for (std::uint32_t j = 0; j < period; ++j, ++r) {
         ++op_idx;
         if ((read_mask >> j) & 1U) {
-          mismatch |= ram.read(r->addr) ^ mem::lane_broadcast(r->golden);
+          mismatch |= ram.read(r->addr) ^ mem::lane_broadcast<W>(r->golden);
           if (options.early_abort) {
             // A lane's scalar abort run stops at its first mismatching
             // read having issued exactly op_idx ops.
-            const mem::LaneWord newly = pending & mismatch;
-            if (newly != 0) {
+            const W newly = pending & mismatch;
+            if (mem::lane_any(newly)) {
               verdict.scalar_ops +=
-                  static_cast<std::uint64_t>(std::popcount(newly)) * op_idx;
+                  static_cast<std::uint64_t>(mem::lane_popcount(newly)) *
+                  op_idx;
               pending &= ~newly;
-              if (pending == 0) {
+              if (!mem::lane_any(pending)) {
                 verdict.detected = mismatch;
                 return verdict;
               }
             }
           }
         } else {
-          ram.write(r->addr, mem::lane_broadcast(r->golden));
+          ram.write(r->addr, mem::lane_broadcast<W>(r->golden));
         }
       }
     }
   }
   // Remaining lanes (all active lanes when early_abort is off) ran the
   // complete test.
-  const mem::LaneWord full = options.early_abort ? pending : active;
+  const W full = options.early_abort ? pending : active;
   verdict.scalar_ops +=
-      static_cast<std::uint64_t>(std::popcount(full)) * t.total_ops();
+      static_cast<std::uint64_t>(mem::lane_popcount(full)) * t.total_ops();
   verdict.detected = mismatch;
   return verdict;
 }
+
+template MarchPackedVerdictT<mem::LaneWord> run_march_packed(
+    mem::PackedFaultRamT<mem::LaneWord>&, const core::OpTranscript&,
+    const MarchRunOptions&);
+template MarchPackedVerdictT<mem::WideWord<4>> run_march_packed(
+    mem::PackedFaultRamT<mem::WideWord<4>>&, const core::OpTranscript&,
+    const MarchRunOptions&);
+template MarchPackedVerdictT<mem::WideWord<8>> run_march_packed(
+    mem::PackedFaultRamT<mem::WideWord<8>>&, const core::OpTranscript&,
+    const MarchRunOptions&);
 
 std::uint64_t run_march_packed(const MarchTest& test,
                                mem::PackedFaultRam& ram, bool background,

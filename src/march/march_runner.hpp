@@ -79,31 +79,57 @@ struct MarchRunOptions {
     const MarchTest& test, mem::Addr n, bool background,
     std::uint64_t delay_ticks = kDefaultDelayTicks);
 
-/// Verdict of a packed transcript March run (mirrors
-/// core::PackedVerdict).
-struct MarchPackedVerdict {
-  /// Bit L set means lane L's fault is detected.
-  std::uint64_t detected = 0;
+/// Verdict of a packed transcript March run at lane width
+/// LaneTraits<W>::kLanes (mirrors core::PackedVerdictT).
+template <typename W>
+struct MarchPackedVerdictT {
+  /// Lane L set means lane L's fault is detected.  Inspect single
+  /// lanes through lane_detected() / mem::lane_test rather than
+  /// shifting the raw word — the mask is width-generic.
+  W detected{};
   /// Sum over the ram's active lanes of the ops a scalar
   /// run_march(FaultyRam, ..., {.early_abort}) would have issued for
   /// that lane's fault: everything up to and including the first
   /// mismatching read under early_abort, the full test otherwise.
   std::uint64_t scalar_ops = 0;
+
+  /// Width-generic per-lane accessor: lane `lane`'s verdict.
+  [[nodiscard]] bool lane_detected(unsigned lane) const {
+    return mem::lane_test(detected, lane);
+  }
+  /// Number of detected lanes.
+  [[nodiscard]] unsigned detected_count() const {
+    return mem::lane_popcount(detected);
+  }
 };
 
+using MarchPackedVerdict = MarchPackedVerdictT<mem::LaneWord>;
+
 /// Replays a compiled March transcript bit-parallel over a
-/// mem::PackedFaultRam (up to 64 independent single-fault lanes): each
-/// write broadcasts the record's data bit to every lane and each read
-/// compares every lane against the expected bit at once.  Per-lane
-/// semantics are identical to run_march(test, FaultyRam-with-that-
-/// fault, background, delay, options).  With early_abort, lanes retire
-/// as their mismatch latches and the replay stops once every active
-/// lane is retired, with per-lane op accounting identical to the
-/// scalar abort path.  Lanes beyond ram.lanes_used() never deviate,
-/// but callers should still AND with ram.active_mask().
-[[nodiscard]] MarchPackedVerdict run_march_packed(
-    mem::PackedFaultRam& ram, const core::OpTranscript& transcript,
+/// mem::PackedFaultRamT (one independent single-fault lane per word
+/// bit): each write broadcasts the record's data bit to every lane and
+/// each read compares every lane against the expected bit at once.
+/// Per-lane semantics are identical to run_march(test,
+/// FaultyRam-with-that-fault, background, delay, options) at every
+/// lane width.  With early_abort, lanes retire as their mismatch
+/// latches and the replay stops once every active lane is retired,
+/// with per-lane op accounting identical to the scalar abort path.
+/// Lanes beyond ram.lanes_used() never deviate, but callers should
+/// still AND with ram.active_mask().
+template <typename W>
+[[nodiscard]] MarchPackedVerdictT<W> run_march_packed(
+    mem::PackedFaultRamT<W>& ram, const core::OpTranscript& transcript,
     const MarchRunOptions& options = {});
+
+extern template MarchPackedVerdictT<mem::LaneWord> run_march_packed(
+    mem::PackedFaultRamT<mem::LaneWord>&, const core::OpTranscript&,
+    const MarchRunOptions&);
+extern template MarchPackedVerdictT<mem::WideWord<4>> run_march_packed(
+    mem::PackedFaultRamT<mem::WideWord<4>>&, const core::OpTranscript&,
+    const MarchRunOptions&);
+extern template MarchPackedVerdictT<mem::WideWord<8>> run_march_packed(
+    mem::PackedFaultRamT<mem::WideWord<8>>&, const core::OpTranscript&,
+    const MarchRunOptions&);
 
 /// Convenience overload compiling the transcript on the fly (one-shot
 /// callers, tests): the detected mask of a full run without early

@@ -1,7 +1,6 @@
 #include "mem/packed_fault_ram.hpp"
 
 #include <algorithm>
-#include <bit>
 #include <cassert>
 #include <stdexcept>
 
@@ -58,10 +57,11 @@ bool lane_compatible(const Fault& fault, unsigned width) {
   }
 }
 
-PackedFaultRam::PackedFaultRam(Addr cells, unsigned width)
+template <typename W>
+PackedFaultRamT<W>::PackedFaultRamT(Addr cells, unsigned width)
     : size_(cells),
       width_(width),
-      data_(static_cast<std::size_t>(cells) * width, 0),
+      data_(static_cast<std::size_t>(cells) * width, W{}),
       slot_of_site_(static_cast<std::size_t>(cells) * width, -1) {
   if (cells < 1) {
     throw std::invalid_argument("PackedFaultRam: cells must be >= 1");
@@ -69,23 +69,28 @@ PackedFaultRam::PackedFaultRam(Addr cells, unsigned width)
   if (width < 1 || width > kMaxWidth) {
     throw std::invalid_argument("PackedFaultRam: width must be in [1, 32]");
   }
-  slots_.reserve(6 * kLanes);
-  dirty_sites_.reserve(6 * kLanes);
+  // A typical mixed batch touches a handful of sites per lane; the
+  // wide instantiations cap the reserve so one batch ram stays a few
+  // hundred KB and grows amortized past it instead.
+  const std::size_t reserve = 6 * std::min<unsigned>(kLanes, 64);
+  slots_.reserve(reserve);
+  dirty_sites_.reserve(reserve);
 }
 
-void PackedFaultRam::reset() {
-  std::fill(data_.begin(), data_.end(), LaneWord{0});
+template <typename W>
+void PackedFaultRamT<W>::reset() {
+  std::fill(data_.begin(), data_.end(), W{});
   for (const std::size_t site : dirty_sites_) slot_of_site_[site] = -1;
   slots_.clear();
   dirty_sites_.clear();
-  forced1_ = 0;
-  cfst_state1_ = 0;
-  bridge_or_ = 0;
-  npsf_lanes_ = 0;
-  npat_.fill(0);
-  nval_.fill(0);
-  npsf_forced1_ = 0;
-  drf_decay1_ = 0;
+  forced1_ = W{};
+  cfst_state1_ = W{};
+  bridge_or_ = W{};
+  npsf_lanes_ = W{};
+  npat_.fill(W{});
+  nval_.fill(W{});
+  npsf_forced1_ = W{};
+  drf_decay1_ = W{};
   drf_refreshed_.fill(0);
   drf_delay_.fill(0);
   lanes_used_ = 0;
@@ -93,13 +98,15 @@ void PackedFaultRam::reset() {
   has_af_ = false;
   has_npsf_ = false;
   has_drf_ = false;
-  last_read_.fill(0);
+  last_read_.fill(W{});
   reads_ = 0;
   writes_ = 0;
   idle_ticks_ = 0;
 }
 
-PackedFaultRam::CellFaults& PackedFaultRam::slot_for(std::size_t site) {
+template <typename W>
+typename PackedFaultRamT<W>::CellFaults& PackedFaultRamT<W>::slot_for(
+    std::size_t site) {
   if (slot_of_site_[site] < 0) {
     slot_of_site_[site] = static_cast<std::int16_t>(slots_.size());
     slots_.emplace_back();
@@ -108,7 +115,8 @@ PackedFaultRam::CellFaults& PackedFaultRam::slot_for(std::size_t site) {
   return slots_[static_cast<std::size_t>(slot_of_site_[site])];
 }
 
-unsigned PackedFaultRam::add_fault(const Fault& fault) {
+template <typename W>
+unsigned PackedFaultRamT<W>::add_fault(const Fault& fault) {
   if (!lane_compatible(fault, width_)) {
     throw std::invalid_argument(
         "PackedFaultRam::add_fault: fault is not lane-compatible: " +
@@ -143,17 +151,17 @@ unsigned PackedFaultRam::add_fault(const Fault& fault) {
         fault.describe());
   }
   if (lanes_used_ >= kLanes) {
-    throw std::length_error("PackedFaultRam::add_fault: all 64 lanes taken");
+    throw std::length_error("PackedFaultRam::add_fault: all lanes taken");
   }
   const unsigned lane = lanes_used_++;
   has_two_cell_ = has_two_cell_ || is_coupling(fault.kind);
-  const LaneWord mask = LaneWord{1} << lane;
+  const W mask = lane_bit<W>(lane);
   const std::size_t vic = site_of(fault.victim.cell, fault.victim.bit);
   const std::size_t agg = site_of(fault.aggressor.cell, fault.aggressor.bit);
   // Forces a site's lane bit to `value`, the packed equivalent of
   // FaultyRam's injection-time condition enforcement.
   auto force_bit = [&](std::size_t site, unsigned value) {
-    data_[site] = value ? (data_[site] | mask) : (data_[site] & ~mask);
+    lane_assign(data_[site], lane, value != 0);
   };
   switch (fault.kind) {
     case FaultKind::kSaf0:
@@ -214,7 +222,7 @@ unsigned PackedFaultRam::add_fault(const Fault& fault) {
       // A freshly injected state condition is enforced against the
       // current contents immediately (a defect's effect holds from the
       // moment it exists).
-      if (((data_[agg] >> lane) & 1U) == (fault.state & 1U)) {
+      if (lane_test(data_[agg], lane) == ((fault.state & 1U) != 0)) {
         force_bit(vic, forced);
       }
       break;
@@ -248,10 +256,10 @@ unsigned PackedFaultRam::add_fault(const Fault& fault) {
       lane_aggressor_[lane] = agg;
       const bool wired_or = fault.kind == FaultKind::kBridgeOr;
       if (wired_or) bridge_or_ |= mask;
-      const LaneWord a = (data_[vic] >> lane) & 1U;
-      const LaneWord b = (data_[agg] >> lane) & 1U;
+      const bool a = lane_test(data_[vic], lane);
+      const bool b = lane_test(data_[agg], lane);
       const unsigned tied =
-          static_cast<unsigned>(wired_or ? (a | b) : (a & b));
+          static_cast<unsigned>(wired_or ? (a || b) : (a && b));
       force_bit(vic, tied);
       force_bit(agg, tied);
       break;
@@ -293,14 +301,14 @@ unsigned PackedFaultRam::add_fault(const Fault& fault) {
       // Seed the neighbour-value caches from the current contents (the
       // lane is fresh, so its cache bits start clear) and enforce the
       // freshly injected condition immediately.
-      if ((data_[north] >> lane) & 1U) nval_[0] |= mask;
-      if ((data_[east] >> lane) & 1U) nval_[1] |= mask;
-      if ((data_[south] >> lane) & 1U) nval_[2] |= mask;
-      if ((data_[west] >> lane) & 1U) nval_[3] |= mask;
-      const LaneWord mismatched = ((nval_[0] ^ npat_[0]) | (nval_[1] ^ npat_[1]) |
-                                   (nval_[2] ^ npat_[2]) | (nval_[3] ^ npat_[3])) &
-                                  mask;
-      if (mismatched == 0) {
+      if (lane_test(data_[north], lane)) nval_[0] |= mask;
+      if (lane_test(data_[east], lane)) nval_[1] |= mask;
+      if (lane_test(data_[south], lane)) nval_[2] |= mask;
+      if (lane_test(data_[west], lane)) nval_[3] |= mask;
+      const W mismatched = ((nval_[0] ^ npat_[0]) | (nval_[1] ^ npat_[1]) |
+                            (nval_[2] ^ npat_[2]) | (nval_[3] ^ npat_[3])) &
+                           mask;
+      if (!lane_any(mismatched)) {
         force_bit(vic, static_cast<unsigned>(fault.state & 1U));
       }
       break;
@@ -322,17 +330,18 @@ unsigned PackedFaultRam::add_fault(const Fault& fault) {
   return lane;
 }
 
-void PackedFaultRam::read_word(Addr cell, LaneWord* out) {
+template <typename W>
+void PackedFaultRamT<W>::read_word(Addr cell, W* out) {
   assert(cell < size_);
   ++reads_;
   const std::size_t base = static_cast<std::size_t>(cell) * width_;
   for (unsigned p = 0; p < width_; ++p) {
     const std::size_t site = base + p;
     const std::int16_t slot = slot_of_site_[site];
-    LaneWord value;
+    W value;
     if (slot >= 0) {
       const CellFaults& f = slots_[static_cast<std::size_t>(slot)];
-      if (has_drf_ && f.drf != 0) apply_retention(site, f.drf);
+      if (has_drf_ && lane_any(f.drf)) apply_retention(site, f.drf);
       value = data_[site];
       value ^= f.rdf;
       data_[site] = value ^ f.drdf;
@@ -340,7 +349,9 @@ void PackedFaultRam::read_word(Addr cell, LaneWord* out) {
       value = (value & ~f.sof) | (last_read_[p] & f.sof);
       if (has_af_) {
         value &= ~f.af_no;
-        if ((f.af_wrong | f.af_multi) != 0) value = apply_af_read(value, f, p);
+        if (lane_any(f.af_wrong | f.af_multi)) {
+          value = apply_af_read(value, f, p);
+        }
       }
     } else {
       value = data_[site];
@@ -352,12 +363,13 @@ void PackedFaultRam::read_word(Addr cell, LaneWord* out) {
   for (unsigned p = 0; p < width_; ++p) last_read_[p] = out[p];
 }
 
-void PackedFaultRam::write_word(Addr cell, const LaneWord* planes) {
+template <typename W>
+void PackedFaultRamT<W>::write_word(Addr cell, const W* planes) {
   assert(cell < size_);
   ++writes_;
   const std::size_t base = static_cast<std::size_t>(cell) * width_;
-  std::array<LaneWord, kMaxWidth> old{};
-  std::array<LaneWord, kMaxWidth> landed{};
+  std::array<W, kMaxWidth> old{};
+  std::array<W, kMaxWidth> landed{};
   bool any_slot = false;
   // Phase 1: land every plane (WDF/TF/SAF per site, decoder
   // suppression) without firing coupling, so intra-word aggressor
@@ -365,9 +377,9 @@ void PackedFaultRam::write_word(Addr cell, const LaneWord* planes) {
   // write switch together (FaultyRam::physical_write does the same).
   for (unsigned p = 0; p < width_; ++p) {
     const std::size_t site = base + p;
-    const LaneWord o = data_[site];
+    const W o = data_[site];
     old[p] = o;
-    LaneWord nb = planes[p];
+    W nb = planes[p];
     const std::int16_t slot = slot_of_site_[site];
     if (slot < 0) {
       data_[site] = nb;
@@ -381,15 +393,15 @@ void PackedFaultRam::write_word(Addr cell, const LaneWord* planes) {
     nb |= f.tf_down & o;
     nb = (nb & ~f.saf0) | f.saf1;
     if (has_af_) {
-      const LaneWord suppressed = f.af_no | f.af_wrong;
+      const W suppressed = f.af_no | f.af_wrong;
       nb = (nb & ~suppressed) | (o & suppressed);
       data_[site] = nb;
-      if ((f.af_wrong | f.af_multi) != 0) apply_af_write(planes[p], f, p);
+      if (lane_any(f.af_wrong | f.af_multi)) apply_af_write(planes[p], f, p);
     } else {
       data_[site] = nb;
     }
     landed[p] = nb;
-    if (has_drf_ && f.drf != 0) refresh_retention(f.drf);
+    if (has_drf_ && lane_any(f.drf)) refresh_retention(f.drf);
   }
   if (!any_slot || !(has_two_cell_ || has_npsf_)) return;
   // Phase 2: coupling fires per plane in ascending order against the
@@ -401,7 +413,7 @@ void PackedFaultRam::write_word(Addr cell, const LaneWord* planes) {
     const std::int16_t slot = slot_of_site_[site];
     if (slot < 0) continue;
     const CellFaults& f = slots_[static_cast<std::size_t>(slot)];
-    if (has_two_cell_ && f.coupling_any() != 0) {
+    if (has_two_cell_ && lane_any(f.coupling_any())) {
       apply_coupling(site, old[p], landed[p], f);
     }
   }
@@ -411,86 +423,74 @@ void PackedFaultRam::write_word(Addr cell, const LaneWord* planes) {
       const std::int16_t slot = slot_of_site_[site];
       if (slot < 0) continue;
       const CellFaults& f = slots_[static_cast<std::size_t>(slot)];
-      if (f.npsf_any() != 0) apply_npsf(site, f);
+      if (lane_any(f.npsf_any())) apply_npsf(site, f);
     }
   }
 }
 
-LaneWord PackedFaultRam::apply_af_read(LaneWord value, const CellFaults& f,
-                                       unsigned plane) {
+template <typename W>
+W PackedFaultRamT<W>::apply_af_read(W value, const CellFaults& f,
+                                    unsigned plane) {
   // Per-lane scatter over the few decoder lanes remapping this cell.
-  LaneWord m = f.af_wrong;
-  while (m != 0) {
-    const unsigned lane = static_cast<unsigned>(std::countr_zero(m));
-    m &= m - 1;
-    const LaneWord bit = LaneWord{1} << lane;
+  for_each_set_lane(f.af_wrong, [&](unsigned lane) {
+    const W bit = lane_bit<W>(lane);
     const std::size_t alias =
         site_of(static_cast<Addr>(lane_victim_[lane]), plane);
     // Wrong access: the sense amp sees the alias cell.
     value = (value & ~bit) | (data_[alias] & bit);
-  }
-  m = f.af_multi;
-  while (m != 0) {
-    const unsigned lane = static_cast<unsigned>(std::countr_zero(m));
-    m &= m - 1;
-    const LaneWord bit = LaneWord{1} << lane;
+  });
+  for_each_set_lane(f.af_multi, [&](unsigned lane) {
+    const W bit = lane_bit<W>(lane);
     const std::size_t alias =
         site_of(static_cast<Addr>(lane_victim_[lane]), plane);
     // Multi access: wired-AND of the addressed cell (already in
     // `value` — AF lanes carry no read-logic fault) and the alias.
     value &= ~bit | data_[alias];
-  }
+  });
   return value;
 }
 
-void PackedFaultRam::apply_af_write(LaneWord value, const CellFaults& f,
-                                    unsigned plane) {
-  LaneWord m = f.af_wrong | f.af_multi;
-  while (m != 0) {
-    const unsigned lane = static_cast<unsigned>(std::countr_zero(m));
-    m &= m - 1;
-    const LaneWord bit = LaneWord{1} << lane;
+template <typename W>
+void PackedFaultRamT<W>::apply_af_write(const W& value, const CellFaults& f,
+                                        unsigned plane) {
+  for_each_set_lane(f.af_wrong | f.af_multi, [&](unsigned lane) {
+    const W bit = lane_bit<W>(lane);
     const std::size_t alias =
         site_of(static_cast<Addr>(lane_victim_[lane]), plane);
     data_[alias] = (data_[alias] & ~bit) | (value & bit);
-  }
+  });
 }
 
-void PackedFaultRam::apply_retention(std::size_t site, LaneWord m) {
+template <typename W>
+void PackedFaultRamT<W>::apply_retention(std::size_t site, const W& m) {
   const std::uint64_t now = clock();
-  while (m != 0) {
-    const unsigned lane = static_cast<unsigned>(std::countr_zero(m));
-    m &= m - 1;
+  for_each_set_lane(m, [&](unsigned lane) {
     // Overflow-safe subtraction, same comparison FaultyRam uses; the
     // charge stamp is *not* refreshed, so the re-force is idempotent
     // until the next write.
-    if (now - drf_refreshed_[lane] < drf_delay_[lane]) continue;
-    const LaneWord bit = LaneWord{1} << lane;
-    data_[site] = ((drf_decay1_ >> lane) & 1U) != 0 ? (data_[site] | bit)
-                                                    : (data_[site] & ~bit);
-  }
+    if (now - drf_refreshed_[lane] < drf_delay_[lane]) return;
+    lane_assign(data_[site], lane, lane_test(drf_decay1_, lane));
+  });
 }
 
-void PackedFaultRam::refresh_retention(LaneWord m) {
+template <typename W>
+void PackedFaultRamT<W>::refresh_retention(const W& m) {
   const std::uint64_t now = clock();
-  while (m != 0) {
-    const unsigned lane = static_cast<unsigned>(std::countr_zero(m));
-    m &= m - 1;
-    drf_refreshed_[lane] = now;
-  }
+  for_each_set_lane(m, [&](unsigned lane) { drf_refreshed_[lane] = now; });
 }
 
-void PackedFaultRam::apply_npsf(std::size_t site, const CellFaults& f) {
+template <typename W>
+void PackedFaultRamT<W>::apply_npsf(std::size_t site, const CellFaults& f) {
   // Refresh the direction caches for every lane whose neighbour is
-  // this site, then match all 64 lanes' patterns at once: a lane
-  // matches when each cached neighbour value equals its pattern bit,
-  // i.e. when it contributes no bit to any direction's XOR.
-  const LaneWord v = data_[site];
+  // this site, then match all lanes' patterns at once: a lane matches
+  // when each cached neighbour value equals its pattern bit, i.e. when
+  // it contributes no bit to any direction's XOR.
+  const W v = data_[site];
   nval_[0] = (nval_[0] & ~f.npsf_n) | (v & f.npsf_n);
   nval_[1] = (nval_[1] & ~f.npsf_e) | (v & f.npsf_e);
   nval_[2] = (nval_[2] & ~f.npsf_s) | (v & f.npsf_s);
   nval_[3] = (nval_[3] & ~f.npsf_w) | (v & f.npsf_w);
-  const LaneWord match =
+  const W match =
       npsf_lanes_ & ~((nval_[0] ^ npat_[0]) | (nval_[1] ^ npat_[1]) |
                       (nval_[2] ^ npat_[2]) | (nval_[3] ^ npat_[3]));
   // Only lanes whose neighbourhood this write touched fire (FaultyRam's
@@ -498,72 +498,62 @@ void PackedFaultRam::apply_npsf(std::size_t site, const CellFaults& f) {
   // pattern already matched before this write had its victim forced
   // when the pattern last became true — nothing else can move an NPSF
   // lane's bits, because the lane holds no other fault.
-  LaneWord fire = match & f.npsf_any();
-  while (fire != 0) {
-    const unsigned lane = static_cast<unsigned>(std::countr_zero(fire));
-    fire &= fire - 1;
-    const LaneWord bit = LaneWord{1} << lane;
+  for_each_set_lane(match & f.npsf_any(), [&](unsigned lane) {
     const std::size_t vic = lane_victim_[lane];
-    data_[vic] = ((npsf_forced1_ >> lane) & 1U) != 0 ? (data_[vic] | bit)
-                                                     : (data_[vic] & ~bit);
-  }
+    lane_assign(data_[vic], lane, lane_test(npsf_forced1_, lane));
+  });
 }
 
-void PackedFaultRam::apply_coupling(std::size_t site, LaneWord old,
-                                    LaneWord now, const CellFaults& f) {
+template <typename W>
+void PackedFaultRamT<W>::apply_coupling(std::size_t site, const W& old,
+                                        const W& now, const CellFaults& f) {
   // Per-lane scatter over the few lanes coupled to this site.  Lanes
   // are disjoint across the masks (one fault per lane), so the order
   // of the blocks is irrelevant.
-  auto for_each_lane = [](LaneWord m, auto&& fn) {
-    while (m != 0) {
-      const unsigned lane = static_cast<unsigned>(std::countr_zero(m));
-      m &= m - 1;
-      fn(lane, LaneWord{1} << lane);
-    }
+  auto force = [&](std::size_t s, unsigned lane) {
+    lane_assign(data_[s], lane, lane_test(forced1_, lane));
   };
-  auto force = [&](std::size_t s, unsigned lane, LaneWord bit) {
-    data_[s] = (forced1_ >> lane) & 1U ? (data_[s] | bit)
-                                       : (data_[s] & ~bit);
-  };
-  const LaneWord up = now & ~old;
-  const LaneWord down = old & ~now;
+  const W up = now & ~old;
+  const W down = old & ~now;
 
   // CFin: any transition of this (aggressor) site inverts the victim.
-  for_each_lane(f.cfin & (up | down), [&](unsigned lane, LaneWord bit) {
-    data_[lane_victim_[lane]] ^= bit;
+  for_each_set_lane(f.cfin & (up | down), [&](unsigned lane) {
+    data_[lane_victim_[lane]] ^= lane_bit<W>(lane);
   });
 
   // CFid: a matching-direction transition forces the victim.
-  for_each_lane((f.cfid_up & up) | (f.cfid_down & down),
-                [&](unsigned lane, LaneWord bit) {
-                  force(lane_victim_[lane], lane, bit);
-                });
+  for_each_set_lane((f.cfid_up & up) | (f.cfid_down & down),
+                    [&](unsigned lane) { force(lane_victim_[lane], lane); });
 
   // CFst, this site as aggressor: the condition is state-based, so it
   // is re-evaluated against the landed value on every write (matching
   // FaultyRam's enforce_conditions after each physical_write).
-  for_each_lane(f.cfst_agg & ~(now ^ cfst_state1_),
-                [&](unsigned lane, LaneWord bit) {
-                  force(lane_victim_[lane], lane, bit);
-                });
+  for_each_set_lane(f.cfst_agg & ~(now ^ cfst_state1_),
+                    [&](unsigned lane) { force(lane_victim_[lane], lane); });
 
   // CFst, this site as victim: a write under a holding condition is
   // forced straight back.
-  for_each_lane(f.cfst_vic, [&](unsigned lane, LaneWord bit) {
-    const LaneWord agg_bit = (data_[lane_aggressor_[lane]] >> lane) & 1U;
-    if (agg_bit == ((cfst_state1_ >> lane) & 1U)) force(site, lane, bit);
+  for_each_set_lane(f.cfst_vic, [&](unsigned lane) {
+    if (lane_test(data_[lane_aggressor_[lane]], lane) ==
+        lane_test(cfst_state1_, lane)) {
+      force(site, lane);
+    }
   });
 
   // Bridge: tie both endpoints to the wired-AND/OR of their bits.
-  for_each_lane(f.bridge, [&](unsigned lane, LaneWord bit) {
+  for_each_set_lane(f.bridge, [&](unsigned lane) {
     const std::size_t other =
         site == lane_victim_[lane] ? lane_aggressor_[lane] : lane_victim_[lane];
-    const LaneWord a = (data_[site] >> lane) & 1U;
-    const LaneWord b = (data_[other] >> lane) & 1U;
-    const LaneWord tied = (bridge_or_ >> lane) & 1U ? (a | b) : (a & b);
-    data_[site] = tied ? (data_[site] | bit) : (data_[site] & ~bit);
-    data_[other] = tied ? (data_[other] | bit) : (data_[other] & ~bit);
+    const bool a = lane_test(data_[site], lane);
+    const bool b = lane_test(data_[other], lane);
+    const bool tied = lane_test(bridge_or_, lane) ? (a || b) : (a && b);
+    lane_assign(data_[site], lane, tied);
+    lane_assign(data_[other], lane, tied);
   });
 }
+
+template class PackedFaultRamT<LaneWord>;
+template class PackedFaultRamT<WideWord<4>>;
+template class PackedFaultRamT<WideWord<8>>;
 
 }  // namespace prt::mem

@@ -1,11 +1,14 @@
 // Word-packed SIMD fault lanes.
 //
-// PackedFaultRam simulates up to 64 *independent* single-fault faulty
-// memories in one pass: each site stores a 64-bit word whose bit lane L
-// is the site's value in lane L's memory, and each lane carries exactly
-// one injected fault.  One sweep over the array therefore evaluates up
-// to 64 faults simultaneously — the SIMD unit is the ordinary 64-bit
-// ALU, and every fault effect below is a handful of bitwise ops.
+// PackedFaultRamT<W> simulates up to LaneTraits<W>::kLanes
+// *independent* single-fault faulty memories in one pass: each site
+// stores a lane word whose bit lane L is the site's value in lane L's
+// memory, and each lane carries exactly one injected fault.  One sweep
+// over the array therefore evaluates up to kLanes faults
+// simultaneously — the SIMD unit is the ordinary 64-bit ALU for the
+// LaneWord instantiation and the vector units for the WideWord<K>
+// ones (mem/lane_word.hpp), and every fault effect below is a handful
+// of bitwise lane ops.
 //
 // A "site" is one bit of one cell: a memory of `cells` words of
 // `width` bits is stored as cells*width lane words, site = cell*width
@@ -27,8 +30,8 @@
 //    pattern in the same aggressor/victim metadata shape the coupling
 //    lanes use: per-direction masks registered on the neighbour sites
 //    plus cached neighbour-value lane words, so one write to any
-//    neighbour re-checks the trigger of all 64 lanes with four
-//    AND/XOR ops (see apply_npsf);
+//    neighbour re-checks the trigger of all lanes with four AND/XOR
+//    ops (see apply_npsf);
 //  * retention (DRF) — decay is advanced *analytically* from a packed
 //    operation clock (reads + writes + advance_time ticks, bit-exact
 //    with FaultyRam's clock_): instead of per-access decay scans the
@@ -44,6 +47,11 @@
 // port 0 only).  Because every lane holds exactly one fault, the
 // scalar model's cascade machinery (a victim flip re-triggering other
 // faults) degenerates to a single direct effect per lane.
+//
+// Results are bit-identical per lane across every instantiation: the
+// campaign layer picks the width per batch (wide only when the batch
+// can fill at least half the lanes) without changing any verdict, op
+// count or escape list (analysis/campaign_driver.hpp).
 #pragma once
 
 #include <array>
@@ -52,18 +60,9 @@
 #include <vector>
 
 #include "mem/fault.hpp"
+#include "mem/lane_word.hpp"
 
 namespace prt::mem {
-
-/// One bit per lane across the 64 packed memories.
-using LaneWord = std::uint64_t;
-
-/// Broadcasts one data/golden bit to every lane — the bridge between
-/// scalar golden values and lane-parallel compares/writes, shared by
-/// every packed replay.
-[[nodiscard]] constexpr LaneWord lane_broadcast(unsigned bit) {
-  return bit != 0 ? ~LaneWord{0} : LaneWord{0};
-}
 
 /// True when `fault` can ride a bit lane of a `width`-bit packed
 /// memory: every referenced bit plane must exist (victim.bit < width,
@@ -72,27 +71,28 @@ using LaneWord = std::uint64_t;
 /// static NPSF and retention (DRF) — except the degenerate CFst whose
 /// trigger state is outside {0, 1} (inert in FaultyRam; it stays on
 /// the scalar reference path instead of teaching the lanes a
-/// degenerate encoding).
+/// degenerate encoding).  Width-independent: a fault either rides any
+/// lane word or none, so the packed/scalar dispatch split never
+/// depends on the lane width.
 [[nodiscard]] bool lane_compatible(const Fault& fault, unsigned width = 1);
 
-class PackedFaultRam {
+template <typename W>
+class PackedFaultRamT {
  public:
-  static constexpr unsigned kLanes = 64;
+  using Word = W;
+  static constexpr unsigned kLanes = LaneTraits<W>::kLanes;
   static constexpr unsigned kMaxWidth = 32;
 
   /// A packed array of `cells` `width`-bit cells, all lanes
   /// zero-filled, no faults.  Throws std::invalid_argument when cells
   /// < 1 or width is outside [1, 32].
-  explicit PackedFaultRam(Addr cells, unsigned width = 1);
+  explicit PackedFaultRamT(Addr cells, unsigned width = 1);
 
   [[nodiscard]] Addr size() const { return size_; }
   [[nodiscard]] unsigned width() const { return width_; }
   [[nodiscard]] unsigned lanes_used() const { return lanes_used_; }
   /// Mask with one bit set per occupied lane (low lanes_used() bits).
-  [[nodiscard]] LaneWord active_mask() const {
-    return lanes_used_ == kLanes ? ~LaneWord{0}
-                                 : (LaneWord{1} << lanes_used_) - 1;
-  }
+  [[nodiscard]] W active_mask() const { return lane_mask_low<W>(lanes_used_); }
 
   /// Returns to the just-constructed state (all lanes zero, no faults,
   /// counters zero) without releasing storage.  Only the sites dirtied
@@ -110,7 +110,7 @@ class PackedFaultRam {
   /// when the fault is not lane_compatible() for this width, a
   /// referenced cell is out of range, a two-cell fault has aggressor
   /// == victim, or a retention fault has delay == 0;
-  /// std::length_error when all 64 lanes are taken.
+  /// std::length_error when all kLanes lanes are taken.
   unsigned add_fault(const Fault& fault);
 
   /// Reads every lane's bit of cell `addr` at once, applying each
@@ -119,7 +119,7 @@ class PackedFaultRam {
   /// read_word()).  Defined inline below: the campaign replay loops
   /// issue millions of these per batch, so the fault-free-cell fast
   /// path must inline into them.
-  LaneWord read(Addr addr);
+  W read(Addr addr);
 
   /// Writes bit lane L of `value` to cell `addr` in lane L's memory,
   /// applying each lane's write fault and firing each lane's coupling
@@ -128,12 +128,12 @@ class PackedFaultRam {
   /// == 1.  Defined inline below; batches with only single-cell faults
   /// skip the two-cell/NPSF fire steps entirely (has_two_cell_,
   /// has_npsf_).
-  void write(Addr addr, LaneWord value);
+  void write(Addr addr, W value);
 
   /// Reads all width() planes of `cell` into out[0..width()), counting
   /// one operation (one clock tick) for the whole word — the packed
   /// equivalent of one FaultyRam::read of a word-oriented memory.
-  void read_word(Addr cell, LaneWord* out);
+  void read_word(Addr cell, W* out);
 
   /// Writes planes[0..width()) to `cell`, counting one operation.
   /// Mirrors FaultyRam::physical_write's two phases: every plane lands
@@ -141,7 +141,7 @@ class PackedFaultRam {
   /// ascending order and static conditions (CFst, bridge, NPSF) are
   /// re-enforced — so intra-word aggressor transitions see their
   /// victims' new values.
-  void write_word(Addr cell, const LaneWord* planes);
+  void write_word(Addr cell, const W* planes);
 
   /// Idle time (March delay elements, PRT pause checkpoints): advances
   /// the packed operation clock so retention lanes decay analytically
@@ -165,7 +165,7 @@ class PackedFaultRam {
 
   /// Direct state access for tests (bypasses faults and counters).
   /// `site` = cell * width() + bit plane.
-  [[nodiscard]] LaneWord peek(Addr site) const { return data_[site]; }
+  [[nodiscard]] W peek(Addr site) const { return data_[site]; }
 
  private:
   /// Per-kind lane masks for one faulty site; a lane's bit is set in
@@ -173,38 +173,38 @@ class PackedFaultRam {
   /// (two for coupling, five for NPSF).
   struct CellFaults {
     // Single-cell kinds (this site is the victim).
-    LaneWord saf0 = 0, saf1 = 0;
-    LaneWord tf_up = 0, tf_down = 0, wdf = 0;
-    LaneWord rdf = 0, drdf = 0, irf = 0, sof = 0;
+    W saf0{}, saf1{};
+    W tf_up{}, tf_down{}, wdf{};
+    W rdf{}, drdf{}, irf{}, sof{};
     // Two-cell kinds.  cfin/cfid_*/cfst_agg are registered on the
     // *aggressor* site, cfst_vic on the *victim* site (its writes must
     // re-enforce the condition), bridge on *both* endpoints.
-    LaneWord cfin = 0;
-    LaneWord cfid_up = 0, cfid_down = 0;
-    LaneWord cfst_agg = 0, cfst_vic = 0;
-    LaneWord bridge = 0;
+    W cfin{};
+    W cfid_up{}, cfid_down{};
+    W cfst_agg{}, cfst_vic{};
+    W bridge{};
     // Decoder kinds, registered on every site of the *faulty address*
     // (accesses to any other address behave normally — one fault per
     // lane).  The wrong/multi alias cell lives in lane_victim_.
-    LaneWord af_no = 0;      // address opens no cell: reads 0, writes lost
-    LaneWord af_wrong = 0;   // address opens the alias cell instead
-    LaneWord af_multi = 0;   // address opens its own cell and the alias
+    W af_no{};      // address opens no cell: reads 0, writes lost
+    W af_wrong{};   // address opens the alias cell instead
+    W af_multi{};   // address opens its own cell and the alias
     // Retention, registered on the victim site: a read latches the
     // decayed value when the clock has run past the lane's delay, a
     // write refreshes the charge.
-    LaneWord drf = 0;
+    W drf{};
     // NPSF neighbourhood membership: npsf_n marks lanes for which this
     // site is the *north* neighbour (and so on for e/s/w), npsf_vic
     // lanes for which it is the base (victim) site.  Together they are
     // the packed analogue of FaultyRam's `touched` test — a write to
     // any site in the 5-cell neighbourhood re-checks the trigger.
-    LaneWord npsf_n = 0, npsf_e = 0, npsf_s = 0, npsf_w = 0;
-    LaneWord npsf_vic = 0;
+    W npsf_n{}, npsf_e{}, npsf_s{}, npsf_w{};
+    W npsf_vic{};
 
-    [[nodiscard]] LaneWord coupling_any() const {
+    [[nodiscard]] W coupling_any() const {
       return cfin | cfid_up | cfid_down | cfst_agg | cfst_vic | bridge;
     }
-    [[nodiscard]] LaneWord npsf_any() const {
+    [[nodiscard]] W npsf_any() const {
       return npsf_n | npsf_e | npsf_s | npsf_w | npsf_vic;
     }
   };
@@ -217,7 +217,7 @@ class PackedFaultRam {
 
   /// Fires the two-cell effects of a write to site `site` that landed
   /// `now` over `old` (per-lane scatter over the few coupled lanes).
-  void apply_coupling(std::size_t site, LaneWord old, LaneWord now,
+  void apply_coupling(std::size_t site, const W& old, const W& now,
                       const CellFaults& f);
 
   /// Re-checks the NPSF trigger after a write touched site `site`:
@@ -231,26 +231,25 @@ class PackedFaultRam {
   /// every retention lane in `m` whose charge has expired on the
   /// packed clock (read path; the charge stamp itself is untouched,
   /// matching FaultyRam::apply_retention's idempotent re-force).
-  void apply_retention(std::size_t site, LaneWord m);
+  void apply_retention(std::size_t site, const W& m);
 
   /// A write to a retention victim's cell refreshes its charge.
-  void refresh_retention(LaneWord m);
+  void refresh_retention(const W& m);
 
   /// Patches a read of plane `plane` for the decoder lanes registered
   /// on it: wrong-access lanes read their alias cell, multi-access
   /// lanes read the wired-AND of both opened cells.
-  [[nodiscard]] LaneWord apply_af_read(LaneWord value, const CellFaults& f,
-                                       unsigned plane);
+  [[nodiscard]] W apply_af_read(W value, const CellFaults& f, unsigned plane);
 
   /// Lands a write of `value` in plane `plane` of the alias cells of
   /// the wrong/multi decoder lanes registered on the addressed site
   /// (the write to the addressed site itself was already suppressed
   /// for wrong-access lanes by the caller).
-  void apply_af_write(LaneWord value, const CellFaults& f, unsigned plane);
+  void apply_af_write(const W& value, const CellFaults& f, unsigned plane);
 
   Addr size_;
   unsigned width_;
-  std::vector<LaneWord> data_;
+  std::vector<W> data_;
   /// Site -> index into slots_, -1 for fault-free sites — the hot path
   /// pays one branch per access and only faulty sites (a handful per
   /// lane) touch a CellFaults record.
@@ -264,25 +263,25 @@ class PackedFaultRam {
   std::array<std::size_t, kLanes> lane_victim_{};
   std::array<std::size_t, kLanes> lane_aggressor_{};
   /// Lanes whose CFid/CFst forces the victim to 1 (clear = forces 0).
-  LaneWord forced1_ = 0;
+  W forced1_{};
   /// CFst lanes triggered while the aggressor holds 1 (clear = 0).
-  LaneWord cfst_state1_ = 0;
+  W cfst_state1_{};
   /// Bridge lanes with wired-OR semantics (clear = wired-AND).
-  LaneWord bridge_or_ = 0;
+  W bridge_or_{};
   /// Non-inert NPSF lanes and their trigger machinery: npat_[d] bit L
   /// is the pattern value lane L requires of its direction-d
   /// neighbour, nval_[d] bit L is that neighbour's *current* value
   /// (kept coherent by apply_npsf — only packed writes can change an
   /// NPSF lane's neighbour bits, because the lane holds no other
   /// fault).  Directions are indexed N=0, E=1, S=2, W=3.
-  LaneWord npsf_lanes_ = 0;
-  std::array<LaneWord, 4> npat_{};
-  std::array<LaneWord, 4> nval_{};
+  W npsf_lanes_{};
+  std::array<W, 4> npat_{};
+  std::array<W, 4> nval_{};
   /// NPSF lanes forcing their victim to 1 (clear = forces 0).
-  LaneWord npsf_forced1_ = 0;
+  W npsf_forced1_{};
   /// Retention lanes decaying to 1 (clear = decays to 0), plus the
   /// per-lane charge stamp and decay delay in clock ticks.
-  LaneWord drf_decay1_ = 0;
+  W drf_decay1_{};
   std::array<std::uint64_t, kLanes> drf_refreshed_{};
   std::array<std::uint64_t, kLanes> drf_delay_{};
   unsigned lanes_used_ = 0;
@@ -298,23 +297,35 @@ class PackedFaultRam {
   bool has_drf_ = false;
   /// Packed sense-amp history (port 0), one word per bit plane — the
   /// lane analogue of FaultyRam's per-port last_read_ word.
-  std::array<LaneWord, kMaxWidth> last_read_{};
+  std::array<W, kMaxWidth> last_read_{};
   std::uint64_t reads_ = 0;
   std::uint64_t writes_ = 0;
   std::uint64_t idle_ticks_ = 0;
 };
 
-inline LaneWord PackedFaultRam::read(Addr addr) {
+/// The status-quo 64-lane instantiation — the name the whole campaign
+/// layer and test suite grew up on.
+using PackedFaultRam = PackedFaultRamT<LaneWord>;
+
+// The packed member definitions live in packed_fault_ram.cpp with
+// explicit instantiations for the supported lane words; only the
+// per-access hot path is inline here.
+extern template class PackedFaultRamT<LaneWord>;
+extern template class PackedFaultRamT<WideWord<4>>;
+extern template class PackedFaultRamT<WideWord<8>>;
+
+template <typename W>
+inline W PackedFaultRamT<W>::read(Addr addr) {
   assert(addr < size_);
   assert(width_ == 1);
   ++reads_;
-  LaneWord value;
+  W value;
   const std::int16_t slot = slot_of_site_[addr];
   if (slot >= 0) {
     const CellFaults& f = slots_[static_cast<std::size_t>(slot)];
     // DRF: expired charges latch their decayed value before the sense
     // amp looks (FaultyRam::physical_read applies retention first).
-    if (has_drf_ && f.drf != 0) apply_retention(addr, f.drf);
+    if (has_drf_ && lane_any(f.drf)) apply_retention(addr, f.drf);
     value = data_[addr];
     // RDF: the cell flips and the sense amp sees the flipped value.
     value ^= f.rdf;
@@ -330,7 +341,9 @@ inline LaneWord PackedFaultRam::read(Addr addr) {
     // Pure bus-level patches — the addressed cell keeps its state.
     if (has_af_) {
       value &= ~f.af_no;
-      if ((f.af_wrong | f.af_multi) != 0) value = apply_af_read(value, f, 0);
+      if (lane_any(f.af_wrong | f.af_multi)) {
+        value = apply_af_read(value, f, 0);
+      }
     }
     // Coupling/NPSF lanes are untouched by reads: their lane has no
     // read-logic fault, and a read never changes the bits a condition
@@ -342,12 +355,13 @@ inline LaneWord PackedFaultRam::read(Addr addr) {
   return value;
 }
 
-inline void PackedFaultRam::write(Addr addr, LaneWord value) {
+template <typename W>
+inline void PackedFaultRamT<W>::write(Addr addr, W value) {
   assert(addr < size_);
   assert(width_ == 1);
   ++writes_;
-  const LaneWord old = data_[addr];
-  LaneWord nb = value;
+  const W old = data_[addr];
+  W nb = value;
   const std::int16_t slot = slot_of_site_[addr];
   if (slot < 0) {
     data_[addr] = nb;
@@ -365,21 +379,23 @@ inline void PackedFaultRam::write(Addr addr, LaneWord value) {
     // Decoder lanes: a no-access or wrong-access write never reaches
     // the addressed cell; wrong/multi lanes land the raw value in
     // their alias cell instead (no other fault lives in those lanes).
-    const LaneWord suppressed = f.af_no | f.af_wrong;
+    const W suppressed = f.af_no | f.af_wrong;
     nb = (nb & ~suppressed) | (old & suppressed);
     data_[addr] = nb;
-    if ((f.af_wrong | f.af_multi) != 0) apply_af_write(value, f, 0);
+    if (lane_any(f.af_wrong | f.af_multi)) apply_af_write(value, f, 0);
   } else {
     data_[addr] = nb;
   }
   // A write refreshes the charge of every retention victim in the cell
   // (FaultyRam stamps refreshed_at_ right after the word lands).
-  if (has_drf_ && f.drf != 0) refresh_retention(f.drf);
-  if (has_two_cell_ && f.coupling_any() != 0) apply_coupling(addr, old, nb, f);
+  if (has_drf_ && lane_any(f.drf)) refresh_retention(f.drf);
+  if (has_two_cell_ && lane_any(f.coupling_any())) {
+    apply_coupling(addr, old, nb, f);
+  }
   // NPSF is re-checked on every write to a neighbourhood site, even a
   // non-transition one (FaultyRam enforces conditions after every
   // physical_write).
-  if (has_npsf_ && f.npsf_any() != 0) apply_npsf(addr, f);
+  if (has_npsf_ && lane_any(f.npsf_any())) apply_npsf(addr, f);
 }
 
 }  // namespace prt::mem

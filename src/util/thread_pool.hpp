@@ -4,19 +4,29 @@
 // fault universe over a hardware-concurrency-sized pool and merge the
 // per-worker partial results in shard order, so parallel output is
 // bit-identical to the serial path.  The pool is deliberately minimal:
-// fixed worker count, a mutex-guarded task queue, and a blocking
-// `parallel_for_chunks` helper that fans N items out as W contiguous
-// chunks — no futures, no work stealing.
+// fixed worker count, a mutex-guarded task queue, and two blocking
+// fan-out helpers — `parallel_for_chunks` (N items as W contiguous
+// chunks, one per worker) and `parallel_for_batches` (N items as
+// fixed-size batches idle workers *steal* from each other's home
+// ranges, for workloads whose per-item cost varies enough that a
+// static split leaves cores idle).  Determinism is the caller's merge
+// discipline, not the schedule: both helpers hand out dense index
+// ranges, so folding per-index results in index order is bit-identical
+// at any worker count regardless of which worker ran what.
 //
 // Lock discipline is machine-checked: every shared field is
 // GUARDED_BY the pool mutex and CI's clang lane compiles this header
 // with -Wthread-safety -Werror (see util/annotations.hpp).
 #pragma once
 
+#include <algorithm>
+#include <atomic>
 #include <cstddef>
+#include <cstdint>
 #include <cstdlib>
 #include <exception>
 #include <functional>
+#include <memory>
 #include <queue>
 #include <thread>
 #include <utility>
@@ -85,6 +95,20 @@ void for_each_chunk(std::size_t total, std::size_t parts, Fn&& fn) {
     begin = end;
   }
 }
+
+/// Telemetry of one parallel_for_batches fan-out.  Pure observability
+/// — which worker ran which batch never changes merged output — but
+/// the bench records it per section so the scaling curves show whether
+/// stealing actually happened (a perfectly uniform workload steals ~0
+/// batches; early-abort universes steal plenty).
+struct StealCounters {
+  /// Batches executed (== the batch count of the fan-out when no batch
+  /// threw).
+  std::uint64_t batches = 0;
+  /// Batches executed by a worker other than the one whose home range
+  /// contained them.
+  std::uint64_t steals = 0;
+};
 
 /// Default worker count for pools and campaign fan-out: the
 /// PRT_THREADS environment variable when set to a positive integer
@@ -190,6 +214,95 @@ class ThreadPool {
                    });
     wait_idle();
     errors.rethrow_if_any();
+  }
+
+  /// Work-stealing fan-out: splits [0, total) into ceil(total /
+  /// batch_size) fixed-size batches, assigns each worker a contiguous
+  /// *home range* of batch indices, and runs
+  /// `fn(batch_index, begin, end)` for every batch, blocking until all
+  /// are done.  A worker drains its own range first, then steals
+  /// batches from the other ranges in ring order — so a worker whose
+  /// batches finish early (early-abort universes, cheap fault classes)
+  /// keeps the cores busy instead of idling at the static-chunk
+  /// barrier.
+  ///
+  /// Determinism contract: batch indices are dense, batch `b` always
+  /// covers exactly [b * batch_size, min((b+1) * batch_size, total)),
+  /// and every batch runs exactly once — the schedule (who ran it,
+  /// when) is the ONLY nondeterminism.  Callers that merge per-batch
+  /// results in batch-index order therefore produce output
+  /// bit-identical to a serial loop at any worker count (the campaign
+  /// layer's run_sharded does exactly this).
+  ///
+  /// Claim protocol: each home range has one atomic cursor; claiming —
+  /// own or stolen — is a fetch_add on that cursor, so every batch
+  /// index below the range end is returned to exactly one claimant and
+  /// overshoot past the end claims nothing.  If a batch throws, its
+  /// claimant abandons the rest of its draining (thieves still pick up
+  /// the unclaimed remainder) and the first exception is rethrown here
+  /// after the fan-out drains, like parallel_for_chunks.
+  ///
+  /// Returns the executed/stolen batch counters (telemetry only;
+  /// meaningless when an exception was rethrown).  batch_size is
+  /// clamped to >= 1; total == 0 runs nothing.
+  StealCounters parallel_for_batches(
+      std::size_t total, std::size_t batch_size,
+      const std::function<void(std::size_t, std::size_t, std::size_t)>& fn) {
+    StealCounters counters;
+    if (total == 0) return counters;
+    if (batch_size == 0) batch_size = 1;
+    const std::size_t nbatches = (total + batch_size - 1) / batch_size;
+    const std::size_t ntasks =
+        std::min<std::size_t>(std::max(workers(), 1U), nbatches);
+    // Home ranges come from the same splitter every contiguous fan-out
+    // uses; range ends are immutable, so only the cursors need atomics.
+    std::vector<std::size_t> home_end(ntasks, 0);
+    struct alignas(64) Cursor {
+      std::atomic<std::size_t> next{0};
+    };
+    const std::unique_ptr<Cursor[]> cursor(new Cursor[ntasks]);
+    for_each_chunk(nbatches, ntasks,
+                   [&](unsigned i, std::size_t begin, std::size_t end) {
+                     cursor[i].next.store(begin, std::memory_order_relaxed);
+                     home_end[i] = end;
+                   });
+    std::atomic<std::uint64_t> executed{0};
+    std::atomic<std::uint64_t> stolen{0};
+    ErrorCollector errors;
+    auto run_batch = [&](std::size_t b) {
+      const std::size_t begin = b * batch_size;
+      const std::size_t end = std::min(begin + batch_size, total);
+      fn(b, begin, end);
+      executed.fetch_add(1, std::memory_order_relaxed);
+    };
+    for (std::size_t t = 0; t < ntasks; ++t) {
+      submit([&, t] {
+        errors.guard([&] {
+          // Drain the home range, then sweep the other ranges in ring
+          // order starting past our own (spreads thieves across
+          // victims instead of mobbing range 0).
+          for (std::size_t b;
+               (b = cursor[t].next.fetch_add(1, std::memory_order_relaxed)) <
+               home_end[t];) {
+            run_batch(b);
+          }
+          for (std::size_t v = t + 1; v < t + ntasks; ++v) {
+            const std::size_t victim = v % ntasks;
+            for (std::size_t b;
+                 (b = cursor[victim].next.fetch_add(
+                      1, std::memory_order_relaxed)) < home_end[victim];) {
+              run_batch(b);
+              stolen.fetch_add(1, std::memory_order_relaxed);
+            }
+          }
+        });
+      });
+    }
+    wait_idle();
+    errors.rethrow_if_any();
+    counters.batches = executed.load(std::memory_order_relaxed);
+    counters.steals = stolen.load(std::memory_order_relaxed);
+    return counters;
   }
 
  private:

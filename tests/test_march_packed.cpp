@@ -289,5 +289,89 @@ TEST(MarchCampaign, WomCampaignFallsBackToScalar) {
   check_march_campaign_parity(universe, march::march_c_minus(), opt);
 }
 
+// --- lane-width parity ---------------------------------------------------
+
+// One WideWord<4> March sweep reproduces, lane for lane, the verdicts
+// of the 64-lane sweeps over the same faults — the March layer's half
+// of the tentpole parity (the PRT half lives in test_lane_word.cpp).
+TEST(RunMarchPacked, WideSweepMatchesNarrowGroups) {
+  const mem::Addr n = 16;
+  std::vector<mem::Fault> universe;
+  for (int rep = 0; rep < 3; ++rep) {
+    const auto mixed = mixed_lane_universe(n);
+    universe.insert(universe.end(), mixed.begin(), mixed.end());
+  }
+  ASSERT_GT(universe.size(), 64u);
+  for (const march::MarchTest& test :
+       {march::march_c_minus(), march::march_g()}) {
+    for (const bool background : {false, true}) {
+      const core::OpTranscript transcript =
+          march::make_march_transcript(test, n, background);
+      mem::PackedFaultRamT<mem::WideWord<4>> wide(n);
+      for (const mem::Fault& f : universe) wide.add_fault(f);
+      const auto wide_verdict =
+          march::run_march_packed(wide, transcript, march::MarchRunOptions{});
+      for (std::size_t base = 0; base < universe.size(); base += 64) {
+        const std::size_t count =
+            std::min<std::size_t>(64, universe.size() - base);
+        mem::PackedFaultRam narrow(n);
+        for (std::size_t j = 0; j < count; ++j) {
+          narrow.add_fault(universe[base + j]);
+        }
+        const std::uint64_t detected =
+            march::run_march_packed(test, narrow, background) &
+            narrow.active_mask();
+        for (unsigned lane = 0; lane < count; ++lane) {
+          EXPECT_EQ(
+              wide_verdict.lane_detected(static_cast<unsigned>(base) + lane),
+              ((detected >> lane) & 1U) != 0)
+              << test.name << " bg=" << background << " fault "
+              << (base + lane) << " (" << universe[base + lane].describe()
+              << ")";
+        }
+      }
+    }
+  }
+}
+
+// Campaign-level width sweep: bit-identical results at 64/256/512
+// lanes x thread counts, with the wide telemetry engaging exactly when
+// the shards can fill half the wide lanes.
+TEST(MarchCampaign, BitIdenticalAcrossLaneWidthsAndThreadCounts) {
+  const mem::Addr n = 256;
+  const auto universe = mem::classical_universe(n);
+  analysis::CampaignOptions opt;
+  opt.n = n;
+  const auto reference = serial_reference(universe, march::march_c_minus(), opt);
+  for (const bool early_abort : {false, true}) {
+    analysis::MarchEngineOptions ref_eng;
+    ref_eng.threads = 1;
+    ref_eng.packed = true;
+    ref_eng.early_abort = early_abort;
+    ref_eng.lane_width = 64;
+    const auto width64_reference = analysis::run_march_campaign(
+        universe, march::march_c_minus(), opt, ref_eng);
+    if (!early_abort) expect_identical(reference, width64_reference);
+    for (const unsigned lane_width : {256u, 512u}) {
+      for (const unsigned threads : {1u, 2u, 4u}) {
+        analysis::MarchEngineOptions eng;
+        eng.threads = threads;
+        eng.packed = true;
+        eng.early_abort = early_abort;
+        eng.lane_width = lane_width;
+        const auto got = analysis::run_march_campaign(
+            universe, march::march_c_minus(), opt, eng);
+        expect_identical(width64_reference, got);
+        EXPECT_EQ(got.ops, width64_reference.ops)
+            << "width=" << lane_width << " threads=" << threads
+            << " early_abort=" << early_abort;
+        EXPECT_GT(got.sched.wide_faults, 0u)
+            << "width=" << lane_width << " threads=" << threads;
+        EXPECT_EQ(got.sched.max_lanes, lane_width);
+      }
+    }
+  }
+}
+
 }  // namespace
 }  // namespace prt

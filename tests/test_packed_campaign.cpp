@@ -806,5 +806,136 @@ TEST(PackedCampaign, DispatchTalliesPartitionTheUniverse) {
   EXPECT_EQ(scalar.packed_faults, 0u);
 }
 
+// --- lane-width x thread-count parity (the tentpole acceptance) ----------
+
+// The ISSUE's acceptance criterion verbatim: campaign outputs must be
+// bit-identical across lane widths {64, 256, 512} x thread counts
+// {1, 2, 4, 8}, with and without early abort.  Only SchedTelemetry may
+// differ (it is excluded from CampaignResult::operator==); wide widths
+// must actually engage (wide_faults > 0, max_lanes == width) when the
+// shards are big enough to fill half the wide lanes.
+TEST(PackedCampaign, BitIdenticalAcrossLaneWidthsAndThreadCounts) {
+  const mem::Addr n = 256;
+  const auto universe = mem::classical_universe(n);
+  const auto scheme = core::extended_scheme_bom(n);
+  analysis::CampaignOptions opt;
+  opt.n = n;
+  const auto reference = serial_scalar_reference(universe, scheme, opt);
+  for (const bool early_abort : {false, true}) {
+    analysis::EngineOptions abort_ref_eng;
+    abort_ref_eng.threads = 1;
+    abort_ref_eng.packed = true;
+    abort_ref_eng.early_abort = early_abort;
+    abort_ref_eng.lane_width = 64;
+    const auto width64_reference =
+        analysis::run_prt_campaign(universe, scheme, opt, abort_ref_eng);
+    if (!early_abort) expect_identical(reference, width64_reference);
+    for (const unsigned lane_width : {64u, 256u, 512u}) {
+      for (const unsigned threads : {1u, 2u, 4u, 8u}) {
+        analysis::EngineOptions eng;
+        eng.threads = threads;
+        eng.packed = true;
+        eng.early_abort = early_abort;
+        eng.lane_width = lane_width;
+        const auto got =
+            analysis::run_prt_campaign(universe, scheme, opt, eng);
+        // Full bit-identity including the early-abort op accounting.
+        expect_identical(width64_reference, got);
+        EXPECT_TRUE(width64_reference == got)
+            << "width=" << lane_width << " threads=" << threads
+            << " early_abort=" << early_abort;
+        EXPECT_EQ(got.packed_faults, width64_reference.packed_faults);
+        if (lane_width > 64) {
+          // This universe is big enough that every dispatch window
+          // fills the wide half; the telemetry must show wide batches.
+          EXPECT_GT(got.sched.wide_faults, 0u)
+              << "width=" << lane_width << " threads=" << threads;
+          EXPECT_EQ(got.sched.max_lanes, lane_width);
+          EXPECT_LE(got.sched.wide_faults, got.packed_faults);
+        } else {
+          EXPECT_EQ(got.sched.wide_faults, 0u);
+          EXPECT_EQ(got.sched.max_lanes, 64u);
+        }
+        EXPECT_GE(got.sched.batches, 1u);
+      }
+    }
+  }
+}
+
+// A shard too small to fill half the wide lanes falls back to the
+// 64-lane word per batch — still bit-identical, with zero wide faults.
+TEST(PackedCampaign, SmallShardsFallBackToNarrowLanes) {
+  const mem::Addr n = 8;
+  const auto universe = mem::single_cell_universe(n, 1, /*read_logic=*/true);
+  ASSERT_LT(universe.size(), 128u);  // below the WideWord<4> threshold
+  const auto scheme = core::extended_scheme_bom(n);
+  analysis::CampaignOptions opt;
+  opt.n = n;
+  const auto reference = serial_scalar_reference(universe, scheme, opt);
+  for (const unsigned lane_width : {256u, 512u}) {
+    analysis::EngineOptions eng;
+    eng.packed = true;
+    eng.lane_width = lane_width;
+    const auto got = analysis::run_prt_campaign(universe, scheme, opt, eng);
+    expect_identical(reference, got);
+    EXPECT_EQ(got.sched.wide_faults, 0u) << "width=" << lane_width;
+    EXPECT_EQ(got.sched.max_lanes, 64u);
+  }
+}
+
+// Widths the dispatch layer has no instantiation for are a caller
+// error, rejected up front rather than silently rounded.
+TEST(PackedCampaign, InvalidLaneWidthIsRejected) {
+  const mem::Addr n = 16;
+  const auto scheme = core::extended_scheme_bom(n);
+  analysis::CampaignOptions opt;
+  opt.n = n;
+  for (const unsigned lane_width : {1u, 32u, 128u, 1024u}) {
+    analysis::EngineOptions eng;
+    eng.lane_width = lane_width;
+    EXPECT_THROW(
+        (void)analysis::CampaignEngine(scheme, opt, eng),
+        std::invalid_argument)
+        << "lane_width=" << lane_width;
+  }
+}
+
+// Mixed packed/scalar universes stay bit-identical at wide widths: the
+// scalar remainder is unaffected by the lane word, and the packed
+// subset's merge order is batch-index order at any width.
+TEST(PackedCampaign, WideWidthBitIdenticalOnVanDeGoorWithAbort) {
+  const mem::Addr n = 48;
+  const auto universe = mem::van_de_goor_universe(n);
+  const auto scheme = core::extended_scheme_bom(n);
+  analysis::CampaignOptions opt;
+  opt.n = n;
+  const auto reference = serial_scalar_reference(universe, scheme, opt);
+  for (const unsigned lane_width : {256u, 512u}) {
+    analysis::EngineOptions eng;
+    eng.threads = 3;
+    eng.packed = true;
+    eng.lane_width = lane_width;
+    const auto got = analysis::run_prt_campaign(universe, scheme, opt, eng);
+    expect_identical(reference, got);
+  }
+  check_abort_composition(universe, scheme, opt, reference);
+  // Abort composition at wide width against the scalar abort engine.
+  analysis::EngineOptions scalar_abort;
+  scalar_abort.threads = 2;
+  scalar_abort.packed = false;
+  scalar_abort.early_abort = true;
+  const auto abort_ref =
+      analysis::run_prt_campaign(universe, scheme, opt, scalar_abort);
+  for (const unsigned lane_width : {256u, 512u}) {
+    analysis::EngineOptions packed_abort;
+    packed_abort.threads = 4;
+    packed_abort.packed = true;
+    packed_abort.early_abort = true;
+    packed_abort.lane_width = lane_width;
+    expect_identical(abort_ref, analysis::run_prt_campaign(universe, scheme,
+                                                           opt, packed_abort));
+  }
+}
+
 }  // namespace
 }  // namespace prt

@@ -645,5 +645,203 @@ TEST(ThreadPool, ParallelForChunksStillRethrowsGuardedErrors) {
   EXPECT_EQ(ran.load(), 8);
 }
 
+// --- for_each_chunk / work-stealing batch scheduler ------------------------
+
+// The contiguous splitter is the partition every campaign merge trusts:
+// dense ascending chunks, sizes differing by at most one.
+TEST(ForEachChunk, DenseAscendingChunksWithBalancedSizes) {
+  for (const std::size_t total : {1u, 2u, 7u, 64u, 1000u}) {
+    for (const std::size_t parts : {1u, 2u, 3u, 5u, 8u, 64u, 2000u}) {
+      std::size_t expect_begin = 0;
+      unsigned chunks = 0;
+      std::size_t min_size = total;
+      std::size_t max_size = 0;
+      util::for_each_chunk(total, parts,
+                           [&](unsigned i, std::size_t begin, std::size_t end) {
+                             EXPECT_EQ(i, chunks);
+                             EXPECT_EQ(begin, expect_begin);
+                             EXPECT_LT(begin, end);
+                             min_size = std::min(min_size, end - begin);
+                             max_size = std::max(max_size, end - begin);
+                             expect_begin = end;
+                             ++chunks;
+                           });
+      EXPECT_EQ(expect_begin, total) << total << "/" << parts;
+      EXPECT_EQ(chunks, std::min(std::max<std::size_t>(parts, 1), total));
+      EXPECT_LE(max_size - min_size, 1u) << total << "/" << parts;
+    }
+  }
+}
+
+TEST(ForEachChunk, ZeroTotalCallsNothing) {
+  bool called = false;
+  util::for_each_chunk(0, 8, [&](unsigned, std::size_t, std::size_t) {
+    called = true;
+  });
+  EXPECT_FALSE(called);
+  util::for_each_chunk(0, 0, [&](unsigned, std::size_t, std::size_t) {
+    called = true;
+  });
+  EXPECT_FALSE(called);
+}
+
+// Every batch index must be claimed exactly once and cover exactly
+// [b * batch_size, min((b+1) * batch_size, total)) — the whole
+// determinism contract of the stealing scheduler rests on this.
+TEST(ThreadPool, ParallelForBatchesRunsEveryBatchExactlyOnce) {
+  for (const unsigned workers : {1u, 2u, 3u, 4u, 8u}) {
+    util::ThreadPool pool(workers);
+    for (const std::size_t total : {1u, 5u, 64u, 257u, 1000u}) {
+      for (const std::size_t batch_size : {1u, 3u, 64u, 256u}) {
+        const std::size_t nbatches = (total + batch_size - 1) / batch_size;
+        std::vector<std::atomic<int>> runs(nbatches);
+        std::vector<std::atomic<int>> covered(total);
+        const util::StealCounters counters = pool.parallel_for_batches(
+            total, batch_size,
+            [&](std::size_t b, std::size_t begin, std::size_t end) {
+              ASSERT_LT(b, nbatches);
+              EXPECT_EQ(begin, b * batch_size);
+              EXPECT_EQ(end, std::min(begin + batch_size, total));
+              runs[b].fetch_add(1);
+              for (std::size_t i = begin; i < end; ++i) covered[i].fetch_add(1);
+            });
+        for (std::size_t b = 0; b < nbatches; ++b) {
+          EXPECT_EQ(runs[b].load(), 1)
+              << "workers=" << workers << " total=" << total
+              << " batch_size=" << batch_size << " batch=" << b;
+        }
+        for (std::size_t i = 0; i < total; ++i) {
+          EXPECT_EQ(covered[i].load(), 1);
+        }
+        EXPECT_EQ(counters.batches, nbatches);
+        EXPECT_LE(counters.steals, counters.batches);
+      }
+    }
+  }
+}
+
+// Edge geometry: empty universe, fewer items than workers, one batch
+// bigger than the whole shard, and the batch_size = 0 clamp.
+TEST(ThreadPool, ParallelForBatchesEdgeCases) {
+  util::ThreadPool pool(8);
+
+  // total == 0: nothing runs, zero telemetry.
+  bool called = false;
+  const util::StealCounters empty = pool.parallel_for_batches(
+      0, 16, [&](std::size_t, std::size_t, std::size_t) { called = true; });
+  EXPECT_FALSE(called);
+  EXPECT_EQ(empty.batches, 0u);
+  EXPECT_EQ(empty.steals, 0u);
+
+  // total < workers: three one-item batches, each exactly once.
+  std::vector<std::atomic<int>> covered(3);
+  const util::StealCounters tiny = pool.parallel_for_batches(
+      3, 1, [&](std::size_t b, std::size_t begin, std::size_t end) {
+        EXPECT_EQ(begin, b);
+        EXPECT_EQ(end, b + 1);
+        covered[b].fetch_add(1);
+      });
+  for (auto& c : covered) EXPECT_EQ(c.load(), 1);
+  EXPECT_EQ(tiny.batches, 3u);
+
+  // batch_size > total: a single batch spanning the whole range.
+  std::atomic<int> whole_runs{0};
+  const util::StealCounters whole = pool.parallel_for_batches(
+      10, 1000, [&](std::size_t b, std::size_t begin, std::size_t end) {
+        EXPECT_EQ(b, 0u);
+        EXPECT_EQ(begin, 0u);
+        EXPECT_EQ(end, 10u);
+        whole_runs.fetch_add(1);
+      });
+  EXPECT_EQ(whole_runs.load(), 1);
+  EXPECT_EQ(whole.batches, 1u);
+  EXPECT_EQ(whole.steals, 0u);
+
+  // batch_size == 0 clamps to 1 (one batch per item).
+  std::atomic<int> clamped_batches{0};
+  const util::StealCounters clamped = pool.parallel_for_batches(
+      5, 0, [&](std::size_t, std::size_t begin, std::size_t end) {
+        EXPECT_EQ(end, begin + 1);
+        clamped_batches.fetch_add(1);
+      });
+  EXPECT_EQ(clamped_batches.load(), 5);
+  EXPECT_EQ(clamped.batches, 5u);
+}
+
+// Property test for the ISSUE's merge-determinism claim: per-batch
+// partials folded in batch-index order are bit-identical to the serial
+// contiguous split, across random totals, batch sizes, worker counts
+// and seeds — even with per-item costs skewed enough to force steals.
+// The fold is deliberately order-sensitive (multiply-xor chain), so any
+// double-run, dropped index or out-of-order merge changes the digest.
+TEST(ThreadPool, StolenBatchMergeIsBitIdenticalToContiguousSplit) {
+  auto fold = [](std::uint64_t h, std::uint64_t v) {
+    return (h ^ v) * 0x9E3779B97F4A7C15ULL;
+  };
+  Xoshiro256 geometry_rng(0xC0FFEE);
+  for (int trial = 0; trial < 12; ++trial) {
+    const std::size_t total = 1 + geometry_rng.below(900);
+    const std::size_t batch_size = 1 + geometry_rng.below(97);
+    const std::uint64_t seed = geometry_rng();
+    std::vector<std::uint64_t> items(total);
+    Xoshiro256 item_rng(seed);
+    for (auto& v : items) v = item_rng();
+
+    // Serial reference: one pass, one fold.
+    const std::size_t nbatches = (total + batch_size - 1) / batch_size;
+    std::vector<std::uint64_t> ref_partial(nbatches, 0);
+    for (std::size_t b = 0; b < nbatches; ++b) {
+      const std::size_t begin = b * batch_size;
+      const std::size_t end = std::min(begin + batch_size, total);
+      for (std::size_t i = begin; i < end; ++i) {
+        ref_partial[b] = fold(ref_partial[b], items[i]);
+      }
+    }
+    std::uint64_t reference = 0;
+    for (std::uint64_t p : ref_partial) reference = fold(reference, p);
+
+    for (const unsigned workers : {1u, 2u, 4u, 7u}) {
+      util::ThreadPool pool(workers);
+      std::vector<std::uint64_t> partial(nbatches, 0);
+      pool.parallel_for_batches(
+          total, batch_size,
+          [&](std::size_t b, std::size_t begin, std::size_t end) {
+            // Skew per-batch cost so fast workers finish their home
+            // range early and go stealing.
+            if (b % 3 == 0) {
+              std::this_thread::sleep_for(std::chrono::microseconds(200));
+            }
+            for (std::size_t i = begin; i < end; ++i) {
+              partial[b] = fold(partial[b], items[i]);
+            }
+          });
+      std::uint64_t merged = 0;
+      for (std::uint64_t p : partial) merged = fold(merged, p);
+      EXPECT_EQ(merged, reference)
+          << "trial=" << trial << " workers=" << workers << " total=" << total
+          << " batch_size=" << batch_size;
+    }
+  }
+}
+
+// A throwing batch surfaces on the caller like parallel_for_chunks,
+// and the pool stays usable afterwards.
+TEST(ThreadPool, ParallelForBatchesRethrowsFirstBatchError) {
+  util::ThreadPool pool(4);
+  EXPECT_THROW(pool.parallel_for_batches(
+                   100, 8,
+                   [](std::size_t b, std::size_t, std::size_t) {
+                     if (b == 2) throw std::runtime_error("batch failed");
+                   }),
+               std::runtime_error);
+  std::atomic<int> ran{0};
+  pool.parallel_for_batches(16, 4,
+                            [&ran](std::size_t, std::size_t begin,
+                                   std::size_t end) {
+                              ran += static_cast<int>(end - begin);
+                            });
+  EXPECT_EQ(ran.load(), 16);
+}
+
 }  // namespace
 }  // namespace prt
